@@ -1,0 +1,235 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   (1) hybrid alpha/beta sweep (paper settled on 768/512);
+//   (2) sampling gamma and n_samps sweep (paper: gamma = 4, 512 samples);
+//   (3) the mischoice-cost asymmetry (wrong EP >10x, wrong WE <=2.2x);
+//   (4) block count: Jia et al.'s "blocks == #SMs is best" claim.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench/common.hpp"
+#include "dist/cluster.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/kernels.hpp"
+
+int main() {
+  using namespace hbc;
+
+  const std::uint32_t scale = bench::env_u32("HBC_BENCH_SCALE", 12);
+  const std::uint32_t num_roots = bench::env_u32("HBC_BENCH_ROOTS", 32);
+
+  // Road gets two extra scale steps: its diameter (the quantity that
+  // separates the methods) is otherwise too small to show the asymmetry.
+  const graph::CSRGraph road = graph::gen::road({.scale = scale + 2, .seed = 1});
+  const graph::CSRGraph kron =
+      graph::gen::kronecker({.scale = scale, .edge_factor = 16, .seed = 1});
+  const graph::CSRGraph sw = graph::gen::small_world(
+      {.num_vertices = 1u << scale, .k = 5, .rewire_p = 0.1, .seed = 1});
+
+  kernels::RunConfig base;
+  base.device = gpusim::gtx_titan();
+
+  auto roots_for = [&](const graph::CSRGraph& g) { return bench::first_roots(g, num_roots); };
+
+  // ---------------------------------------------------------------
+  bench::print_header("Ablation 1 — hybrid alpha/beta sweep (Algorithm 4)",
+                      "simulated seconds; lower is better");
+  std::printf("%-12s", "alpha\\beta");
+  for (std::uint32_t beta : {64u, 256u, 512u, 2048u}) std::printf(" %10u", beta);
+  std::printf("   graph\n");
+  for (const auto* gp : {&kron, &sw}) {
+    const auto& g = *gp;
+    const char* name = gp == &kron ? "kron" : "smallworld";
+    for (std::uint32_t alpha : {64u, 768u, 4096u, 1u << 20}) {
+      std::printf("%-12u", alpha);
+      for (std::uint32_t beta : {64u, 256u, 512u, 2048u}) {
+        kernels::RunConfig c = base;
+        c.roots = roots_for(g);
+        c.hybrid.alpha = alpha;
+        c.hybrid.beta = beta;
+        std::printf(" %10.4f", kernels::run_hybrid(g, c).metrics.sim_seconds);
+      }
+      std::printf("   %s\n", name);
+    }
+  }
+  std::printf("alpha = 2^20 disables reconsideration (pure work-efficient).\n");
+
+  // ---------------------------------------------------------------
+  bench::print_header("Ablation 2 — sampling gamma / n_samps sweep (Algorithm 5)",
+                      "simulated seconds + chosen mode");
+  std::printf("%-12s %-10s %12s %12s %8s\n", "graph", "gamma", "n_samps", "sim(s)",
+              "mode");
+  for (const auto* gp : {&road, &sw}) {
+    const auto& g = *gp;
+    const char* name = gp == &road ? "road" : "smallworld";
+    for (double gamma : {1.0, 4.0, 64.0}) {
+      for (std::uint32_t n_samps : {4u, 16u, 64u}) {
+        kernels::RunConfig c = base;
+        c.roots = roots_for(g);
+        c.sampling.gamma = gamma;
+        c.sampling.n_samps = n_samps;
+        const auto r = kernels::run_sampling(g, c);
+        std::printf("%-12s %-10.1f %12u %12.5f %8s\n", name, gamma, n_samps,
+                    r.metrics.sim_seconds,
+                    r.metrics.sampling_chose_edge_parallel ? "EP" : "WE");
+      }
+    }
+  }
+  // A wrong EP decision on the road network is rescued by the per-level
+  // min_frontier guard (road frontiers never reach 512). Disabling the
+  // guard exposes the raw penalty of the wrong choice.
+  {
+    kernels::RunConfig c = base;
+    c.roots = roots_for(road);
+    c.sampling.gamma = 64.0;
+    c.sampling.n_samps = 16;
+    c.sampling.min_frontier = 0;
+    const auto r = kernels::run_sampling(road, c);
+    std::printf("%-12s %-10.1f %12u %12.5f %8s   <- min_frontier guard OFF\n", "road",
+                64.0, 16u, r.metrics.sim_seconds,
+                r.metrics.sampling_chose_edge_parallel ? "EP" : "WE");
+  }
+  std::printf("paper: gamma=4 with 512 samples separates the classes cleanly.\n"
+              "A wrong EP decision (gamma=64 on road) is absorbed by the >=512\n"
+              "frontier guard; without the guard the penalty is the full\n"
+              "edge-parallel mischoice cost of ablation 3.\n");
+
+  // ---------------------------------------------------------------
+  bench::print_header("Ablation 3 — mischoice cost asymmetry (§IV.B)",
+                      "time of the wrong method / time of the right method");
+  {
+    kernels::RunConfig c = base;
+    c.roots = roots_for(road);
+    const double we_road = kernels::run_work_efficient(road, c).metrics.sim_seconds;
+    const double ep_road = kernels::run_edge_parallel(road, c).metrics.sim_seconds;
+    c.roots = roots_for(sw);
+    const double we_sw = kernels::run_work_efficient(sw, c).metrics.sim_seconds;
+    const double ep_sw = kernels::run_edge_parallel(sw, c).metrics.sim_seconds;
+    std::printf("wrong edge-parallel on road network : %6.2fx slower (paper: >10x)\n",
+                ep_road / we_road);
+    std::printf("wrong work-efficient on small world : %6.2fx slower (paper: <=2.2x)\n",
+                we_sw / ep_sw);
+    std::printf("=> defaulting to work-efficient (as Algorithms 4/5 do) bounds the\n"
+                "   worst case; defaulting to edge-parallel does not.\n");
+  }
+
+  // ---------------------------------------------------------------
+  bench::print_header("Ablation 4 — thread blocks per SM (Jia et al. §III)",
+                      "work-efficient kernel on kron; blocks sweep around #SMs = 14");
+  std::printf("%-10s %12s\n", "blocks", "sim(s)");
+  for (std::uint32_t blocks : {1u, 7u, 14u, 28u, 56u}) {
+    kernels::RunConfig c = base;
+    c.roots = roots_for(kron);
+    c.device.num_sms = blocks;
+    std::printf("%-10u %12.4f\n", blocks,
+                kernels::run_work_efficient(kron, c).metrics.sim_seconds);
+  }
+  std::printf("fewer blocks than SMs serialize roots; more blocks than SMs cannot\n"
+              "run concurrently on hardware (the model treats blocks as SM slots,\n"
+              "so oversubscription shows the idealized upper bound).\n");
+
+  // ---------------------------------------------------------------
+  bench::print_header("Ablation 5 — direction-optimizing traversal (extension)",
+                      "Beamer top-down/bottom-up vs the paper's kernels; simulated s");
+  std::printf("%-12s %12s %12s %12s %12s\n", "graph", "edge-par", "work-eff", "hybrid",
+              "dir-opt");
+  for (const auto* gp : {&road, &kron, &sw}) {
+    const auto& g = *gp;
+    const char* name = gp == &road ? "road" : (gp == &kron ? "kron" : "smallworld");
+    kernels::RunConfig c = base;
+    c.roots = roots_for(g);
+    const double ep = kernels::run_edge_parallel(g, c).metrics.sim_seconds;
+    const double we = kernels::run_work_efficient(g, c).metrics.sim_seconds;
+    const double hy = kernels::run_hybrid(g, c).metrics.sim_seconds;
+    const double dir = kernels::run_direction_optimized(g, c).metrics.sim_seconds;
+    std::printf("%-12s %12.5f %12.5f %12.5f %12.5f\n", name, ep, we, hy, dir);
+  }
+  std::printf("bottom-up wins where hubs make queue levels critical-path bound (kron);\n"
+              "on uniform-degree small worlds the sigma rule forbids bottom-up's\n"
+              "early exit, narrowing the win; road never triggers the switch.\n");
+
+  // ---------------------------------------------------------------
+  bench::print_header(
+      "Ablation 6 — predecessor bitmap vs neighbor traversal (§IV.A)",
+      "the storage-for-computation trade the paper resolves toward O(n)");
+  std::printf("%-12s %14s %14s %16s %16s\n", "graph", "neighbor(s)", "bitmap(s)",
+              "mem neighbor", "mem bitmap");
+  for (const auto* gp : {&road, &kron, &sw}) {
+    const auto& g = *gp;
+    const char* name = gp == &road ? "road" : (gp == &kron ? "kron" : "smallworld");
+    kernels::RunConfig c = base;
+    c.roots = roots_for(g);
+    const auto plain = kernels::run_work_efficient(g, c);
+    c.use_predecessor_bitmap = true;
+    const auto bitmap = kernels::run_work_efficient(g, c);
+    std::printf("%-12s %14.5f %14.5f %13.1f MiB %13.1f MiB\n", name,
+                plain.metrics.sim_seconds, bitmap.metrics.sim_seconds,
+                plain.metrics.device_memory_high_water / 1048576.0,
+                bitmap.metrics.device_memory_high_water / 1048576.0);
+  }
+  std::printf("the bitmap trims dependency-stage traffic but costs O(m) bits per\n"
+              "block; the paper keeps the O(n) layout for scalability (\xc2\xa7IV.A).\n");
+
+  // ---------------------------------------------------------------
+  bench::print_header("Ablation 7 — multi-GPU root distribution (§V.D)",
+                      "contiguous vs round-robin root assignment, multi-component graph, 4 nodes");
+  {
+    // The paper: "For graphs that have a larger number of connected
+    // components an imbalance between GPUs is of course more probable."
+    // Build exactly that case — one real component plus a tail of
+    // isolated sensors at high ids. Contiguous id chunks then hand some
+    // GPUs only free (isolated) roots.
+    graph::GraphBuilder builder(
+        static_cast<graph::VertexId>(road.num_vertices() * 2));
+    for (graph::VertexId u = 0; u < road.num_vertices(); ++u) {
+      for (graph::VertexId v : road.neighbors(u)) {
+        if (u < v) builder.add_edge(u, v);
+      }
+    }
+    const graph::CSRGraph lumpy = builder.build();
+
+    kernels::RunConfig c = base;
+    c.roots.resize(lumpy.num_vertices());
+    std::iota(c.roots.begin(), c.roots.end(), graph::VertexId{0});
+    c.collect_root_cycles = true;
+    const auto run = kernels::run_work_efficient(lumpy, c);
+
+    hbc::dist::ClusterConfig cluster;
+    cluster.nodes = 4;
+    const auto contiguous = hbc::dist::model_cluster_time(
+        run.metrics.per_root_cycles, cluster, lumpy.num_vertices());
+    cluster.distribution = hbc::dist::RootDistribution::RoundRobin;
+    const auto interleaved = hbc::dist::model_cluster_time(
+        run.metrics.per_root_cycles, cluster, lumpy.num_vertices());
+    std::printf("graph: road component + equal-sized isolated tail (%u vertices)\n",
+                lumpy.num_vertices());
+    std::printf("contiguous : %.5f s compute\n", contiguous.compute_seconds);
+    std::printf("round-robin: %.5f s compute (%.1f%% of contiguous)\n",
+                interleaved.compute_seconds,
+                100.0 * interleaved.compute_seconds /
+                    std::max(contiguous.compute_seconds, 1e-12));
+    std::printf("contiguous chunks strand whole GPUs on free isolated roots while\n"
+                "others carry the component; interleaving restores the balance the\n"
+                "paper's single-component analysis assumes.\n");
+  }
+
+  // ---------------------------------------------------------------
+  bench::print_header("Ablation 8 — threads per block (occupancy)",
+                      "work-efficient kernel; small frontiers cannot fill wide blocks");
+  std::printf("%-10s %12s %12s\n", "threads", "road (s)", "kron (s)");
+  for (std::uint32_t tpb : {64u, 128u, 256u, 512u, 1024u}) {
+    kernels::RunConfig c = base;
+    c.device.threads_per_block = tpb;
+    c.roots = roots_for(road);
+    const double t_road = kernels::run_work_efficient(road, c).metrics.sim_seconds;
+    c.roots = roots_for(kron);
+    const double t_kron = kernels::run_work_efficient(kron, c).metrics.sim_seconds;
+    std::printf("%-10u %12.5f %12.5f\n", tpb, t_road, t_kron);
+  }
+  std::printf("road frontiers (~tens of vertices) saturate at narrow blocks —\n"
+              "extra threads idle; kron's huge middle frontiers keep scaling\n"
+              "with block width. The paper's 256-thread blocks are the middle\n"
+              "ground its mixed workloads need.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 3 reproduction: evolution of the vertex frontier (as % of n)
+// across BFS iterations for three roots on each of the five graph
+// classes.
+//
+// Paper finding: high-diameter classes (rgg, delaunay, road) keep the
+// frontier tiny and slowly-changing for hundreds of iterations; kron and
+// smallworld explode past half the graph within a few iterations — the
+// structural dichotomy the hybrid and sampling methods exploit.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace hbc;
+
+  const std::uint32_t scale = bench::env_u32("HBC_BENCH_SCALE", 13);
+
+  bench::print_header("Figure 3 — vertex-frontier evolution per BFS iteration",
+                      "frontier size as percentage of total vertices; 3 roots per graph");
+
+  for (const auto& family : graph::gen::figure3_family()) {
+    const graph::CSRGraph g = family.make(scale, /*seed=*/1);
+    const double n = static_cast<double>(g.num_vertices());
+    std::printf("\n%s  (%s)\n", family.name.c_str(), g.summary().c_str());
+
+    for (const graph::VertexId paper_root_id : {0u, 2121u, 6004u}) {
+      const graph::VertexId root = bench::paper_root(g, paper_root_id);
+      const auto bfs = graph::bfs(g, root);
+
+      double peak = 0.0;
+      std::size_t peak_iter = 0;
+      for (std::size_t i = 0; i < bfs.frontiers.size(); ++i) {
+        const double pct = 100.0 * static_cast<double>(bfs.frontiers[i]) / n;
+        if (pct > peak) {
+          peak = pct;
+          peak_iter = i;
+        }
+      }
+      std::printf("  root %6u: %4zu iterations, peak frontier %6.2f%% at iter %zu | ",
+                  root, bfs.frontiers.size(), peak, peak_iter);
+      // Sparkline of up to 24 sampled iterations.
+      const std::size_t samples = std::min<std::size_t>(24, bfs.frontiers.size());
+      for (std::size_t s = 0; s < samples; ++s) {
+        const std::size_t i = s * bfs.frontiers.size() / samples;
+        const double pct = 100.0 * static_cast<double>(bfs.frontiers[i]) / n;
+        const char* glyph = pct < 0.5    ? "_"
+                            : pct < 2.0  ? "."
+                            : pct < 10.0 ? ":"
+                            : pct < 30.0 ? "+"
+                            : pct < 60.0 ? "#"
+                                         : "@";
+        std::fputs(glyph, stdout);
+      }
+      std::fputc('\n', stdout);
+    }
+  }
+
+  bench::print_rule();
+  std::printf("legend: _ <0.5%%  . <2%%  : <10%%  + <30%%  # <60%%  @ >=60%% of vertices\n"
+              "paper: rgg/delaunay/road frontiers stay small for all iterations;\n"
+              "kron/smallworld exceed 50%% of vertices within a few iterations.\n");
+  return 0;
+}

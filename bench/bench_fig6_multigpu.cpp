@@ -1,0 +1,95 @@
+// Figure 6 + Table IV reproduction: multi-GPU strong scaling on the KIDS
+// cluster model (three Tesla M2090 per node, Infiniband QDR) for
+// delaunay, rgg, and kron at several scales, with node counts 1..64.
+//
+// The kernels run once per (graph, scale) collecting per-root simulated
+// cycles; every cluster configuration is then evaluated through the same
+// partition + interconnect model that dist::run_cluster_bc applies — so
+// the sweep over node counts costs no kernel re-execution.
+//
+// Paper findings:
+//   * near-linear speedup once every GPU has enough roots (Fig 6);
+//   * small scales flatten out at high node counts;
+//   * Table IV: 63.2-63.8x speedup at 64 nodes, with kron's GTEPS
+//     inflated by isolated vertices (adjusted value reported too).
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/teps.hpp"
+#include "dist/cluster.hpp"
+#include "graph/generators.hpp"
+#include "kernels/kernels.hpp"
+
+int main() {
+  using namespace hbc;
+
+  const std::uint32_t max_scale = bench::env_u32("HBC_BENCH_SCALE", 16);
+  const std::uint32_t num_roots = bench::env_u32("HBC_BENCH_ROOTS", 48);
+  const std::uint32_t node_counts[] = {1, 2, 4, 8, 16, 32, 64};
+
+  bench::print_header(
+      "Figure 6 / Table IV — multi-GPU scaling (3x Tesla M2090 per node)",
+      "sampling strategy; per-root cycles measured once, cluster model swept");
+
+  dist::ClusterConfig cluster;
+  cluster.device = gpusim::tesla_m2090();
+
+  for (const char* fam : {"delaunay", "rgg", "kron"}) {
+    const auto family = graph::gen::family_by_name(fam);
+    std::printf("\n%s:\n%7s %10s |", fam, "scale", "roots");
+    for (auto nodes : node_counts) std::printf(" %7u", nodes);
+    std::printf("   (speedup over 1 node)\n");
+
+    double top_scale_gteps = 0.0, top_scale_speedup = 0.0, top_scale_gteps_adj = 0.0;
+    for (std::uint32_t scale = max_scale >= 4 ? max_scale - 4 : 8; scale <= max_scale;
+         scale += 2) {
+      const graph::CSRGraph g = family.make(scale, /*seed=*/1);
+
+      kernels::RunConfig config;
+      config.device = cluster.device;
+      config.roots = bench::first_roots(g, num_roots);
+      config.collect_root_cycles = true;
+      config.sampling.n_samps = std::max<std::uint32_t>(4, num_roots / 16);
+      const auto run = kernels::run_sampling(g, config);
+
+      // The paper's Figure 6 measures the FULL exact computation (all n
+      // roots). Per-root cost is uniform on these graphs (§IV.C), so
+      // tile the measured sample out to n roots for the cluster model.
+      const auto& sample = run.metrics.per_root_cycles;
+      std::vector<std::uint64_t> full_roots(g.num_vertices());
+      for (std::size_t i = 0; i < full_roots.size(); ++i) {
+        full_roots[i] = sample[i % sample.size()];
+      }
+
+      std::printf("%7u %10zu |", scale, full_roots.size());
+      double t1 = 0.0;
+      for (auto nodes : node_counts) {
+        cluster.nodes = nodes;
+        const auto model =
+            dist::model_cluster_time(full_roots, cluster, g.num_vertices());
+        if (nodes == 1) t1 = model.sim_seconds;
+        const double speedup = model.sim_seconds > 0 ? t1 / model.sim_seconds : 0.0;
+        std::printf(" %6.1fx", speedup);
+        if (scale == max_scale && nodes == 64) {
+          top_scale_gteps = core::as_gteps(
+              core::teps_bc(g, full_roots.size(), model.sim_seconds));
+          top_scale_gteps_adj = core::as_gteps(
+              core::teps_bc_adjusted(g, full_roots.size(), model.sim_seconds));
+          top_scale_speedup = speedup;
+        }
+      }
+      std::fputc('\n', stdout);
+    }
+
+    std::printf("  Table IV row (%s, scale %u, 64 nodes): %.2f GTEPS"
+                " (%.2f adjusted for isolated vertices), %.2fx over 1 node\n",
+                fam, max_scale, top_scale_gteps, top_scale_gteps_adj, top_scale_speedup);
+  }
+
+  bench::print_rule();
+  std::printf("paper Table IV (n=2^20): rgg 8.25 GTEPS / 63.34x; delaunay 9.37 / 63.24x;\n"
+              "kron 24.13 / 63.75x (~18 GTEPS adjusted). Larger graphs scale closer to\n"
+              "linear; small scales starve GPUs of roots and flatten (Fig 6).\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Google-benchmark micro-benchmarks of the algorithmic building blocks:
+// host BFS, single-source Brandes, generator throughput, and the
+// work-efficient kernel's forward stage. These measure real host wall
+// time (not the device model) and track performance regressions in the
+// library itself.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "cpu/brandes.hpp"
+#include "cpu/edge_bc.hpp"
+#include "cpu/weighted_brandes.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/bc_state.hpp"
+
+namespace {
+
+using namespace hbc;
+
+const graph::CSRGraph& cached_graph(const std::string& family, std::uint32_t scale) {
+  static std::map<std::string, graph::CSRGraph> cache;
+  const std::string key = family + ":" + std::to_string(scale);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, graph::gen::family_by_name(family).make(scale, 1)).first;
+  }
+  return it->second;
+}
+
+void BM_HostBfs(benchmark::State& state, const char* family) {
+  const auto& g = cached_graph(family, static_cast<std::uint32_t>(state.range(0)));
+  graph::VertexId root = 0;
+  for (auto _ : state) {
+    auto r = graph::bfs(g, root);
+    benchmark::DoNotOptimize(r.reached);
+    root = (root + 1) % g.num_vertices();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_directed_edges()));
+}
+
+void BM_BrandesSingleSource(benchmark::State& state, const char* family) {
+  const auto& g = cached_graph(family, static_cast<std::uint32_t>(state.range(0)));
+  std::vector<double> bc(g.num_vertices(), 0.0);
+  graph::VertexId root = 0;
+  for (auto _ : state) {
+    cpu::brandes_single_source(g, root, bc);
+    benchmark::DoNotOptimize(bc.data());
+    root = (root + 1) % g.num_vertices();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_directed_edges()));
+}
+
+void BM_WorkEfficientForward(benchmark::State& state, const char* family) {
+  const auto& g = cached_graph(family, static_cast<std::uint32_t>(state.range(0)));
+  gpusim::Device device(gpusim::gtx_titan());
+  device.begin_run(1);
+  kernels::BCWorkspace ws(g);
+  graph::VertexId root = 0;
+  for (auto _ : state) {
+    auto ctx = device.block(0);
+    ws.init_root(root, ctx);
+    while (true) {
+      ws.we_forward_level(ctx);
+      if (ws.q_next_len() == 0) break;
+      ws.finish_level(ctx);
+    }
+    benchmark::DoNotOptimize(ws.max_depth());
+    root = (root + 1) % g.num_vertices();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_directed_edges()));
+}
+
+void BM_WeightedBrandesSingleSource(benchmark::State& state, const char* family) {
+  const auto& g = cached_graph(family, static_cast<std::uint32_t>(state.range(0)));
+  static std::map<std::string, cpu::WeightArray> wcache;
+  auto it = wcache.find(family);
+  if (it == wcache.end()) {
+    it = wcache.emplace(family, cpu::random_symmetric_weights(g, 1.0, 4.0, 7)).first;
+  }
+  graph::VertexId root = 0;
+  for (auto _ : state) {
+    auto r = cpu::weighted_brandes(g, it->second, {.sources = {root}});
+    benchmark::DoNotOptimize(r.bc.data());
+    root = (root + 1) % g.num_vertices();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_directed_edges()));
+}
+
+void BM_EdgeBCSingleSource(benchmark::State& state, const char* family) {
+  const auto& g = cached_graph(family, static_cast<std::uint32_t>(state.range(0)));
+  graph::VertexId root = 0;
+  for (auto _ : state) {
+    auto r = cpu::edge_betweenness(g, {root});
+    benchmark::DoNotOptimize(r.edge_bc.data());
+    root = (root + 1) % g.num_vertices();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_directed_edges()));
+}
+
+void BM_Generator(benchmark::State& state, const char* family) {
+  const auto f = graph::gen::family_by_name(family);
+  for (auto _ : state) {
+    auto g = f.make(static_cast<std::uint32_t>(state.range(0)), 1);
+    benchmark::DoNotOptimize(g.num_directed_edges());
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_HostBfs, kron, "kron")->Arg(12)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_HostBfs, road, "road")->Arg(12)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_BrandesSingleSource, kron, "kron")->Arg(12)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_BrandesSingleSource, delaunay, "delaunay")
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_WorkEfficientForward, kron, "kron")
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_WorkEfficientForward, road, "road")
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_WeightedBrandesSingleSource, smallworld, "smallworld")
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_WeightedBrandesSingleSource, road, "road")
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_EdgeBCSingleSource, smallworld, "smallworld")
+    ->Arg(10)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Generator, kron, "kron")->Arg(12)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Generator, rgg, "rgg")->Arg(12)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Generator, smallworld, "smallworld")
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

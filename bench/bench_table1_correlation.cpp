@@ -1,0 +1,58 @@
+// Table I reproduction: Pearson correlation of the vertex-frontier size
+// (rho_v,t) and edge-frontier size (rho_e,t) with per-iteration execution
+// time of the work-efficient method, for three fixed roots on the five
+// graph classes of Figure 3.
+//
+// Paper finding: rho_v,t is high (>= ~0.7) for every root and every graph
+// class, while rho_e,t collapses on the scale-free kron graph — which is
+// why Algorithm 4 keys its decisions on the vertex frontier it already
+// has in the queue.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "graph/generators.hpp"
+#include "kernels/kernels.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace hbc;
+
+  const std::uint32_t scale = bench::env_u32("HBC_BENCH_SCALE", 13);
+
+  bench::print_header(
+      "Table I — correlation of frontier sizes with iteration time",
+      "work-efficient kernel, GTX Titan model; roots as in the paper (mod n)");
+  std::printf("%-22s %8s %10s %10s\n", "Graph", "Root", "rho_v,t", "rho_e,t");
+  bench::print_rule();
+
+  for (const auto& family : graph::gen::figure3_family()) {
+    const graph::CSRGraph g = family.make(scale, /*seed=*/1);
+    for (const graph::VertexId paper_root_id : {0u, 2121u, 6004u}) {
+      const graph::VertexId root = bench::paper_root(g, paper_root_id);
+
+      kernels::RunConfig config;
+      config.device = gpusim::gtx_titan();
+      config.roots = {root};
+      config.collect_per_root_stats = true;
+      const auto r = kernels::run_work_efficient(g, config);
+
+      std::vector<double> vertex_frontier, edge_frontier, iter_time;
+      for (const auto& it : r.per_root.at(0).iterations) {
+        vertex_frontier.push_back(static_cast<double>(it.vertex_frontier));
+        edge_frontier.push_back(static_cast<double>(it.edge_frontier));
+        iter_time.push_back(static_cast<double>(it.cycles));
+      }
+      const double rho_vt = util::pearson(vertex_frontier, iter_time);
+      const double rho_et = util::pearson(edge_frontier, iter_time);
+      std::printf("%-22s %8u %10.3f %10.3f\n", family.name.c_str(), paper_root_id, rho_vt,
+                  rho_et);
+    }
+  }
+
+  bench::print_rule();
+  std::printf("paper values: rho_v,t in [0.70, 1.00] everywhere; rho_e,t matches\n"
+              "rho_v,t except on kron (0.09 / 0.20 / -0.10) where hubs decouple the\n"
+              "edge frontier from iteration time.\n");
+  return 0;
+}

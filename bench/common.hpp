@@ -1,0 +1,76 @@
+#pragma once
+
+// Shared plumbing for the reproduction benches: fixed-width table
+// printing, environment-variable knobs, and the root-set conventions.
+//
+// Every bench accepts two environment variables so the default quick run
+// (used by `for b in build/bench/*; do $b; done`) stays minutes-scale on
+// a laptop while larger sweeps remain one knob away:
+//   HBC_BENCH_SCALE  — generator scale (log2 #vertices), default per bench
+//   HBC_BENCH_ROOTS  — BC roots processed per measurement
+//
+// Simulated times come from the gpusim cycle model; TEPS follows the
+// paper's Equation 4 with the processed-roots extrapolation (the paper
+// itself notes per-root time is uniform for single-component graphs).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hbc::bench {
+
+inline std::uint32_t env_u32(const char* name, std::uint32_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::uint32_t>(value);
+}
+
+/// k roots spread uniformly across the id space (stride n/k). Keeps every
+/// method comparable on identical roots while avoiding the id-0 bias of
+/// synthetic generators (vertex 0 is the seed hub in preferential-
+/// attachment models).
+inline std::vector<graph::VertexId> first_roots(const graph::CSRGraph& g,
+                                                std::uint32_t k) {
+  const std::uint32_t n = g.num_vertices();
+  const std::uint32_t take = std::min<std::uint32_t>(k, n);
+  std::vector<graph::VertexId> roots(take);
+  for (std::uint32_t i = 0; i < take; ++i) {
+    roots[i] = static_cast<graph::VertexId>(
+        (static_cast<std::uint64_t>(i) * n) / take);
+  }
+  return roots;
+}
+
+/// Map a paper root id onto this graph: wrap modulo n, then advance to
+/// the next non-isolated vertex (kron-style graphs have isolated ids the
+/// paper's real datasets never used as roots).
+inline graph::VertexId paper_root(const graph::CSRGraph& g, graph::VertexId id) {
+  const graph::VertexId n = g.num_vertices();
+  graph::VertexId root = id % n;
+  for (graph::VertexId step = 0; step < n && g.degree(root) == 0; ++step) {
+    root = (root + 1) % n;
+  }
+  return root;
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+inline void print_header(const std::string& title, const std::string& subtitle = {}) {
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+  print_rule();
+}
+
+}  // namespace hbc::bench

@@ -1,0 +1,48 @@
+// Multi-GPU example: distribute a BC computation across a modelled GPU
+// cluster (paper §V.D) and watch the strong-scaling curve. Demonstrates
+// the dist:: API end to end — root partitioning, per-GPU kernels, and
+// the MPI-style reduction of partial BC vectors.
+
+#include <cstdio>
+
+#include "cpu/brandes.hpp"
+#include "dist/cluster.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace hbc;
+
+  const graph::CSRGraph g = graph::gen::delaunay_mesh({.scale = 12, .seed = 3});
+  std::printf("graph: %s\n", g.summary().c_str());
+
+  dist::ClusterConfig config;
+  config.gpus_per_node = 3;  // KIDS: three Tesla M2090 per node
+  config.strategy = kernels::Strategy::Sampling;
+
+  std::printf("\n%8s %8s %14s %12s %12s\n", "nodes", "GPUs", "modelled time",
+              "speedup", "efficiency");
+  double t1 = 0.0;
+  for (std::uint32_t nodes : {1u, 2u, 4u, 8u, 16u}) {
+    config.nodes = nodes;
+    const auto r = dist::run_cluster_bc(g, config);
+    if (nodes == 1) t1 = r.sim_seconds;
+    const double speedup = t1 / r.sim_seconds;
+    std::printf("%8u %8llu %12.4fs %11.2fx %11.1f%%\n", nodes,
+                static_cast<unsigned long long>(r.total_gpus), r.sim_seconds, speedup,
+                100.0 * speedup / nodes);
+  }
+
+  // Verify the distributed result against the serial oracle.
+  config.nodes = 4;
+  const auto distributed = dist::run_cluster_bc(g, config);
+  const auto oracle = cpu::brandes(g).bc;
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    max_err = std::max(max_err, std::abs(distributed.bc[i] - oracle[i]));
+  }
+  std::printf("\n12-GPU result vs serial Brandes: max abs error %.2e"
+              " (reduction is exact)\n", max_err);
+  std::printf("interconnect share of modelled time: %.4fs of %.4fs\n",
+              distributed.reduce_seconds, distributed.sim_seconds);
+  return 0;
+}

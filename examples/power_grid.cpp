@@ -1,0 +1,82 @@
+// Power-grid contingency analysis — another application the paper's
+// introduction cites (power grid contingency analysis [24]): vertices
+// with high betweenness are the grid's load-bearing buses; losing one
+// reroutes (or strands) a disproportionate share of transmission paths.
+//
+// The demo builds a synthetic transmission grid (a road-like sparse mesh:
+// grids are planar, low-degree, high-diameter — exactly the graph class
+// where the paper's work-efficient kernel shines), ranks buses by BC,
+// then simulates N-1 contingencies: drop each top bus and measure how
+// much of the network disconnects or how far paths stretch.
+
+#include <cstdio>
+
+#include "core/bc.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace hbc;
+using graph::VertexId;
+
+graph::CSRGraph remove_vertex(const graph::CSRGraph& g, VertexId victim) {
+  graph::EdgeList edges;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (u == victim) continue;
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v && v != victim) edges.push_back({u, v});
+    }
+  }
+  return graph::build_csr(g.num_vertices(), edges);
+}
+
+}  // namespace
+
+int main() {
+  // Synthetic transmission grid: sparse planar mesh with loops.
+  const graph::CSRGraph grid = graph::gen::road({.scale = 12, .extra_edge_fraction = 0.02,
+                                                 .seed = 11});
+  std::printf("synthetic grid: %s, diameter >= %u\n", grid.summary().c_str(),
+              graph::pseudo_diameter(grid));
+
+  // Rank buses by betweenness. The work-efficient strategy is the right
+  // choice for this graph class (the sampling probe would conclude the
+  // same, at a small cost).
+  core::Options options;
+  options.strategy = core::Strategy::WorkEfficient;
+  const auto result = core::compute(grid, options);
+  std::printf("exact BC in %.3f simulated GPU seconds (%.1f MTEPS)\n",
+              result.time_seconds, result.teps / 1e6);
+
+  const auto baseline_cc = graph::connected_components(grid);
+  const auto critical = core::top_k(result.scores, 5);
+
+  std::printf("\nN-1 contingency analysis of the 5 most central buses:\n");
+  std::printf("%10s %14s %12s %16s\n", "bus", "BC score", "stranded", "diameter after");
+  for (const auto& [bus, score] : critical) {
+    const graph::CSRGraph damaged = remove_vertex(grid, bus);
+    const auto cc = graph::connected_components(damaged);
+    // Stranded load: vertices outside the largest surviving component
+    // (excluding the removed bus itself, now isolated).
+    const std::uint64_t stranded =
+        grid.num_vertices() - 1 - cc.largest_size;
+    std::printf("%10u %14.1f %12llu %16u\n", bus, score,
+                static_cast<unsigned long long>(stranded),
+                graph::pseudo_diameter(damaged));
+  }
+
+  // Contrast with a low-centrality bus: removing it must strand nothing.
+  VertexId boring = 0;
+  for (VertexId v = 0; v < grid.num_vertices(); ++v) {
+    if (grid.degree(v) > 0 && result.scores[v] < result.scores[boring]) boring = v;
+  }
+  const auto cc = graph::connected_components(remove_vertex(grid, boring));
+  std::printf("\ncontrol: removing low-BC bus %u strands %llu vertices"
+              " (baseline components: %u)\n",
+              boring,
+              static_cast<unsigned long long>(grid.num_vertices() - 1 - cc.largest_size),
+              baseline_cc.num_components);
+  return 0;
+}

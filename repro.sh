@@ -1,0 +1,16 @@
+#!/bin/sh
+# One-shot reproduction: build, run the full test suite, regenerate every
+# paper table/figure, and leave test_output.txt / bench_output.txt behind.
+#
+#   ./repro.sh              # default bench scales (minutes on a laptop)
+#   HBC_BENCH_SCALE=16 ./repro.sh   # larger graphs, paper-ward magnitudes
+set -eu
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo
+echo "done: see EXPERIMENTS.md for the paper-vs-measured index,"
+echo "test_output.txt and bench_output.txt for this run's results."

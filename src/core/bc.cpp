@@ -1,0 +1,181 @@
+#include "core/bc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/teps.hpp"
+#include "cpu/brandes.hpp"
+#include "cpu/fine_grained.hpp"
+#include "cpu/parallel_brandes.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace hbc::core {
+
+using graph::VertexId;
+
+const char* to_string(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::CpuSerial: return "cpu-serial";
+    case Strategy::CpuParallel: return "cpu-parallel";
+    case Strategy::CpuFineGrained: return "cpu-fine-grained";
+    case Strategy::VertexParallel: return "vertex-parallel";
+    case Strategy::EdgeParallel: return "edge-parallel";
+    case Strategy::GpuFan: return "gpu-fan";
+    case Strategy::WorkEfficient: return "work-efficient";
+    case Strategy::Hybrid: return "hybrid";
+    case Strategy::Sampling: return "sampling";
+    case Strategy::DirectionOptimized: return "direction-optimized";
+  }
+  return "?";
+}
+
+Strategy strategy_from_string(const std::string& name) {
+  if (name == "cpu" || name == "cpu-serial") return Strategy::CpuSerial;
+  if (name == "cpu-parallel") return Strategy::CpuParallel;
+  if (name == "cpu-fine-grained" || name == "cpu-fine") return Strategy::CpuFineGrained;
+  if (name == "vertex" || name == "vertex-parallel") return Strategy::VertexParallel;
+  if (name == "edge" || name == "edge-parallel") return Strategy::EdgeParallel;
+  if (name == "gpufan" || name == "gpu-fan") return Strategy::GpuFan;
+  if (name == "we" || name == "work-efficient") return Strategy::WorkEfficient;
+  if (name == "hybrid") return Strategy::Hybrid;
+  if (name == "sampling") return Strategy::Sampling;
+  if (name == "diropt" || name == "direction-optimized") return Strategy::DirectionOptimized;
+  throw std::invalid_argument("unknown strategy name: " + name);
+}
+
+std::vector<VertexId> sample_roots(VertexId n, std::uint32_t k, std::uint64_t seed) {
+  // Partial Fisher–Yates over a dense id vector.
+  std::vector<VertexId> ids(n);
+  for (VertexId v = 0; v < n; ++v) ids[v] = v;
+  util::Xoshiro256 rng(seed);
+  const std::uint32_t take = std::min<std::uint32_t>(k, n);
+  for (std::uint32_t i = 0; i < take; ++i) {
+    const std::uint64_t j = i + rng.next_below(n - i);
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(take);
+  return ids;
+}
+
+namespace {
+
+kernels::Strategy to_kernel_strategy(Strategy s) {
+  switch (s) {
+    case Strategy::VertexParallel: return kernels::Strategy::VertexParallel;
+    case Strategy::EdgeParallel: return kernels::Strategy::EdgeParallel;
+    case Strategy::GpuFan: return kernels::Strategy::GpuFan;
+    case Strategy::WorkEfficient: return kernels::Strategy::WorkEfficient;
+    case Strategy::Hybrid: return kernels::Strategy::Hybrid;
+    case Strategy::Sampling: return kernels::Strategy::Sampling;
+    case Strategy::DirectionOptimized: return kernels::Strategy::DirectionOptimized;
+    default: throw std::invalid_argument("not a kernel strategy");
+  }
+}
+
+}  // namespace
+
+BCResult compute(const graph::CSRGraph& g, const Options& options) {
+  BCResult result;
+  result.strategy = options.strategy;
+
+  std::vector<VertexId> roots = options.roots;
+  const bool approximate =
+      roots.empty() && options.sample_roots > 0 && options.sample_roots < g.num_vertices();
+  if (approximate) {
+    roots = sample_roots(g.num_vertices(), options.sample_roots, options.seed);
+  }
+  result.approximate = approximate || (!roots.empty() && roots.size() < g.num_vertices());
+
+  util::Timer wall;
+  switch (options.strategy) {
+    case Strategy::CpuSerial: {
+      cpu::BrandesResult r = cpu::brandes(g, {.sources = roots});
+      result.scores = std::move(r.bc);
+      result.roots_processed = r.roots_processed;
+      result.time_seconds = wall.elapsed_seconds();
+      break;
+    }
+    case Strategy::CpuParallel: {
+      cpu::BrandesResult r = cpu::parallel_brandes(
+          g, {.sources = roots, .num_threads = options.cpu_threads});
+      result.scores = std::move(r.bc);
+      result.roots_processed = r.roots_processed;
+      result.time_seconds = wall.elapsed_seconds();
+      break;
+    }
+    case Strategy::CpuFineGrained: {
+      cpu::BrandesResult r = cpu::fine_grained_brandes(
+          g, {.sources = roots, .num_threads = options.cpu_threads});
+      result.scores = std::move(r.bc);
+      result.roots_processed = r.roots_processed;
+      result.time_seconds = wall.elapsed_seconds();
+      break;
+    }
+    default: {
+      kernels::RunConfig rc;
+      rc.roots = roots;
+      rc.device = options.device;
+      rc.hybrid = options.hybrid;
+      rc.sampling = options.sampling;
+      rc.collect_per_root_stats = options.collect_per_root_stats;
+      kernels::RunResult r =
+          kernels::run_strategy(to_kernel_strategy(options.strategy), g, rc);
+      result.scores = std::move(r.bc);
+      result.roots_processed = r.metrics.counters.roots_processed;
+      result.time_seconds = r.metrics.sim_seconds;
+      result.kernel_metrics = std::move(r.metrics);
+      result.per_root = std::move(r.per_root);
+      break;
+    }
+  }
+  result.wall_seconds = wall.elapsed_seconds();
+
+  // Approximation: unbiased scale-up of the sampled-root partial sums.
+  if (approximate && result.roots_processed > 0) {
+    const double scale = static_cast<double>(g.num_vertices()) /
+                         static_cast<double>(result.roots_processed);
+    for (double& s : result.scores) s *= scale;
+  }
+
+  if (options.halve_undirected) {
+    for (double& s : result.scores) s *= 0.5;
+  }
+  if (options.normalize) {
+    result.scores = normalized(result.scores);
+  }
+
+  result.teps = teps_bc(g, result.roots_processed, result.time_seconds);
+  return result;
+}
+
+std::vector<double> normalized(std::span<const double> scores) {
+  const double n = static_cast<double>(scores.size());
+  std::vector<double> out(scores.begin(), scores.end());
+  if (n < 3) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+  const double scale = 1.0 / ((n - 1.0) * (n - 2.0));
+  for (double& s : out) s *= scale;
+  return out;
+}
+
+std::vector<std::pair<VertexId, double>> top_k(std::span<const double> scores,
+                                               std::size_t k) {
+  std::vector<std::pair<VertexId, double>> pairs;
+  pairs.reserve(scores.size());
+  for (std::size_t v = 0; v < scores.size(); ++v) {
+    pairs.emplace_back(static_cast<VertexId>(v), scores[v]);
+  }
+  const std::size_t take = std::min(k, pairs.size());
+  std::partial_sort(pairs.begin(), pairs.begin() + static_cast<std::ptrdiff_t>(take),
+                    pairs.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  pairs.resize(take);
+  return pairs;
+}
+
+}  // namespace hbc::core

@@ -1,0 +1,104 @@
+#pragma once
+
+// Public API of the library: one call computing betweenness centrality
+// with any of the paper's strategies (plus CPU baselines), approximation
+// by root sampling, score normalization, and top-k extraction.
+//
+// Quickstart:
+//
+//   auto g = hbc::graph::gen::small_world({.num_vertices = 1 << 14});
+//   hbc::core::Options opt;
+//   opt.strategy = hbc::core::Strategy::Sampling;   // Algorithm 5
+//   hbc::core::BCResult r = hbc::core::compute(g, opt);
+//   for (auto [v, score] : hbc::core::top_k(r.scores, 10)) { ... }
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpusim/config.hpp"
+#include "graph/csr.hpp"
+#include "kernels/kernels.hpp"
+
+namespace hbc::core {
+
+enum class Strategy {
+  CpuSerial,       // Brandes oracle (single thread)
+  CpuParallel,     // coarse-grained threaded Brandes (one source/thread)
+  CpuFineGrained,  // fine-grained threaded Brandes (threads share a source)
+  VertexParallel,  // Jia et al. baseline (GPU model)
+  EdgeParallel,    // Jia et al. baseline (GPU model)
+  GpuFan,          // Shi & Zhang baseline (GPU model)
+  WorkEfficient,   // paper Algorithms 1–3 (GPU model)
+  Hybrid,          // paper Algorithm 4
+  Sampling,        // paper Algorithm 5 (the paper's best overall)
+  DirectionOptimized,  // extension: Beamer-style top-down/bottom-up BC
+};
+
+const char* to_string(Strategy strategy) noexcept;
+
+/// Parse "cpu", "cpu-parallel", "vertex", "edge", "gpufan",
+/// "work-efficient", "hybrid", "sampling"; throws std::invalid_argument.
+Strategy strategy_from_string(const std::string& name);
+
+struct Options {
+  Strategy strategy = Strategy::Sampling;
+
+  /// Explicit root set. Empty = exact BC (all vertices as sources).
+  std::vector<graph::VertexId> roots;
+
+  /// Approximate BC with k sampled roots (Bader et al. style): when > 0
+  /// and `roots` is empty, k roots are drawn uniformly without
+  /// replacement using `seed`, and scores are scaled by n/k so they
+  /// estimate the exact values.
+  std::uint32_t sample_roots = 0;
+  std::uint64_t seed = 42;
+
+  /// Divide each score by 2 (undirected double-count correction, Fig 1).
+  bool halve_undirected = false;
+  /// Normalize by (n-1)(n-2) after any halving (§II.B).
+  bool normalize = false;
+
+  gpusim::DeviceConfig device = gpusim::gtx_titan();
+  kernels::HybridParams hybrid;
+  kernels::SamplingParams sampling;
+  std::size_t cpu_threads = 0;  // CpuParallel: 0 = hardware concurrency
+
+  bool collect_per_root_stats = false;
+};
+
+struct BCResult {
+  std::vector<double> scores;
+  Strategy strategy = Strategy::Sampling;
+  std::uint64_t roots_processed = 0;
+  bool approximate = false;
+
+  /// Simulated device seconds (GPU-model strategies) or measured wall
+  /// seconds (CPU strategies).
+  double time_seconds = 0.0;
+  double wall_seconds = 0.0;
+  /// TEPS_BC = m * n / t extrapolated from the processed root count
+  /// (exactly the paper's Equation 4 when all roots are processed).
+  double teps = 0.0;
+
+  /// Populated for GPU-model strategies.
+  kernels::RunMetrics kernel_metrics;
+  std::vector<kernels::PerRootStats> per_root;
+};
+
+BCResult compute(const graph::CSRGraph& g, const Options& options = {});
+
+/// Scores scaled by 1/((n-1)(n-2)); n < 3 leaves scores at zero scale.
+std::vector<double> normalized(std::span<const double> scores);
+
+/// Largest-first (vertex, score) pairs; ties broken by smaller vertex id.
+std::vector<std::pair<graph::VertexId, double>> top_k(std::span<const double> scores,
+                                                      std::size_t k);
+
+/// Draw k distinct roots uniformly from [0, n).
+std::vector<graph::VertexId> sample_roots(graph::VertexId n, std::uint32_t k,
+                                          std::uint64_t seed);
+
+}  // namespace hbc::core

@@ -1,0 +1,31 @@
+#pragma once
+
+// Human-readable run reports: one function that turns a BCResult (plus
+// its graph) into the block of text the CLI and examples print. Keeping
+// the formatting here means every front-end reports the same fields the
+// same way — strategy, roots, timing, TEPS, and the device-model counter
+// breakdown for GPU-model strategies.
+
+#include <string>
+
+#include "core/bc.hpp"
+
+namespace hbc::core {
+
+struct ReportOptions {
+  /// Include the gpusim counter breakdown (GPU-model strategies only).
+  bool counters = true;
+  /// Include the device memory high-water mark.
+  bool memory = true;
+  /// Number of top-centrality vertices to list (0 = none).
+  std::size_t top_k = 0;
+};
+
+/// Multi-line report, newline-terminated.
+std::string format_report(const graph::CSRGraph& g, const BCResult& result,
+                          const ReportOptions& options = {});
+
+/// One-line summary: "sampling: 8192 roots, 0.564 s, 594.4 MTEPS".
+std::string format_summary(const BCResult& result);
+
+}  // namespace hbc::core

@@ -1,0 +1,30 @@
+#include "core/teps.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace hbc::core {
+
+double teps_bc(const graph::CSRGraph& g, std::uint64_t roots_processed, double seconds) {
+  if (seconds <= 0.0 || roots_processed == 0) return 0.0;
+  return static_cast<double>(g.num_undirected_edges()) *
+         static_cast<double>(roots_processed) / seconds;
+}
+
+double teps_bc_adjusted(const graph::CSRGraph& g, std::uint64_t roots_processed,
+                        double seconds) {
+  const double nominal = teps_bc(g, roots_processed, seconds);
+  const graph::VertexId n = g.num_vertices();
+  if (n == 0) return 0.0;
+  std::uint64_t isolated = 0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (g.degree(v) == 0) ++isolated;
+  }
+  const double connected_fraction =
+      static_cast<double>(n - isolated) / static_cast<double>(n);
+  return nominal * connected_fraction;
+}
+
+double as_mteps(double teps) noexcept { return teps / 1e6; }
+double as_gteps(double teps) noexcept { return teps / 1e9; }
+
+}  // namespace hbc::core

@@ -1,0 +1,27 @@
+#pragma once
+
+// TEPS accounting (paper Equation 4): TEPS_BC = m * n / t for the exact
+// computation. When only k of n roots were processed, the paper's
+// observation that per-root time is roughly uniform (§IV.C) makes
+// m * k / t the consistent estimator of the same quantity.
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace hbc::core {
+
+/// TEPS from processed roots: m * roots / seconds (== Equation 4 when
+/// roots == n). Returns 0 when seconds or roots is 0.
+double teps_bc(const graph::CSRGraph& g, std::uint64_t roots_processed, double seconds);
+
+/// §V.D's adjustment for graphs with isolated vertices (kron): scale by
+/// the fraction of non-isolated vertices, since the nominal formula
+/// pretends every vertex contributes a full traversal.
+double teps_bc_adjusted(const graph::CSRGraph& g, std::uint64_t roots_processed,
+                        double seconds);
+
+double as_mteps(double teps) noexcept;
+double as_gteps(double teps) noexcept;
+
+}  // namespace hbc::core

@@ -1,0 +1,62 @@
+#pragma once
+
+// Approximate betweenness centrality — the two estimator families the
+// paper cites when it notes its techniques "can be trivially adjusted for
+// approximation" (§V.A):
+//
+//   * uniform root sampling (Brandes & Pich 2007 [9]): k uniformly random
+//     pivots, scores scaled by n/k — an unbiased estimator of exact BC;
+//   * adaptive sampling (Bader, Kintali, Madduri, Mihail 2007 [3]): keep
+//     sampling pivots until the running score of the vertex of interest
+//     exceeds c*n, giving a (proven) good relative estimate for
+//     high-centrality vertices with far fewer samples.
+//
+// Both run on top of any single-source engine; here they drive the serial
+// Brandes stage so they can serve as oracles for the GPU-model sampling
+// options exposed through core::Options.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hbc::cpu {
+
+struct UniformApproxOptions {
+  std::uint32_t num_pivots = 64;
+  std::uint64_t seed = 42;
+};
+
+struct UniformApproxResult {
+  /// Estimated BC per vertex (scaled by n / pivots).
+  std::vector<double> bc;
+  std::uint32_t pivots_used = 0;
+};
+
+/// Brandes–Pich uniform pivot estimator.
+UniformApproxResult approximate_bc(const graph::CSRGraph& g,
+                                   const UniformApproxOptions& options = {});
+
+struct AdaptiveApproxOptions {
+  /// Stop once the accumulated dependency of the target exceeds c * n.
+  double c = 5.0;
+  /// Hard cap on pivots (<= n); 0 means n.
+  std::uint32_t max_pivots = 0;
+  std::uint64_t seed = 42;
+};
+
+struct AdaptiveApproxResult {
+  /// Estimated BC of the target vertex: n * S_k / k, where S_k is the
+  /// accumulated dependency after k pivots.
+  double bc_estimate = 0.0;
+  std::uint32_t pivots_used = 0;
+  /// True if the c*n threshold fired (high-centrality fast path); false
+  /// if the pivot cap was reached instead.
+  bool threshold_hit = false;
+};
+
+/// Bader et al. adaptive estimator for one target vertex.
+AdaptiveApproxResult adaptive_bc(const graph::CSRGraph& g, graph::VertexId target,
+                                 const AdaptiveApproxOptions& options = {});
+
+}  // namespace hbc::cpu

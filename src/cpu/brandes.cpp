@@ -1,0 +1,121 @@
+#include "cpu/brandes.hpp"
+
+#include <algorithm>
+
+#include "graph/types.hpp"
+
+namespace hbc::cpu {
+
+using graph::CSRGraph;
+using graph::kInfDistance;
+using graph::VertexId;
+
+void brandes_single_source(const CSRGraph& g, VertexId s, std::span<double> bc,
+                           BrandesResult* stats) {
+  const VertexId n = g.num_vertices();
+
+  // Per-source working set; allocation cost is irrelevant for the oracle
+  // (kernels manage reuse explicitly — see kernels/bc_state.hpp).
+  std::vector<std::uint32_t> d(n, kInfDistance);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<double> delta(n, 0.0);
+  std::vector<VertexId> order;  // BFS visit order (the stack S)
+  order.reserve(n);
+
+  d[s] = 0;
+  sigma[s] = 1.0;
+  order.push_back(s);
+
+  // Forward: BFS with path counting.
+  std::size_t head = 0;
+  std::uint64_t traversed = 0;
+  while (head < order.size()) {
+    const VertexId v = order[head++];
+    const std::uint32_t dv = d[v];
+    for (VertexId w : g.neighbors(v)) {
+      ++traversed;
+      if (d[w] == kInfDistance) {
+        d[w] = dv + 1;
+        order.push_back(w);
+      }
+      if (d[w] == dv + 1) {
+        sigma[w] += sigma[v];
+      }
+    }
+  }
+
+  // Backward: successor-form dependency accumulation in reverse BFS order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId w = *it;
+    const std::uint32_t dw = d[w];
+    double dsw = 0.0;
+    for (VertexId v : g.neighbors(w)) {
+      if (d[v] == dw + 1) {
+        dsw += (sigma[w] / sigma[v]) * (1.0 + delta[v]);
+      }
+    }
+    delta[w] = dsw;
+    if (w != s) bc[w] += dsw;
+  }
+
+  if (stats != nullptr) {
+    stats->edges_traversed += traversed;
+    const std::uint32_t depth = order.empty() ? 0 : d[order.back()];
+    stats->max_depth_seen = std::max(stats->max_depth_seen, depth);
+  }
+}
+
+std::vector<double> single_source_dependencies(const CSRGraph& g, VertexId s) {
+  const VertexId n = g.num_vertices();
+  std::vector<std::uint32_t> d(n, kInfDistance);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<double> delta(n, 0.0);
+  std::vector<VertexId> order;
+  order.reserve(n);
+
+  d[s] = 0;
+  sigma[s] = 1.0;
+  order.push_back(s);
+  std::size_t head = 0;
+  while (head < order.size()) {
+    const VertexId v = order[head++];
+    for (VertexId w : g.neighbors(v)) {
+      if (d[w] == kInfDistance) {
+        d[w] = d[v] + 1;
+        order.push_back(w);
+      }
+      if (d[w] == d[v] + 1) sigma[w] += sigma[v];
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId w = *it;
+    double dsw = 0.0;
+    for (VertexId v : g.neighbors(w)) {
+      if (d[v] == d[w] + 1) dsw += (sigma[w] / sigma[v]) * (1.0 + delta[v]);
+    }
+    delta[w] = dsw;
+  }
+  return delta;
+}
+
+BrandesResult brandes(const CSRGraph& g, const BrandesOptions& options) {
+  const VertexId n = g.num_vertices();
+  BrandesResult result;
+  result.bc.assign(n, 0.0);
+
+  if (options.sources.empty()) {
+    for (VertexId s = 0; s < n; ++s) {
+      brandes_single_source(g, s, result.bc, &result);
+      ++result.roots_processed;
+    }
+  } else {
+    for (VertexId s : options.sources) {
+      if (s >= n) continue;
+      brandes_single_source(g, s, result.bc, &result);
+      ++result.roots_processed;
+    }
+  }
+  return result;
+}
+
+}  // namespace hbc::cpu

@@ -1,0 +1,110 @@
+#include "cpu/edge_bc.hpp"
+
+#include <algorithm>
+
+#include "graph/types.hpp"
+
+namespace hbc::cpu {
+
+using graph::CSRGraph;
+using graph::EdgeOffset;
+using graph::kInfDistance;
+using graph::VertexId;
+
+EdgeBCResult edge_betweenness(const CSRGraph& g, const std::vector<VertexId>& sources) {
+  const VertexId n = g.num_vertices();
+  EdgeBCResult result;
+  result.edge_bc.assign(g.num_directed_edges(), 0.0);
+  result.vertex_bc.assign(n, 0.0);
+
+  std::vector<std::uint32_t> d(n);
+  std::vector<double> sigma(n);
+  std::vector<double> delta(n);
+  std::vector<VertexId> order;
+  order.reserve(n);
+
+  auto run_source = [&](VertexId s) {
+    std::fill(d.begin(), d.end(), kInfDistance);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+
+    d[s] = 0;
+    sigma[s] = 1.0;
+    order.push_back(s);
+    std::size_t head = 0;
+    while (head < order.size()) {
+      const VertexId v = order[head++];
+      for (VertexId w : g.neighbors(v)) {
+        if (d[w] == kInfDistance) {
+          d[w] = d[v] + 1;
+          order.push_back(w);
+        }
+        if (d[w] == d[v] + 1) sigma[w] += sigma[v];
+      }
+    }
+
+    const auto offsets = g.row_offsets();
+    const auto cols = g.col_indices();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const VertexId w = *it;
+      double dsw = 0.0;
+      for (EdgeOffset e = offsets[w]; e < offsets[w + 1]; ++e) {
+        const VertexId v = cols[e];
+        if (d[v] == d[w] + 1) {
+          const double contribution = (sigma[w] / sigma[v]) * (1.0 + delta[v]);
+          dsw += contribution;
+          // Edge (w -> v) carries this much s-dependency.
+          result.edge_bc[e] += contribution;
+        }
+      }
+      delta[w] = dsw;
+      if (w != s) result.vertex_bc[w] += dsw;
+    }
+  };
+
+  if (sources.empty()) {
+    for (VertexId s = 0; s < n; ++s) run_source(s);
+  } else {
+    for (VertexId s : sources) {
+      if (s < n) run_source(s);
+    }
+  }
+
+  // Undirected graphs: the score of {u,v} accumulated on slot (u->v) for
+  // sources on u's side and on (v->u) for the other side; mirror the sum
+  // so both slots report the full undirected edge score.
+  if (g.undirected()) {
+    const auto offsets = g.row_offsets();
+    const auto cols = g.col_indices();
+    std::vector<double> mirrored = result.edge_bc;
+    for (VertexId u = 0; u < n; ++u) {
+      for (EdgeOffset e = offsets[u]; e < offsets[u + 1]; ++e) {
+        const VertexId v = cols[e];
+        const EdgeOffset back = find_edge_slot(g, v, u);
+        if (back < g.num_directed_edges()) {
+          mirrored[e] = result.edge_bc[e] + result.edge_bc[back];
+        }
+      }
+    }
+    result.edge_bc = std::move(mirrored);
+  }
+  return result;
+}
+
+EdgeOffset find_edge_slot(const CSRGraph& g, VertexId u, VertexId v) {
+  const auto offsets = g.row_offsets();
+  const auto cols = g.col_indices();
+  const auto begin = cols.begin() + static_cast<std::ptrdiff_t>(offsets[u]);
+  const auto end = cols.begin() + static_cast<std::ptrdiff_t>(offsets[u + 1]);
+  // Builder sorts adjacency lists; fall back to linear scan otherwise.
+  auto it = std::lower_bound(begin, end, v);
+  if (it != end && *it == v) {
+    return static_cast<EdgeOffset>(it - cols.begin());
+  }
+  it = std::find(begin, end, v);
+  if (it != end) return static_cast<EdgeOffset>(it - cols.begin());
+  return g.num_directed_edges();
+}
+
+}  // namespace hbc::cpu

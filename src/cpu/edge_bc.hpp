@@ -1,0 +1,32 @@
+#pragma once
+
+// Edge betweenness centrality (Brandes's edge variant): the score of edge
+// (u,v) is the sum over sources s of sigma_su / sigma_sv * (1 + delta_s(v))
+// for v one level deeper than u. Powers the Girvan–Newman community-
+// detection example — one of the application domains the paper's
+// introduction motivates (community detection [35]).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hbc::cpu {
+
+struct EdgeBCResult {
+  /// Score per *directed* CSR edge slot; for an undirected graph both
+  /// directions of an edge receive the same value.
+  std::vector<double> edge_bc;
+  /// Vertex BC computed as a by-product (same convention as brandes()).
+  std::vector<double> vertex_bc;
+};
+
+EdgeBCResult edge_betweenness(const graph::CSRGraph& g,
+                              const std::vector<graph::VertexId>& sources = {});
+
+/// Index of the directed edge slot (u -> v); returns
+/// graph::kInfDistance-like sentinel (num_directed_edges) when absent.
+graph::EdgeOffset find_edge_slot(const graph::CSRGraph& g, graph::VertexId u,
+                                 graph::VertexId v);
+
+}  // namespace hbc::cpu

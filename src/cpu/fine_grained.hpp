@@ -1,0 +1,34 @@
+#pragma once
+
+// Fine-grained multithreaded Brandes: threads cooperate INSIDE each
+// source's traversal (level-synchronous frontier splitting), the CPU
+// analogue of GPU-FAN's all-SMs-on-one-root mapping and of the Cray XMT
+// implementation of Madduri et al. [26] — the work the paper borrows the
+// successor-based dependency stage from.
+//
+// Contrast with cpu::parallel_brandes (coarse-grained: one source per
+// thread, the paper's one-root-per-SM mapping). Fine-grained parallelism
+// pays synchronization per BFS level but needs only one working set, so
+// it is the right shape when memory is tight or sources are few — the
+// same trade GPU-FAN makes on the device.
+
+#include <cstddef>
+#include <vector>
+
+#include "cpu/brandes.hpp"
+#include "graph/csr.hpp"
+
+namespace hbc::cpu {
+
+struct FineGrainedOptions {
+  std::vector<graph::VertexId> sources;  // empty = all vertices
+  std::size_t num_threads = 0;           // 0 = hardware concurrency
+};
+
+/// Exact BC with intra-source parallelism. Deterministic: per-level
+/// frontier splits are static and sigma/delta updates are made exactly
+/// once per edge by the owning thread (successor form).
+BrandesResult fine_grained_brandes(const graph::CSRGraph& g,
+                                   const FineGrainedOptions& options = {});
+
+}  // namespace hbc::cpu

@@ -1,0 +1,61 @@
+#include "cpu/naive.hpp"
+
+#include "graph/types.hpp"
+
+namespace hbc::cpu {
+
+using graph::CSRGraph;
+using graph::kInfDistance;
+using graph::VertexId;
+
+PathCounts count_paths(const CSRGraph& g, VertexId s) {
+  const VertexId n = g.num_vertices();
+  PathCounts r;
+  r.distance.assign(n, kInfDistance);
+  r.sigma.assign(n, 0.0);
+  r.distance[s] = 0;
+  r.sigma[s] = 1.0;
+
+  std::vector<VertexId> queue{s};
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const VertexId v = queue[head++];
+    for (VertexId w : g.neighbors(v)) {
+      if (r.distance[w] == kInfDistance) {
+        r.distance[w] = r.distance[v] + 1;
+        queue.push_back(w);
+      }
+      if (r.distance[w] == r.distance[v] + 1) {
+        r.sigma[w] += r.sigma[v];
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<double> naive_bc(const CSRGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<PathCounts> rows;
+  rows.reserve(n);
+  for (VertexId s = 0; s < n; ++s) rows.push_back(count_paths(g, s));
+
+  std::vector<double> bc(n, 0.0);
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = 0; t < n; ++t) {
+      if (t == s) continue;
+      const auto dst = rows[s].distance[t];
+      if (dst == kInfDistance) continue;
+      const double total = rows[s].sigma[t];
+      for (VertexId v = 0; v < n; ++v) {
+        if (v == s || v == t) continue;
+        if (rows[s].distance[v] == kInfDistance) continue;
+        if (rows[s].distance[v] + rows[v].distance[t] == dst) {
+          bc[v] += rows[s].sigma[v] * rows[v].sigma[t] / total;
+        }
+      }
+    }
+  }
+  return bc;
+}
+
+}  // namespace hbc::cpu

@@ -1,0 +1,27 @@
+#pragma once
+
+// Definition-level BC oracle for small graphs: counts sigma_st and
+// sigma_st(v) directly from Equation (1) using all-pairs BFS path counts
+// and the identity sigma_st(v) = sigma_sv * sigma_vt when
+// d(s,v) + d(v,t) == d(s,t). O(n * (n + m)) time, O(n^2) space — intended
+// for n up to a few hundred in tests, where it cross-checks Brandes and
+// every kernel independently of the dependency-accumulation trick.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hbc::cpu {
+
+/// Exact BC via pairwise path counting (same double-counted convention as
+/// brandes(): each ordered pair (s,t), s != t, contributes).
+std::vector<double> naive_bc(const graph::CSRGraph& g);
+
+/// Number of shortest s->t paths for all t (sigma row), plus distances.
+struct PathCounts {
+  std::vector<std::uint32_t> distance;
+  std::vector<double> sigma;
+};
+PathCounts count_paths(const graph::CSRGraph& g, graph::VertexId s);
+
+}  // namespace hbc::cpu

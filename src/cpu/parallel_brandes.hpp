@@ -1,0 +1,24 @@
+#pragma once
+
+// Coarse-grained multithreaded Brandes: the CPU analogue of the paper's
+// one-root-per-SM mapping. Each worker owns a private BC accumulator and
+// working set; partial vectors are reduced at the end (the same pattern
+// the multi-GPU driver uses across devices).
+
+#include <cstddef>
+#include <vector>
+
+#include "cpu/brandes.hpp"
+#include "graph/csr.hpp"
+
+namespace hbc::cpu {
+
+struct ParallelBrandesOptions {
+  std::vector<graph::VertexId> sources;  // empty = all vertices
+  std::size_t num_threads = 0;           // 0 = hardware concurrency
+};
+
+BrandesResult parallel_brandes(const graph::CSRGraph& g,
+                               const ParallelBrandesOptions& options = {});
+
+}  // namespace hbc::cpu

@@ -1,0 +1,208 @@
+#include "cpu/weighted_brandes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "cpu/edge_bc.hpp"
+#include "util/rng.hpp"
+
+namespace hbc::cpu {
+
+using graph::CSRGraph;
+using graph::EdgeOffset;
+using graph::VertexId;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Relative tolerance for "equal distance" under floating-point weights.
+constexpr double kTieEps = 1e-12;
+
+bool same_distance(double a, double b) {
+  if (!std::isfinite(a) || !std::isfinite(b)) return a == b;
+  return std::abs(a - b) <= kTieEps * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+void validate(const CSRGraph& g, std::span<const double> weights) {
+  if (weights.size() != g.num_directed_edges()) {
+    throw std::invalid_argument("weighted_brandes: weight array size mismatch");
+  }
+  for (double w : weights) {
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument("weighted_brandes: weights must be positive finite");
+    }
+  }
+}
+
+struct QueueEntry {
+  double dist;
+  VertexId vertex;
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+    return a.dist > b.dist;
+  }
+};
+
+}  // namespace
+
+WeightArray random_symmetric_weights(const CSRGraph& g, double lo, double hi,
+                                     std::uint64_t seed) {
+  if (!(hi > lo) || !(lo > 0.0)) {
+    throw std::invalid_argument("random_symmetric_weights: need 0 < lo < hi");
+  }
+  util::Xoshiro256 rng(seed);
+  WeightArray weights(g.num_directed_edges(), 0.0);
+  const auto sources = g.edge_sources();
+  const auto cols = g.col_indices();
+  for (EdgeOffset e = 0; e < g.num_directed_edges(); ++e) {
+    const VertexId u = sources[e];
+    const VertexId v = cols[e];
+    if (!g.undirected() || u <= v) {
+      weights[e] = lo + (hi - lo) * rng.next_double();
+      if (g.undirected() && u != v) {
+        const EdgeOffset back = find_edge_slot(g, v, u);
+        if (back < g.num_directed_edges()) weights[back] = weights[e];
+      }
+    }
+  }
+  // Any slot not covered above (u > v direction) was filled via its mirror.
+  return weights;
+}
+
+bool make_symmetric_weights(const CSRGraph& g, WeightArray& weights) {
+  if (!g.undirected()) return false;
+  const auto sources = g.edge_sources();
+  const auto cols = g.col_indices();
+  for (EdgeOffset e = 0; e < g.num_directed_edges(); ++e) {
+    const VertexId u = sources[e];
+    const VertexId v = cols[e];
+    if (u < v) {
+      const EdgeOffset back = find_edge_slot(g, v, u);
+      if (back < g.num_directed_edges()) {
+        const double avg = 0.5 * (weights[e] + weights[back]);
+        weights[e] = weights[back] = avg;
+      }
+    }
+  }
+  return true;
+}
+
+WeightedPaths weighted_count_paths(const CSRGraph& g, std::span<const double> weights,
+                                   VertexId s) {
+  validate(g, weights);
+  const VertexId n = g.num_vertices();
+  WeightedPaths r;
+  r.distance.assign(n, kInf);
+  r.sigma.assign(n, 0.0);
+  if (s >= n) return r;
+
+  r.distance[s] = 0.0;
+  r.sigma[s] = 1.0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  pq.push({0.0, s});
+  std::vector<bool> settled(n, false);
+  const auto offsets = g.row_offsets();
+  const auto cols = g.col_indices();
+
+  while (!pq.empty()) {
+    const auto [dist, v] = pq.top();
+    pq.pop();
+    if (settled[v]) continue;
+    settled[v] = true;
+    for (EdgeOffset e = offsets[v]; e < offsets[v + 1]; ++e) {
+      const VertexId w = cols[e];
+      const double cand = dist + weights[e];
+      if (cand < r.distance[w] && !same_distance(cand, r.distance[w])) {
+        r.distance[w] = cand;
+        r.sigma[w] = r.sigma[v];
+        pq.push({cand, w});
+      } else if (same_distance(cand, r.distance[w]) && !settled[w]) {
+        r.sigma[w] += r.sigma[v];
+      }
+    }
+  }
+  return r;
+}
+
+WeightedBrandesResult weighted_brandes(const CSRGraph& g, std::span<const double> weights,
+                                       const WeightedBrandesOptions& options) {
+  validate(g, weights);
+  const VertexId n = g.num_vertices();
+  WeightedBrandesResult result;
+  result.bc.assign(n, 0.0);
+
+  const auto offsets = g.row_offsets();
+  const auto cols = g.col_indices();
+
+  std::vector<double> dist(n);
+  std::vector<double> sigma(n);
+  std::vector<double> delta(n);
+  std::vector<bool> settled(n);
+  std::vector<VertexId> order;  // settle order (non-decreasing distance)
+  order.reserve(n);
+
+  auto run_source = [&](VertexId s) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    std::fill(settled.begin(), settled.end(), false);
+    order.clear();
+
+    dist[s] = 0.0;
+    sigma[s] = 1.0;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+    pq.push({0.0, s});
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      if (settled[v]) continue;
+      settled[v] = true;
+      order.push_back(v);
+      for (EdgeOffset e = offsets[v]; e < offsets[v + 1]; ++e) {
+        const VertexId w = cols[e];
+        const double cand = d + weights[e];
+        if (cand < dist[w] && !same_distance(cand, dist[w])) {
+          dist[w] = cand;
+          sigma[w] = sigma[v];
+          pq.push({cand, w});
+        } else if (same_distance(cand, dist[w]) && !settled[w]) {
+          sigma[w] += sigma[v];
+        }
+      }
+    }
+
+    // Successor-form accumulation in reverse settle order: v is a
+    // predecessor of w on a shortest path iff dist[v] + weight == dist[w].
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const VertexId w = *it;
+      double dsw = 0.0;
+      for (EdgeOffset e = offsets[w]; e < offsets[w + 1]; ++e) {
+        const VertexId v = cols[e];
+        if (dist[v] < kInf && same_distance(dist[w] + weights[e], dist[v])) {
+          dsw += (sigma[w] / sigma[v]) * (1.0 + delta[v]);
+        }
+      }
+      delta[w] = dsw;
+      if (w != s) result.bc[w] += dsw;
+    }
+  };
+
+  if (options.sources.empty()) {
+    for (VertexId s = 0; s < n; ++s) {
+      run_source(s);
+      ++result.roots_processed;
+    }
+  } else {
+    for (VertexId s : options.sources) {
+      if (s >= n) continue;
+      run_source(s);
+      ++result.roots_processed;
+    }
+  }
+  return result;
+}
+
+}  // namespace hbc::cpu

@@ -1,0 +1,57 @@
+#pragma once
+
+// Weighted betweenness centrality: Brandes's algorithm with Dijkstra
+// shortest paths (Brandes 2001 handles arbitrary positive weights; the
+// paper restricts its GPU kernels to the unweighted O(mn) case and cites
+// weighted traversal as the SSSP direction of future work, §VI). This CPU
+// engine completes the library for weighted inputs and serves as the
+// oracle if a GPU-model weighted kernel is added later.
+//
+// Weights are carried in a parallel array over the CSR's directed edge
+// slots; an undirected graph must assign the same weight to both
+// directions (make_symmetric_weights enforces this).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hbc::cpu {
+
+using WeightArray = std::vector<double>;
+
+/// Uniform-random weights in [lo, hi), mirrored across edge directions
+/// for undirected graphs. Deterministic in seed.
+WeightArray random_symmetric_weights(const graph::CSRGraph& g, double lo, double hi,
+                                     std::uint64_t seed);
+
+/// Force w(u->v) == w(v->u) by averaging the two slots (no-op when
+/// already symmetric). Returns false if the graph is directed.
+bool make_symmetric_weights(const graph::CSRGraph& g, WeightArray& weights);
+
+struct WeightedBrandesOptions {
+  std::vector<graph::VertexId> sources;  // empty = all vertices
+};
+
+struct WeightedBrandesResult {
+  std::vector<double> bc;
+  std::uint64_t roots_processed = 0;
+};
+
+/// Exact weighted BC. Throws std::invalid_argument on a non-positive
+/// weight or a weight array of the wrong length.
+WeightedBrandesResult weighted_brandes(const graph::CSRGraph& g,
+                                       std::span<const double> weights,
+                                       const WeightedBrandesOptions& options = {});
+
+/// Single-source distances + path counts under weights (Dijkstra),
+/// exposed for tests.
+struct WeightedPaths {
+  std::vector<double> distance;  // +inf when unreached
+  std::vector<double> sigma;
+};
+WeightedPaths weighted_count_paths(const graph::CSRGraph& g,
+                                   std::span<const double> weights, graph::VertexId s);
+
+}  // namespace hbc::cpu

@@ -1,0 +1,168 @@
+#include "dist/comm.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace hbc::dist {
+
+World::World(int size) : size_(size) {
+  if (size <= 0) throw std::invalid_argument("World: size must be positive");
+  mailboxes_.resize(static_cast<std::size_t>(size) * static_cast<std::size_t>(size));
+}
+
+void World::run(const std::function<void(Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &fn, &error_mutex, &first_error] {
+      Communicator comm(*this, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Reset per-run state so the World is reusable.
+  barrier_count_ = 0;
+  for (auto& box : mailboxes_) box.clear();
+  coll_buffer_.clear();
+  gather_buffer_.clear();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_count_ == size_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [this, generation] { return barrier_generation_ != generation; });
+  }
+}
+
+void Communicator::barrier() { world_->barrier_wait(); }
+
+void Communicator::reduce_sum(std::span<const double> data, std::span<double> out,
+                              int root) {
+  {
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    if (world_->coll_buffer_.size() != data.size()) {
+      world_->coll_buffer_.assign(data.size(), 0.0);
+    }
+    for (std::size_t i = 0; i < data.size(); ++i) world_->coll_buffer_[i] += data[i];
+  }
+  barrier();  // all contributions in
+  if (rank_ == root) {
+    if (out.size() != data.size()) {
+      throw std::invalid_argument("reduce_sum: out size mismatch on root");
+    }
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = world_->coll_buffer_[i];
+  }
+  barrier();  // root done reading
+  if (rank_ == root) {
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    world_->coll_buffer_.clear();
+  }
+  barrier();  // buffer cleared before any rank starts the next collective
+}
+
+void Communicator::allreduce_sum(std::span<const double> data, std::span<double> out) {
+  {
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    if (world_->coll_buffer_.size() != data.size()) {
+      world_->coll_buffer_.assign(data.size(), 0.0);
+    }
+    for (std::size_t i = 0; i < data.size(); ++i) world_->coll_buffer_[i] += data[i];
+  }
+  barrier();
+  {
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = world_->coll_buffer_[i];
+  }
+  barrier();
+  if (rank_ == 0) {
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    world_->coll_buffer_.clear();
+  }
+  barrier();
+}
+
+void Communicator::broadcast(std::span<double> data, int root) {
+  if (rank_ == root) {
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    world_->coll_buffer_.assign(data.begin(), data.end());
+  }
+  barrier();
+  if (rank_ != root) {
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = world_->coll_buffer_[i];
+  }
+  barrier();
+  if (rank_ == root) {
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    world_->coll_buffer_.clear();
+  }
+  barrier();
+}
+
+void Communicator::gather(std::span<const double> data,
+                          std::vector<std::vector<double>>& out, int root) {
+  {
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    if (world_->gather_buffer_.size() != static_cast<std::size_t>(size())) {
+      world_->gather_buffer_.resize(static_cast<std::size_t>(size()));
+    }
+    world_->gather_buffer_[static_cast<std::size_t>(rank_)].assign(data.begin(), data.end());
+  }
+  barrier();
+  if (rank_ == root) {
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    out = world_->gather_buffer_;
+  }
+  barrier();
+  if (rank_ == root) {
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    world_->gather_buffer_.clear();
+  }
+  barrier();
+}
+
+void Communicator::send(int dst, int tag, std::span<const double> payload) {
+  if (dst < 0 || dst >= size()) throw std::invalid_argument("send: bad destination rank");
+  {
+    std::lock_guard<std::mutex> lock(world_->p2p_mutex_);
+    auto& box = world_->mailboxes_[static_cast<std::size_t>(dst) * size() + rank_];
+    box.push_back({tag, std::vector<double>(payload.begin(), payload.end())});
+  }
+  world_->p2p_cv_.notify_all();
+}
+
+std::vector<double> Communicator::recv(int src, int tag) {
+  if (src < 0 || src >= size()) throw std::invalid_argument("recv: bad source rank");
+  std::unique_lock<std::mutex> lock(world_->p2p_mutex_);
+  auto& box = world_->mailboxes_[static_cast<std::size_t>(rank_) * size() + src];
+  for (;;) {
+    for (auto it = box.begin(); it != box.end(); ++it) {
+      if (it->tag == tag) {
+        std::vector<double> payload = std::move(it->payload);
+        box.erase(it);
+        return payload;
+      }
+    }
+    world_->p2p_cv_.wait(lock);
+  }
+}
+
+}  // namespace hbc::dist

@@ -1,0 +1,100 @@
+#pragma once
+
+// In-process message-passing substrate shaped after the MPI subset the
+// paper's multi-node implementation needs (§V.D): ranks, barrier,
+// reduce/allreduce of double vectors (MPI_Reduce of the per-node BC
+// scores), broadcast, gather, and point-to-point send/recv.
+//
+// Each rank runs on its own thread; collectives synchronize through a
+// shared World. This keeps the programming model of the original code
+// (SPMD over nodes) while running inside one process — the cluster *cost*
+// is modelled separately in dist/cluster.hpp.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace hbc::dist {
+
+class Communicator;
+
+/// Owns the shared state for one SPMD execution over `size` ranks.
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const noexcept { return size_; }
+
+  /// Run fn(comm) on `size` threads, one per rank; blocks until all
+  /// return. Exceptions in any rank propagate (first one wins).
+  void run(const std::function<void(Communicator&)>& fn);
+
+ private:
+  friend class Communicator;
+
+  struct Message {
+    int tag;
+    std::vector<double> payload;
+  };
+
+  void barrier_wait();
+
+  int size_;
+
+  // Sense-reversing barrier.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Collective scratch.
+  std::mutex coll_mutex_;
+  std::vector<double> coll_buffer_;
+  std::vector<std::vector<double>> gather_buffer_;
+
+  // Point-to-point mailboxes: mailbox_[dst * size + src].
+  std::mutex p2p_mutex_;
+  std::condition_variable p2p_cv_;
+  std::vector<std::deque<Message>> mailboxes_;
+};
+
+/// Per-rank handle (valid only inside World::run).
+class Communicator {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return world_->size(); }
+
+  void barrier();
+
+  /// Element-wise sum of `data` across ranks into `out` on `root`
+  /// (out ignored elsewhere; may alias data on root).
+  void reduce_sum(std::span<const double> data, std::span<double> out, int root);
+
+  /// reduce_sum + broadcast.
+  void allreduce_sum(std::span<const double> data, std::span<double> out);
+
+  /// Copy root's `data` into every rank's `data`.
+  void broadcast(std::span<double> data, int root);
+
+  /// Gather each rank's vector on root; out[r] is rank r's contribution
+  /// (resized on root; untouched elsewhere).
+  void gather(std::span<const double> data, std::vector<std::vector<double>>& out,
+              int root);
+
+  /// Blocking tagged point-to-point.
+  void send(int dst, int tag, std::span<const double> payload);
+  std::vector<double> recv(int src, int tag);
+
+ private:
+  friend class World;
+  Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+};
+
+}  // namespace hbc::dist

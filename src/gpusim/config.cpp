@@ -1,0 +1,41 @@
+#include "gpusim/config.hpp"
+
+namespace hbc::gpusim {
+
+DeviceConfig gtx_titan() {
+  DeviceConfig cfg;
+  cfg.name = "GeForce GTX Titan (Kepler, CC 3.5)";
+  cfg.num_sms = 14;
+  cfg.threads_per_block = 256;
+  cfg.clock_ghz = 0.837;
+  cfg.memory_bytes = 6ull << 30;
+  cfg.time_scale = 80.0;  // absolute-MTEPS calibration (see DeviceConfig)
+  return cfg;
+}
+
+DeviceConfig tesla_m2090() {
+  DeviceConfig cfg;
+  cfg.name = "Tesla M2090 (Fermi, CC 2.0)";
+  cfg.num_sms = 16;
+  cfg.threads_per_block = 256;
+  cfg.clock_ghz = 1.3;
+  cfg.memory_bytes = 6ull << 30;
+  // Fermi's weaker atomics and cache make scattered traffic relatively
+  // more expensive than on Kepler.
+  cfg.cost.process_rand = 24;
+  cfg.cost.queue_insert = 12;
+  cfg.time_scale = 80.0;
+  return cfg;
+}
+
+DeviceConfig test_device() {
+  DeviceConfig cfg;
+  cfg.name = "test-device";
+  cfg.num_sms = 2;
+  cfg.threads_per_block = 32;
+  cfg.clock_ghz = 1.0;
+  cfg.memory_bytes = 1ull << 20;
+  return cfg;
+}
+
+}  // namespace hbc::gpusim

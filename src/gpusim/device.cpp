@@ -1,0 +1,6 @@
+#include "gpusim/device.hpp"
+
+// Header-only logic today; this TU anchors the library target and keeps a
+// home for future out-of-line additions (e.g. trace dumping).
+
+namespace hbc::gpusim {}  // namespace hbc::gpusim

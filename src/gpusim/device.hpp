@@ -1,0 +1,205 @@
+#pragma once
+
+// The simulated device: operation counters, per-block (per-SM) cycle
+// accumulation, and block-to-SM scheduling.
+//
+// Execution model (matches the paper's coarse+fine-grained mapping):
+//   * A kernel run launches B blocks; the driver assigns BC roots to
+//     blocks round-robin (B == num_sms, as Jia et al. found optimal).
+//   * Threads inside a block execute parallel-for rounds; a round over N
+//     uniform-cost items costs ceil(N / threads_per_block) * item_cycles —
+//     small frontiers therefore underutilize the block, reproducing the
+//     fixed per-iteration floor that limits the work-efficient kernel on
+//     very-high-diameter graphs.
+//   * Imbalanced rounds (vertex-parallel: one thread per vertex, cost
+//     proportional to out-degree) are charged as the maximum per-thread
+//     total under round-robin item assignment — the load-imbalance effect
+//     of §III.A.
+//   * Device time for a run = max over blocks of accumulated cycles
+//     (blocks run concurrently on distinct SMs); GPU-FAN-style grid
+//     cooperative phases instead divide work across all device threads
+//     and pay a kernel relaunch per grid-wide sync.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/config.hpp"
+#include "gpusim/memory.hpp"
+
+namespace hbc::gpusim {
+
+/// Aggregate operation counters for a kernel run. "Traversed" edges are
+/// useful work (the edge connects a frontier vertex); "inspected" includes
+/// the futile scans the level-check traversals perform.
+struct Counters {
+  std::uint64_t edges_traversed = 0;
+  std::uint64_t edges_inspected = 0;
+  std::uint64_t vertices_scanned = 0;
+  std::uint64_t queue_inserts = 0;
+  std::uint64_t atomic_ops = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t grid_syncs = 0;
+  std::uint64_t bfs_iterations = 0;
+  std::uint64_t roots_processed = 0;
+
+  Counters& operator+=(const Counters& other) noexcept {
+    edges_traversed += other.edges_traversed;
+    edges_inspected += other.edges_inspected;
+    vertices_scanned += other.vertices_scanned;
+    queue_inserts += other.queue_inserts;
+    atomic_ops += other.atomic_ops;
+    barriers += other.barriers;
+    grid_syncs += other.grid_syncs;
+    bfs_iterations += other.bfs_iterations;
+    roots_processed += other.roots_processed;
+    return *this;
+  }
+};
+
+/// Cost of a load-imbalanced parallel round (one work item per thread,
+/// item costs vary; items assigned round-robin like a grid-stride loop).
+/// The round completes at the barrier when BOTH bounds are met:
+///   * throughput bound — total work spread across the block's threads;
+///   * critical-path bound — the busiest thread's work, divided by the
+///     per-thread ILP the hardware extracts from independent accesses.
+/// This is what makes vertex-parallel suffer on scale-free graphs
+/// (§III.A) without pretending a hub serializes at full memory latency.
+class ImbalancedRound {
+ public:
+  explicit ImbalancedRound(std::uint32_t threads)
+      : per_thread_(std::max<std::uint32_t>(threads, 1), 0), next_(0) {}
+
+  void add_item(std::uint64_t cycles) noexcept {
+    total_ += cycles;
+    per_thread_[next_] += cycles;
+    next_ = (next_ + 1) % per_thread_.size();
+  }
+
+  std::uint64_t total_cycles() const noexcept { return total_; }
+
+  std::uint64_t max_thread_cycles() const noexcept {
+    return *std::max_element(per_thread_.begin(), per_thread_.end());
+  }
+
+  std::uint64_t cost_cycles(std::uint32_t thread_ilp) const noexcept {
+    const std::uint64_t throughput =
+        (total_ + per_thread_.size() - 1) / per_thread_.size();
+    const std::uint64_t ilp = std::max<std::uint32_t>(thread_ilp, 1);
+    const std::uint64_t critical = (max_thread_cycles() + ilp - 1) / ilp;
+    return std::max(throughput, critical);
+  }
+
+ private:
+  std::vector<std::uint64_t> per_thread_;
+  std::size_t next_;
+  std::uint64_t total_ = 0;
+};
+
+/// Per-block accounting handle passed into kernels.
+class BlockContext {
+ public:
+  BlockContext(const DeviceConfig& cfg, Counters& counters, std::uint64_t& cycles)
+      : cfg_(&cfg), counters_(&counters), cycles_(&cycles) {}
+
+  const DeviceConfig& config() const noexcept { return *cfg_; }
+  const CostModel& cost() const noexcept { return cfg_->cost; }
+  Counters& counters() noexcept { return *counters_; }
+
+  std::uint64_t cycles() const noexcept { return *cycles_; }
+  void charge_cycles(std::uint64_t cycles) noexcept { *cycles_ += cycles; }
+
+  /// Uniform parallel round: N items, each costing item_cycles, spread
+  /// over the block's threads (or `width` threads if given — GPU-FAN runs
+  /// grid-wide rounds with width = device_threads()).
+  void charge_uniform_round(std::uint64_t items, std::uint64_t item_cycles,
+                            std::uint64_t width = 0) noexcept {
+    if (items == 0) return;
+    const std::uint64_t threads = width ? width : cfg_->threads_per_block;
+    const std::uint64_t rounds = (items + threads - 1) / threads;
+    *cycles_ += rounds * item_cycles;
+  }
+
+  /// Imbalanced round helper; commit with charge_imbalanced_round().
+  ImbalancedRound make_round(std::uint64_t width = 0) const {
+    const std::uint64_t threads = width ? width : cfg_->threads_per_block;
+    return ImbalancedRound(static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(threads, 1u << 20)));
+  }
+
+  void charge_imbalanced_round(const ImbalancedRound& round) noexcept {
+    *cycles_ += round.cost_cycles(cfg_->cost.thread_ilp);
+  }
+
+  void charge_barrier() noexcept {
+    *cycles_ += cfg_->cost.block_barrier;
+    ++counters_->barriers;
+  }
+
+  void charge_grid_sync() noexcept {
+    *cycles_ += cfg_->cost.grid_relaunch;
+    ++counters_->grid_syncs;
+  }
+
+ private:
+  const DeviceConfig* cfg_;
+  Counters* counters_;
+  std::uint64_t* cycles_;
+};
+
+/// A simulated GPU. Owns the memory ledger and the per-block cycle state
+/// for the current kernel run.
+class Device {
+ public:
+  explicit Device(DeviceConfig cfg)
+      : cfg_(std::move(cfg)), memory_(cfg_.memory_bytes) {}
+
+  const DeviceConfig& config() const noexcept { return cfg_; }
+  GlobalMemory& memory() noexcept { return memory_; }
+  const GlobalMemory& memory() const noexcept { return memory_; }
+  Counters& counters() noexcept { return counters_; }
+  const Counters& counters() const noexcept { return counters_; }
+
+  /// Start a run with `num_blocks` concurrent blocks (one per SM slot).
+  void begin_run(std::uint32_t num_blocks) {
+    block_cycles_.assign(std::max<std::uint32_t>(num_blocks, 1), 0);
+  }
+
+  std::uint32_t num_blocks() const noexcept {
+    return static_cast<std::uint32_t>(block_cycles_.size());
+  }
+
+  BlockContext block(std::uint32_t index) {
+    return BlockContext(cfg_, counters_, block_cycles_.at(index));
+  }
+
+  std::uint64_t block_cycles(std::uint32_t index) const {
+    return block_cycles_.at(index);
+  }
+
+  /// Elapsed cycles of the run so far: blocks execute concurrently on
+  /// distinct SMs, so the run finishes when the slowest block does.
+  std::uint64_t elapsed_cycles() const noexcept {
+    return block_cycles_.empty()
+               ? 0
+               : *std::max_element(block_cycles_.begin(), block_cycles_.end());
+  }
+
+  double elapsed_seconds() const noexcept {
+    return cfg_.seconds_from_cycles(static_cast<double>(elapsed_cycles()));
+  }
+
+  void reset() {
+    counters_ = Counters{};
+    block_cycles_.clear();
+    memory_.release_all();
+  }
+
+ private:
+  DeviceConfig cfg_;
+  GlobalMemory memory_;
+  Counters counters_;
+  std::vector<std::uint64_t> block_cycles_;
+};
+
+}  // namespace hbc::gpusim

@@ -1,0 +1,54 @@
+#include "gpusim/memory.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hbc::gpusim {
+
+namespace {
+std::string oom_message(const std::string& label, std::uint64_t requested,
+                        std::uint64_t available) {
+  std::ostringstream os;
+  os << "device out of memory allocating '" << label << "': requested "
+     << requested << " bytes, " << available << " available";
+  return os.str();
+}
+}  // namespace
+
+DeviceOutOfMemory::DeviceOutOfMemory(const std::string& label, std::uint64_t requested,
+                                     std::uint64_t available)
+    : std::runtime_error(oom_message(label, requested, available)),
+      requested_(requested),
+      available_(available) {}
+
+std::size_t GlobalMemory::allocate(std::uint64_t bytes, std::string label) {
+  if (bytes > available()) {
+    throw DeviceOutOfMemory(label, bytes, available());
+  }
+  used_ += bytes;
+  high_water_ = std::max(high_water_, used_);
+  allocations_.push_back({std::move(label), bytes, true});
+  return allocations_.size() - 1;
+}
+
+void GlobalMemory::release(std::size_t id) noexcept {
+  if (id >= allocations_.size() || !allocations_[id].live) return;
+  allocations_[id].live = false;
+  used_ -= allocations_[id].bytes;
+}
+
+void GlobalMemory::release_all() noexcept {
+  for (auto& a : allocations_) a.live = false;
+  used_ = 0;
+  allocations_.clear();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> GlobalMemory::live_allocations() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& a : allocations_) {
+    if (a.live) out.emplace_back(a.label, a.bytes);
+  }
+  return out;
+}
+
+}  // namespace hbc::gpusim

@@ -1,0 +1,106 @@
+#pragma once
+
+// Device global-memory accounting. Kernels declare every allocation a real
+// GPU port would make (graph arrays, per-block local structures,
+// predecessor lists); the ledger enforces the configured capacity and
+// throws DeviceOutOfMemory exactly where the paper's baselines die — e.g.
+// GPU-FAN's O(n^2) predecessor list at scale (Figure 5's dotted lines).
+//
+// Allocations are bookkeeping only (no backing host buffer); kernels keep
+// their working data in ordinary std::vectors and register the byte counts
+// here.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hbc::gpusim {
+
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  DeviceOutOfMemory(const std::string& label, std::uint64_t requested,
+                    std::uint64_t available);
+
+  std::uint64_t requested_bytes() const noexcept { return requested_; }
+  std::uint64_t available_bytes() const noexcept { return available_; }
+
+ private:
+  std::uint64_t requested_;
+  std::uint64_t available_;
+};
+
+class GlobalMemory {
+ public:
+  explicit GlobalMemory(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Reserve `bytes` under `label`; throws DeviceOutOfMemory on overflow.
+  /// Returns an allocation id for release().
+  std::size_t allocate(std::uint64_t bytes, std::string label);
+
+  /// Release a previous allocation (idempotent per id).
+  void release(std::size_t id) noexcept;
+
+  /// Drop every allocation (between independent kernel runs).
+  void release_all() noexcept;
+
+  std::uint64_t capacity() const noexcept { return capacity_; }
+  std::uint64_t used() const noexcept { return used_; }
+  std::uint64_t available() const noexcept { return capacity_ - used_; }
+  std::uint64_t high_water_mark() const noexcept { return high_water_; }
+
+  /// Allocation table snapshot (label, live bytes) for diagnostics.
+  std::vector<std::pair<std::string, std::uint64_t>> live_allocations() const;
+
+ private:
+  struct Allocation {
+    std::string label;
+    std::uint64_t bytes = 0;
+    bool live = false;
+  };
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t high_water_ = 0;
+  std::vector<Allocation> allocations_;
+};
+
+/// RAII wrapper: releases on destruction.
+class ScopedAllocation {
+ public:
+  ScopedAllocation() = default;
+  ScopedAllocation(GlobalMemory& mem, std::uint64_t bytes, std::string label)
+      : mem_(&mem), id_(mem.allocate(bytes, std::move(label))) {}
+
+  ScopedAllocation(const ScopedAllocation&) = delete;
+  ScopedAllocation& operator=(const ScopedAllocation&) = delete;
+
+  ScopedAllocation(ScopedAllocation&& other) noexcept
+      : mem_(other.mem_), id_(other.id_) {
+    other.mem_ = nullptr;
+  }
+  ScopedAllocation& operator=(ScopedAllocation&& other) noexcept {
+    if (this != &other) {
+      reset();
+      mem_ = other.mem_;
+      id_ = other.id_;
+      other.mem_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~ScopedAllocation() { reset(); }
+
+  void reset() noexcept {
+    if (mem_ != nullptr) {
+      mem_->release(id_);
+      mem_ = nullptr;
+    }
+  }
+
+ private:
+  GlobalMemory* mem_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+}  // namespace hbc::gpusim

@@ -1,0 +1,168 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hbc::graph {
+
+BFSResult bfs(const CSRGraph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  BFSResult r;
+  r.distance.assign(n, kInfDistance);
+  r.parent.assign(n, kInvalidVertex);
+  if (source >= n) return r;
+
+  std::vector<VertexId> current{source};
+  std::vector<VertexId> next;
+  r.distance[source] = 0;
+  r.reached = 1;
+  std::uint32_t depth = 0;
+
+  while (!current.empty()) {
+    r.frontiers.push_back(current.size());
+    std::uint64_t edge_frontier = 0;
+    for (VertexId v : current) edge_frontier += g.degree(v);
+    r.edge_frontiers.push_back(edge_frontier);
+
+    next.clear();
+    for (VertexId v : current) {
+      for (VertexId w : g.neighbors(v)) {
+        if (r.distance[w] == kInfDistance) {
+          r.distance[w] = depth + 1;
+          r.parent[w] = v;
+          next.push_back(w);
+        }
+      }
+    }
+    if (next.empty()) break;
+    ++depth;
+    r.reached += next.size();
+    std::swap(current, next);
+  }
+  r.max_depth = depth;
+  return r;
+}
+
+ComponentsResult connected_components(const CSRGraph& g) {
+  const VertexId n = g.num_vertices();
+  ComponentsResult r;
+  r.component.assign(n, kInvalidVertex);
+
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (r.component[s] != kInvalidVertex) continue;
+    const VertexId id = r.num_components++;
+    std::uint64_t size = 0;
+    stack.push_back(s);
+    r.component[s] = id;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (VertexId w : g.neighbors(v)) {
+        if (r.component[w] == kInvalidVertex) {
+          r.component[w] = id;
+          stack.push_back(w);
+        }
+      }
+    }
+    r.sizes.push_back(size);
+    r.largest_size = std::max(r.largest_size, size);
+    if (g.degree(s) == 0) ++r.isolated_vertices;
+  }
+  return r;
+}
+
+std::uint32_t pseudo_diameter(const CSRGraph& g, VertexId seed, int sweeps) {
+  if (g.num_vertices() == 0) return 0;
+  VertexId start = std::min<VertexId>(seed, g.num_vertices() - 1);
+  // If the seed is isolated, find any vertex with degree > 0.
+  if (g.degree(start) == 0) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (g.degree(v) > 0) {
+        start = v;
+        break;
+      }
+    }
+  }
+
+  std::uint32_t best = 0;
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    BFSResult r = bfs(g, start);
+    if (r.max_depth <= best && sweep > 0) break;
+    best = std::max(best, r.max_depth);
+    // Jump to a farthest vertex for the next sweep.
+    VertexId farthest = start;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (r.distance[v] != kInfDistance && r.distance[v] == r.max_depth) {
+        farthest = v;
+        break;
+      }
+    }
+    if (farthest == start) break;
+    start = farthest;
+  }
+  return best;
+}
+
+DegreeStats degree_stats(const CSRGraph& g) {
+  DegreeStats s;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return s;
+  double sum = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto d = g.degree(v);
+    s.max_degree = std::max<VertexId>(s.max_degree, static_cast<VertexId>(d));
+    sum += static_cast<double>(d);
+  }
+  s.mean_degree = sum / n;
+  double acc = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    const double d = static_cast<double>(g.degree(v)) - s.mean_degree;
+    acc += d * d;
+  }
+  s.degree_stddev = std::sqrt(acc / n);
+  s.skew = s.mean_degree > 0.0 ? s.degree_stddev / s.mean_degree : 0.0;
+  return s;
+}
+
+bool is_connected(const CSRGraph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).num_components == 1;
+}
+
+double clustering_coefficient(const CSRGraph& g, VertexId sample_vertices) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return 0.0;
+
+  auto has_edge = [&](VertexId u, VertexId w) {
+    const auto nbrs = g.neighbors(u);
+    return std::binary_search(nbrs.begin(), nbrs.end(), w);
+  };
+
+  const VertexId samples =
+      sample_vertices == 0 ? n : std::min<VertexId>(sample_vertices, n);
+  double sum = 0.0;
+  std::uint64_t counted = 0;
+  for (VertexId i = 0; i < samples; ++i) {
+    const VertexId v = sample_vertices == 0
+                           ? i
+                           : static_cast<VertexId>(
+                                 (static_cast<std::uint64_t>(i) * n) / samples);
+    const auto nbrs = g.neighbors(v);
+    if (nbrs.size() < 2) continue;
+    std::uint64_t closed = 0;
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
+        if (has_edge(nbrs[a], nbrs[b])) ++closed;
+      }
+    }
+    const double possible =
+        0.5 * static_cast<double>(nbrs.size()) * static_cast<double>(nbrs.size() - 1);
+    sum += static_cast<double>(closed) / possible;
+    ++counted;
+  }
+  return counted ? sum / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace hbc::graph

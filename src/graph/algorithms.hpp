@@ -1,0 +1,65 @@
+#pragma once
+
+// Host-side graph algorithms the evaluation depends on: plain BFS (the
+// correctness oracle for every traversal kernel), connected components
+// (TEPS adjustment for kron-style graphs with isolated vertices, §V.D),
+// and pseudo-diameter (Table II's diameter column; classifies graphs as
+// high- vs low-diameter for the experiments).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hbc::graph {
+
+struct BFSResult {
+  std::vector<std::uint32_t> distance;  // kInfDistance when unreached
+  std::vector<VertexId> parent;         // kInvalidVertex for root/unreached
+  std::uint32_t max_depth = 0;          // eccentricity of the source
+  std::uint64_t reached = 0;            // vertices reached incl. the source
+  /// Vertex-frontier size per BFS level; frontiers[0] == 1 (the source).
+  std::vector<std::uint64_t> frontiers;
+  /// Out-edges incident to each level's frontier (the edge frontier).
+  std::vector<std::uint64_t> edge_frontiers;
+};
+
+BFSResult bfs(const CSRGraph& g, VertexId source);
+
+struct ComponentsResult {
+  std::vector<VertexId> component;       // component id per vertex (dense)
+  std::vector<std::uint64_t> sizes;      // size per component id
+  VertexId num_components = 0;
+  std::uint64_t largest_size = 0;
+  std::uint64_t isolated_vertices = 0;   // degree-0 vertices
+};
+
+ComponentsResult connected_components(const CSRGraph& g);
+
+/// Double-sweep pseudo-diameter: BFS from `seed`, then BFS again from the
+/// farthest vertex found. A lower bound on the true diameter that is exact
+/// or near-exact on the graph classes used in the paper.
+std::uint32_t pseudo_diameter(const CSRGraph& g, VertexId seed = 0, int sweeps = 4);
+
+struct DegreeStats {
+  VertexId max_degree = 0;
+  double mean_degree = 0.0;
+  double degree_stddev = 0.0;
+  /// Coefficient of variation (stddev/mean) — the load-imbalance signal
+  /// that separates scale-free graphs from meshes and road networks.
+  double skew = 0.0;
+};
+
+DegreeStats degree_stats(const CSRGraph& g);
+
+bool is_connected(const CSRGraph& g);
+
+/// Average local clustering coefficient (Watts–Strogatz): the fraction of
+/// closed triangles around each vertex, averaged over vertices of degree
+/// >= 2. Together with the diameter this is the small-world signature
+/// (§II.A). `sample_vertices` > 0 estimates from that many evenly spaced
+/// vertices instead of all (exact = 0). Requires sorted adjacency (the
+/// builder's default).
+double clustering_coefficient(const CSRGraph& g, VertexId sample_vertices = 0);
+
+}  // namespace hbc::graph

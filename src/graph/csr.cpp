@@ -1,0 +1,67 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace hbc::graph {
+
+CSRGraph::CSRGraph(std::vector<EdgeOffset> row_offsets, std::vector<VertexId> col_indices,
+                   bool undirected)
+    : row_offsets_(std::move(row_offsets)),
+      col_indices_(std::move(col_indices)),
+      undirected_(undirected) {
+  if (row_offsets_.empty()) {
+    throw std::invalid_argument("CSRGraph: row_offsets must have at least one entry");
+  }
+  if (row_offsets_.front() != 0) {
+    throw std::invalid_argument("CSRGraph: row_offsets must start at 0");
+  }
+  if (row_offsets_.back() != col_indices_.size()) {
+    throw std::invalid_argument("CSRGraph: row_offsets must end at col_indices.size()");
+  }
+  if (!std::is_sorted(row_offsets_.begin(), row_offsets_.end())) {
+    throw std::invalid_argument("CSRGraph: row_offsets must be non-decreasing");
+  }
+  const VertexId n = num_vertices();
+  for (VertexId c : col_indices_) {
+    if (c >= n) throw std::invalid_argument("CSRGraph: column index out of range");
+  }
+
+  edge_sources_.resize(col_indices_.size());
+  for (VertexId v = 0; v < n; ++v) {
+    for (EdgeOffset e = row_offsets_[v]; e < row_offsets_[v + 1]; ++e) {
+      edge_sources_[e] = v;
+    }
+  }
+}
+
+VertexId CSRGraph::max_degree() const noexcept {
+  VertexId best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    best = std::max<VertexId>(best, static_cast<VertexId>(degree(v)));
+  }
+  return best;
+}
+
+double CSRGraph::average_degree() const noexcept {
+  const VertexId n = num_vertices();
+  if (n == 0) return 0.0;
+  return static_cast<double>(num_directed_edges()) / static_cast<double>(n);
+}
+
+std::size_t CSRGraph::storage_bytes() const noexcept {
+  return row_offsets_.size() * sizeof(EdgeOffset) +
+         col_indices_.size() * sizeof(VertexId) +
+         edge_sources_.size() * sizeof(VertexId);
+}
+
+std::string CSRGraph::summary() const {
+  std::ostringstream os;
+  os << "n=" << num_vertices() << " m=" << num_undirected_edges()
+     << (undirected_ ? " (undirected)" : " (directed)")
+     << " max_deg=" << max_degree();
+  return os.str();
+}
+
+}  // namespace hbc::graph

@@ -1,0 +1,77 @@
+#pragma once
+
+// Compressed Sparse Row graph — the storage format used by all kernels.
+//
+// Undirected graphs (everything in the paper's evaluation) are stored
+// symmetrized: each undirected edge {u,v} appears as both (u,v) and (v,u)
+// in the adjacency, so num_directed_edges() == 2 * undirected edge count.
+// The paper's TEPS formula counts undirected edges (its m), exposed here
+// as num_undirected_edges().
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace hbc::graph {
+
+class CSRGraph {
+ public:
+  CSRGraph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays. `row_offsets` must have
+  /// exactly num_vertices+1 monotonically non-decreasing entries with
+  /// row_offsets.front()==0 and row_offsets.back()==col_indices.size();
+  /// violations throw std::invalid_argument.
+  CSRGraph(std::vector<EdgeOffset> row_offsets, std::vector<VertexId> col_indices,
+           bool undirected);
+
+  VertexId num_vertices() const noexcept { return static_cast<VertexId>(row_offsets_.empty() ? 0 : row_offsets_.size() - 1); }
+  EdgeOffset num_directed_edges() const noexcept { return static_cast<EdgeOffset>(col_indices_.size()); }
+
+  /// Count of undirected edges (m in the paper). For a graph flagged
+  /// directed this is simply the directed edge count.
+  EdgeOffset num_undirected_edges() const noexcept {
+    return undirected_ ? num_directed_edges() / 2 : num_directed_edges();
+  }
+
+  bool undirected() const noexcept { return undirected_; }
+
+  std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    return {col_indices_.data() + row_offsets_[v],
+            col_indices_.data() + row_offsets_[v + 1]};
+  }
+
+  EdgeOffset degree(VertexId v) const noexcept {
+    return row_offsets_[v + 1] - row_offsets_[v];
+  }
+
+  std::span<const EdgeOffset> row_offsets() const noexcept { return row_offsets_; }
+  std::span<const VertexId> col_indices() const noexcept { return col_indices_; }
+
+  /// Source vertex of each directed edge index — the lookup table the
+  /// edge-parallel kernels need to map a thread (edge id) to its tail.
+  /// Built once at construction: O(m) memory, mirroring what the Jia et
+  /// al. implementation keeps on the device.
+  std::span<const VertexId> edge_sources() const noexcept { return edge_sources_; }
+
+  VertexId max_degree() const noexcept;
+  double average_degree() const noexcept;
+
+  /// Host memory footprint of the CSR arrays in bytes (what replicating
+  /// the graph onto a simulated device costs).
+  std::size_t storage_bytes() const noexcept;
+
+  /// Human-readable one-line summary for logs and bench headers.
+  std::string summary() const;
+
+ private:
+  std::vector<EdgeOffset> row_offsets_;
+  std::vector<VertexId> col_indices_;
+  std::vector<VertexId> edge_sources_;
+  bool undirected_ = true;
+};
+
+}  // namespace hbc::graph

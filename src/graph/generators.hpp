@@ -1,0 +1,165 @@
+#pragma once
+
+// Synthetic graph generators covering every structure class in the paper's
+// Table II. Each generator is deterministic in (parameters, seed) and is
+// the stand-in for the corresponding published dataset (see DESIGN.md §2):
+//
+//   rgg            <-> rgg_n_2_{15..20}      random geometric (high diameter)
+//   delaunay_mesh  <-> delaunay_n{10..20}    planar triangulation (deg ~6)
+//   kronecker      <-> kron_g500-logn20      R-MAT / Graph500 (scale-free,
+//                                            tiny diameter, isolated verts)
+//   road           <-> luxembourg.osm        road map (deg <=4, huge diameter)
+//   small_world    <-> smallworld            Watts–Strogatz ring
+//   scale_free     <-> caidaRouterLevel,     Barabási–Albert preferential
+//                      loc-gowalla             attachment
+//   web_crawl      <-> cnr-2000              Kumar et al. copying model
+//   mesh2d         <-> af_shell9             regular 2-D stencil mesh
+//
+// All generators return symmetrized simple CSR graphs.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hbc::graph::gen {
+
+/// Random geometric graph: n points uniform in the unit square, vertices
+/// closer than `radius` connected. radius <= 0 selects the connectivity
+/// threshold scaled to hit `target_avg_degree` (DIMACS rgg instances have
+/// average directed degree ~13).
+struct RggParams {
+  std::uint32_t scale = 14;           // n = 2^scale
+  double radius = 0.0;                // 0 => derive from target_avg_degree
+  double target_avg_degree = 13.0;    // directed average degree
+  std::uint64_t seed = 1;
+};
+CSRGraph rgg(const RggParams& params);
+
+/// Delaunay-like mesh: jittered sqrt(n) x sqrt(n) grid triangulated with
+/// alternating diagonals. Average degree ~6 and O(sqrt n) diameter — the
+/// structural properties of the DIMACS delaunay_n* family (a true Delaunay
+/// triangulation also averages degree 6 by Euler's formula).
+struct MeshParams {
+  std::uint32_t scale = 14;  // n = 2^scale (rounded to a full grid)
+  std::uint64_t seed = 1;
+};
+CSRGraph delaunay_mesh(const MeshParams& params);
+
+/// Regular 2-D 9-point stencil mesh (each interior vertex linked to its 8
+/// neighbours) — a proxy for the af_shell9 sheet-metal-forming FEM mesh
+/// (degree-39 stencils, diameter ~500): low-variance degree, huge diameter.
+struct Mesh2dParams {
+  std::uint32_t scale = 14;   // n = 2^scale (rounded to a full grid)
+  std::uint32_t halo = 2;     // stencil radius; 2 gives degree ~24
+  /// Height:width ratio of the sheet. af_shell9 is an elongated metal
+  /// sheet (diameter 497 at n=505k, well past the square-grid value), so
+  /// the proxy defaults to a 4:1 strip.
+  std::uint32_t aspect = 4;
+};
+CSRGraph mesh2d(const Mesh2dParams& params);
+
+/// Graph500-style Kronecker (R-MAT) generator. Produces skewed degrees,
+/// tiny diameter, and — exactly as §V.D notes for kron_g500 — a sizable
+/// share of isolated vertices.
+struct KroneckerParams {
+  std::uint32_t scale = 14;        // n = 2^scale
+  std::uint32_t edge_factor = 16;  // undirected edges ~= edge_factor * n
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  std::uint64_t seed = 1;
+};
+CSRGraph kronecker(const KroneckerParams& params);
+
+/// Road-network proxy: randomized spanning structure over a grid (maze
+/// carving) plus a small fraction of extra grid edges. Degree <= 4,
+/// diameter far beyond sqrt(n) — the luxembourg.osm profile (avg degree
+/// 2.1, diameter 1336 at n=115k).
+struct RoadParams {
+  std::uint32_t scale = 14;       // n = 2^scale (rounded to a full grid)
+  double extra_edge_fraction = 0.04;  // loops added on top of the tree
+  std::uint64_t seed = 1;
+};
+CSRGraph road(const RoadParams& params);
+
+/// Watts–Strogatz small world: ring lattice with k neighbours per side
+/// rewired with probability p. The paper's `smallworld` dataset is n=100k,
+/// m=500k (k=5 per side), diameter 9.
+struct SmallWorldParams {
+  std::uint32_t num_vertices = 1u << 14;
+  std::uint32_t k = 5;      // neighbours on EACH side => degree 2k
+  double rewire_p = 0.1;
+  std::uint64_t seed = 1;
+};
+CSRGraph small_world(const SmallWorldParams& params);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices with probability proportional to degree.
+/// Power-law degrees, log diameter — caidaRouterLevel / loc-gowalla class.
+struct ScaleFreeParams {
+  std::uint32_t num_vertices = 1u << 14;
+  std::uint32_t attach = 3;
+  std::uint64_t seed = 1;
+};
+CSRGraph scale_free(const ScaleFreeParams& params);
+
+/// Erdős–Rényi G(n, m): exactly `num_edges` distinct undirected edges
+/// drawn uniformly. Not one of Table II's classes — used by tests as an
+/// unstructured control input and by the ER-vs-structured comparisons.
+struct ErdosRenyiParams {
+  std::uint32_t num_vertices = 1u << 12;
+  std::uint64_t num_edges = 1u << 14;
+  std::uint64_t seed = 1;
+};
+CSRGraph erdos_renyi(const ErdosRenyiParams& params);
+
+/// Kumar et al. copying model for web graphs: a new page copies a random
+/// prototype's links with probability (1 - random_p) per link, producing
+/// hubs plus dense local clusters — the cnr-2000 web-crawl profile.
+struct WebCrawlParams {
+  std::uint32_t num_vertices = 1u << 14;
+  std::uint32_t out_links = 8;
+  double random_p = 0.45;
+  std::uint64_t seed = 1;
+};
+CSRGraph web_crawl(const WebCrawlParams& params);
+
+// ---------------------------------------------------------------------
+// Registry: name -> generator closure at a given scale, used by benches
+// to enumerate the Table II stand-ins uniformly.
+
+struct NamedGraph {
+  std::string name;         // paper dataset it stands in for
+  std::string family;       // generator family
+  std::function<CSRGraph(std::uint32_t scale, std::uint64_t seed)> make;
+  /// Scale the benches run by default. High-diameter families need a
+  /// larger n for their diameter (the quantity the paper's speedups are
+  /// proportional to) to express itself; scale-free families saturate
+  /// earlier and stay cheap.
+  std::uint32_t default_scale = 13;
+  /// Default BC-root budget for the benches. Edge-parallel costs
+  /// O(D * m) per root functionally, so high-diameter families get a
+  /// smaller budget; cheap low-diameter families get enough roots to
+  /// amortize the sampling kernel's probe phase as the paper does.
+  std::uint32_t default_roots = 64;
+};
+
+/// The five structure classes of Fig 3 / Table I (rgg, delaunay, kron,
+/// road, smallworld).
+std::vector<NamedGraph> figure3_family();
+
+/// The eight-graph benchmark suite of Fig 4 / Table III.
+std::vector<NamedGraph> table3_family();
+
+/// Look up any generator family by name ("rgg", "delaunay", "kron",
+/// "road", "smallworld", "scalefree", "web", "mesh2d"); throws
+/// std::invalid_argument for unknown names.
+NamedGraph family_by_name(const std::string& name);
+
+/// The 9-vertex, 10-edge toy graph of the paper's Figure 1 (vertex labels
+/// shifted to 0-based: paper vertex k is our k-1). Vertex 3 (paper's 4)
+/// bridges the two halves; paper vertices 6, 8, 9 have BC exactly 0.
+CSRGraph figure1_graph();
+
+}  // namespace hbc::graph::gen

@@ -1,0 +1,38 @@
+#include <utility>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hbc::graph::gen {
+
+// G(n, m): rejection-sample distinct unordered pairs. Fine for the sparse
+// regime the library targets (m << n^2 / 2).
+CSRGraph erdos_renyi(const ErdosRenyiParams& params) {
+  const VertexId n = params.num_vertices;
+  if (n < 2) throw std::invalid_argument("erdos_renyi: need at least 2 vertices");
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  if (params.num_edges > max_edges) {
+    throw std::invalid_argument("erdos_renyi: more edges than unordered pairs");
+  }
+
+  util::Xoshiro256 rng(params.seed);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(params.num_edges * 2);
+  GraphBuilder builder(n);
+
+  while (chosen.size() < params.num_edges) {
+    VertexId u = static_cast<VertexId>(rng.next_below(n));
+    VertexId v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (chosen.insert(key).second) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+}  // namespace hbc::graph::gen

@@ -1,0 +1,48 @@
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hbc::graph::gen {
+
+// R-MAT edge sampling (Chakrabarti et al.), the generator behind the
+// Graph500 kron_g500 instances. Each edge picks one quadrant per scale
+// level with probabilities (a, b, c, d). Vertex ids are left unpermuted:
+// the paper's observation that kron graphs carry many isolated vertices
+// (inflating TEPS, §V.D) emerges naturally.
+CSRGraph kronecker(const KroneckerParams& params) {
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (params.a < 0 || params.b < 0 || params.c < 0 || d < 0) {
+    throw std::invalid_argument("kronecker: probabilities must be in [0,1] and sum <= 1");
+  }
+  const std::uint64_t n64 = std::uint64_t{1} << params.scale;
+  const VertexId n = static_cast<VertexId>(n64);
+  const std::uint64_t target_edges = static_cast<std::uint64_t>(params.edge_factor) * n64;
+
+  util::Xoshiro256 rng(params.seed);
+  GraphBuilder builder(n);
+
+  for (std::uint64_t e = 0; e < target_edges; ++e) {
+    std::uint64_t u = 0, v = 0;
+    for (std::uint32_t level = 0; level < params.scale; ++level) {
+      const double p = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (p < params.a) {
+        // quadrant (0,0)
+      } else if (p < params.a + params.b) {
+        v |= 1;
+      } else if (p < params.a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return builder.build();
+}
+
+}  // namespace hbc::graph::gen

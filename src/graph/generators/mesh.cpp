@@ -1,0 +1,83 @@
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hbc::graph::gen {
+
+namespace {
+/// Largest grid side s with s*s <= 2^scale.
+std::uint32_t grid_side(std::uint32_t scale) {
+  const double n = std::ldexp(1.0, static_cast<int>(scale));
+  auto side = static_cast<std::uint32_t>(std::floor(std::sqrt(n)));
+  return std::max<std::uint32_t>(side, 2);
+}
+}  // namespace
+
+// Triangulated grid: lattice edges plus one diagonal per cell, with the
+// diagonal orientation drawn at random (the jitter). Interior degree is
+// 6 on average — the signature of a planar Delaunay triangulation.
+CSRGraph delaunay_mesh(const MeshParams& params) {
+  const std::uint32_t side = grid_side(params.scale);
+  const VertexId n = static_cast<VertexId>(side) * side;
+  util::Xoshiro256 rng(params.seed);
+  GraphBuilder builder(n);
+
+  auto id = [side](std::uint32_t row, std::uint32_t col) {
+    return static_cast<VertexId>(row) * side + col;
+  };
+
+  for (std::uint32_t row = 0; row < side; ++row) {
+    for (std::uint32_t col = 0; col < side; ++col) {
+      if (col + 1 < side) builder.add_edge(id(row, col), id(row, col + 1));
+      if (row + 1 < side) builder.add_edge(id(row, col), id(row + 1, col));
+      if (row + 1 < side && col + 1 < side) {
+        if (rng.next_bool(0.5)) {
+          builder.add_edge(id(row, col), id(row + 1, col + 1));
+        } else {
+          builder.add_edge(id(row, col + 1), id(row + 1, col));
+        }
+      }
+    }
+  }
+  return builder.build();
+}
+
+// 2-D stencil mesh with configurable halo on a rows x cols strip whose
+// aspect ratio mirrors the elongated af_shell9 sheet. halo=2 links each
+// interior vertex to the 24 cells of its 5x5 neighbourhood, approximating
+// the high-but-uniform degree of FEM meshes.
+CSRGraph mesh2d(const Mesh2dParams& params) {
+  const double n_target = std::ldexp(1.0, static_cast<int>(params.scale));
+  const std::uint32_t aspect = std::max<std::uint32_t>(1, params.aspect);
+  const std::uint32_t cols = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(std::floor(std::sqrt(n_target / aspect))));
+  const std::uint32_t rows = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(std::floor(n_target / cols)));
+  const VertexId n = static_cast<VertexId>(rows) * cols;
+  const std::int64_t halo = params.halo;
+  GraphBuilder builder(n);
+
+  auto id = [cols](std::uint32_t row, std::uint32_t col) {
+    return static_cast<VertexId>(row) * cols + col;
+  };
+
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    for (std::uint32_t col = 0; col < cols; ++col) {
+      for (std::int64_t dr = 0; dr <= halo; ++dr) {
+        for (std::int64_t dc = -halo; dc <= halo; ++dc) {
+          if (dr == 0 && dc <= 0) continue;  // canonical direction only
+          const std::int64_t r2 = row + dr;
+          const std::int64_t c2 = col + dc;
+          if (r2 < 0 || c2 < 0 || r2 >= rows || c2 >= cols) continue;
+          builder.add_edge(id(row, col),
+                           id(static_cast<std::uint32_t>(r2), static_cast<std::uint32_t>(c2)));
+        }
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace hbc::graph::gen

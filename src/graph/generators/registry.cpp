@@ -1,0 +1,107 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace hbc::graph::gen {
+
+namespace {
+
+NamedGraph make_named(std::string name, std::string family,
+                      std::function<CSRGraph(std::uint32_t, std::uint64_t)> make,
+                      std::uint32_t default_scale = 13,
+                      std::uint32_t default_roots = 64) {
+  return NamedGraph{std::move(name), std::move(family), std::move(make), default_scale,
+                    default_roots};
+}
+
+CSRGraph make_rgg(std::uint32_t scale, std::uint64_t seed) {
+  return rgg({.scale = scale, .seed = seed});
+}
+CSRGraph make_delaunay(std::uint32_t scale, std::uint64_t seed) {
+  return delaunay_mesh({.scale = scale, .seed = seed});
+}
+CSRGraph make_kron(std::uint32_t scale, std::uint64_t seed) {
+  return kronecker({.scale = scale, .seed = seed});
+}
+CSRGraph make_road(std::uint32_t scale, std::uint64_t seed) {
+  return road({.scale = scale, .seed = seed});
+}
+CSRGraph make_smallworld(std::uint32_t scale, std::uint64_t seed) {
+  return small_world({.num_vertices = 1u << scale, .k = 5, .rewire_p = 0.1, .seed = seed});
+}
+CSRGraph make_scalefree(std::uint32_t scale, std::uint64_t seed) {
+  return scale_free({.num_vertices = 1u << scale, .attach = 3, .seed = seed});
+}
+CSRGraph make_web(std::uint32_t scale, std::uint64_t seed) {
+  return web_crawl({.num_vertices = 1u << scale, .out_links = 8, .seed = seed});
+}
+CSRGraph make_mesh2d(std::uint32_t scale, std::uint64_t /*seed*/) {
+  return mesh2d({.scale = scale, .halo = 2});
+}
+CSRGraph make_gowalla_like(std::uint32_t scale, std::uint64_t seed) {
+  // Geosocial networks are scale-free with a denser core; attach=5
+  // approximates loc-gowalla's m/n ~ 9.7.
+  return scale_free({.num_vertices = 1u << scale, .attach = 5, .seed = seed});
+}
+
+}  // namespace
+
+std::vector<NamedGraph> figure3_family() {
+  return {
+      make_named("rgg_n_2_20", "rgg", make_rgg),
+      make_named("delaunay_n20", "delaunay", make_delaunay),
+      make_named("kron_g500-logn20", "kron", make_kron),
+      make_named("luxembourg.osm", "road", make_road),
+      make_named("smallworld", "smallworld", make_smallworld),
+  };
+}
+
+std::vector<NamedGraph> table3_family() {
+  return {
+      make_named("af_shell9", "mesh2d", make_mesh2d, 14, 8),
+      make_named("caidaRouterLevel", "scalefree", make_scalefree, 14),
+      make_named("cnr-2000", "web", make_web, 14),
+      make_named("com-amazon", "scalefree", make_scalefree, 14),
+      make_named("delaunay_n20", "delaunay", make_delaunay, 15, 8),
+      make_named("loc-gowalla", "scalefree-dense", make_gowalla_like, 14),
+      make_named("luxembourg.osm", "road", make_road, 15, 8),
+      make_named("smallworld", "smallworld", make_smallworld, 14),
+  };
+}
+
+NamedGraph family_by_name(const std::string& name) {
+  if (name == "rgg") return make_named("rgg", "rgg", make_rgg);
+  if (name == "delaunay") return make_named("delaunay", "delaunay", make_delaunay);
+  if (name == "kron") return make_named("kron", "kron", make_kron);
+  if (name == "road") return make_named("road", "road", make_road);
+  if (name == "smallworld") return make_named("smallworld", "smallworld", make_smallworld);
+  if (name == "scalefree") return make_named("scalefree", "scalefree", make_scalefree);
+  if (name == "web") return make_named("web", "web", make_web);
+  if (name == "mesh2d") return make_named("mesh2d", "mesh2d", make_mesh2d);
+  throw std::invalid_argument("unknown generator family: " + name);
+}
+
+CSRGraph figure1_graph() {
+  // Paper labels 1..9; ours 0..8. Properties encoded (paper numbering):
+  //   * neighbours(4) = {1, 3, 5, 6}  (Fig 2's second BFS iteration)
+  //   * 9 is a leaf off 7; the 5->9 shortest path runs through 7
+  //   * 8 sits on the non-shortest 5-8-7-9 path, so BC(8) = 0
+  //   * 2 hangs off 1 and 3 on the right-hand side
+  const EdgeList edges = {
+      {0, 1},  // 1-2
+      {1, 2},  // 2-3
+      {0, 3},  // 1-4
+      {2, 3},  // 3-4
+      {3, 4},  // 4-5
+      {3, 5},  // 4-6
+      {4, 6},  // 5-7
+      {4, 7},  // 5-8
+      {6, 7},  // 7-8
+      {6, 8},  // 7-9
+  };
+  return build_csr(9, edges);
+}
+
+}  // namespace hbc::graph::gen

@@ -1,0 +1,75 @@
+#include <cmath>
+#include <numbers>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hbc::graph::gen {
+
+// Uniform points in the unit square; neighbours found with a uniform grid
+// of cell size `radius` so generation is O(n + m) expected.
+CSRGraph rgg(const RggParams& params) {
+  const std::uint64_t n64 = std::uint64_t{1} << params.scale;
+  const VertexId n = static_cast<VertexId>(n64);
+  util::Xoshiro256 rng(params.seed);
+
+  double radius = params.radius;
+  if (radius <= 0.0) {
+    // Expected directed degree of an interior vertex is n * pi * r^2.
+    radius = std::sqrt(params.target_avg_degree /
+                       (std::numbers::pi * static_cast<double>(n)));
+  }
+
+  std::vector<double> x(n), y(n);
+  for (VertexId v = 0; v < n; ++v) {
+    x[v] = rng.next_double();
+    y[v] = rng.next_double();
+  }
+
+  const std::uint32_t cells = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::floor(1.0 / radius)));
+  const double cell_size = 1.0 / cells;
+  auto cell_of = [&](double coord) {
+    auto c = static_cast<std::uint32_t>(coord / cell_size);
+    return std::min(c, cells - 1);
+  };
+
+  // Bucket vertices by cell (counting sort).
+  std::vector<std::uint32_t> cell_count(static_cast<std::size_t>(cells) * cells + 1, 0);
+  auto cell_index = [&](VertexId v) {
+    return static_cast<std::size_t>(cell_of(y[v])) * cells + cell_of(x[v]);
+  };
+  for (VertexId v = 0; v < n; ++v) ++cell_count[cell_index(v) + 1];
+  for (std::size_t i = 1; i < cell_count.size(); ++i) cell_count[i] += cell_count[i - 1];
+  std::vector<VertexId> bucketed(n);
+  {
+    std::vector<std::uint32_t> cursor(cell_count.begin(), cell_count.end() - 1);
+    for (VertexId v = 0; v < n; ++v) bucketed[cursor[cell_index(v)]++] = v;
+  }
+
+  GraphBuilder builder(n);
+  const double r2 = radius * radius;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint32_t cx = cell_of(x[v]);
+    const std::uint32_t cy = cell_of(y[v]);
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const std::int64_t nx = static_cast<std::int64_t>(cx) + dx;
+        const std::int64_t ny = static_cast<std::int64_t>(cy) + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        const std::size_t cell = static_cast<std::size_t>(ny) * cells + nx;
+        for (std::uint32_t i = cell_count[cell]; i < cell_count[cell + 1]; ++i) {
+          const VertexId w = bucketed[i];
+          if (w <= v) continue;  // each undirected pair once
+          const double ddx = x[v] - x[w];
+          const double ddy = y[v] - y[w];
+          if (ddx * ddx + ddy * ddy <= r2) builder.add_edge(v, w);
+        }
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace hbc::graph::gen

@@ -1,0 +1,72 @@
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hbc::graph::gen {
+
+// Road-network proxy: carve a randomized-DFS spanning tree through a grid
+// (classic maze carving — every cell reachable, degree <= 4), then add a
+// small fraction of the remaining grid edges as loops. The result matches
+// the structural profile of luxembourg.osm: average degree ~2.1 and a
+// diameter that dwarfs sqrt(n).
+CSRGraph road(const RoadParams& params) {
+  const double n_target = std::ldexp(1.0, static_cast<int>(params.scale));
+  const std::uint32_t side =
+      std::max<std::uint32_t>(2, static_cast<std::uint32_t>(std::floor(std::sqrt(n_target))));
+  const VertexId n = static_cast<VertexId>(side) * side;
+  util::Xoshiro256 rng(params.seed);
+  GraphBuilder builder(n);
+
+  auto id = [side](std::uint32_t row, std::uint32_t col) {
+    return static_cast<VertexId>(row) * side + col;
+  };
+
+  // Iterative randomized DFS over grid cells.
+  std::vector<bool> visited(n, false);
+  std::vector<VertexId> stack;
+  stack.push_back(0);
+  visited[0] = true;
+  constexpr int kDr[4] = {1, -1, 0, 0};
+  constexpr int kDc[4] = {0, 0, 1, -1};
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    const std::uint32_t row = v / side;
+    const std::uint32_t col = v % side;
+
+    // Collect unvisited grid neighbours.
+    VertexId candidates[4];
+    int count = 0;
+    for (int dir = 0; dir < 4; ++dir) {
+      const std::int64_t r2 = static_cast<std::int64_t>(row) + kDr[dir];
+      const std::int64_t c2 = static_cast<std::int64_t>(col) + kDc[dir];
+      if (r2 < 0 || c2 < 0 || r2 >= side || c2 >= side) continue;
+      const VertexId w = id(static_cast<std::uint32_t>(r2), static_cast<std::uint32_t>(c2));
+      if (!visited[w]) candidates[count++] = w;
+    }
+    if (count == 0) {
+      stack.pop_back();
+      continue;
+    }
+    const VertexId w = candidates[rng.next_below(static_cast<std::uint64_t>(count))];
+    visited[w] = true;
+    builder.add_edge(v, w);
+    stack.push_back(w);
+  }
+
+  // Sprinkle extra grid edges to create the occasional loop (junctions).
+  for (std::uint32_t row = 0; row < side; ++row) {
+    for (std::uint32_t col = 0; col < side; ++col) {
+      if (col + 1 < side && rng.next_bool(params.extra_edge_fraction)) {
+        builder.add_edge(id(row, col), id(row, col + 1));
+      }
+      if (row + 1 < side && rng.next_bool(params.extra_edge_fraction)) {
+        builder.add_edge(id(row, col), id(row + 1, col));
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace hbc::graph::gen

@@ -1,0 +1,59 @@
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hbc::graph::gen {
+
+// Barabási–Albert preferential attachment using the repeated-endpoint
+// trick: sampling a uniform position in the running edge-endpoint list is
+// exactly degree-proportional sampling, so generation is O(m).
+CSRGraph scale_free(const ScaleFreeParams& params) {
+  const VertexId n = params.num_vertices;
+  const std::uint32_t attach = params.attach;
+  if (n <= attach) {
+    throw std::invalid_argument("scale_free: need num_vertices > attach");
+  }
+  util::Xoshiro256 rng(params.seed);
+  GraphBuilder builder(n);
+
+  // Endpoint multiset: every time an edge (u, v) is added, both u and v are
+  // appended; uniform draws from it are degree-biased.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * attach * 2);
+
+  // Seed clique over the first attach+1 vertices.
+  for (VertexId u = 0; u <= attach; ++u) {
+    for (VertexId v = u + 1; v <= attach; ++v) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<VertexId> chosen(attach);
+  for (VertexId v = attach + 1; v < n; ++v) {
+    for (std::uint32_t i = 0; i < attach; ++i) {
+      // Rejection keeps targets distinct for this vertex (simple graph).
+      VertexId target;
+      bool fresh;
+      do {
+        target = endpoints[rng.next_below(endpoints.size())];
+        fresh = target != v;
+        for (std::uint32_t j = 0; j < i && fresh; ++j) {
+          if (chosen[j] == target) fresh = false;
+        }
+      } while (!fresh);
+      chosen[i] = target;
+      builder.add_edge(v, target);
+    }
+    for (std::uint32_t i = 0; i < attach; ++i) {
+      endpoints.push_back(v);
+      endpoints.push_back(chosen[i]);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace hbc::graph::gen

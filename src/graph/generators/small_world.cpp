@@ -1,0 +1,39 @@
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hbc::graph::gen {
+
+// Watts–Strogatz: ring lattice where each vertex connects to its k nearest
+// neighbours on each side; each lattice edge is rewired to a random
+// endpoint with probability p. Short diameter + high clustering.
+CSRGraph small_world(const SmallWorldParams& params) {
+  const VertexId n = params.num_vertices;
+  if (n < 2 * params.k + 2) {
+    throw std::invalid_argument("small_world: need num_vertices > 2k + 1");
+  }
+  util::Xoshiro256 rng(params.seed);
+  GraphBuilder builder(n);
+
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::uint32_t j = 1; j <= params.k; ++j) {
+      VertexId w = static_cast<VertexId>((static_cast<std::uint64_t>(v) + j) % n);
+      if (rng.next_bool(params.rewire_p)) {
+        // Rewire to a uniform random non-self endpoint. Duplicate edges
+        // can arise; the builder dedups them (slightly lowering m, as in
+        // the reference NetworkX implementation).
+        VertexId candidate;
+        do {
+          candidate = static_cast<VertexId>(rng.next_below(n));
+        } while (candidate == v);
+        w = candidate;
+      }
+      builder.add_edge(v, w);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace hbc::graph::gen

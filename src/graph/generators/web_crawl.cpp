@@ -1,0 +1,54 @@
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hbc::graph::gen {
+
+// Kumar et al. linear copying model: page v picks a random earlier
+// "prototype" page; each of its out_links either copies the corresponding
+// prototype link (prob 1 - random_p) or points at a uniform earlier page.
+// Copying concentrates in-links on early pages (heavy-tailed hubs) while
+// keeping local clusters — the qualitative shape of web crawls such as
+// cnr-2000.
+CSRGraph web_crawl(const WebCrawlParams& params) {
+  const VertexId n = params.num_vertices;
+  const std::uint32_t k = params.out_links;
+  if (n < k + 2) {
+    throw std::invalid_argument("web_crawl: need num_vertices > out_links + 1");
+  }
+  util::Xoshiro256 rng(params.seed);
+  GraphBuilder builder(n);
+
+  // links[v] holds v's out-link targets so later pages can copy them.
+  std::vector<std::vector<VertexId>> links(n);
+
+  // Bootstrap: first k+1 pages form a clique.
+  for (VertexId u = 0; u <= k; ++u) {
+    for (VertexId v = 0; v < u; ++v) {
+      builder.add_edge(u, v);
+      links[u].push_back(v);
+    }
+  }
+
+  for (VertexId v = k + 1; v < n; ++v) {
+    const VertexId prototype = static_cast<VertexId>(rng.next_below(v));
+    links[v].reserve(k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      VertexId target;
+      if (!links[prototype].empty() && i < links[prototype].size() &&
+          !rng.next_bool(params.random_p)) {
+        target = links[prototype][i];
+      } else {
+        target = static_cast<VertexId>(rng.next_below(v));
+      }
+      if (target == v) target = prototype;
+      builder.add_edge(v, target);
+      links[v].push_back(target);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace hbc::graph::gen

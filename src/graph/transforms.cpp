@@ -1,0 +1,107 @@
+#include "graph/transforms.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/builder.hpp"
+#include "graph/types.hpp"
+
+namespace hbc::graph {
+
+std::vector<double> RelabeledGraph::project_back(std::vector<double> scores,
+                                                 VertexId original_n) const {
+  std::vector<double> out(original_n, 0.0);
+  const std::size_t limit = std::min(scores.size(), new_to_old.size());
+  for (std::size_t new_id = 0; new_id < limit; ++new_id) {
+    if (new_to_old[new_id] < original_n) {
+      out[new_to_old[new_id]] = scores[new_id];
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Build the relabeled graph given a full new->old ordering (a
+/// permutation or a subset, in new-id order).
+RelabeledGraph rebuild(const CSRGraph& g, std::vector<VertexId> new_to_old) {
+  std::vector<VertexId> old_to_new(g.num_vertices(), kInvalidVertex);
+  for (std::size_t new_id = 0; new_id < new_to_old.size(); ++new_id) {
+    old_to_new[new_to_old[new_id]] = static_cast<VertexId>(new_id);
+  }
+
+  GraphBuilder builder(static_cast<VertexId>(new_to_old.size()),
+                       BuildOptions{.symmetrize = g.undirected()});
+  for (std::size_t new_id = 0; new_id < new_to_old.size(); ++new_id) {
+    const VertexId old_u = new_to_old[new_id];
+    for (VertexId old_v : g.neighbors(old_u)) {
+      const VertexId new_v = old_to_new[old_v];
+      if (new_v == kInvalidVertex) continue;  // endpoint dropped
+      // Each undirected edge appears in both adjacencies; add it once.
+      if (!g.undirected() || new_id <= new_v) {
+        builder.add_edge(static_cast<VertexId>(new_id), new_v);
+      }
+    }
+  }
+  return {builder.build(), std::move(new_to_old)};
+}
+
+}  // namespace
+
+RelabeledGraph induced_subgraph(const CSRGraph& g, const std::vector<VertexId>& keep) {
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::vector<VertexId> new_to_old;
+  new_to_old.reserve(keep.size());
+  for (VertexId v : keep) {
+    if (v < g.num_vertices() && !seen[v]) {
+      seen[v] = true;
+      new_to_old.push_back(v);
+    }
+  }
+  return rebuild(g, std::move(new_to_old));
+}
+
+RelabeledGraph largest_component(const CSRGraph& g) {
+  const ComponentsResult cc = connected_components(g);
+  VertexId best = 0;
+  for (VertexId c = 0; c < cc.num_components; ++c) {
+    if (cc.sizes[c] > cc.sizes[best]) best = c;
+  }
+  std::vector<VertexId> keep;
+  keep.reserve(cc.largest_size);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (cc.component[v] == best) keep.push_back(v);
+  }
+  return rebuild(g, std::move(keep));
+}
+
+RelabeledGraph bfs_relabel(const CSRGraph& g, VertexId source) {
+  if (g.num_vertices() == 0) return {CSRGraph({0}, {}, g.undirected()), {}};
+  const BFSResult r = bfs(g, std::min<VertexId>(source, g.num_vertices() - 1));
+
+  // Reached vertices in BFS order first, then the rest in old order.
+  std::vector<VertexId> new_to_old;
+  new_to_old.reserve(g.num_vertices());
+  std::vector<std::pair<std::uint32_t, VertexId>> reached;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (r.distance[v] != kInfDistance) reached.emplace_back(r.distance[v], v);
+  }
+  std::stable_sort(reached.begin(), reached.end());
+  for (const auto& [depth, v] : reached) new_to_old.push_back(v);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (r.distance[v] == kInfDistance) new_to_old.push_back(v);
+  }
+  return rebuild(g, std::move(new_to_old));
+}
+
+RelabeledGraph degree_sort_relabel(const CSRGraph& g) {
+  std::vector<VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return rebuild(g, std::move(order));
+}
+
+}  // namespace hbc::graph

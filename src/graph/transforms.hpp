@@ -1,0 +1,49 @@
+#pragma once
+
+// Graph preprocessing transforms used before BC runs on real datasets:
+//
+//   * largest_component — restrict to the biggest connected component
+//     (the paper's TEPS discussion in §V.D revolves around graphs whose
+//     vertices "mostly belong to one large connected component");
+//   * bfs_relabel — renumber vertices in BFS visit order, improving the
+//     locality of frontier-driven access (a standard trick for the
+//     scattered reads the work-efficient kernel performs);
+//   * degree_sort_relabel — renumber by descending degree, the layout the
+//     edge-parallel kernels prefer (hubs share cache lines early);
+//   * induced_subgraph — keep an arbitrary vertex subset.
+//
+// Every transform returns the new graph plus the old-id mapping so scores
+// can be projected back.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hbc::graph {
+
+struct RelabeledGraph {
+  CSRGraph graph;
+  /// new_to_old[new_id] == old_id. Vertices dropped by a subgraph
+  /// transform simply do not appear.
+  std::vector<VertexId> new_to_old;
+
+  /// Project per-new-vertex scores back onto the original id space
+  /// (missing vertices get 0).
+  std::vector<double> project_back(std::vector<double> scores,
+                                   VertexId original_n) const;
+};
+
+/// Induced subgraph on `keep` (old ids; duplicates ignored, order kept).
+RelabeledGraph induced_subgraph(const CSRGraph& g, const std::vector<VertexId>& keep);
+
+/// The largest connected component as its own graph.
+RelabeledGraph largest_component(const CSRGraph& g);
+
+/// Renumber in BFS order from `source` (unreached vertices keep relative
+/// order after the reached ones).
+RelabeledGraph bfs_relabel(const CSRGraph& g, VertexId source = 0);
+
+/// Renumber by non-increasing degree; ties by old id.
+RelabeledGraph degree_sort_relabel(const CSRGraph& g);
+
+}  // namespace hbc::graph

@@ -1,0 +1,36 @@
+#pragma once
+
+// Fundamental graph typedefs shared by every subsystem.
+//
+// Vertices are dense 32-bit ids (the paper's graphs top out at 2^20
+// vertices; 32 bits leaves ample headroom). Edge offsets are 64-bit so CSR
+// row offsets never overflow even for edge counts past 4B.
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace hbc::graph {
+
+using VertexId = std::uint32_t;
+using EdgeOffset = std::uint64_t;
+
+/// Sentinel used for "unvisited" BFS distances, matching the paper's
+/// d[v] <- infinity initialisation (Algorithm 1, line 6).
+inline constexpr std::uint32_t kInfDistance = std::numeric_limits<std::uint32_t>::max();
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// A raw (directed) edge used during construction and by IO readers.
+struct Edge {
+  VertexId u;
+  VertexId v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+using EdgeList = std::vector<Edge>;
+
+}  // namespace hbc::graph

@@ -1,0 +1,452 @@
+#include "kernels/bc_state.hpp"
+
+#include <algorithm>
+
+#include "graph/types.hpp"
+
+namespace hbc::kernels {
+
+using graph::EdgeOffset;
+using graph::kInfDistance;
+using graph::VertexId;
+
+const char* to_string(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::WorkEfficient: return "work-efficient";
+    case Mode::EdgeParallel: return "edge-parallel";
+    case Mode::VertexParallel: return "vertex-parallel";
+    case Mode::BottomUp: return "bottom-up";
+  }
+  return "?";
+}
+
+BCWorkspace::BCWorkspace(const graph::CSRGraph& g) : g_(&g) {
+  const VertexId n = g.num_vertices();
+  d_.assign(n, kInfDistance);
+  sigma_.assign(n, 0.0);
+  delta_.assign(n, 0.0);
+  q_curr_.assign(n, 0);
+  q_next_.assign(n, 0);
+  s_.assign(n, 0);
+  // At most one ends entry per BFS level; n + 2 is a safe upper bound
+  // (paper: ends_len = max depth + 1 plus the leading 0).
+  ends_.assign(static_cast<std::size_t>(n) + 2, 0);
+}
+
+std::uint64_t BCWorkspace::work_efficient_bytes(VertexId n) {
+  // d (u32), sigma (f64), delta (f64), Q_curr, Q_next, S (u32 each),
+  // ends (u64, worst case n+2 entries).
+  return static_cast<std::uint64_t>(n) * (4 + 8 + 8 + 4 + 4 + 4) +
+         (static_cast<std::uint64_t>(n) + 2) * 8;
+}
+
+std::uint64_t BCWorkspace::jia_bytes(VertexId n, EdgeOffset directed_edges) {
+  // d, sigma, delta as above plus the O(m) predecessor structure: the
+  // published implementation stores predecessor lists of 4-byte vertex
+  // ids (§III.B notes a 1-byte-per-edge boolean map would be tighter —
+  // that compaction is the paper's own suggestion, not the baseline's).
+  return static_cast<std::uint64_t>(n) * (4 + 8 + 8) + directed_edges * 4;
+}
+
+std::uint64_t BCWorkspace::gpufan_bytes(VertexId n) {
+  // d, sigma, delta plus the O(n^2) predecessor list of 4-byte entries.
+  return static_cast<std::uint64_t>(n) * (4 + 8 + 8) +
+         static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) * 4;
+}
+
+void BCWorkspace::init_root(VertexId s, gpusim::BlockContext& ctx) {
+  const VertexId n = g_->num_vertices();
+  std::fill(d_.begin(), d_.end(), kInfDistance);
+  std::fill(sigma_.begin(), sigma_.end(), 0.0);
+  std::fill(delta_.begin(), delta_.end(), 0.0);
+
+  if (!successor_marks_.empty()) successor_marks_.reset();
+
+  d_[s] = 0;
+  sigma_[s] = 1.0;
+  q_curr_[0] = s;
+  q_curr_len_ = 1;
+  q_next_len_ = 0;
+  s_[0] = s;
+  s_len_ = 1;
+  ends_[0] = 0;
+  ends_[1] = 1;
+  ends_len_ = 2;
+  depth_ = 0;
+
+  // Parallel initialisation kernel: one streaming pass over n elements
+  // (Algorithm 1's "for v in V do in parallel").
+  ctx.charge_uniform_round(n, ctx.cost().scan_seq);
+  ctx.counters().vertices_scanned += n;
+}
+
+BCWorkspace::LevelStats BCWorkspace::we_forward_level(gpusim::BlockContext& ctx,
+                                                      bool mark_predecessors) {
+  LevelStats stats;
+  stats.vertex_frontier = q_curr_len_;
+
+  if (mark_predecessors && successor_marks_.size() != g_->num_directed_edges()) {
+    successor_marks_.assign(g_->num_directed_edges(), false);
+  }
+
+  auto& counters = ctx.counters();
+  const auto& cost = ctx.cost();
+  const auto offsets = g_->row_offsets();
+  const auto cols = g_->col_indices();
+  auto round = ctx.make_round();
+
+  for (std::uint64_t i = 0; i < q_curr_len_; ++i) {
+    const VertexId v = q_curr_[i];
+    const std::uint32_t dv = d_[v];
+    std::uint64_t item_cycles = cost.queue_vertex;
+
+    std::uint32_t walked = 0;
+    for (EdgeOffset e = offsets[v]; e < offsets[v + 1]; ++e) {
+      const VertexId w = cols[e];
+      ++stats.edge_frontier;
+      ++counters.edges_traversed;
+      ++counters.edges_inspected;
+      ++counters.atomic_ops;  // the unconditional atomicCAS on d[w]
+      // Long adjacency runs stream after the first few lines.
+      item_cycles += (walked++ < cost.stream_threshold) ? cost.process_rand
+                                                        : cost.process_seq;
+
+      if (d_[w] == kInfDistance) {  // CAS wins: insert into Q_next
+        d_[w] = dv + 1;
+        q_next_[q_next_len_++] = w;
+        ++stats.discovered;
+        ++counters.queue_inserts;
+        ++counters.atomic_ops;  // atomicAdd on Q_next_len
+        item_cycles += cost.queue_insert;
+      }
+      if (d_[w] == dv + 1) {
+        sigma_[w] += sigma_[v];
+        ++counters.atomic_ops;  // atomicAdd on sigma[w]
+        if (mark_predecessors) {
+          // Record edge (v -> w) as a shortest-path (successor) edge.
+          successor_marks_.set(e);
+          item_cycles += cost.scan_seq;  // streamed 1-bit store
+        }
+      }
+    }
+    round.add_item(item_cycles);
+  }
+
+  ctx.charge_imbalanced_round(round);
+  ctx.charge_barrier();
+  ++counters.bfs_iterations;
+  return stats;
+}
+
+BCWorkspace::LevelStats BCWorkspace::ep_forward_level(gpusim::BlockContext& ctx,
+                                                      std::uint32_t depth,
+                                                      bool maintain_queue,
+                                                      std::uint64_t width) {
+  LevelStats stats;
+  stats.vertex_frontier = q_curr_len_;
+
+  auto& counters = ctx.counters();
+  const auto& cost = ctx.cost();
+  const auto sources = g_->edge_sources();
+  const auto cols = g_->col_indices();
+  const EdgeOffset m = g_->num_directed_edges();
+
+  // Full streaming scan of the edge array (the O(m)-per-level term).
+  ctx.charge_uniform_round(m, cost.scan_seq, width);
+  counters.edges_inspected += m;
+
+  std::uint64_t useful = 0;
+  for (EdgeOffset e = 0; e < m; ++e) {
+    const VertexId u = sources[e];
+    if (d_[u] != depth) continue;
+    const VertexId w = cols[e];
+    ++useful;
+    ++counters.edges_traversed;
+    ++counters.atomic_ops;  // CAS on d[w]
+    ++stats.edge_frontier;
+
+    if (d_[w] == kInfDistance) {
+      d_[w] = depth + 1;
+      ++stats.discovered;
+      if (maintain_queue) {
+        q_next_[q_next_len_++] = w;
+        ++counters.queue_inserts;
+        ++counters.atomic_ops;
+      }
+    }
+    if (d_[w] == depth + 1) {
+      sigma_[w] += sigma_[u];
+      ++counters.atomic_ops;
+    }
+  }
+
+  // Useful edges are processed with streaming-friendly locality (edge
+  // order), hence the cheaper process_seq charge.
+  ctx.charge_uniform_round(useful, cost.process_seq, width);
+  if (maintain_queue) {
+    ctx.charge_uniform_round(stats.discovered, cost.queue_insert, width);
+  }
+  ctx.charge_barrier();
+  ++counters.bfs_iterations;
+  return stats;
+}
+
+BCWorkspace::LevelStats BCWorkspace::vp_forward_level(gpusim::BlockContext& ctx,
+                                                      std::uint32_t depth) {
+  LevelStats stats;
+  stats.vertex_frontier = q_curr_len_;
+
+  auto& counters = ctx.counters();
+  const auto& cost = ctx.cost();
+  const VertexId n = g_->num_vertices();
+  counters.vertices_scanned += n;
+
+  // One thread per vertex: the level check costs scan_seq everywhere and
+  // frontier vertices additionally traverse their whole adjacency —
+  // charged through the imbalanced round (this is §III.A's load-imbalance
+  // pathology: a hub vertex serializes its warp).
+  auto round = ctx.make_round();
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint64_t item_cycles = cost.scan_seq;
+    if (d_[v] == depth) {
+      for (VertexId w : g_->neighbors(v)) {
+        ++stats.edge_frontier;
+        ++counters.edges_traversed;
+        ++counters.edges_inspected;
+        ++counters.atomic_ops;
+        item_cycles += cost.process_seq;
+        if (d_[w] == kInfDistance) {
+          d_[w] = depth + 1;
+          ++stats.discovered;
+        }
+        if (d_[w] == depth + 1) {
+          sigma_[w] += sigma_[v];
+          ++counters.atomic_ops;
+        }
+      }
+    }
+    round.add_item(item_cycles);
+  }
+  ctx.charge_imbalanced_round(round);
+  ctx.charge_barrier();
+  ++counters.bfs_iterations;
+  return stats;
+}
+
+BCWorkspace::LevelStats BCWorkspace::bu_forward_level(gpusim::BlockContext& ctx,
+                                                      std::uint32_t depth) {
+  LevelStats stats;
+  stats.vertex_frontier = q_curr_len_;
+
+  auto& counters = ctx.counters();
+  const auto& cost = ctx.cost();
+  const VertexId n = g_->num_vertices();
+  counters.vertices_scanned += n;
+
+  // One thread per vertex; only unvisited threads walk their adjacency.
+  // No atomics at all: w owns d[w] and sigma[w] exclusively.
+  auto round = ctx.make_round();
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint64_t item_cycles = cost.scan_seq;
+    if (d_[v] == kInfDistance) {
+      double acc = 0.0;
+      std::uint32_t walked = 0;
+      for (VertexId parent : g_->neighbors(v)) {
+        ++counters.edges_inspected;
+        item_cycles += (walked++ < cost.stream_threshold) ? cost.process_rand
+                                                          : cost.process_seq;
+        if (d_[parent] == depth) {
+          ++counters.edges_traversed;
+          acc += sigma_[parent];
+        }
+      }
+      if (acc > 0.0) {
+        d_[v] = depth + 1;
+        sigma_[v] = acc;
+        q_next_[q_next_len_++] = v;
+        ++stats.discovered;
+        ++counters.queue_inserts;
+        ++counters.atomic_ops;  // queue tail (the filter pass's only atomic)
+        item_cycles += cost.queue_insert;
+      }
+    }
+    round.add_item(item_cycles);
+  }
+  ctx.charge_imbalanced_round(round);
+  ctx.charge_barrier();
+  ++counters.bfs_iterations;
+
+  // Edge frontier (out-edges of the level we just finished expanding)
+  // for the heuristics/stats, same definition as the other primitives.
+  for (std::uint64_t i = 0; i < q_curr_len_; ++i) {
+    stats.edge_frontier += g_->degree(q_curr_[i]);
+  }
+  return stats;
+}
+
+void BCWorkspace::finish_level(gpusim::BlockContext& ctx) {
+  // Lines 14–24 of Algorithm 2: copy Q_next into Q_curr and append to S.
+  ctx.charge_uniform_round(q_next_len_, 2 * ctx.cost().scan_seq);
+  for (std::uint64_t i = 0; i < q_next_len_; ++i) {
+    q_curr_[i] = q_next_[i];
+    s_[s_len_ + i] = q_next_[i];
+  }
+  ends_[ends_len_] = ends_[ends_len_ - 1] + q_next_len_;
+  ++ends_len_;
+  q_curr_len_ = q_next_len_;
+  s_len_ += q_next_len_;
+  q_next_len_ = 0;
+  ++depth_;
+  ctx.charge_barrier();
+}
+
+void BCWorkspace::we_backward_level(gpusim::BlockContext& ctx, std::uint32_t depth) {
+  auto& counters = ctx.counters();
+  const auto& cost = ctx.cost();
+  auto round = ctx.make_round();
+
+  // Threads cover exactly S[ends[depth] .. ends[depth+1]) — no level
+  // checks against the rest of the graph (Algorithm 3 line 3).
+  for (std::uint64_t i = ends_[depth]; i < ends_[depth + 1]; ++i) {
+    const VertexId w = s_[i];
+    const double sw = sigma_[w];
+    double dsw = 0.0;
+    std::uint64_t item_cycles = cost.queue_vertex;
+    std::uint32_t walked = 0;
+    for (VertexId v : g_->neighbors(w)) {
+      ++counters.edges_traversed;
+      ++counters.edges_inspected;
+      item_cycles += (walked++ < cost.stream_threshold) ? cost.process_rand
+                                                        : cost.process_seq;
+      if (d_[v] == depth + 1) {
+        dsw += (sw / sigma_[v]) * (1.0 + delta_[v]);
+      }
+    }
+    delta_[w] = dsw;  // no atomics: w updates itself from successors
+    round.add_item(item_cycles);
+  }
+  ctx.charge_imbalanced_round(round);
+  ctx.charge_barrier();
+}
+
+void BCWorkspace::we_backward_level_pred(gpusim::BlockContext& ctx,
+                                         std::uint32_t depth) {
+  auto& counters = ctx.counters();
+  const auto& cost = ctx.cost();
+  const auto offsets = g_->row_offsets();
+  const auto cols = g_->col_indices();
+  auto round = ctx.make_round();
+
+  for (std::uint64_t i = ends_[depth]; i < ends_[depth + 1]; ++i) {
+    const VertexId w = s_[i];
+    const double sw = sigma_[w];
+    double dsw = 0.0;
+    std::uint64_t item_cycles = cost.queue_vertex;
+    for (EdgeOffset e = offsets[w]; e < offsets[w + 1]; ++e) {
+      ++counters.edges_inspected;
+      // 1-bit streamed check replaces the scattered d[v] fetch...
+      item_cycles += cost.scan_seq;
+      if (successor_marks_.test(e)) {
+        // ...but confirmed successors still read sigma/delta scattered.
+        const VertexId v = cols[e];
+        ++counters.edges_traversed;
+        item_cycles += cost.process_rand;
+        dsw += (sw / sigma_[v]) * (1.0 + delta_[v]);
+      }
+    }
+    delta_[w] = dsw;
+    round.add_item(item_cycles);
+  }
+  ctx.charge_imbalanced_round(round);
+  ctx.charge_barrier();
+}
+
+void BCWorkspace::ep_backward_level(gpusim::BlockContext& ctx, std::uint32_t depth,
+                                    std::uint64_t width) {
+  auto& counters = ctx.counters();
+  const auto& cost = ctx.cost();
+  const auto sources = g_->edge_sources();
+  const auto cols = g_->col_indices();
+  const EdgeOffset m = g_->num_directed_edges();
+
+  ctx.charge_uniform_round(m, cost.scan_seq, width);
+  counters.edges_inspected += m;
+
+  std::uint64_t useful = 0;
+  for (EdgeOffset e = 0; e < m; ++e) {
+    const VertexId w = sources[e];
+    if (d_[w] != depth) continue;
+    const VertexId v = cols[e];
+    ++counters.edges_traversed;
+    if (d_[v] == depth + 1) {
+      // Multiple threads share the same w, so the accumulation into
+      // delta[w] must be atomic (§IV.A's closing observation).
+      delta_[w] += (sigma_[w] / sigma_[v]) * (1.0 + delta_[v]);
+      ++counters.atomic_ops;
+      ++useful;
+    }
+  }
+  ctx.charge_uniform_round(useful, cost.process_seq + cost.atomic_extra, width);
+  ctx.charge_barrier();
+}
+
+void BCWorkspace::vp_backward_level(gpusim::BlockContext& ctx, std::uint32_t depth) {
+  auto& counters = ctx.counters();
+  const auto& cost = ctx.cost();
+  const VertexId n = g_->num_vertices();
+  counters.vertices_scanned += n;
+
+  auto round = ctx.make_round();
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint64_t item_cycles = cost.scan_seq;
+    if (d_[v] == depth) {
+      const double sv = sigma_[v];
+      double dsv = 0.0;
+      for (VertexId w : g_->neighbors(v)) {
+        ++counters.edges_traversed;
+        ++counters.edges_inspected;
+        item_cycles += cost.process_seq;
+        if (d_[w] == depth + 1) {
+          dsv += (sv / sigma_[w]) * (1.0 + delta_[w]);
+        }
+      }
+      delta_[v] = dsv;
+    }
+    round.add_item(item_cycles);
+  }
+  ctx.charge_imbalanced_round(round);
+  ctx.charge_barrier();
+}
+
+void BCWorkspace::accumulate_bc(std::span<double> bc, VertexId root, bool use_queue,
+                                gpusim::BlockContext& ctx) {
+  const auto& cost = ctx.cost();
+  if (use_queue) {
+    // Walk S: only reached vertices, contiguous.
+    ctx.charge_uniform_round(s_len_, cost.process_seq);
+    for (std::uint64_t i = 0; i < s_len_; ++i) {
+      const VertexId v = s_[i];
+      if (v != root) {
+        bc[v] += delta_[v];
+        ++ctx.counters().atomic_ops;  // atomicAdd into the global vector
+      }
+    }
+  } else {
+    const VertexId n = g_->num_vertices();
+    ctx.charge_uniform_round(n, cost.scan_seq);
+    for (VertexId v = 0; v < n; ++v) {
+      if (v != root && d_[v] != kInfDistance) {
+        bc[v] += delta_[v];
+        ++ctx.counters().atomic_ops;
+      }
+    }
+  }
+  ctx.charge_barrier();
+}
+
+std::uint32_t BCWorkspace::max_depth() const noexcept {
+  if (s_len_ == 0) return 0;
+  return d_[s_[s_len_ - 1]];
+}
+
+}  // namespace hbc::kernels

@@ -1,0 +1,236 @@
+#pragma once
+
+// Shared per-root state and the level-synchronous building blocks from
+// which every GPU-model BC kernel is composed:
+//
+//   * BCWorkspace holds the paper's per-block local variables
+//     (Algorithm 1): d, sigma, delta, Q_curr, Q_next, S and ends. One
+//     workspace per simulated thread block, reused across that block's
+//     roots — exactly the data-structure reuse a real implementation
+//     relies on.
+//   * we_forward_level / finish_level implement Algorithm 2 (queue-based
+//     shortest-path iteration with CAS dedup);
+//   * we_backward_level implements Algorithm 3 (successor / neighbor-
+//     traversal dependency accumulation — no predecessor array, no
+//     atomics);
+//   * ep_* / vp_* implement the Jia et al. edge-parallel and
+//     vertex-parallel O(n^2 + m) level-check iterations (§III.A),
+//     reused by the hybrid (Algorithm 4) and sampling (Algorithm 5)
+//     kernels for their edge-parallel phases.
+//
+// Every method performs the real computation on host memory AND charges
+// the simulated device through the BlockContext (see gpusim/device.hpp).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "graph/csr.hpp"
+#include "util/bitvector.hpp"
+
+namespace hbc::kernels {
+
+/// Per-iteration parallelization mode (the hybrid's decision variable).
+/// BottomUp is the direction-optimizing extension (Beamer et al., §VI of
+/// the paper's related work): unvisited vertices search backwards for
+/// frontier parents instead of the frontier expanding forwards.
+enum class Mode : std::uint8_t { WorkEfficient, EdgeParallel, VertexParallel, BottomUp };
+
+const char* to_string(Mode mode) noexcept;
+
+/// Algorithm 4 thresholds. Defaults are the paper's tuned values.
+struct HybridParams {
+  std::uint32_t alpha = 768;  // frontier-change threshold
+  std::uint32_t beta = 512;   // next-frontier size threshold
+};
+
+/// Algorithm 5 parameters. Defaults are the paper's tuned values.
+struct SamplingParams {
+  std::uint32_t n_samps = 512;    // roots probed work-efficiently
+  double gamma = 4.0;             // median-depth multiplier vs log2(n)
+  std::uint32_t min_frontier = 512;  // EP guard: frontier must be >= this
+};
+
+struct RunConfig {
+  /// Roots to process (empty = every vertex; a strict subset is the
+  /// paper's approximation/multi-GPU mechanism).
+  std::vector<graph::VertexId> roots;
+  /// Work-efficient kernel only: keep the O(m)-bit predecessor bitmap of
+  /// Green & Bader instead of the paper's pure neighbor-traversal
+  /// dependency stage. §IV.A frames this exact trade: the paper removes
+  /// the predecessor structure to cut local storage from O(m) to O(n),
+  /// "at the cost of additional computation". The flag lets the ablation
+  /// bench measure both sides of that trade.
+  bool use_predecessor_bitmap = false;
+  gpusim::DeviceConfig device;
+  HybridParams hybrid;
+  SamplingParams sampling;
+  /// Record per-iteration frontier sizes and simulated times for each
+  /// processed root (Figure 3 / Table I). Costly; keep the root set small.
+  bool collect_per_root_stats = false;
+  /// Record just the simulated cycles of each processed root (cheap).
+  /// Lets the cluster model evaluate many node counts from one kernel run
+  /// (Figure 6 / Table IV).
+  bool collect_root_cycles = false;
+};
+
+/// One forward-stage BFS level of one root.
+struct IterationRecord {
+  std::uint32_t depth = 0;
+  std::uint64_t vertex_frontier = 0;  // |Q_curr| processed this level
+  std::uint64_t edge_frontier = 0;    // out-edges incident to the frontier
+  std::uint64_t cycles = 0;           // simulated cycles for this level
+  Mode mode = Mode::WorkEfficient;
+};
+
+struct PerRootStats {
+  graph::VertexId root = 0;
+  std::uint32_t max_depth = 0;
+  std::vector<IterationRecord> iterations;
+};
+
+struct RunMetrics {
+  gpusim::Counters counters;
+  std::uint64_t elapsed_cycles = 0;
+  double sim_seconds = 0.0;   // modelled device time
+  double wall_seconds = 0.0;  // host execution time of the simulation
+  std::uint64_t device_memory_high_water = 0;
+  std::uint64_t we_levels = 0;  // forward levels run work-efficiently
+  std::uint64_t ep_levels = 0;  // forward levels run edge-parallel
+  /// Sampling-kernel outcome (meaningful for Strategy::Sampling only).
+  bool sampling_chose_edge_parallel = false;
+  double sampling_median_depth = 0.0;
+  /// Simulated cycles per processed root, in processing order (only when
+  /// RunConfig::collect_root_cycles is set).
+  std::vector<std::uint64_t> per_root_cycles;
+};
+
+struct RunResult {
+  std::vector<double> bc;
+  RunMetrics metrics;
+  std::vector<PerRootStats> per_root;  // populated when requested
+};
+
+/// Per-block working set (Algorithm 1's local variables).
+class BCWorkspace {
+ public:
+  explicit BCWorkspace(const graph::CSRGraph& g);
+
+  /// Device bytes one block's local structures occupy: the O(n) layout of
+  /// the work-efficient approach (d, sigma, delta, two queues, S, ends).
+  static std::uint64_t work_efficient_bytes(graph::VertexId n);
+
+  /// The Jia et al. layout adds the O(m) boolean predecessor map.
+  static std::uint64_t jia_bytes(graph::VertexId n, graph::EdgeOffset directed_edges);
+
+  /// GPU-FAN keeps an O(n^2) predecessor list (4-byte entries) — the
+  /// scalability cliff demonstrated in Figure 5.
+  static std::uint64_t gpufan_bytes(graph::VertexId n);
+
+  /// Algorithm 1: reset d/sigma/delta, seed the queues and S with s.
+  /// Charged as one parallel initialisation round over n elements.
+  void init_root(graph::VertexId s, gpusim::BlockContext& ctx);
+
+  struct LevelStats {
+    std::uint64_t vertex_frontier = 0;
+    std::uint64_t edge_frontier = 0;
+    std::uint64_t discovered = 0;  // vertices inserted into the next level
+  };
+
+  /// Algorithm 2 body: expand Q_curr into Q_next (queue-driven). With
+  /// mark_predecessors, edges on shortest paths are recorded in the O(m)
+  /// bitmap for the predecessor-driven dependency stage.
+  LevelStats we_forward_level(gpusim::BlockContext& ctx,
+                              bool mark_predecessors = false);
+
+  /// Jia et al. edge-parallel level: scan every directed edge, process
+  /// those whose source sits at `depth`. With maintain_queue the
+  /// discovered vertices are also appended to Q_next so hybrid/sampling
+  /// bookkeeping (frontier sizes, S, ends) stays intact.
+  /// `width` widens the round to more threads (GPU-FAN grid mode).
+  LevelStats ep_forward_level(gpusim::BlockContext& ctx, std::uint32_t depth,
+                              bool maintain_queue, std::uint64_t width = 0);
+
+  /// Jia et al. vertex-parallel level: one thread per vertex, threads
+  /// whose vertex sits at `depth` traverse all its edges (load-imbalanced).
+  LevelStats vp_forward_level(gpusim::BlockContext& ctx, std::uint32_t depth);
+
+  /// Direction-optimizing bottom-up level: one thread per UNVISITED
+  /// vertex scans its full adjacency for parents at `depth`; sigma is the
+  /// sum over all such parents (no early exit — path counting needs every
+  /// parent, unlike plain BFS bottom-up). Discovered vertices are
+  /// appended to Q_next so the S/ends bookkeeping and the Beamer switch
+  /// heuristic keep working.
+  LevelStats bu_forward_level(gpusim::BlockContext& ctx, std::uint32_t depth);
+
+  /// Algorithm 2 lines 14–24: publish Q_next as the new Q_curr, append it
+  /// to S and push a new `ends` entry.
+  void finish_level(gpusim::BlockContext& ctx);
+
+  /// Algorithm 3 body for one depth (S-slice driven, successor checks).
+  void we_backward_level(gpusim::BlockContext& ctx, std::uint32_t depth);
+
+  /// Predecessor-bitmap dependency level: walks the same S-slice but
+  /// consults the bitmap (1-bit streaming read) instead of fetching d[v]
+  /// for every neighbor — less scattered traffic, O(m) bits more storage.
+  void we_backward_level_pred(gpusim::BlockContext& ctx, std::uint32_t depth);
+
+  /// Bytes of the optional predecessor bitmap for the memory ledger.
+  static std::uint64_t predecessor_bitmap_bytes(graph::EdgeOffset directed_edges) {
+    return (directed_edges + 7) / 8;
+  }
+
+  /// Edge-parallel dependency level: scan all edges; updates the
+  /// dependency of edge sources atomically (the paper notes edge-parallel
+  /// successor accumulation cannot avoid atomics).
+  void ep_backward_level(gpusim::BlockContext& ctx, std::uint32_t depth,
+                         std::uint64_t width = 0);
+
+  /// Vertex-parallel dependency level (level check over all vertices).
+  void vp_backward_level(gpusim::BlockContext& ctx, std::uint32_t depth);
+
+  /// Add delta into the global BC accumulator (skipping the root).
+  /// Queue-less kernels scan all n vertices; queue-based kernels walk S.
+  void accumulate_bc(std::span<double> bc, graph::VertexId root, bool use_queue,
+                     gpusim::BlockContext& ctx);
+
+  // --- state inspection used by drivers and tests ---
+  std::uint64_t q_curr_len() const noexcept { return q_curr_len_; }
+  std::uint64_t q_next_len() const noexcept { return q_next_len_; }
+  std::uint32_t current_depth() const noexcept { return depth_; }
+  /// Deepest level that holds at least one vertex.
+  std::uint32_t max_depth() const noexcept;
+  std::span<const std::uint32_t> distances() const noexcept { return d_; }
+  std::span<const double> sigmas() const noexcept { return sigma_; }
+  std::span<const double> deltas() const noexcept { return delta_; }
+  std::span<const graph::VertexId> stack() const noexcept {
+    return {s_.data(), s_len_};
+  }
+  /// Contents of Q_next (valid between a forward level and finish_level).
+  std::span<const graph::VertexId> next_queue() const noexcept {
+    return {q_next_.data(), q_next_len_};
+  }
+  std::span<const std::uint64_t> ends() const noexcept {
+    return {ends_.data(), ends_len_};
+  }
+
+ private:
+  const graph::CSRGraph* g_;
+  std::vector<std::uint32_t> d_;
+  std::vector<double> sigma_;
+  std::vector<double> delta_;
+  util::BitVector successor_marks_;  // lazily sized; per directed edge
+  std::vector<graph::VertexId> q_curr_;
+  std::vector<graph::VertexId> q_next_;
+  std::vector<graph::VertexId> s_;
+  std::vector<std::uint64_t> ends_;
+  std::uint64_t q_curr_len_ = 0;
+  std::uint64_t q_next_len_ = 0;
+  std::uint64_t s_len_ = 0;
+  std::uint64_t ends_len_ = 0;
+  std::uint32_t depth_ = 0;  // depth of the level currently in Q_curr
+};
+
+}  // namespace hbc::kernels

@@ -1,0 +1,54 @@
+#pragma once
+
+// Internal helpers shared by the kernel drivers. Not part of the public
+// API (tests include it to probe internals; nothing else should).
+
+#include <numeric>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "kernels/bc_state.hpp"
+#include "util/timer.hpp"
+
+namespace hbc::kernels::detail {
+
+/// Roots to process: the explicit list, or every vertex.
+inline std::vector<graph::VertexId> resolve_roots(const graph::CSRGraph& g,
+                                                  const RunConfig& config) {
+  if (!config.roots.empty()) return config.roots;
+  std::vector<graph::VertexId> roots(g.num_vertices());
+  std::iota(roots.begin(), roots.end(), graph::VertexId{0});
+  return roots;
+}
+
+/// Register the replicated graph arrays on the device ledger. Edge-
+/// parallel kernels additionally keep the per-edge source lookup.
+inline void allocate_graph(gpusim::Device& device, const graph::CSRGraph& g,
+                           bool needs_edge_sources) {
+  auto& mem = device.memory();
+  mem.allocate((static_cast<std::uint64_t>(g.num_vertices()) + 1) * sizeof(graph::EdgeOffset),
+               "csr.row_offsets");
+  mem.allocate(g.num_directed_edges() * sizeof(graph::VertexId), "csr.col_indices");
+  if (needs_edge_sources) {
+    mem.allocate(g.num_directed_edges() * sizeof(graph::VertexId), "csr.edge_sources");
+  }
+  mem.allocate(static_cast<std::uint64_t>(g.num_vertices()) * sizeof(double), "bc.global");
+}
+
+/// Finalize the metrics block after the run loop.
+inline void finalize_metrics(RunResult& result, gpusim::Device& device,
+                             const util::Timer& wall) {
+  result.metrics.counters = device.counters();
+  result.metrics.elapsed_cycles = device.elapsed_cycles();
+  result.metrics.sim_seconds = device.elapsed_seconds();
+  result.metrics.wall_seconds = wall.elapsed_seconds();
+  result.metrics.device_memory_high_water = device.memory().high_water_mark();
+}
+
+/// Shared driver for the Jia et al. level-check kernels (vertex- and
+/// edge-parallel differ only in the per-level primitive). Implemented in
+/// edge_parallel.cpp.
+RunResult run_levelcheck_kernel(const graph::CSRGraph& g, const RunConfig& config,
+                                Mode mode);
+
+}  // namespace hbc::kernels::detail

@@ -1,0 +1,122 @@
+#include <memory>
+
+#include "kernels/detail.hpp"
+#include "kernels/kernels.hpp"
+
+namespace hbc::kernels {
+
+using graph::CSRGraph;
+using graph::EdgeOffset;
+using graph::VertexId;
+
+// Direction-optimizing BC (extension; Beamer et al. appear in the paper's
+// related work, §VI). Levels run top-down (the work-efficient queue
+// expansion) until the classic Beamer heuristic fires:
+//
+//   switch to bottom-up when   edge_frontier > unexplored_edges / alpha
+//   switch back to top-down when vertex_frontier < n / beta
+//
+// with the standard alpha = 14, beta = 24. Bottom-up levels scan every
+// unvisited vertex's full adjacency (path counting forbids the early-exit
+// that plain BFS bottom-up enjoys) but eliminate atomics and frontier
+// queue pressure — a win exactly on the huge middle levels of small-world
+// and kron graphs. The dependency stage is unchanged (Algorithm 3).
+RunResult run_direction_optimized(const CSRGraph& g, const RunConfig& config) {
+  util::Timer wall;
+  gpusim::Device device(config.device);
+  const std::uint32_t num_blocks = config.device.num_sms;
+
+  detail::allocate_graph(device, g, /*needs_edge_sources=*/false);
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    device.memory().allocate(BCWorkspace::work_efficient_bytes(g.num_vertices()),
+                             "diropt.block_locals");
+  }
+  device.begin_run(num_blocks);
+
+  const std::vector<VertexId> roots = detail::resolve_roots(g, config);
+  RunResult result;
+  result.bc.assign(g.num_vertices(), 0.0);
+
+  std::vector<std::unique_ptr<BCWorkspace>> workspaces;
+  workspaces.reserve(num_blocks);
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    workspaces.push_back(std::make_unique<BCWorkspace>(g));
+  }
+
+  const EdgeOffset m = g.num_directed_edges();
+  const std::uint64_t n = g.num_vertices();
+  constexpr std::uint64_t kAlpha = 14;  // Beamer's tuned constants
+  constexpr std::uint64_t kBeta = 24;
+
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    const VertexId root = roots[i];
+    const std::uint32_t block_id = static_cast<std::uint32_t>(i % num_blocks);
+    auto ctx = device.block(block_id);
+    BCWorkspace& ws = *workspaces[block_id];
+    const std::uint64_t root_start_cycles = ctx.cycles();
+
+    PerRootStats stats;
+    stats.root = root;
+
+    ws.init_root(root, ctx);
+
+    Mode mode = Mode::WorkEfficient;  // top-down
+    std::uint64_t explored_edges = 0;
+    for (;;) {
+      const std::uint64_t before = ctx.cycles();
+      const BCWorkspace::LevelStats level =
+          mode == Mode::BottomUp ? ws.bu_forward_level(ctx, ws.current_depth())
+                                 : ws.we_forward_level(ctx);
+      if (mode == Mode::BottomUp) {
+        ++result.metrics.ep_levels;  // reported as "non-queue" levels
+      } else {
+        ++result.metrics.we_levels;
+      }
+      if (config.collect_per_root_stats) {
+        stats.iterations.push_back({ws.current_depth(), level.vertex_frontier,
+                                    level.edge_frontier, ctx.cycles() - before, mode});
+      }
+      explored_edges += level.edge_frontier;
+
+      // Beamer switch for the NEXT level. The heuristic needs the next
+      // level's edge count; a real kernel folds this degree sum into
+      // queue generation — charge one streaming op per element.
+      const std::uint64_t next_frontier = ws.q_next_len();
+      std::uint64_t next_edges = 0;
+      for (const VertexId w : ws.next_queue()) next_edges += g.degree(w);
+      ctx.charge_uniform_round(next_frontier, ctx.cost().scan_seq);
+      const std::uint64_t unexplored = m > explored_edges ? m - explored_edges : 0;
+      // Bottom-up requires BOTH a heavy edge frontier relative to the
+      // unexplored edges AND a large vertex frontier; otherwise the tail
+      // of a high-diameter search (tiny frontier, little left unexplored)
+      // would flap between directions every level.
+      if (mode == Mode::WorkEfficient && next_edges > unexplored / kAlpha &&
+          next_frontier >= n / kBeta) {
+        mode = Mode::BottomUp;
+      } else if (mode == Mode::BottomUp && next_frontier < n / kBeta) {
+        mode = Mode::WorkEfficient;
+      }
+
+      if (ws.q_next_len() == 0) break;
+      ws.finish_level(ctx);
+    }
+    const std::uint32_t max_depth = ws.max_depth();
+    stats.max_depth = max_depth;
+
+    for (std::uint32_t dep = max_depth; dep-- > 1;) {
+      ws.we_backward_level(ctx, dep);
+    }
+
+    ws.accumulate_bc(result.bc, root, /*use_queue=*/true, ctx);
+    ++device.counters().roots_processed;
+    if (config.collect_root_cycles) {
+      result.metrics.per_root_cycles.push_back(ctx.cycles() - root_start_cycles);
+    }
+    if (config.collect_per_root_stats) result.per_root.push_back(std::move(stats));
+  }
+
+  detail::finalize_metrics(result, device, wall);
+  return result;
+}
+
+}  // namespace hbc::kernels

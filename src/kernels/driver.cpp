@@ -1,0 +1,34 @@
+#include "kernels/kernels.hpp"
+
+#include <stdexcept>
+
+namespace hbc::kernels {
+
+const char* to_string(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::VertexParallel: return "vertex-parallel";
+    case Strategy::EdgeParallel: return "edge-parallel";
+    case Strategy::GpuFan: return "gpu-fan";
+    case Strategy::WorkEfficient: return "work-efficient";
+    case Strategy::Hybrid: return "hybrid";
+    case Strategy::Sampling: return "sampling";
+    case Strategy::DirectionOptimized: return "direction-optimized";
+  }
+  return "?";
+}
+
+RunResult run_strategy(Strategy strategy, const graph::CSRGraph& g,
+                       const RunConfig& config) {
+  switch (strategy) {
+    case Strategy::VertexParallel: return run_vertex_parallel(g, config);
+    case Strategy::EdgeParallel: return run_edge_parallel(g, config);
+    case Strategy::GpuFan: return run_gpufan(g, config);
+    case Strategy::WorkEfficient: return run_work_efficient(g, config);
+    case Strategy::Hybrid: return run_hybrid(g, config);
+    case Strategy::Sampling: return run_sampling(g, config);
+    case Strategy::DirectionOptimized: return run_direction_optimized(g, config);
+  }
+  throw std::invalid_argument("unknown strategy");
+}
+
+}  // namespace hbc::kernels

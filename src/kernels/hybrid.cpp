@@ -1,0 +1,117 @@
+#include <cstdlib>
+#include <memory>
+
+#include "kernels/detail.hpp"
+#include "kernels/kernels.hpp"
+
+namespace hbc::kernels {
+
+using graph::CSRGraph;
+using graph::VertexId;
+
+// Algorithm 4: per-iteration selection between the work-efficient and
+// edge-parallel primitives. The strategy is reconsidered only when the
+// vertex frontier changes size by more than alpha between consecutive
+// levels; the new strategy is edge-parallel iff the next frontier exceeds
+// beta. Processing always starts work-efficiently (the initial frontier
+// is the root alone, and a wrong work-efficient choice costs at most
+// ~2.2x while a wrong edge-parallel choice can cost >10x, §IV.B).
+//
+// Edge-parallel levels keep maintaining the queue/S/ends bookkeeping so
+// frontier sizes stay observable and the dependency stage can still jump
+// directly to each level's S-slice.
+RunResult run_hybrid(const CSRGraph& g, const RunConfig& config) {
+  util::Timer wall;
+  gpusim::Device device(config.device);
+  const std::uint32_t num_blocks = config.device.num_sms;
+
+  detail::allocate_graph(device, g, /*needs_edge_sources=*/true);
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    device.memory().allocate(BCWorkspace::work_efficient_bytes(g.num_vertices()),
+                             "hybrid.block_locals");
+  }
+  device.begin_run(num_blocks);
+
+  const std::vector<VertexId> roots = detail::resolve_roots(g, config);
+  RunResult result;
+  result.bc.assign(g.num_vertices(), 0.0);
+
+  std::vector<std::unique_ptr<BCWorkspace>> workspaces;
+  workspaces.reserve(num_blocks);
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    workspaces.push_back(std::make_unique<BCWorkspace>(g));
+  }
+
+  const std::int64_t alpha = config.hybrid.alpha;
+  const std::int64_t beta = config.hybrid.beta;
+
+  std::vector<Mode> level_modes;  // forward mode per depth, reused backward
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    const VertexId root = roots[i];
+    const std::uint32_t block_id = static_cast<std::uint32_t>(i % num_blocks);
+    auto ctx = device.block(block_id);
+    BCWorkspace& ws = *workspaces[block_id];
+    const std::uint64_t root_start_cycles = ctx.cycles();
+
+    PerRootStats stats;
+    stats.root = root;
+
+    ws.init_root(root, ctx);
+    level_modes.clear();
+
+    Mode mode = Mode::WorkEfficient;
+    for (;;) {
+      const std::uint64_t before = ctx.cycles();
+      const BCWorkspace::LevelStats level =
+          mode == Mode::WorkEfficient
+              ? ws.we_forward_level(ctx)
+              : ws.ep_forward_level(ctx, ws.current_depth(), /*maintain_queue=*/true);
+      level_modes.push_back(mode);
+      if (mode == Mode::WorkEfficient) {
+        ++result.metrics.we_levels;
+      } else {
+        ++result.metrics.ep_levels;
+      }
+      if (config.collect_per_root_stats) {
+        stats.iterations.push_back({ws.current_depth(), level.vertex_frontier,
+                                    level.edge_frontier, ctx.cycles() - before, mode});
+      }
+
+      // Algorithm 4: reconsider only when the frontier moved by > alpha.
+      ctx.charge_cycles(ctx.cost().hybrid_decision);
+      const std::int64_t q_change =
+          std::llabs(static_cast<std::int64_t>(ws.q_next_len()) -
+                     static_cast<std::int64_t>(ws.q_curr_len()));
+      if (q_change > alpha) {
+        mode = static_cast<std::int64_t>(ws.q_next_len()) > beta ? Mode::EdgeParallel
+                                                                 : Mode::WorkEfficient;
+      }
+
+      if (ws.q_next_len() == 0) break;
+      ws.finish_level(ctx);
+    }
+    const std::uint32_t max_depth = ws.max_depth();
+    stats.max_depth = max_depth;
+
+    // Dependency stage mirrors the per-level strategy chosen forward.
+    for (std::uint32_t dep = max_depth; dep-- > 1;) {
+      if (dep < level_modes.size() && level_modes[dep] == Mode::EdgeParallel) {
+        ws.ep_backward_level(ctx, dep);
+      } else {
+        ws.we_backward_level(ctx, dep);
+      }
+    }
+
+    ws.accumulate_bc(result.bc, root, /*use_queue=*/true, ctx);
+    ++device.counters().roots_processed;
+    if (config.collect_root_cycles) {
+      result.metrics.per_root_cycles.push_back(ctx.cycles() - root_start_cycles);
+    }
+    if (config.collect_per_root_stats) result.per_root.push_back(std::move(stats));
+  }
+
+  detail::finalize_metrics(result, device, wall);
+  return result;
+}
+
+}  // namespace hbc::kernels

@@ -1,0 +1,47 @@
+#pragma once
+
+// Public entry points for the six GPU-model BC kernels:
+//
+//   run_vertex_parallel  — Jia et al. vertex-parallel baseline (§III.A)
+//   run_edge_parallel    — Jia et al. edge-parallel baseline (§III.A),
+//                          the best prior GPU method the paper compares to
+//   run_gpufan           — Shi & Zhang GPU-FAN model (§III.B): edge-
+//                          parallel, fine-grained only, O(n^2) predecessor
+//   run_work_efficient   — the paper's Algorithms 1–3
+//   run_hybrid           — Algorithm 4 (per-iteration strategy switch)
+//   run_sampling         — Algorithm 5 (on-line structure probe)
+//   run_direction_optimized — extension: Beamer top-down/bottom-up
+//                          switching applied to BC (related work, §VI)
+//
+// Every kernel produces a bitwise-deterministic BC vector identical (up to
+// floating-point association) to cpu::brandes over the same root set.
+
+#include "kernels/bc_state.hpp"
+
+namespace hbc::kernels {
+
+enum class Strategy {
+  VertexParallel,
+  EdgeParallel,
+  GpuFan,
+  WorkEfficient,
+  Hybrid,
+  Sampling,
+  DirectionOptimized,
+};
+
+const char* to_string(Strategy strategy) noexcept;
+
+RunResult run_vertex_parallel(const graph::CSRGraph& g, const RunConfig& config);
+RunResult run_edge_parallel(const graph::CSRGraph& g, const RunConfig& config);
+RunResult run_gpufan(const graph::CSRGraph& g, const RunConfig& config);
+RunResult run_work_efficient(const graph::CSRGraph& g, const RunConfig& config);
+RunResult run_hybrid(const graph::CSRGraph& g, const RunConfig& config);
+RunResult run_sampling(const graph::CSRGraph& g, const RunConfig& config);
+RunResult run_direction_optimized(const graph::CSRGraph& g, const RunConfig& config);
+
+/// Dispatch by strategy enum.
+RunResult run_strategy(Strategy strategy, const graph::CSRGraph& g,
+                       const RunConfig& config);
+
+}  // namespace hbc::kernels

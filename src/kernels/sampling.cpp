@@ -1,0 +1,186 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "kernels/detail.hpp"
+#include "kernels/kernels.hpp"
+#include "util/stats.hpp"
+
+namespace hbc::kernels {
+
+using graph::CSRGraph;
+using graph::VertexId;
+
+namespace {
+
+// Process one root work-efficiently (Algorithms 1–3); returns max depth.
+std::uint32_t process_root_we(BCWorkspace& ws, gpusim::BlockContext ctx, VertexId root,
+                              std::vector<double>& bc, RunResult& result,
+                              const RunConfig& config) {
+  PerRootStats stats;
+  stats.root = root;
+
+  ws.init_root(root, ctx);
+  for (;;) {
+    const std::uint64_t before = ctx.cycles();
+    const BCWorkspace::LevelStats level = ws.we_forward_level(ctx);
+    ++result.metrics.we_levels;
+    if (config.collect_per_root_stats) {
+      stats.iterations.push_back({ws.current_depth(), level.vertex_frontier,
+                                  level.edge_frontier, ctx.cycles() - before,
+                                  Mode::WorkEfficient});
+    }
+    if (ws.q_next_len() == 0) break;
+    ws.finish_level(ctx);
+  }
+  const std::uint32_t max_depth = ws.max_depth();
+  stats.max_depth = max_depth;
+
+  for (std::uint32_t dep = max_depth; dep-- > 1;) {
+    ws.we_backward_level(ctx, dep);
+  }
+  ws.accumulate_bc(bc, root, /*use_queue=*/true, ctx);
+  if (config.collect_per_root_stats) result.per_root.push_back(std::move(stats));
+  return max_depth;
+}
+
+// Process one root in guarded edge-parallel mode: levels whose frontier
+// holds at least min_frontier vertices run edge-parallel, smaller ones
+// (including the opening expansion of the root) revert to work-efficient
+// — the per-iteration check described at the end of §IV.C.
+std::uint32_t process_root_guarded_ep(BCWorkspace& ws, gpusim::BlockContext ctx,
+                                      VertexId root, std::vector<double>& bc,
+                                      RunResult& result, const RunConfig& config,
+                                      std::vector<Mode>& level_modes) {
+  PerRootStats stats;
+  stats.root = root;
+
+  ws.init_root(root, ctx);
+  level_modes.clear();
+  for (;;) {
+    ctx.charge_cycles(ctx.cost().sampling_guard);
+    const Mode mode = ws.q_curr_len() >= config.sampling.min_frontier
+                          ? Mode::EdgeParallel
+                          : Mode::WorkEfficient;
+    const std::uint64_t before = ctx.cycles();
+    const BCWorkspace::LevelStats level =
+        mode == Mode::EdgeParallel
+            ? ws.ep_forward_level(ctx, ws.current_depth(), /*maintain_queue=*/true)
+            : ws.we_forward_level(ctx);
+    level_modes.push_back(mode);
+    if (mode == Mode::WorkEfficient) {
+      ++result.metrics.we_levels;
+    } else {
+      ++result.metrics.ep_levels;
+    }
+    if (config.collect_per_root_stats) {
+      stats.iterations.push_back({ws.current_depth(), level.vertex_frontier,
+                                  level.edge_frontier, ctx.cycles() - before, mode});
+    }
+    if (ws.q_next_len() == 0) break;
+    ws.finish_level(ctx);
+  }
+  const std::uint32_t max_depth = ws.max_depth();
+  stats.max_depth = max_depth;
+
+  for (std::uint32_t dep = max_depth; dep-- > 1;) {
+    if (dep < level_modes.size() && level_modes[dep] == Mode::EdgeParallel) {
+      ws.ep_backward_level(ctx, dep);
+    } else {
+      ws.we_backward_level(ctx, dep);
+    }
+  }
+  ws.accumulate_bc(bc, root, /*use_queue=*/true, ctx);
+  if (config.collect_per_root_stats) result.per_root.push_back(std::move(stats));
+  return max_depth;
+}
+
+}  // namespace
+
+// Algorithm 5: spend the first n_samps roots on the (default) work-
+// efficient method, record the maximum BFS depth of each, and take the
+// median (an outlier-robust estimator of the traversal depth, hence of
+// graph structure). If the median is below gamma * log2(n) the graph is
+// small-world/scale-free and the remaining roots switch to edge-parallel
+// processing — guarded per iteration so trivially small frontiers still
+// run work-efficiently. The probe work is useful work: its dependencies
+// are already accumulated into the BC vector.
+RunResult run_sampling(const CSRGraph& g, const RunConfig& config) {
+  util::Timer wall;
+  gpusim::Device device(config.device);
+  const std::uint32_t num_blocks = config.device.num_sms;
+
+  detail::allocate_graph(device, g, /*needs_edge_sources=*/true);
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    device.memory().allocate(BCWorkspace::work_efficient_bytes(g.num_vertices()),
+                             "sampling.block_locals");
+  }
+  device.begin_run(num_blocks);
+
+  const std::vector<VertexId> roots = detail::resolve_roots(g, config);
+  RunResult result;
+  result.bc.assign(g.num_vertices(), 0.0);
+
+  std::vector<std::unique_ptr<BCWorkspace>> workspaces;
+  workspaces.reserve(num_blocks);
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    workspaces.push_back(std::make_unique<BCWorkspace>(g));
+  }
+
+  const std::size_t n_samps =
+      std::min<std::size_t>(config.sampling.n_samps, roots.size());
+
+  // Phase 1: probe roots with the default (work-efficient) method and
+  // collect each BFS's maximum depth ("keys" in Algorithm 5).
+  std::vector<double> keys;
+  keys.reserve(n_samps);
+  for (std::size_t i = 0; i < n_samps; ++i) {
+    const std::uint32_t block_id = static_cast<std::uint32_t>(i % num_blocks);
+    const std::uint64_t before = device.block_cycles(block_id);
+    const std::uint32_t depth =
+        process_root_we(*workspaces[block_id], device.block(block_id), roots[i],
+                        result.bc, result, config);
+    keys.push_back(static_cast<double>(depth));
+    ++device.counters().roots_processed;
+    if (config.collect_root_cycles) {
+      result.metrics.per_root_cycles.push_back(device.block_cycles(block_id) - before);
+    }
+  }
+
+  // Algorithm 5 decision: keys[n_samps/2] < gamma * log2(n). The sort of
+  // the key array is charged to block 0 (a single-block bitonic sort).
+  if (!keys.empty()) {
+    const double k = static_cast<double>(keys.size());
+    device.block(0).charge_cycles(
+        static_cast<std::uint64_t>(k * std::max(1.0, std::log2(k)) * 4.0));
+  }
+  const double median = util::median_lower(keys);
+  const double threshold =
+      config.sampling.gamma * std::log2(std::max<double>(2.0, g.num_vertices()));
+  const bool choose_edge_parallel = !keys.empty() && median < threshold;
+  result.metrics.sampling_median_depth = median;
+  result.metrics.sampling_chose_edge_parallel = choose_edge_parallel;
+
+  // Phase 2: remaining roots with the selected method.
+  std::vector<Mode> level_modes;
+  for (std::size_t i = n_samps; i < roots.size(); ++i) {
+    const std::uint32_t block_id = static_cast<std::uint32_t>(i % num_blocks);
+    BCWorkspace& ws = *workspaces[block_id];
+    const std::uint64_t before = device.block_cycles(block_id);
+    if (choose_edge_parallel) {
+      process_root_guarded_ep(ws, device.block(block_id), roots[i], result.bc, result,
+                              config, level_modes);
+    } else {
+      process_root_we(ws, device.block(block_id), roots[i], result.bc, result, config);
+    }
+    ++device.counters().roots_processed;
+    if (config.collect_root_cycles) {
+      result.metrics.per_root_cycles.push_back(device.block_cycles(block_id) - before);
+    }
+  }
+
+  detail::finalize_metrics(result, device, wall);
+  return result;
+}
+
+}  // namespace hbc::kernels

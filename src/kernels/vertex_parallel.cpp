@@ -1,0 +1,10 @@
+#include "kernels/detail.hpp"
+#include "kernels/kernels.hpp"
+
+namespace hbc::kernels {
+
+RunResult run_vertex_parallel(const graph::CSRGraph& g, const RunConfig& config) {
+  return detail::run_levelcheck_kernel(g, config, Mode::VertexParallel);
+}
+
+}  // namespace hbc::kernels

@@ -1,0 +1,356 @@
+#include "kernels/weighted.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "kernels/detail.hpp"
+#include "util/stats.hpp"
+
+namespace hbc::kernels {
+
+using graph::CSRGraph;
+using graph::EdgeOffset;
+using graph::VertexId;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTieEps = 1e-12;
+
+bool same_distance(double a, double b) {
+  if (!std::isfinite(a) || !std::isfinite(b)) return a == b;
+  return std::abs(a - b) <= kTieEps * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+/// Per-block working set for weighted BC.
+struct WeightedWorkspace {
+  explicit WeightedWorkspace(VertexId n)
+      : dist(n, kInf), sigma(n, 0.0), delta(n, 0.0) {
+    order.reserve(n);
+  }
+
+  void reset(VertexId s) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+    dist[s] = 0.0;
+  }
+
+  std::vector<double> dist;
+  std::vector<double> sigma;
+  std::vector<double> delta;
+  std::vector<VertexId> order;  // reached vertices sorted by distance
+};
+
+/// Device bytes for one block's weighted working set: dist/sigma/delta
+/// (f64) plus the distance-sorted order and two near/far worklists.
+std::uint64_t weighted_block_bytes(VertexId n) {
+  return static_cast<std::uint64_t>(n) * (8 + 8 + 8 + 4 + 4 + 4);
+}
+
+/// Bellman-Ford SSSP: full edge scans until a round relaxes nothing.
+/// Returns the number of rounds. Every round charges an m-element
+/// streaming scan; successful relaxations charge process_seq (they read
+/// dist[src] coalesced-ish in edge order, write dist[dst] scattered).
+std::uint64_t sssp_bellman_ford(const CSRGraph& g, std::span<const double> weights,
+                                WeightedWorkspace& ws, gpusim::BlockContext& ctx) {
+  const auto sources = g.edge_sources();
+  const auto cols = g.col_indices();
+  const EdgeOffset m = g.num_directed_edges();
+  const auto& cost = ctx.cost();
+  auto& counters = ctx.counters();
+
+  std::uint64_t rounds = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++rounds;
+    ctx.charge_uniform_round(m, cost.scan_seq);
+    counters.edges_inspected += m;
+    std::uint64_t relaxed = 0;
+    for (EdgeOffset e = 0; e < m; ++e) {
+      const double du = ws.dist[sources[e]];
+      if (du == kInf) continue;
+      const double cand = du + weights[e];
+      if (cand < ws.dist[cols[e]] && !same_distance(cand, ws.dist[cols[e]])) {
+        ws.dist[cols[e]] = cand;  // atomicMin on hardware
+        ++relaxed;
+        ++counters.atomic_ops;
+        ++counters.edges_traversed;
+        changed = true;
+      }
+    }
+    ctx.charge_uniform_round(relaxed, cost.process_seq);
+    ctx.charge_barrier();
+  }
+  return rounds;
+}
+
+/// Davidson et al. near-far SSSP. The near pile holds vertices with
+/// tentative distance below the moving threshold; each phase drains it
+/// work-efficiently, parking out-of-band relaxations in the far pile.
+/// Returns the number of near-pile phases.
+std::uint64_t sssp_near_far(const CSRGraph& g, std::span<const double> weights,
+                            WeightedWorkspace& ws, VertexId s, double delta,
+                            gpusim::BlockContext& ctx) {
+  const auto offsets = g.row_offsets();
+  const auto cols = g.col_indices();
+  const auto& cost = ctx.cost();
+  auto& counters = ctx.counters();
+
+  std::vector<VertexId> near{s};
+  std::vector<VertexId> far;
+  double threshold = delta;
+  std::uint64_t phases = 0;
+
+  while (!near.empty() || !far.empty()) {
+    if (near.empty()) {
+      // Advance the threshold and re-split the far pile. On the device
+      // this is a compaction pass over the far pile.
+      ++phases;
+      ctx.charge_uniform_round(far.size(), 2 * cost.scan_seq);
+      threshold += delta;
+      std::vector<VertexId> still_far;
+      for (const VertexId v : far) {
+        if (ws.dist[v] < threshold) {
+          near.push_back(v);
+        } else if (ws.dist[v] < kInf) {
+          still_far.push_back(v);
+        }
+      }
+      far.swap(still_far);
+      ctx.charge_barrier();
+      continue;
+    }
+
+    ++phases;
+    std::vector<VertexId> next_near;
+    auto round = ctx.make_round();
+    for (const VertexId v : near) {
+      // Stale-entry check (the pile may hold superseded tentative
+      // distances; hardware re-checks before expanding).
+      std::uint64_t item_cycles = cost.queue_vertex;
+      const double dv = ws.dist[v];
+      if (dv < threshold) {
+        std::uint32_t walked = 0;
+        for (EdgeOffset e = offsets[v]; e < offsets[v + 1]; ++e) {
+          ++counters.edges_inspected;
+          item_cycles += (walked++ < cost.stream_threshold) ? cost.process_rand
+                                                            : cost.process_seq;
+          const double cand = dv + weights[e];
+          const VertexId w = cols[e];
+          if (cand < ws.dist[w] && !same_distance(cand, ws.dist[w])) {
+            ws.dist[w] = cand;
+            ++counters.atomic_ops;
+            ++counters.edges_traversed;
+            ++counters.queue_inserts;
+            item_cycles += cost.queue_insert;
+            (cand < threshold ? next_near : far).push_back(w);
+          }
+        }
+      }
+      round.add_item(item_cycles);
+    }
+    ctx.charge_imbalanced_round(round);
+    ctx.charge_barrier();
+    near.swap(next_near);
+  }
+  return phases;
+}
+
+/// Distance-ordered sigma/delta sweeps shared by both engines.
+void accumulate_weighted(const CSRGraph& g, std::span<const double> weights,
+                         WeightedWorkspace& ws, VertexId s, std::vector<double>& bc,
+                         gpusim::BlockContext& ctx) {
+  const auto offsets = g.row_offsets();
+  const auto cols = g.col_indices();
+  const VertexId n = g.num_vertices();
+  const auto& cost = ctx.cost();
+  auto& counters = ctx.counters();
+
+  // Collect reached vertices and sort by distance (device radix/merge
+  // sort: ~log2(n) streaming passes).
+  ws.order.clear();
+  for (VertexId v = 0; v < n; ++v) {
+    if (ws.dist[v] < kInf) ws.order.push_back(v);
+  }
+  std::sort(ws.order.begin(), ws.order.end(), [&](VertexId a, VertexId b) {
+    if (ws.dist[a] != ws.dist[b]) return ws.dist[a] < ws.dist[b];
+    return a < b;
+  });
+  const double log_n =
+      std::max(1.0, std::log2(static_cast<double>(std::max<std::size_t>(2, ws.order.size()))));
+  ctx.charge_uniform_round(
+      static_cast<std::uint64_t>(static_cast<double>(ws.order.size()) * log_n),
+      cost.scan_seq);
+
+  // Forward sweep: path counting in non-decreasing distance order.
+  ws.sigma[s] = 1.0;
+  auto fwd = ctx.make_round();
+  for (const VertexId v : ws.order) {
+    std::uint64_t item_cycles = cost.queue_vertex;
+    const double dv = ws.dist[v];
+    std::uint32_t walked = 0;
+    for (EdgeOffset e = offsets[v]; e < offsets[v + 1]; ++e) {
+      ++counters.edges_inspected;
+      ++counters.edges_traversed;
+      item_cycles += (walked++ < cost.stream_threshold) ? cost.process_rand
+                                                        : cost.process_seq;
+      const VertexId w = cols[e];
+      if (same_distance(dv + weights[e], ws.dist[w])) {
+        ws.sigma[w] += ws.sigma[v];
+        ++counters.atomic_ops;
+      }
+    }
+    fwd.add_item(item_cycles);
+  }
+  ctx.charge_imbalanced_round(fwd);
+  ctx.charge_barrier();
+
+  // Backward sweep: successor-form dependencies in reverse order.
+  auto bwd = ctx.make_round();
+  for (auto it = ws.order.rbegin(); it != ws.order.rend(); ++it) {
+    const VertexId w = *it;
+    std::uint64_t item_cycles = cost.queue_vertex;
+    double dsw = 0.0;
+    std::uint32_t walked = 0;
+    for (EdgeOffset e = offsets[w]; e < offsets[w + 1]; ++e) {
+      ++counters.edges_inspected;
+      ++counters.edges_traversed;
+      item_cycles += (walked++ < cost.stream_threshold) ? cost.process_rand
+                                                        : cost.process_seq;
+      const VertexId v = cols[e];
+      if (ws.dist[v] < kInf && same_distance(ws.dist[w] + weights[e], ws.dist[v])) {
+        dsw += (ws.sigma[w] / ws.sigma[v]) * (1.0 + ws.delta[v]);
+      }
+    }
+    ws.delta[w] = dsw;
+    bwd.add_item(item_cycles);
+  }
+  ctx.charge_imbalanced_round(bwd);
+
+  ctx.charge_uniform_round(ws.order.size(), cost.process_seq);
+  for (const VertexId v : ws.order) {
+    if (v != s) {
+      bc[v] += ws.delta[v];
+      ++counters.atomic_ops;
+    }
+  }
+  ctx.charge_barrier();
+}
+
+}  // namespace
+
+const char* to_string(WeightedStrategy strategy) noexcept {
+  switch (strategy) {
+    case WeightedStrategy::BellmanFordEdgeParallel: return "bellman-ford-edge-parallel";
+    case WeightedStrategy::NearFarWorkEfficient: return "near-far-work-efficient";
+    case WeightedStrategy::Sampling: return "weighted-sampling";
+  }
+  return "?";
+}
+
+WeightedRunResult run_weighted_bc(const CSRGraph& g, std::span<const double> weights,
+                                  const WeightedConfig& config) {
+  if (weights.size() != g.num_directed_edges()) {
+    throw std::invalid_argument("run_weighted_bc: weight array size mismatch");
+  }
+  for (double w : weights) {
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument("run_weighted_bc: weights must be positive finite");
+    }
+  }
+
+  util::Timer wall;
+  gpusim::Device device(config.base.device);
+  const std::uint32_t num_blocks = config.base.device.num_sms;
+
+  // Sampling may fall back to Bellman-Ford mid-run, so it keeps the
+  // edge-source table available like the pure edge-parallel engine.
+  const bool edge_parallel =
+      config.strategy != WeightedStrategy::NearFarWorkEfficient;
+  detail::allocate_graph(device, g, /*needs_edge_sources=*/edge_parallel);
+  device.memory().allocate(g.num_directed_edges() * sizeof(double), "weights");
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    device.memory().allocate(weighted_block_bytes(g.num_vertices()),
+                             "weighted.block_locals");
+  }
+  device.begin_run(num_blocks);
+
+  double delta = config.near_far_delta;
+  if (delta <= 0.0) {
+    // Davidson et al. pick delta as a small multiple of the mean edge
+    // weight: wide enough to amortize per-phase overheads, narrow enough
+    // to bound wasted re-relaxations. 4x mean works well across the
+    // Table II stand-ins (see the delta sweep in test_weighted_kernels).
+    delta = 4.0 * std::accumulate(weights.begin(), weights.end(), 0.0) /
+            static_cast<double>(weights.size());
+  }
+
+  const std::vector<VertexId> roots = detail::resolve_roots(g, config.base);
+  WeightedRunResult result;
+  result.bc.assign(g.num_vertices(), 0.0);
+
+  std::vector<std::unique_ptr<WeightedWorkspace>> workspaces;
+  workspaces.reserve(num_blocks);
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    workspaces.push_back(std::make_unique<WeightedWorkspace>(g.num_vertices()));
+  }
+
+  // Sampling probe bookkeeping (Algorithm 5 transplanted to SSSP).
+  const bool sampling = config.strategy == WeightedStrategy::Sampling;
+  const std::size_t n_samps =
+      sampling ? std::min<std::size_t>(config.base.sampling.n_samps, roots.size())
+               : 0;
+  std::vector<double> probe_phases;
+  bool use_bellman_ford = config.strategy == WeightedStrategy::BellmanFordEdgeParallel;
+
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    const VertexId root = roots[i];
+    const std::uint32_t block_id = static_cast<std::uint32_t>(i % num_blocks);
+    auto ctx = device.block(block_id);
+    WeightedWorkspace& ws = *workspaces[block_id];
+
+    if (sampling && i == n_samps) {
+      // Decision point: small median phase count => low-diameter graph
+      // => the m-edge scans of Bellman-Ford are mostly useful work.
+      const double median = util::median_lower(probe_phases);
+      const double threshold = config.base.sampling.gamma *
+                               std::log2(std::max<double>(2.0, g.num_vertices()));
+      use_bellman_ford = !probe_phases.empty() && median < threshold;
+      result.sampling_chose_bellman_ford = use_bellman_ford;
+      result.sampling_median_phases = median;
+    }
+
+    ws.reset(root);
+    ctx.charge_uniform_round(g.num_vertices(), ctx.cost().scan_seq);
+
+    const bool bf_now = sampling ? (i >= n_samps && use_bellman_ford)
+                                 : use_bellman_ford;
+    const std::uint64_t rounds = bf_now
+                                     ? sssp_bellman_ford(g, weights, ws, ctx)
+                                     : sssp_near_far(g, weights, ws, root, delta, ctx);
+    result.sssp_rounds += rounds;
+    if (sampling && i < n_samps) probe_phases.push_back(static_cast<double>(rounds));
+
+    accumulate_weighted(g, weights, ws, root, result.bc, ctx);
+    ++device.counters().roots_processed;
+  }
+  if (sampling && roots.size() <= n_samps && !probe_phases.empty()) {
+    result.sampling_median_phases = util::median_lower(probe_phases);
+  }
+
+  result.metrics.counters = device.counters();
+  result.metrics.elapsed_cycles = device.elapsed_cycles();
+  result.metrics.sim_seconds = device.elapsed_seconds();
+  result.metrics.wall_seconds = wall.elapsed_seconds();
+  result.metrics.device_memory_high_water = device.memory().high_water_mark();
+  return result;
+}
+
+}  // namespace hbc::kernels

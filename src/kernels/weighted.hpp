@@ -1,0 +1,71 @@
+#pragma once
+
+// Weighted betweenness centrality on the GPU model — the paper's stated
+// future-work direction (§VI): "Davidson et al. provide a GPU
+// implementation to solve the Single-Source Shortest Path problem and
+// also show a tradeoff between work-efficiency and available parallelism
+// [13]. We consider the application of hybrid approaches such as the ones
+// presented in this paper to this problem to be an interesting direction
+// of future work."
+//
+// Two SSSP engines drive the shortest-path stage, mirroring the
+// unweighted dichotomy:
+//
+//   * BellmanFordEdgeParallel — scan every edge per relaxation round
+//     (the traditional GPU approach; maximal parallelism, O(rounds * m)
+//     work);
+//   * NearFarWorkEfficient — Davidson et al.'s near-far pile method:
+//     a worklist of "near" vertices (distance below a moving threshold)
+//     is processed work-efficiently; relaxations past the threshold park
+//     in the "far" pile until the threshold advances by delta.
+//
+// After distances converge, path counts (sigma) are accumulated in a
+// distance-ordered forward sweep and dependencies (delta) in the reverse
+// sweep — the weighted analogue of the paper's S/ends level walk, with
+// the vertex order coming from a device sort instead of BFS levels.
+
+#include <span>
+
+#include "kernels/bc_state.hpp"
+
+namespace hbc::kernels {
+
+enum class WeightedStrategy {
+  BellmanFordEdgeParallel,
+  NearFarWorkEfficient,
+  /// Algorithm 5's idea applied to SSSP (the paper's §VI conjecture):
+  /// probe n_samps roots with the near-far method, record each SSSP's
+  /// phase count (the weighted analogue of max BFS depth), and switch
+  /// the remaining roots to Bellman-Ford when the median is small
+  /// (low-diameter graph -> edge scans win).
+  Sampling,
+};
+
+const char* to_string(WeightedStrategy strategy) noexcept;
+
+struct WeightedRunResult {
+  std::vector<double> bc;
+  RunMetrics metrics;
+  /// Total SSSP relaxation rounds (Bellman-Ford) or near-pile phases
+  /// (near-far) across all roots — the work-efficiency signal.
+  std::uint64_t sssp_rounds = 0;
+  /// Sampling strategy only: did the probe choose Bellman-Ford?
+  bool sampling_chose_bellman_ford = false;
+  double sampling_median_phases = 0.0;
+};
+
+/// Exact weighted BC over config.roots (empty = all vertices). Weights
+/// must be positive and sized to the directed edge count; throws
+/// std::invalid_argument otherwise. The `delta` of the near-far method
+/// defaults to the mean edge weight when config leaves it unset (0).
+struct WeightedConfig {
+  RunConfig base;
+  WeightedStrategy strategy = WeightedStrategy::NearFarWorkEfficient;
+  double near_far_delta = 0.0;  // 0 selects 4x the mean edge weight
+};
+
+WeightedRunResult run_weighted_bc(const graph::CSRGraph& g,
+                                  std::span<const double> weights,
+                                  const WeightedConfig& config);
+
+}  // namespace hbc::kernels

@@ -1,0 +1,57 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+
+namespace hbc::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_output_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+std::string lowered(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+bool set_log_level(std::string_view name) noexcept {
+  const std::string n = lowered(name);
+  if (n == "trace") set_log_level(LogLevel::Trace);
+  else if (n == "debug") set_log_level(LogLevel::Debug);
+  else if (n == "info") set_log_level(LogLevel::Info);
+  else if (n == "warn") set_log_level(LogLevel::Warn);
+  else if (n == "error") set_log_level(LogLevel::Error);
+  else if (n == "off") set_log_level(LogLevel::Off);
+  else return false;
+  return true;
+}
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_output_mutex);
+  std::fprintf(stderr, "[hbc %s] %s\n", level_tag(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace hbc::util

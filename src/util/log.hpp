@@ -1,0 +1,60 @@
+#pragma once
+
+// Minimal leveled logger. Single-process, thread-safe line output.
+//
+// The library never logs at Info or below on its own hot paths; benches and
+// examples use Info for progress, tests run with the default (Warn) so ctest
+// output stays clean.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hbc::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Unknown strings leave the level unchanged and return false.
+bool set_log_level(std::string_view name) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace hbc::util
+
+// Usage: HBC_LOG_INFO << "built graph with " << n << " vertices";
+#define HBC_LOG_AT(lvl)                                     \
+  if (static_cast<int>(lvl) < static_cast<int>(::hbc::util::log_level())) { \
+  } else                                                    \
+    ::hbc::util::detail::LogStream(lvl)
+
+#define HBC_LOG_TRACE HBC_LOG_AT(::hbc::util::LogLevel::Trace)
+#define HBC_LOG_DEBUG HBC_LOG_AT(::hbc::util::LogLevel::Debug)
+#define HBC_LOG_INFO HBC_LOG_AT(::hbc::util::LogLevel::Info)
+#define HBC_LOG_WARN HBC_LOG_AT(::hbc::util::LogLevel::Warn)
+#define HBC_LOG_ERROR HBC_LOG_AT(::hbc::util::LogLevel::Error)

@@ -1,0 +1,50 @@
+#pragma once
+
+// Scan primitives. CSR construction uses the exclusive scan; the
+// work-efficient kernel discussion in the paper (Merrill-style cooperative
+// queue insertion) is modelled with these as well.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hbc::util {
+
+/// In-place exclusive prefix sum; returns the total (sum of all inputs).
+template <typename T>
+T exclusive_scan_inplace(std::span<T> xs) noexcept {
+  T running{};
+  for (auto& x : xs) {
+    const T value = x;
+    x = running;
+    running += value;
+  }
+  return running;
+}
+
+/// Out-of-place exclusive scan with an extra trailing total element, i.e.
+/// the classic CSR row-offsets shape: out.size() == xs.size() + 1.
+template <typename T>
+std::vector<T> offsets_from_counts(std::span<const T> counts) {
+  std::vector<T> out(counts.size() + 1);
+  T running{};
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out[i] = running;
+    running += counts[i];
+  }
+  out[counts.size()] = running;
+  return out;
+}
+
+/// In-place inclusive prefix sum; returns the total.
+template <typename T>
+T inclusive_scan_inplace(std::span<T> xs) noexcept {
+  T running{};
+  for (auto& x : xs) {
+    running += x;
+    x = running;
+  }
+  return running;
+}
+
+}  // namespace hbc::util

@@ -1,0 +1,58 @@
+#pragma once
+
+// Descriptive statistics used throughout the evaluation harness:
+// Pearson correlation for Table I, medians for the sampling heuristic
+// (Algorithm 5), geometric-mean speedups for Table III.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hbc::util {
+
+double mean(std::span<const double> xs) noexcept;
+
+/// Population variance (divides by N). Returns 0 for fewer than 2 samples.
+double variance(std::span<const double> xs) noexcept;
+
+double stddev(std::span<const double> xs) noexcept;
+
+/// Median of a copy of the input (input untouched). For an even count the
+/// lower middle element is returned — this matches the paper's use of
+/// keys[n_samps/2] on a sorted array in Algorithm 5.
+double median_lower(std::vector<double> xs) noexcept;
+
+/// Conventional median (average of the two middle elements when even).
+double median(std::vector<double> xs) noexcept;
+
+/// Pearson correlation coefficient. Returns 0 when either side has zero
+/// variance (constant series) or the spans differ in length / are empty.
+double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Geometric mean of strictly positive values; 0 if any value <= 0 or empty.
+double geometric_mean(std::span<const double> xs) noexcept;
+
+/// Min / max helpers tolerant of empty input (return 0).
+double min_value(std::span<const double> xs) noexcept;
+double max_value(std::span<const double> xs) noexcept;
+
+/// Online accumulator for mean/variance (Welford) plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hbc::util

@@ -1,0 +1,59 @@
+#pragma once
+
+// Fixed-size thread pool with a parallel_for convenience wrapper.
+//
+// Used by cpu::parallel_brandes (coarse-grained parallelism over BC roots —
+// the CPU analogue of the paper's one-root-per-SM mapping) and by the dist
+// communicator when running ranks concurrently. Degrades gracefully to
+// inline execution when constructed with 0 or 1 threads.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hbc::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(i) for i in [0, n) across the pool, blocking until done.
+  /// Iterations are chunked to amortize dispatch overhead.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Static-partition variant: fn(thread_id, begin, end). Exactly
+  /// thread_count() contiguous ranges, matching the "subset of roots per
+  /// GPU" distribution in the paper's multi-GPU section.
+  void parallel_ranges(std::size_t n,
+                       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace hbc::util

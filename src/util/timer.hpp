@@ -1,0 +1,27 @@
+#pragma once
+
+// Wall-clock timer. Simulated device time comes from gpusim's cycle model,
+// not from here; this is for host-side measurement only.
+
+#include <chrono>
+
+namespace hbc::util {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hbc::util

@@ -1,0 +1,90 @@
+// Cross-engine consistency sweep: on unstructured Erdős–Rényi controls
+// (multiple seeds and densities, including disconnected regimes), every
+// BC engine in the library — seven GPU-model kernels, two CPU engines,
+// and the weighted engines under unit weights — must produce one answer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpu/brandes.hpp"
+#include "cpu/parallel_brandes.hpp"
+#include "cpu/weighted_brandes.hpp"
+#include "graph/generators.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/weighted.hpp"
+
+namespace {
+
+using namespace hbc;
+using graph::CSRGraph;
+
+struct SweepCase {
+  std::uint64_t seed;
+  std::uint32_t n;
+  std::uint64_t m;
+};
+
+class ConsistencySweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(ConsistencySweep, AllEnginesAgree) {
+  const auto& c = GetParam();
+  const CSRGraph g =
+      graph::gen::erdos_renyi({.num_vertices = c.n, .num_edges = c.m, .seed = c.seed});
+  const auto oracle = cpu::brandes(g).bc;
+
+  auto check = [&](const std::vector<double>& scores, const char* label) {
+    ASSERT_EQ(scores.size(), oracle.size()) << label;
+    for (std::size_t v = 0; v < oracle.size(); ++v) {
+      EXPECT_NEAR(scores[v], oracle[v], 1e-8 * std::max(1.0, oracle[v]))
+          << label << " vertex " << v;
+    }
+  };
+
+  kernels::RunConfig config;
+  config.device = gpusim::gtx_titan();
+  config.sampling.n_samps = 8;
+  config.hybrid.alpha = 16;
+  config.hybrid.beta = 16;
+  for (const auto strategy :
+       {kernels::Strategy::VertexParallel, kernels::Strategy::EdgeParallel,
+        kernels::Strategy::GpuFan, kernels::Strategy::WorkEfficient,
+        kernels::Strategy::Hybrid, kernels::Strategy::Sampling,
+        kernels::Strategy::DirectionOptimized}) {
+    check(kernels::run_strategy(strategy, g, config).bc, kernels::to_string(strategy));
+  }
+
+  kernels::RunConfig pred = config;
+  pred.use_predecessor_bitmap = true;
+  check(kernels::run_work_efficient(g, pred).bc, "we+pred-bitmap");
+
+  check(cpu::parallel_brandes(g, {.sources = {}, .num_threads = 3}).bc, "cpu-parallel");
+
+  const cpu::WeightArray unit(g.num_directed_edges(), 1.0);
+  check(cpu::weighted_brandes(g, unit).bc, "dijkstra-unit");
+  kernels::WeightedConfig wc;
+  wc.base.device = gpusim::gtx_titan();
+  wc.strategy = kernels::WeightedStrategy::BellmanFordEdgeParallel;
+  check(kernels::run_weighted_bc(g, unit, wc).bc, "bellman-ford-unit");
+  wc.strategy = kernels::WeightedStrategy::NearFarWorkEfficient;
+  check(kernels::run_weighted_bc(g, unit, wc).bc, "near-far-unit");
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    cases.push_back({seed, 128, 192});    // sparse, disconnected
+    cases.push_back({seed, 128, 512});    // connected, sparse
+    cases.push_back({seed, 96, 1800});    // dense
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(ErControls, ConsistencySweep, testing::ValuesIn(sweep_cases()),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "_m" +
+                                  std::to_string(info.param.m) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace

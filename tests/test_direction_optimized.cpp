@@ -1,0 +1,140 @@
+// Direction-optimizing BC kernel (extension): correctness of the
+// bottom-up sigma accumulation, Beamer switch behaviour, and the cost
+// profile vs the queue-only kernel.
+
+#include <gtest/gtest.h>
+
+#include "cpu/brandes.hpp"
+#include "cpu/naive.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/bc_state.hpp"
+#include "kernels/kernels.hpp"
+
+namespace {
+
+using namespace hbc;
+using graph::CSRGraph;
+using graph::VertexId;
+using kernels::BCWorkspace;
+
+TEST(BottomUpLevel, SigmaMatchesPathCounts) {
+  // Drive the forward stage entirely bottom-up (except level 0) and
+  // verify distances and sigma against the oracle.
+  const CSRGraph g = graph::gen::small_world({.num_vertices = 256, .k = 4, .seed = 3});
+  for (VertexId root : {0u, 17u, 200u}) {
+    gpusim::Device device(gpusim::test_device());
+    device.begin_run(1);
+    auto ctx = device.block(0);
+    BCWorkspace ws(g);
+    ws.init_root(root, ctx);
+    for (;;) {
+      ws.bu_forward_level(ctx, ws.current_depth());
+      if (ws.q_next_len() == 0) break;
+      ws.finish_level(ctx);
+    }
+    const auto bfs = graph::bfs(g, root);
+    const auto pc = cpu::count_paths(g, root);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(ws.distances()[v], bfs.distance[v]) << "root " << root << " v " << v;
+      EXPECT_DOUBLE_EQ(ws.sigmas()[v], pc.sigma[v]) << "root " << root << " v " << v;
+    }
+  }
+}
+
+TEST(BottomUpLevel, NoAtomicsCharged) {
+  // Bottom-up only uses the queue-tail atomic (one per discovery); the
+  // per-edge CAS/sigma atomics of the top-down primitive disappear.
+  const CSRGraph g = graph::gen::small_world({.num_vertices = 128, .k = 3, .seed = 1});
+  gpusim::Device device(gpusim::test_device());
+  device.begin_run(1);
+  auto ctx = device.block(0);
+  BCWorkspace ws(g);
+  ws.init_root(0, ctx);
+  const auto before = device.counters().atomic_ops;
+  const auto stats = ws.bu_forward_level(ctx, 0);
+  const auto atomics = device.counters().atomic_ops - before;
+  EXPECT_EQ(atomics, stats.discovered);
+}
+
+class DirOptMatchesOracle : public testing::TestWithParam<const char*> {};
+
+TEST_P(DirOptMatchesOracle, FullBCVector) {
+  const CSRGraph g = graph::gen::family_by_name(GetParam()).make(8, 7);
+  const auto oracle = cpu::brandes(g).bc;
+  kernels::RunConfig config;
+  config.device = gpusim::gtx_titan();
+  const auto r = kernels::run_direction_optimized(g, config);
+  ASSERT_EQ(r.bc.size(), oracle.size());
+  for (std::size_t v = 0; v < oracle.size(); ++v) {
+    EXPECT_NEAR(r.bc[v], oracle[v], 1e-9 * std::max(1.0, oracle[v])) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, DirOptMatchesOracle,
+                         testing::Values("rgg", "delaunay", "kron", "road",
+                                         "smallworld", "scalefree", "web", "mesh2d"));
+
+TEST(DirOpt, UsesBottomUpOnSmallWorld) {
+  const CSRGraph g =
+      graph::gen::small_world({.num_vertices = 1 << 13, .k = 5, .seed = 1});
+  kernels::RunConfig config;
+  config.device = gpusim::gtx_titan();
+  config.roots = {0, 1, 2, 3};
+  const auto r = kernels::run_direction_optimized(g, config);
+  EXPECT_GT(r.metrics.ep_levels, 0u);  // bottom-up levels counted here
+  EXPECT_GT(r.metrics.we_levels, 0u);  // opening levels stay top-down
+}
+
+TEST(DirOpt, StaysTopDownOnRoad) {
+  const CSRGraph g = graph::gen::road({.scale = 12, .seed = 1});
+  kernels::RunConfig config;
+  config.device = gpusim::gtx_titan();
+  config.roots = {0, 1};
+  const auto r = kernels::run_direction_optimized(g, config);
+  EXPECT_EQ(r.metrics.ep_levels, 0u);  // frontier never crosses m/alpha
+}
+
+TEST(DirOpt, CompetitiveWithWorkEfficientOnKron) {
+  const CSRGraph g = graph::gen::kronecker({.scale = 13, .edge_factor = 16, .seed = 1});
+  kernels::RunConfig config;
+  config.device = gpusim::gtx_titan();
+  config.roots = {0, 1, 2, 3};
+  const auto we = kernels::run_work_efficient(g, config);
+  const auto dir = kernels::run_direction_optimized(g, config);
+  // The bottom-up middle levels avoid the CAS/queue traffic; direction-
+  // optimization must not lose to the pure queue kernel here.
+  EXPECT_LT(dir.metrics.sim_seconds, we.metrics.sim_seconds * 1.1);
+}
+
+TEST(DirOpt, RecordsModesInPerRootStats) {
+  const CSRGraph g =
+      graph::gen::small_world({.num_vertices = 1 << 13, .k = 5, .seed = 2});
+  kernels::RunConfig config;
+  config.device = gpusim::gtx_titan();
+  config.roots = {42};
+  config.collect_per_root_stats = true;
+  const auto r = kernels::run_direction_optimized(g, config);
+  ASSERT_EQ(r.per_root.size(), 1u);
+  bool saw_bottom_up = false;
+  for (const auto& it : r.per_root[0].iterations) {
+    if (it.mode == kernels::Mode::BottomUp) saw_bottom_up = true;
+  }
+  EXPECT_TRUE(saw_bottom_up);
+}
+
+TEST(DirOpt, StrategyDispatchAndName) {
+  EXPECT_STREQ(kernels::to_string(kernels::Strategy::DirectionOptimized),
+               "direction-optimized");
+  const CSRGraph g = graph::gen::figure1_graph();
+  kernels::RunConfig config;
+  config.device = gpusim::gtx_titan();
+  const auto a = kernels::run_strategy(kernels::Strategy::DirectionOptimized, g, config);
+  const auto oracle = cpu::brandes(g).bc;
+  for (std::size_t v = 0; v < oracle.size(); ++v) {
+    EXPECT_NEAR(a.bc[v], oracle[v], 1e-9);
+  }
+}
+
+}  // namespace

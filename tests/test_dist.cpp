@@ -1,0 +1,255 @@
+// Message-passing substrate (World/Communicator) and the multi-GPU
+// cluster driver: correctness of the reduction and the scaling shape the
+// paper reports in Figure 6 / Table IV.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "cpu/brandes.hpp"
+#include "dist/cluster.hpp"
+#include "dist/comm.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace hbc;
+using dist::ClusterConfig;
+using dist::Communicator;
+using dist::World;
+
+TEST(Comm, BarrierSynchronizesAllRanks) {
+  World world(4);
+  std::atomic<int> before{0}, after{0};
+  world.run([&](Communicator& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    // Every rank passed `before` increment before anyone proceeds.
+    EXPECT_EQ(before.load(), 4);
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(Comm, ReduceSumOnRoot) {
+  World world(3);
+  std::vector<double> result(2, 0.0);
+  world.run([&](Communicator& comm) {
+    const std::vector<double> mine{static_cast<double>(comm.rank() + 1), 10.0};
+    std::vector<double> out(2, 0.0);
+    comm.reduce_sum(mine, out, /*root=*/0);
+    if (comm.rank() == 0) result = out;
+  });
+  EXPECT_DOUBLE_EQ(result[0], 6.0);   // 1 + 2 + 3
+  EXPECT_DOUBLE_EQ(result[1], 30.0);  // 10 * 3
+}
+
+TEST(Comm, ReduceIsReusableAcrossCalls) {
+  World world(2);
+  std::vector<double> first(1), second(1);
+  world.run([&](Communicator& comm) {
+    std::vector<double> out(1);
+    comm.reduce_sum(std::vector<double>{1.0}, out, 0);
+    if (comm.rank() == 0) first = out;
+    comm.reduce_sum(std::vector<double>{2.0}, out, 0);
+    if (comm.rank() == 0) second = out;
+  });
+  EXPECT_DOUBLE_EQ(first[0], 2.0);
+  EXPECT_DOUBLE_EQ(second[0], 4.0);
+}
+
+TEST(Comm, AllreduceGivesEveryRankTheSum) {
+  World world(4);
+  std::atomic<int> correct{0};
+  world.run([&](Communicator& comm) {
+    const std::vector<double> mine{1.0};
+    std::vector<double> out(1);
+    comm.allreduce_sum(mine, out);
+    if (out[0] == 4.0) correct.fetch_add(1);
+  });
+  EXPECT_EQ(correct.load(), 4);
+}
+
+TEST(Comm, BroadcastFromRoot) {
+  World world(3);
+  std::atomic<int> correct{0};
+  world.run([&](Communicator& comm) {
+    std::vector<double> data(2, 0.0);
+    if (comm.rank() == 1) data = {7.0, 8.0};
+    comm.broadcast(data, /*root=*/1);
+    if (data[0] == 7.0 && data[1] == 8.0) correct.fetch_add(1);
+  });
+  EXPECT_EQ(correct.load(), 3);
+}
+
+TEST(Comm, GatherCollectsPerRankVectors) {
+  World world(3);
+  std::vector<std::vector<double>> gathered;
+  world.run([&](Communicator& comm) {
+    const std::vector<double> mine{static_cast<double>(comm.rank() * 10)};
+    std::vector<std::vector<double>> out;
+    comm.gather(mine, out, /*root=*/2);
+    if (comm.rank() == 2) gathered = out;
+  });
+  ASSERT_EQ(gathered.size(), 3u);
+  EXPECT_DOUBLE_EQ(gathered[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(gathered[1][0], 10.0);
+  EXPECT_DOUBLE_EQ(gathered[2][0], 20.0);
+}
+
+TEST(Comm, PointToPointByTag) {
+  World world(2);
+  std::vector<double> got_a, got_b;
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, /*tag=*/5, std::vector<double>{1.5});
+      comm.send(1, /*tag=*/9, std::vector<double>{2.5, 3.5});
+    } else {
+      // Receive out of order: tag matching must pick the right message.
+      got_b = comm.recv(0, 9);
+      got_a = comm.recv(0, 5);
+    }
+  });
+  ASSERT_EQ(got_a.size(), 1u);
+  EXPECT_DOUBLE_EQ(got_a[0], 1.5);
+  ASSERT_EQ(got_b.size(), 2u);
+  EXPECT_DOUBLE_EQ(got_b[1], 3.5);
+}
+
+TEST(Comm, RankExceptionPropagates) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Communicator& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("rank 1 failed");
+  }),
+               std::runtime_error);
+}
+
+TEST(World, RejectsNonPositiveSize) {
+  EXPECT_THROW(World(0), std::invalid_argument);
+  EXPECT_THROW(World(-3), std::invalid_argument);
+}
+
+TEST(Cluster, BCMatchesSerialOracle) {
+  const auto g = graph::gen::small_world({.num_vertices = 512, .k = 4, .seed = 1});
+  const auto oracle = cpu::brandes(g).bc;
+
+  ClusterConfig config;
+  config.nodes = 2;
+  config.gpus_per_node = 3;
+  config.strategy = kernels::Strategy::WorkEfficient;
+  const auto r = dist::run_cluster_bc(g, config);
+
+  EXPECT_EQ(r.total_gpus, 6u);
+  EXPECT_EQ(r.roots_processed, g.num_vertices());
+  ASSERT_EQ(r.bc.size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_NEAR(r.bc[i], oracle[i], 1e-9 * std::max(1.0, oracle[i]));
+  }
+}
+
+TEST(Cluster, ThreadedPathMatchesSequentialPath) {
+  const auto g = graph::gen::scale_free({.num_vertices = 300, .attach = 3, .seed = 2});
+  ClusterConfig config;
+  config.nodes = 3;
+  config.gpus_per_node = 2;
+  config.strategy = kernels::Strategy::Hybrid;
+
+  const auto seq = dist::run_cluster_bc(g, config);
+  config.use_threads = true;
+  const auto thr = dist::run_cluster_bc(g, config);
+
+  ASSERT_EQ(seq.bc.size(), thr.bc.size());
+  for (std::size_t i = 0; i < seq.bc.size(); ++i) {
+    EXPECT_NEAR(seq.bc[i], thr.bc[i], 1e-9 * std::max(1.0, seq.bc[i]));
+  }
+  EXPECT_NEAR(seq.sim_seconds, thr.sim_seconds, 1e-12);
+}
+
+TEST(Cluster, NearLinearScalingWithEnoughWork) {
+  // Figure 6's shape: doubling GPUs roughly halves modelled time when
+  // every GPU has plenty of roots.
+  const auto g = graph::gen::delaunay_mesh({.scale = 12, .seed = 1});
+  ClusterConfig config;
+  config.strategy = kernels::Strategy::WorkEfficient;
+
+  config.nodes = 1;
+  const double t1 = dist::run_cluster_bc(g, config).sim_seconds;
+  config.nodes = 4;
+  const double t4 = dist::run_cluster_bc(g, config).sim_seconds;
+
+  const double speedup = t1 / t4;
+  EXPECT_GT(speedup, 3.2);
+  EXPECT_LE(speedup, 4.2);
+}
+
+TEST(Cluster, ReduceCostGrowsWithNodes) {
+  dist::InterconnectModel net;
+  const std::uint64_t bytes = 8ull << 20;
+  EXPECT_EQ(net.reduce_seconds(bytes, 1), 0.0);
+  const double r2 = net.reduce_seconds(bytes, 2);
+  const double r64 = net.reduce_seconds(bytes, 64);
+  EXPECT_GT(r2, 0.0);
+  EXPECT_NEAR(r64 / r2, 6.0, 1e-9);  // log2(64) tree steps
+}
+
+TEST(Cluster, PerGpuTimesReported) {
+  const auto g = graph::gen::small_world({.num_vertices = 256, .k = 3, .seed = 1});
+  ClusterConfig config;
+  config.nodes = 2;
+  config.gpus_per_node = 2;
+  config.strategy = kernels::Strategy::WorkEfficient;
+  const auto r = dist::run_cluster_bc(g, config);
+  ASSERT_EQ(r.per_gpu_seconds.size(), 4u);
+  for (double t : r.per_gpu_seconds) EXPECT_GT(t, 0.0);
+  EXPECT_GE(r.sim_seconds, r.compute_seconds);
+}
+
+TEST(Cluster, RoundRobinMatchesContiguousScores) {
+  const auto g = graph::gen::kronecker({.scale = 9, .edge_factor = 8, .seed = 2});
+  ClusterConfig config;
+  config.nodes = 2;
+  config.gpus_per_node = 3;
+  config.strategy = kernels::Strategy::WorkEfficient;
+  const auto contiguous = dist::run_cluster_bc(g, config);
+  config.distribution = dist::RootDistribution::RoundRobin;
+  const auto interleaved = dist::run_cluster_bc(g, config);
+  ASSERT_EQ(contiguous.bc.size(), interleaved.bc.size());
+  for (std::size_t i = 0; i < contiguous.bc.size(); ++i) {
+    EXPECT_NEAR(contiguous.bc[i], interleaved.bc[i],
+                1e-9 * std::max(1.0, contiguous.bc[i]));
+  }
+}
+
+TEST(Cluster, RoundRobinBalancesSkewedRootCosts) {
+  // Synthetic per-root costs: a contiguous run of expensive roots lands
+  // on one GPU under Contiguous but spreads under RoundRobin.
+  std::vector<std::uint64_t> costs(120, 100);
+  for (int i = 0; i < 20; ++i) costs[i] = 100000;  // hot prefix
+
+  ClusterConfig config;
+  config.nodes = 2;
+  config.gpus_per_node = 3;
+  config.device.num_sms = 2;
+  const auto contiguous = dist::model_cluster_time(costs, config, 1000);
+  config.distribution = dist::RootDistribution::RoundRobin;
+  const auto interleaved = dist::model_cluster_time(costs, config, 1000);
+  EXPECT_LT(interleaved.compute_seconds, contiguous.compute_seconds * 0.5);
+}
+
+TEST(Cluster, RootSubsetSplitsEvenly) {
+  const auto g = graph::gen::small_world({.num_vertices = 256, .k = 3, .seed = 1});
+  ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 3;
+  config.strategy = kernels::Strategy::WorkEfficient;
+  std::vector<graph::VertexId> roots{0, 1, 2, 3, 4, 5, 6};  // 7 roots on 3 GPUs
+  const auto r = dist::run_cluster_bc(g, config, roots);
+  EXPECT_EQ(r.roots_processed, 7u);
+  const auto oracle = cpu::brandes(g, {.sources = roots}).bc;
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_NEAR(r.bc[i], oracle[i], 1e-9 * std::max(1.0, oracle[i]));
+  }
+}
+
+}  // namespace

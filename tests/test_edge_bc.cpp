@@ -1,0 +1,121 @@
+// Edge betweenness (the Girvan–Newman building block used by the
+// community-detection example).
+
+#include <gtest/gtest.h>
+
+#include "cpu/brandes.hpp"
+#include "cpu/edge_bc.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace hbc;
+using graph::CSRGraph;
+using graph::Edge;
+using graph::VertexId;
+
+TEST(EdgeBC, PathGraphEdgeScores) {
+  // Path 0-1-2-3: edge {i,i+1} lies on all ordered pairs crossing it:
+  // (i+1) * (n-1-i) pairs each way.
+  const CSRGraph g = graph::build_csr(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  const auto r = cpu::edge_betweenness(g);
+  const auto slot01 = cpu::find_edge_slot(g, 0, 1);
+  const auto slot12 = cpu::find_edge_slot(g, 1, 2);
+  const auto slot23 = cpu::find_edge_slot(g, 2, 3);
+  EXPECT_DOUBLE_EQ(r.edge_bc[slot01], 2.0 * 1 * 3);
+  EXPECT_DOUBLE_EQ(r.edge_bc[slot12], 2.0 * 2 * 2);
+  EXPECT_DOUBLE_EQ(r.edge_bc[slot23], 2.0 * 3 * 1);
+}
+
+TEST(EdgeBC, MirroredSlotsCarryEqualScores) {
+  const CSRGraph g = graph::gen::figure1_graph();
+  const auto r = cpu::edge_betweenness(g);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      const auto forward = cpu::find_edge_slot(g, u, v);
+      const auto backward = cpu::find_edge_slot(g, v, u);
+      ASSERT_LT(forward, g.num_directed_edges());
+      ASSERT_LT(backward, g.num_directed_edges());
+      EXPECT_DOUBLE_EQ(r.edge_bc[forward], r.edge_bc[backward]);
+    }
+  }
+}
+
+TEST(EdgeBC, VertexByproductMatchesBrandes) {
+  const CSRGraph g = graph::gen::scale_free({.num_vertices = 80, .attach = 2, .seed = 4});
+  const auto r = cpu::edge_betweenness(g);
+  const auto oracle = cpu::brandes(g).bc;
+  ASSERT_EQ(r.vertex_bc.size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_NEAR(r.vertex_bc[i], oracle[i], 1e-9);
+  }
+}
+
+TEST(EdgeBC, BridgeEdgeDominates) {
+  // Two triangles joined by a bridge: the bridge edge must outrank all.
+  const CSRGraph g = graph::build_csr(
+      6, std::vector<Edge>{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  const auto r = cpu::edge_betweenness(g);
+  const auto bridge = cpu::find_edge_slot(g, 2, 3);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      const auto slot = cpu::find_edge_slot(g, u, v);
+      if (slot != bridge && slot != cpu::find_edge_slot(g, 3, 2)) {
+        EXPECT_LT(r.edge_bc[slot], r.edge_bc[bridge]);
+      }
+    }
+  }
+  // Bridge carries all 9 cross pairs in both directions.
+  EXPECT_DOUBLE_EQ(r.edge_bc[bridge], 18.0);
+}
+
+TEST(EdgeBC, SumOverEdgesRelatesToPairCount) {
+  // For a connected undirected graph, summing edge BC over undirected
+  // edges counts each ordered pair's path length: sum = sum_{s!=t} d(s,t).
+  const CSRGraph g = graph::gen::figure1_graph();
+  const auto r = cpu::edge_betweenness(g);
+  double sum = 0.0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) sum += r.edge_bc[cpu::find_edge_slot(g, u, v)];
+    }
+  }
+  double expected = 0.0;
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    const auto bfs = graph::bfs(g, s);
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      if (t != s && bfs.distance[t] != graph::kInfDistance) {
+        expected += bfs.distance[t];
+      }
+    }
+  }
+  EXPECT_NEAR(sum, expected, 1e-9);
+}
+
+TEST(EdgeBC, SourceSubsetAccumulates) {
+  const CSRGraph g = graph::gen::figure1_graph();
+  const auto full = cpu::edge_betweenness(g);
+  std::vector<double> acc(g.num_directed_edges(), 0.0);
+  // Per-source runs mirror scores; accumulate the per-direction raw
+  // contributions by halving the mirrored values... simpler: sum of
+  // single-source runs of the *vertex* byproduct must equal the full run.
+  std::vector<double> vacc(g.num_vertices(), 0.0);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    const auto r = cpu::edge_betweenness(g, {s});
+    for (std::size_t i = 0; i < vacc.size(); ++i) vacc[i] += r.vertex_bc[i];
+  }
+  (void)acc;
+  for (std::size_t i = 0; i < vacc.size(); ++i) {
+    EXPECT_NEAR(vacc[i], full.vertex_bc[i], 1e-9);
+  }
+}
+
+TEST(FindEdgeSlot, MissingEdgeReturnsSentinel) {
+  const CSRGraph g = graph::build_csr(3, std::vector<Edge>{{0, 1}});
+  EXPECT_EQ(cpu::find_edge_slot(g, 0, 2), g.num_directed_edges());
+  EXPECT_LT(cpu::find_edge_slot(g, 0, 1), g.num_directed_edges());
+}
+
+}  // namespace

@@ -1,0 +1,247 @@
+// Structural properties of the graph generators: each family must carry
+// the signature (degree profile, diameter class, connectivity) of the
+// paper dataset it stands in for (Table II).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace hbc::graph;
+using namespace hbc::graph::gen;
+
+TEST(Rgg, DeterministicInSeed) {
+  const auto a = rgg({.scale = 10, .seed = 3});
+  const auto b = rgg({.scale = 10, .seed = 3});
+  const auto c = rgg({.scale = 10, .seed = 4});
+  EXPECT_EQ(a.num_directed_edges(), b.num_directed_edges());
+  ASSERT_EQ(a.col_indices().size(), b.col_indices().size());
+  for (std::size_t i = 0; i < a.col_indices().size(); ++i) {
+    ASSERT_EQ(a.col_indices()[i], b.col_indices()[i]);
+  }
+  EXPECT_NE(a.num_directed_edges(), c.num_directed_edges());
+}
+
+TEST(Rgg, HitsTargetAverageDegree) {
+  const auto g = rgg({.scale = 12, .target_avg_degree = 13.0, .seed = 1});
+  EXPECT_EQ(g.num_vertices(), 1u << 12);
+  // Boundary effects lower the realized mean a little.
+  EXPECT_GT(g.average_degree(), 8.0);
+  EXPECT_LT(g.average_degree(), 16.0);
+}
+
+TEST(Rgg, IsHighDiameter) {
+  const auto g = rgg({.scale = 12, .seed = 1});
+  // Geometric structure: diameter scales like sqrt(n)/r — far beyond
+  // log2(n) = 12.
+  EXPECT_GT(pseudo_diameter(g), 30u);
+}
+
+TEST(Rgg, LowDegreeSkew) {
+  const auto s = degree_stats(rgg({.scale = 12, .seed = 1}));
+  EXPECT_LT(s.skew, 0.6);
+}
+
+TEST(DelaunayMesh, AverageDegreeNearSix) {
+  const auto g = delaunay_mesh({.scale = 12, .seed = 1});
+  EXPECT_GT(g.average_degree(), 4.5);
+  EXPECT_LT(g.average_degree(), 6.5);
+}
+
+TEST(DelaunayMesh, ConnectedAndHighDiameter) {
+  const auto g = delaunay_mesh({.scale = 12, .seed = 1});
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GT(pseudo_diameter(g), 30u);  // ~sqrt(n) = 64 for a 64x64 grid
+}
+
+TEST(Mesh2d, UniformHighDegree) {
+  const auto g = mesh2d({.scale = 12, .halo = 2});
+  const auto s = degree_stats(g);
+  // Interior degree is 24 for halo=2; boundary trims the mean.
+  EXPECT_GT(s.mean_degree, 18.0);
+  EXPECT_LE(s.max_degree, 24u);
+  EXPECT_LT(s.skew, 0.3);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Kronecker, HasIsolatedVerticesLikeGraph500) {
+  const auto g = kronecker({.scale = 12, .edge_factor = 16, .seed = 1});
+  const auto cc = connected_components(g);
+  // §V.D: kron graphs carry a sizable share of isolated vertices, but
+  // over 75% of vertices are not isolated.
+  EXPECT_GT(cc.isolated_vertices, 0u);
+  EXPECT_LT(cc.isolated_vertices, g.num_vertices() / 4);
+}
+
+TEST(Kronecker, TinyDiameterAndSkewedDegrees) {
+  const auto g = kronecker({.scale = 12, .edge_factor = 16, .seed = 1});
+  EXPECT_LE(pseudo_diameter(g), 8u);
+  const auto s = degree_stats(g);
+  EXPECT_GT(s.skew, 1.0);
+  EXPECT_GT(s.max_degree, 100u);
+}
+
+TEST(Kronecker, RejectsBadProbabilities) {
+  EXPECT_THROW(kronecker({.scale = 4, .a = 0.9, .b = 0.2, .c = 0.2}),
+               std::invalid_argument);
+}
+
+TEST(Road, LuxembourgProfile) {
+  const auto g = road({.scale = 12, .seed = 1});
+  EXPECT_TRUE(is_connected(g));  // spanning structure by construction
+  EXPECT_LT(g.average_degree(), 3.0);  // luxembourg: ~2.1
+  EXPECT_LE(degree_stats(g).max_degree, 4u);
+  // Diameter far beyond the sqrt(n)=64 grid side (maze carving).
+  EXPECT_GT(pseudo_diameter(g), 100u);
+}
+
+TEST(SmallWorld, DegreeAndDiameter) {
+  const auto g = small_world({.num_vertices = 4096, .k = 5, .rewire_p = 0.1, .seed = 1});
+  // Degree 2k = 10 before dedup of rewired collisions.
+  EXPECT_GT(g.average_degree(), 9.0);
+  EXPECT_LE(g.average_degree(), 10.0);
+  EXPECT_LE(pseudo_diameter(g), 12u);  // small world: ~log n
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(SmallWorld, ZeroRewireIsRingLattice) {
+  const auto g = small_world({.num_vertices = 64, .k = 2, .rewire_p = 0.0, .seed = 1});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.degree(v), 4u);
+  }
+  EXPECT_EQ(pseudo_diameter(g), 16u);  // n / (2k)
+}
+
+TEST(SmallWorld, RejectsTooSmall) {
+  EXPECT_THROW(small_world({.num_vertices = 4, .k = 2}), std::invalid_argument);
+}
+
+TEST(ScaleFree, PowerLawTail) {
+  const auto g = scale_free({.num_vertices = 4096, .attach = 3, .seed = 1});
+  const auto s = degree_stats(g);
+  EXPECT_GT(s.skew, 1.0);
+  EXPECT_GT(s.max_degree, 50u);
+  EXPECT_TRUE(is_connected(g));  // preferential attachment grows connected
+  EXPECT_LE(pseudo_diameter(g), 10u);
+}
+
+TEST(ScaleFree, EdgeCountMatchesAttachment) {
+  const std::uint32_t n = 1000, attach = 3;
+  const auto g = scale_free({.num_vertices = n, .attach = attach, .seed = 2});
+  // Seed clique (attach+1 choose 2) + attach per subsequent vertex.
+  const std::uint64_t expected = attach * (attach + 1) / 2 +
+                                 static_cast<std::uint64_t>(n - attach - 1) * attach;
+  EXPECT_EQ(g.num_undirected_edges(), expected);
+}
+
+TEST(ScaleFree, RejectsDegenerate) {
+  EXPECT_THROW(scale_free({.num_vertices = 3, .attach = 3}), std::invalid_argument);
+}
+
+TEST(WebCrawl, HubsAndClusters) {
+  const auto g = web_crawl({.num_vertices = 4096, .out_links = 8, .seed = 1});
+  const auto s = degree_stats(g);
+  EXPECT_GT(s.skew, 1.0);       // copying concentrates links
+  EXPECT_GT(s.max_degree, 80u); // hubs
+  EXPECT_LE(pseudo_diameter(g), 12u);
+}
+
+TEST(WebCrawl, RejectsDegenerate) {
+  EXPECT_THROW(web_crawl({.num_vertices = 4, .out_links = 8}), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  const auto g = erdos_renyi({.num_vertices = 500, .num_edges = 2000, .seed = 3});
+  EXPECT_EQ(g.num_vertices(), 500u);
+  EXPECT_EQ(g.num_undirected_edges(), 2000u);
+}
+
+TEST(ErdosRenyi, DeterministicInSeed) {
+  const auto a = erdos_renyi({.num_vertices = 200, .num_edges = 600, .seed = 9});
+  const auto b = erdos_renyi({.num_vertices = 200, .num_edges = 600, .seed = 9});
+  ASSERT_EQ(a.col_indices().size(), b.col_indices().size());
+  for (std::size_t i = 0; i < a.col_indices().size(); ++i) {
+    ASSERT_EQ(a.col_indices()[i], b.col_indices()[i]);
+  }
+}
+
+TEST(ErdosRenyi, RejectsImpossibleRequests) {
+  EXPECT_THROW(erdos_renyi({.num_vertices = 1, .num_edges = 1}), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi({.num_vertices = 4, .num_edges = 7}), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, LowClusteringControl) {
+  // ER graphs have clustering ~ 2m / n^2 — far below Watts-Strogatz at
+  // the same density (the small-world contrast).
+  const auto er = erdos_renyi({.num_vertices = 2000, .num_edges = 10000, .seed = 1});
+  const auto sw = small_world({.num_vertices = 2000, .k = 5, .rewire_p = 0.1, .seed = 1});
+  EXPECT_LT(clustering_coefficient(er), 0.05);
+  EXPECT_GT(clustering_coefficient(sw), 0.3);
+}
+
+TEST(Clustering, TriangleIsFullyClustered) {
+  const auto g = build_csr(3, std::vector<Edge>{{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g), 1.0);
+}
+
+TEST(Clustering, StarHasZero) {
+  EdgeList edges;
+  for (VertexId v = 1; v < 8; ++v) edges.push_back({0, v});
+  EXPECT_DOUBLE_EQ(clustering_coefficient(build_csr(8, edges)), 0.0);
+}
+
+TEST(Clustering, SampledTracksExact) {
+  const auto g = small_world({.num_vertices = 1024, .k = 4, .rewire_p = 0.2, .seed = 2});
+  const double exact = clustering_coefficient(g);
+  const double sampled = clustering_coefficient(g, 256);
+  EXPECT_NEAR(sampled, exact, 0.1);
+}
+
+TEST(Registry, Figure3FamilyHasFiveClasses) {
+  const auto fams = figure3_family();
+  ASSERT_EQ(fams.size(), 5u);
+  for (const auto& f : fams) {
+    const auto g = f.make(8, 1);
+    EXPECT_GT(g.num_vertices(), 0u) << f.name;
+    EXPECT_GT(g.num_directed_edges(), 0u) << f.name;
+  }
+}
+
+TEST(Registry, Table3FamilyHasEightGraphs) {
+  const auto fams = table3_family();
+  ASSERT_EQ(fams.size(), 8u);
+  for (const auto& f : fams) {
+    const auto g = f.make(8, 1);
+    EXPECT_GT(g.num_vertices(), 0u) << f.name;
+  }
+}
+
+TEST(Registry, FamilyByNameThrowsOnUnknown) {
+  EXPECT_THROW(family_by_name("nope"), std::invalid_argument);
+  EXPECT_NO_THROW(family_by_name("rgg"));
+  EXPECT_NO_THROW(family_by_name("mesh2d"));
+}
+
+TEST(Figure1, StructureMatchesPaper) {
+  const auto g = figure1_graph();
+  EXPECT_EQ(g.num_vertices(), 9u);
+  EXPECT_EQ(g.num_undirected_edges(), 10u);
+  // Fig 2: BFS from paper vertex 4 (ours 3) reaches {1,3,5,6} (ours
+  // {0,2,4,5}) in the second iteration.
+  const auto r = bfs(g, 3);
+  EXPECT_EQ(r.frontiers[0], 1u);
+  EXPECT_EQ(r.frontiers[1], 4u);
+  EXPECT_EQ(r.distance[0], 1u);
+  EXPECT_EQ(r.distance[2], 1u);
+  EXPECT_EQ(r.distance[4], 1u);
+  EXPECT_EQ(r.distance[5], 1u);
+  // Paper vertex 9 (ours 8) is two hops past 7 (ours 6).
+  EXPECT_EQ(r.distance[8], 3u);
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// GPU execution-model simulator: memory ledger + OOM, cost charging,
+// block scheduling, and the imbalanced-round load model.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/config.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/memory.hpp"
+
+namespace {
+
+using namespace hbc::gpusim;
+
+TEST(Memory, TracksUsageAndHighWater) {
+  GlobalMemory mem(1000);
+  const auto a = mem.allocate(400, "a");
+  EXPECT_EQ(mem.used(), 400u);
+  const auto b = mem.allocate(500, "b");
+  EXPECT_EQ(mem.used(), 900u);
+  EXPECT_EQ(mem.high_water_mark(), 900u);
+  mem.release(a);
+  EXPECT_EQ(mem.used(), 500u);
+  EXPECT_EQ(mem.high_water_mark(), 900u);  // high water sticks
+  mem.release(b);
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST(Memory, ThrowsOnExhaustion) {
+  GlobalMemory mem(100);
+  mem.allocate(60, "first");
+  try {
+    mem.allocate(50, "second");
+    FAIL() << "expected DeviceOutOfMemory";
+  } catch (const DeviceOutOfMemory& e) {
+    EXPECT_EQ(e.requested_bytes(), 50u);
+    EXPECT_EQ(e.available_bytes(), 40u);
+    EXPECT_NE(std::string(e.what()).find("second"), std::string::npos);
+  }
+  // Failed allocation must not consume capacity.
+  EXPECT_EQ(mem.used(), 60u);
+}
+
+TEST(Memory, ReleaseIsIdempotent) {
+  GlobalMemory mem(100);
+  const auto id = mem.allocate(10, "x");
+  mem.release(id);
+  mem.release(id);
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST(Memory, ReleaseAllClears) {
+  GlobalMemory mem(100);
+  mem.allocate(10, "x");
+  mem.allocate(20, "y");
+  mem.release_all();
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_TRUE(mem.live_allocations().empty());
+}
+
+TEST(Memory, ScopedAllocationReleasesOnDestruction) {
+  GlobalMemory mem(100);
+  {
+    ScopedAllocation a(mem, 40, "scoped");
+    EXPECT_EQ(mem.used(), 40u);
+    ScopedAllocation b = std::move(a);
+    EXPECT_EQ(mem.used(), 40u);
+  }
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST(Memory, LiveAllocationsSnapshot) {
+  GlobalMemory mem(100);
+  mem.allocate(10, "keep");
+  const auto id = mem.allocate(20, "drop");
+  mem.release(id);
+  const auto live = mem.live_allocations();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].first, "keep");
+  EXPECT_EQ(live[0].second, 10u);
+}
+
+TEST(Device, UniformRoundCeilsByThreads) {
+  Device dev(test_device());  // 32 threads per block
+  dev.begin_run(1);
+  auto ctx = dev.block(0);
+  ctx.charge_uniform_round(33, 10);  // two rounds of 10 cycles
+  EXPECT_EQ(dev.elapsed_cycles(), 20u);
+  ctx.charge_uniform_round(1, 10);  // small frontier still costs a round
+  EXPECT_EQ(dev.elapsed_cycles(), 30u);
+  ctx.charge_uniform_round(0, 10);  // nothing to do
+  EXPECT_EQ(dev.elapsed_cycles(), 30u);
+}
+
+TEST(Device, UniformRoundWidthOverride) {
+  Device dev(test_device());
+  dev.begin_run(1);
+  auto ctx = dev.block(0);
+  // Grid-wide width 64 halves the rounds vs the 32-thread block.
+  ctx.charge_uniform_round(64, 10, 64);
+  EXPECT_EQ(dev.elapsed_cycles(), 10u);
+}
+
+TEST(Device, ImbalancedRoundBalancesThroughputAndCriticalPath) {
+  Device dev(test_device());  // 32 threads, thread_ilp = 10
+  dev.begin_run(1);
+  auto ctx = dev.block(0);
+  auto round = ctx.make_round();
+  // Thread 0 gets two items of 100 (wraps round-robin), others one of 1.
+  round.add_item(100);
+  for (int i = 1; i < 32; ++i) round.add_item(1);
+  round.add_item(100);  // wraps to thread 0
+  EXPECT_EQ(round.max_thread_cycles(), 200u);
+  EXPECT_EQ(round.total_cycles(), 231u);
+  // throughput = ceil(231/32) = 8; critical = ceil(200/ilp=10) = 20 -> 20.
+  ctx.charge_imbalanced_round(round);
+  EXPECT_EQ(dev.elapsed_cycles(), 20u);
+  EXPECT_EQ(round.cost_cycles(1), 200u);   // no ILP: pure serialization
+  EXPECT_EQ(round.cost_cycles(1000), 8u);  // infinite ILP: throughput bound
+}
+
+TEST(Device, ImbalancedRoundUniformItemsMatchThroughput) {
+  Device dev(test_device());
+  dev.begin_run(1);
+  auto ctx = dev.block(0);
+  auto round = ctx.make_round();
+  for (int i = 0; i < 64; ++i) round.add_item(10);  // 2 items of 10 per thread
+  // throughput = ceil(640/32) = 20; critical = ceil(20/10) = 2 -> 20.
+  ctx.charge_imbalanced_round(round);
+  EXPECT_EQ(dev.elapsed_cycles(), 20u);
+}
+
+TEST(Device, ElapsedIsMaxOverBlocks) {
+  Device dev(test_device());
+  dev.begin_run(2);
+  dev.block(0).charge_cycles(50);
+  dev.block(1).charge_cycles(120);
+  EXPECT_EQ(dev.elapsed_cycles(), 120u);
+  EXPECT_EQ(dev.block_cycles(0), 50u);
+  EXPECT_EQ(dev.block_cycles(1), 120u);
+}
+
+TEST(Device, SecondsUseClock) {
+  DeviceConfig cfg = test_device();  // 1 GHz
+  Device dev(cfg);
+  dev.begin_run(1);
+  dev.block(0).charge_cycles(2'000'000'000ull);
+  EXPECT_NEAR(dev.elapsed_seconds(), 2.0, 1e-12);
+}
+
+TEST(Device, BarrierAndGridSyncCharges) {
+  Device dev(test_device());
+  dev.begin_run(1);
+  auto ctx = dev.block(0);
+  ctx.charge_barrier();
+  EXPECT_EQ(dev.counters().barriers, 1u);
+  EXPECT_EQ(dev.elapsed_cycles(), ctx.cost().block_barrier);
+  ctx.charge_grid_sync();
+  EXPECT_EQ(dev.counters().grid_syncs, 1u);
+  EXPECT_EQ(dev.elapsed_cycles(), ctx.cost().block_barrier + ctx.cost().grid_relaunch);
+}
+
+TEST(Device, ResetClearsEverything) {
+  Device dev(test_device());
+  dev.begin_run(1);
+  dev.block(0).charge_cycles(10);
+  dev.memory().allocate(100, "x");
+  dev.counters().edges_traversed = 5;
+  dev.reset();
+  EXPECT_EQ(dev.elapsed_cycles(), 0u);
+  EXPECT_EQ(dev.memory().used(), 0u);
+  EXPECT_EQ(dev.counters().edges_traversed, 0u);
+}
+
+TEST(Config, PresetsMatchPaperHardware) {
+  const auto titan = gtx_titan();
+  EXPECT_EQ(titan.num_sms, 14u);
+  EXPECT_NEAR(titan.clock_ghz, 0.837, 1e-9);
+  EXPECT_EQ(titan.memory_bytes, 6ull << 30);
+
+  const auto m2090 = tesla_m2090();
+  EXPECT_EQ(m2090.num_sms, 16u);
+  EXPECT_NEAR(m2090.clock_ghz, 1.3, 1e-9);
+  EXPECT_EQ(m2090.memory_bytes, 6ull << 30);
+}
+
+TEST(Config, DeviceThreads) {
+  DeviceConfig cfg;
+  cfg.num_sms = 4;
+  cfg.threads_per_block = 128;
+  EXPECT_EQ(cfg.device_threads(), 512u);
+}
+
+TEST(Counters, AggregationSums) {
+  Counters a, b;
+  a.edges_traversed = 3;
+  a.atomic_ops = 1;
+  b.edges_traversed = 4;
+  b.roots_processed = 2;
+  a += b;
+  EXPECT_EQ(a.edges_traversed, 7u);
+  EXPECT_EQ(a.atomic_ops, 1u);
+  EXPECT_EQ(a.roots_processed, 2u);
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// CSR construction, builder clean-up passes, and host graph algorithms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace hbc::graph;
+
+CSRGraph path_graph(VertexId n) {
+  EdgeList edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.push_back({v, static_cast<VertexId>(v + 1)});
+  return build_csr(n, edges);
+}
+
+TEST(Builder, SymmetrizesUndirectedEdges) {
+  const CSRGraph g = build_csr(3, std::vector<Edge>{{0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_directed_edges(), 4u);
+  EXPECT_EQ(g.num_undirected_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_TRUE(g.undirected());
+}
+
+TEST(Builder, RemovesSelfLoops) {
+  const CSRGraph g = build_csr(2, std::vector<Edge>{{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.num_undirected_edges(), 1u);
+}
+
+TEST(Builder, DedupsParallelEdges) {
+  const CSRGraph g = build_csr(2, std::vector<Edge>{{0, 1}, {0, 1}, {1, 0}});
+  EXPECT_EQ(g.num_undirected_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Builder, PreservesIsolatedVertices) {
+  // The paper notes the Jia et al. reader cannot handle isolated
+  // vertices; our builder must.
+  const CSRGraph g = build_csr(5, std::vector<Edge>{{0, 1}});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.degree(4), 0u);
+}
+
+TEST(Builder, SortsNeighbors) {
+  const CSRGraph g = build_csr(4, std::vector<Edge>{{0, 3}, {0, 1}, {0, 2}});
+  const auto nbrs = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoint) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(b.add_edge(5, 0), std::out_of_range);
+}
+
+TEST(Builder, ReusableAfterBuild) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const CSRGraph g1 = b.build();
+  EXPECT_EQ(g1.num_undirected_edges(), 1u);
+  b.add_edge(1, 2);
+  const CSRGraph g2 = b.build();
+  EXPECT_EQ(g2.num_undirected_edges(), 1u);
+  EXPECT_EQ(g2.degree(0), 0u);
+}
+
+TEST(Builder, DirectedModeKeepsOrientation) {
+  BuildOptions opt;
+  opt.symmetrize = false;
+  const CSRGraph g = build_csr(3, std::vector<Edge>{{0, 1}, {1, 2}}, opt);
+  EXPECT_FALSE(g.undirected());
+  EXPECT_EQ(g.num_directed_edges(), 2u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Csr, EdgeSourcesMatchRowStructure) {
+  const CSRGraph g = build_csr(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  const auto sources = g.edge_sources();
+  const auto offsets = g.row_offsets();
+  ASSERT_EQ(sources.size(), g.num_directed_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (EdgeOffset e = offsets[v]; e < offsets[v + 1]; ++e) {
+      EXPECT_EQ(sources[e], v);
+    }
+  }
+}
+
+TEST(Csr, RejectsMalformedOffsets) {
+  EXPECT_THROW(CSRGraph({}, {}, true), std::invalid_argument);
+  EXPECT_THROW(CSRGraph({1, 2}, {0}, true), std::invalid_argument);   // no leading 0
+  EXPECT_THROW(CSRGraph({0, 2}, {0}, true), std::invalid_argument);   // bad total
+  EXPECT_THROW(CSRGraph({0, 2, 1}, {0, 0}, true), std::invalid_argument);  // decreasing
+  EXPECT_THROW(CSRGraph({0, 1}, {7}, true), std::invalid_argument);   // col out of range
+}
+
+TEST(Csr, SummaryMentionsCounts) {
+  const CSRGraph g = path_graph(4);
+  const std::string s = g.summary();
+  EXPECT_NE(s.find("n=4"), std::string::npos);
+  EXPECT_NE(s.find("m=3"), std::string::npos);
+}
+
+TEST(Bfs, DistancesOnPathGraph) {
+  const CSRGraph g = path_graph(5);
+  const BFSResult r = bfs(g, 0);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(r.distance[v], v);
+  EXPECT_EQ(r.max_depth, 4u);
+  EXPECT_EQ(r.reached, 5u);
+  EXPECT_EQ(r.frontiers, (std::vector<std::uint64_t>{1, 1, 1, 1, 1}));
+}
+
+TEST(Bfs, UnreachedVerticesStayInfinite) {
+  const CSRGraph g = build_csr(4, std::vector<Edge>{{0, 1}});
+  const BFSResult r = bfs(g, 0);
+  EXPECT_EQ(r.distance[2], kInfDistance);
+  EXPECT_EQ(r.distance[3], kInfDistance);
+  EXPECT_EQ(r.reached, 2u);
+}
+
+TEST(Bfs, ParentsFormTree) {
+  const CSRGraph g = hbc::graph::gen::figure1_graph();
+  const BFSResult r = bfs(g, 3);
+  EXPECT_EQ(r.parent[3], kInvalidVertex);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v == 3 || r.distance[v] == kInfDistance) continue;
+    ASSERT_NE(r.parent[v], kInvalidVertex);
+    EXPECT_EQ(r.distance[v], r.distance[r.parent[v]] + 1);
+  }
+}
+
+TEST(Bfs, EdgeFrontiersSumDegrees) {
+  const CSRGraph g = path_graph(4);
+  const BFSResult r = bfs(g, 0);
+  // frontiers: {0},{1},{2},{3}; degrees along the path: 1,2,2,1.
+  EXPECT_EQ(r.edge_frontiers, (std::vector<std::uint64_t>{1, 2, 2, 1}));
+}
+
+TEST(Components, SingleComponentPath) {
+  const CSRGraph g = path_graph(6);
+  const ComponentsResult r = connected_components(g);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_EQ(r.largest_size, 6u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, CountsIsolatedVertices) {
+  const CSRGraph g = build_csr(5, std::vector<Edge>{{0, 1}, {2, 3}});
+  const ComponentsResult r = connected_components(g);
+  EXPECT_EQ(r.num_components, 3u);
+  EXPECT_EQ(r.isolated_vertices, 1u);
+  EXPECT_EQ(r.largest_size, 2u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, ComponentIdsAreConsistent) {
+  const CSRGraph g = build_csr(6, std::vector<Edge>{{0, 1}, {1, 2}, {3, 4}});
+  const ComponentsResult r = connected_components(g);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[1], r.component[2]);
+  EXPECT_EQ(r.component[3], r.component[4]);
+  EXPECT_NE(r.component[0], r.component[3]);
+  EXPECT_NE(r.component[5], r.component[0]);
+  EXPECT_NE(r.component[5], r.component[3]);
+}
+
+TEST(PseudoDiameter, ExactOnPath) {
+  const CSRGraph g = path_graph(10);
+  EXPECT_EQ(pseudo_diameter(g, 4), 9u);
+}
+
+TEST(PseudoDiameter, HandlesIsolatedSeed) {
+  const CSRGraph g = build_csr(5, std::vector<Edge>{{1, 2}, {2, 3}});
+  EXPECT_EQ(pseudo_diameter(g, 0), 2u);
+}
+
+TEST(DegreeStats, UniformDegreesHaveZeroSkew) {
+  // 4-cycle: every vertex has degree 2.
+  const CSRGraph g = build_csr(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 2.0);
+  EXPECT_DOUBLE_EQ(s.skew, 0.0);
+}
+
+TEST(DegreeStats, StarGraphIsSkewed) {
+  EdgeList edges;
+  for (VertexId v = 1; v < 9; ++v) edges.push_back({0, v});
+  const CSRGraph g = build_csr(9, edges);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.max_degree, 8u);
+  EXPECT_GT(s.skew, 1.0);
+}
+
+}  // namespace

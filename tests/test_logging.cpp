@@ -1,0 +1,75 @@
+// Logger level handling and the Timer utility.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace hbc::util;
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Warn);
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+TEST(Log, ParseKnownNames) {
+  LogLevelGuard guard;
+  EXPECT_TRUE(set_log_level("trace"));
+  EXPECT_EQ(log_level(), LogLevel::Trace);
+  EXPECT_TRUE(set_log_level("DEBUG"));
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  EXPECT_TRUE(set_log_level("Info"));
+  EXPECT_EQ(log_level(), LogLevel::Info);
+  EXPECT_TRUE(set_log_level("off"));
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST(Log, UnknownNameLeavesLevelUnchanged) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Error);
+  EXPECT_FALSE(set_log_level("loud"));
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST(Log, MacroCompilesAndFiltersBelowThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  // Streamed expressions below the threshold must not be evaluated.
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  HBC_LOG_DEBUG << "value " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::Trace);
+  HBC_LOG_ERROR << "error path exercised " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double first = t.elapsed_seconds();
+  EXPECT_GE(first, 0.015);
+  EXPECT_LT(first, 5.0);
+  EXPECT_NEAR(t.elapsed_ms(), t.elapsed_seconds() * 1e3, 1.0);
+  t.reset();
+  EXPECT_LT(t.elapsed_seconds(), first);
+}
+
+}  // namespace

@@ -1,0 +1,226 @@
+// Unit tests for util: RNG determinism/uniformity, statistics, prefix
+// sums, bit vectors, and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/bitvector.hpp"
+#include "util/prefix_sum.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace hbc::util;
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroIsDeterministicPerSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  bool any_differ = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Xoshiro256 rng(1);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Xoshiro256 a(11);
+  Xoshiro256 b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(variance({}), 0.0);
+  EXPECT_EQ(median({}), 0.0);
+  EXPECT_EQ(median_lower({}), 0.0);
+  EXPECT_EQ(pearson({}, {}), 0.0);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+}
+
+TEST(Stats, MedianLowerMatchesPaperConvention) {
+  // Algorithm 5 takes keys[n_samps/2] of the sorted array.
+  EXPECT_DOUBLE_EQ(median_lower({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(median_lower({4, 1, 3, 2}), 3.0);  // index 2 of {1,2,3,4}
+  EXPECT_DOUBLE_EQ(median_lower({9}), 9.0);
+}
+
+TEST(Stats, MedianAveragesMiddlePair) {
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5, 1, 3}), 3.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg(ys.rbegin(), ys.rend());
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{5, 5, 5};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_NEAR(geometric_mean(std::vector<double>{1, 4}), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean(std::vector<double>{2, 2, 2}), 2.0, 1e-12);
+  EXPECT_EQ(geometric_mean(std::vector<double>{1, 0}), 0.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(PrefixSum, ExclusiveScanInPlace) {
+  std::vector<int> xs{3, 1, 4, 1, 5};
+  const int total = exclusive_scan_inplace(std::span<int>(xs));
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(xs, (std::vector<int>{0, 3, 4, 8, 9}));
+}
+
+TEST(PrefixSum, OffsetsFromCounts) {
+  const std::vector<std::uint64_t> counts{2, 0, 3};
+  const auto offsets = offsets_from_counts(std::span<const std::uint64_t>(counts));
+  EXPECT_EQ(offsets, (std::vector<std::uint64_t>{0, 2, 2, 5}));
+}
+
+TEST(PrefixSum, InclusiveScanInPlace) {
+  std::vector<int> xs{1, 2, 3};
+  EXPECT_EQ(inclusive_scan_inplace(std::span<int>(xs)), 6);
+  EXPECT_EQ(xs, (std::vector<int>{1, 3, 6}));
+}
+
+TEST(BitVector, SetTestClear) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_EQ(bv.count(), 0u);
+  bv.set(0);
+  bv.set(64);
+  bv.set(129);
+  EXPECT_TRUE(bv.test(0));
+  EXPECT_TRUE(bv.test(64));
+  EXPECT_TRUE(bv.test(129));
+  EXPECT_FALSE(bv.test(1));
+  EXPECT_EQ(bv.count(), 3u);
+  bv.clear(64);
+  EXPECT_FALSE(bv.test(64));
+  EXPECT_EQ(bv.count(), 2u);
+}
+
+TEST(BitVector, AssignAllTrueTrimsTail) {
+  BitVector bv(70, true);
+  EXPECT_EQ(bv.count(), 70u);
+  bv.reset();
+  EXPECT_EQ(bv.count(), 0u);
+}
+
+TEST(BitVector, ByteSizeIsWordGranular) {
+  EXPECT_EQ(BitVector(1).byte_size(), 8u);
+  EXPECT_EQ(BitVector(64).byte_size(), 8u);
+  EXPECT_EQ(BitVector(65).byte_size(), 16u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelRangesPartitionExactly) {
+  ThreadPool pool(3);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.parallel_ranges(10, [&](std::size_t, std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(m);
+    ranges.emplace_back(b, e);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  std::size_t covered = 0;
+  std::size_t expected_begin = 0;
+  for (auto [b, e] : ranges) {
+    EXPECT_EQ(b, expected_begin);
+    covered += e - b;
+    expected_begin = e;
+  }
+  EXPECT_EQ(covered, 10u);
+}
+
+TEST(ThreadPool, SingleThreadDegradesToInline) {
+  ThreadPool pool(1);
+  int sum = 0;
+  pool.parallel_for(100, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+}  // namespace

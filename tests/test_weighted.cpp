@@ -1,0 +1,161 @@
+// Weighted (Dijkstra-based) Brandes: reduction to the unweighted case on
+// unit weights, hand-checkable weighted instances, tie handling, and
+// input validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpu/brandes.hpp"
+#include "cpu/edge_bc.hpp"
+#include "cpu/weighted_brandes.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace hbc;
+using graph::CSRGraph;
+using graph::Edge;
+using graph::VertexId;
+
+cpu::WeightArray unit_weights(const CSRGraph& g) {
+  return cpu::WeightArray(g.num_directed_edges(), 1.0);
+}
+
+TEST(WeightedBrandes, UnitWeightsMatchUnweighted) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const CSRGraph g =
+        graph::gen::scale_free({.num_vertices = 120, .attach = 2, .seed = seed});
+    const auto unweighted = cpu::brandes(g).bc;
+    const auto weighted = cpu::weighted_brandes(g, unit_weights(g));
+    ASSERT_EQ(weighted.bc.size(), unweighted.size());
+    for (std::size_t v = 0; v < unweighted.size(); ++v) {
+      EXPECT_NEAR(weighted.bc[v], unweighted[v], 1e-7) << "vertex " << v;
+    }
+  }
+}
+
+TEST(WeightedBrandes, UniformScalingIsInvariant) {
+  // Multiplying every weight by a constant leaves shortest paths (and BC)
+  // unchanged.
+  const CSRGraph g = graph::gen::small_world({.num_vertices = 150, .k = 3, .seed = 5});
+  auto w = cpu::random_symmetric_weights(g, 1.0, 4.0, 11);
+  const auto base = cpu::weighted_brandes(g, w);
+  for (double& x : w) x *= 7.5;
+  const auto scaled = cpu::weighted_brandes(g, w);
+  for (std::size_t v = 0; v < base.bc.size(); ++v) {
+    EXPECT_NEAR(base.bc[v], scaled.bc[v], 1e-7);
+  }
+}
+
+TEST(WeightedBrandes, WeightsRerouteAroundExpensiveVertex) {
+  // Square 0-1-2-3-0. Unit weights: both 2-hop routes between opposite
+  // corners tie (every vertex gets BC 1). Making 1's edges heavy pushes
+  // all corner-to-corner traffic through 3.
+  const CSRGraph g = graph::build_csr(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  auto w = unit_weights(g);
+  w[cpu::find_edge_slot(g, 0, 1)] = 10.0;
+  w[cpu::find_edge_slot(g, 1, 0)] = 10.0;
+  w[cpu::find_edge_slot(g, 1, 2)] = 10.0;
+  w[cpu::find_edge_slot(g, 2, 1)] = 10.0;
+  const auto r = cpu::weighted_brandes(g, w);
+  EXPECT_NEAR(r.bc[3], 2.0, 1e-9);  // carries 0<->2 both directions
+  EXPECT_NEAR(r.bc[1], 0.0, 1e-9);
+}
+
+TEST(WeightedBrandes, EqualWeightTiesSplitCredit) {
+  // Diamond with equal weights: both middle vertices split the 0<->3
+  // dependency, exactly as in the unweighted case.
+  const CSRGraph g = graph::build_csr(4, std::vector<Edge>{{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  cpu::WeightArray w(g.num_directed_edges(), 2.5);
+  const auto r = cpu::weighted_brandes(g, w);
+  for (int v = 0; v < 4; ++v) EXPECT_NEAR(r.bc[v], 1.0, 1e-9) << v;
+}
+
+TEST(WeightedBrandes, RejectsBadWeights) {
+  const CSRGraph g = graph::gen::figure1_graph();
+  cpu::WeightArray short_w(3, 1.0);
+  EXPECT_THROW(cpu::weighted_brandes(g, short_w), std::invalid_argument);
+  cpu::WeightArray zero_w(g.num_directed_edges(), 1.0);
+  zero_w[0] = 0.0;
+  EXPECT_THROW(cpu::weighted_brandes(g, zero_w), std::invalid_argument);
+  cpu::WeightArray neg_w(g.num_directed_edges(), 1.0);
+  neg_w[2] = -3.0;
+  EXPECT_THROW(cpu::weighted_brandes(g, neg_w), std::invalid_argument);
+}
+
+TEST(WeightedBrandes, SourceSubset) {
+  const CSRGraph g = graph::gen::figure1_graph();
+  const auto w = unit_weights(g);
+  const auto full = cpu::weighted_brandes(g, w);
+  std::vector<double> acc(g.num_vertices(), 0.0);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    const auto part = cpu::weighted_brandes(g, w, {.sources = {s}});
+    for (std::size_t v = 0; v < acc.size(); ++v) acc[v] += part.bc[v];
+  }
+  for (std::size_t v = 0; v < acc.size(); ++v) {
+    EXPECT_NEAR(acc[v], full.bc[v], 1e-9);
+  }
+}
+
+TEST(WeightedPaths, CountsDistinctShortestRoutes) {
+  // Two routes 0->3 of equal total weight through different intermediates.
+  const CSRGraph g = graph::build_csr(4, std::vector<Edge>{{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  cpu::WeightArray w(g.num_directed_edges(), 1.0);
+  const auto pc = cpu::weighted_count_paths(g, w, 0);
+  EXPECT_DOUBLE_EQ(pc.sigma[3], 2.0);
+  EXPECT_DOUBLE_EQ(pc.distance[3], 2.0);
+  // Skew one route: only one path remains shortest.
+  w[cpu::find_edge_slot(g, 0, 1)] = 1.5;
+  w[cpu::find_edge_slot(g, 1, 0)] = 1.5;
+  const auto pc2 = cpu::weighted_count_paths(g, w, 0);
+  EXPECT_DOUBLE_EQ(pc2.sigma[3], 1.0);
+  EXPECT_DOUBLE_EQ(pc2.distance[3], 2.0);
+}
+
+TEST(WeightedPaths, UnreachedIsInfinite) {
+  const CSRGraph g = graph::build_csr(3, std::vector<Edge>{{0, 1}});
+  const auto pc = cpu::weighted_count_paths(g, unit_weights(g), 0);
+  EXPECT_TRUE(std::isinf(pc.distance[2]));
+  EXPECT_DOUBLE_EQ(pc.sigma[2], 0.0);
+}
+
+TEST(RandomWeights, SymmetricAndInRange) {
+  const CSRGraph g = graph::gen::small_world({.num_vertices = 64, .k = 2, .seed = 1});
+  const auto w = cpu::random_symmetric_weights(g, 0.5, 2.0, 3);
+  ASSERT_EQ(w.size(), g.num_directed_edges());
+  const auto sources = g.edge_sources();
+  const auto cols = g.col_indices();
+  for (graph::EdgeOffset e = 0; e < g.num_directed_edges(); ++e) {
+    EXPECT_GE(w[e], 0.5);
+    EXPECT_LT(w[e], 2.0);
+    const auto back = cpu::find_edge_slot(g, cols[e], sources[e]);
+    ASSERT_LT(back, g.num_directed_edges());
+    EXPECT_DOUBLE_EQ(w[e], w[back]);
+  }
+}
+
+TEST(RandomWeights, RejectsBadRange) {
+  const CSRGraph g = graph::gen::figure1_graph();
+  EXPECT_THROW(cpu::random_symmetric_weights(g, 2.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(cpu::random_symmetric_weights(g, 0.0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(MakeSymmetric, AveragesMirrorSlots) {
+  const CSRGraph g = graph::build_csr(2, std::vector<Edge>{{0, 1}});
+  cpu::WeightArray w{1.0, 3.0};
+  ASSERT_TRUE(cpu::make_symmetric_weights(g, w));
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+  EXPECT_DOUBLE_EQ(w[1], 2.0);
+}
+
+TEST(MakeSymmetric, DirectedGraphRefuses) {
+  graph::BuildOptions opt;
+  opt.symmetrize = false;
+  const CSRGraph g = graph::build_csr(2, std::vector<Edge>{{0, 1}}, opt);
+  cpu::WeightArray w{1.0};
+  EXPECT_FALSE(cpu::make_symmetric_weights(g, w));
+}
+
+}  // namespace
