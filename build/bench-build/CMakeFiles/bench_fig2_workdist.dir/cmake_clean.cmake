@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_workdist"
+  "../bench/bench_fig2_workdist.pdb"
+  "CMakeFiles/bench_fig2_workdist.dir/bench_fig2_workdist.cpp.o"
+  "CMakeFiles/bench_fig2_workdist.dir/bench_fig2_workdist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_workdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

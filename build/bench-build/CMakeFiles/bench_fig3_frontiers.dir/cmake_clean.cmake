@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_frontiers"
+  "../bench/bench_fig3_frontiers.pdb"
+  "CMakeFiles/bench_fig3_frontiers.dir/bench_fig3_frontiers.cpp.o"
+  "CMakeFiles/bench_fig3_frontiers.dir/bench_fig3_frontiers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_frontiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_methods"
+  "../bench/bench_fig4_methods.pdb"
+  "CMakeFiles/bench_fig4_methods.dir/bench_fig4_methods.cpp.o"
+  "CMakeFiles/bench_fig4_methods.dir/bench_fig4_methods.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_mteps"
+  "../bench/bench_table3_mteps.pdb"
+  "CMakeFiles/bench_table3_mteps.dir/bench_table3_mteps.cpp.o"
+  "CMakeFiles/bench_table3_mteps.dir/bench_table3_mteps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_mteps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

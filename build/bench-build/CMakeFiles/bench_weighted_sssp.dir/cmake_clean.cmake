@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_weighted_sssp"
+  "../bench/bench_weighted_sssp.pdb"
+  "CMakeFiles/bench_weighted_sssp.dir/bench_weighted_sssp.cpp.o"
+  "CMakeFiles/bench_weighted_sssp.dir/bench_weighted_sssp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weighted_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

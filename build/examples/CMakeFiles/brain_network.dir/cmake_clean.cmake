@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brain_network.dir/brain_network.cpp.o"
+  "CMakeFiles/brain_network.dir/brain_network.cpp.o.d"
+  "brain_network"
+  "brain_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brain_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

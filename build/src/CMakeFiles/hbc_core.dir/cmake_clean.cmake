@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbc_core.dir/core/bc.cpp.o"
+  "CMakeFiles/hbc_core.dir/core/bc.cpp.o.d"
+  "CMakeFiles/hbc_core.dir/core/report.cpp.o"
+  "CMakeFiles/hbc_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/hbc_core.dir/core/teps.cpp.o"
+  "CMakeFiles/hbc_core.dir/core/teps.cpp.o.d"
+  "libhbc_core.a"
+  "libhbc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhbc_core.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/approx.cpp" "src/CMakeFiles/hbc_cpu.dir/cpu/approx.cpp.o" "gcc" "src/CMakeFiles/hbc_cpu.dir/cpu/approx.cpp.o.d"
+  "/root/repo/src/cpu/brandes.cpp" "src/CMakeFiles/hbc_cpu.dir/cpu/brandes.cpp.o" "gcc" "src/CMakeFiles/hbc_cpu.dir/cpu/brandes.cpp.o.d"
+  "/root/repo/src/cpu/dynamic_bc.cpp" "src/CMakeFiles/hbc_cpu.dir/cpu/dynamic_bc.cpp.o" "gcc" "src/CMakeFiles/hbc_cpu.dir/cpu/dynamic_bc.cpp.o.d"
+  "/root/repo/src/cpu/edge_bc.cpp" "src/CMakeFiles/hbc_cpu.dir/cpu/edge_bc.cpp.o" "gcc" "src/CMakeFiles/hbc_cpu.dir/cpu/edge_bc.cpp.o.d"
+  "/root/repo/src/cpu/fine_grained.cpp" "src/CMakeFiles/hbc_cpu.dir/cpu/fine_grained.cpp.o" "gcc" "src/CMakeFiles/hbc_cpu.dir/cpu/fine_grained.cpp.o.d"
+  "/root/repo/src/cpu/naive.cpp" "src/CMakeFiles/hbc_cpu.dir/cpu/naive.cpp.o" "gcc" "src/CMakeFiles/hbc_cpu.dir/cpu/naive.cpp.o.d"
+  "/root/repo/src/cpu/parallel_brandes.cpp" "src/CMakeFiles/hbc_cpu.dir/cpu/parallel_brandes.cpp.o" "gcc" "src/CMakeFiles/hbc_cpu.dir/cpu/parallel_brandes.cpp.o.d"
+  "/root/repo/src/cpu/weighted_brandes.cpp" "src/CMakeFiles/hbc_cpu.dir/cpu/weighted_brandes.cpp.o" "gcc" "src/CMakeFiles/hbc_cpu.dir/cpu/weighted_brandes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbc_cpu.dir/cpu/approx.cpp.o"
+  "CMakeFiles/hbc_cpu.dir/cpu/approx.cpp.o.d"
+  "CMakeFiles/hbc_cpu.dir/cpu/brandes.cpp.o"
+  "CMakeFiles/hbc_cpu.dir/cpu/brandes.cpp.o.d"
+  "CMakeFiles/hbc_cpu.dir/cpu/dynamic_bc.cpp.o"
+  "CMakeFiles/hbc_cpu.dir/cpu/dynamic_bc.cpp.o.d"
+  "CMakeFiles/hbc_cpu.dir/cpu/edge_bc.cpp.o"
+  "CMakeFiles/hbc_cpu.dir/cpu/edge_bc.cpp.o.d"
+  "CMakeFiles/hbc_cpu.dir/cpu/fine_grained.cpp.o"
+  "CMakeFiles/hbc_cpu.dir/cpu/fine_grained.cpp.o.d"
+  "CMakeFiles/hbc_cpu.dir/cpu/naive.cpp.o"
+  "CMakeFiles/hbc_cpu.dir/cpu/naive.cpp.o.d"
+  "CMakeFiles/hbc_cpu.dir/cpu/parallel_brandes.cpp.o"
+  "CMakeFiles/hbc_cpu.dir/cpu/parallel_brandes.cpp.o.d"
+  "CMakeFiles/hbc_cpu.dir/cpu/weighted_brandes.cpp.o"
+  "CMakeFiles/hbc_cpu.dir/cpu/weighted_brandes.cpp.o.d"
+  "libhbc_cpu.a"
+  "libhbc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

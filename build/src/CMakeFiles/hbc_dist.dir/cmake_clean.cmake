@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbc_dist.dir/dist/cluster.cpp.o"
+  "CMakeFiles/hbc_dist.dir/dist/cluster.cpp.o.d"
+  "CMakeFiles/hbc_dist.dir/dist/comm.cpp.o"
+  "CMakeFiles/hbc_dist.dir/dist/comm.cpp.o.d"
+  "libhbc_dist.a"
+  "libhbc_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbc_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

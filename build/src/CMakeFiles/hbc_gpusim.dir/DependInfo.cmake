@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/config.cpp" "src/CMakeFiles/hbc_gpusim.dir/gpusim/config.cpp.o" "gcc" "src/CMakeFiles/hbc_gpusim.dir/gpusim/config.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/CMakeFiles/hbc_gpusim.dir/gpusim/device.cpp.o" "gcc" "src/CMakeFiles/hbc_gpusim.dir/gpusim/device.cpp.o.d"
+  "/root/repo/src/gpusim/memory.cpp" "src/CMakeFiles/hbc_gpusim.dir/gpusim/memory.cpp.o" "gcc" "src/CMakeFiles/hbc_gpusim.dir/gpusim/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbc_gpusim.dir/gpusim/config.cpp.o"
+  "CMakeFiles/hbc_gpusim.dir/gpusim/config.cpp.o.d"
+  "CMakeFiles/hbc_gpusim.dir/gpusim/device.cpp.o"
+  "CMakeFiles/hbc_gpusim.dir/gpusim/device.cpp.o.d"
+  "CMakeFiles/hbc_gpusim.dir/gpusim/memory.cpp.o"
+  "CMakeFiles/hbc_gpusim.dir/gpusim/memory.cpp.o.d"
+  "libhbc_gpusim.a"
+  "libhbc_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbc_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/hbc_graph.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/hbc_graph.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/hbc_graph.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/hbc_graph.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/hbc_graph.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/hbc_graph.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/generators/erdos_renyi.cpp" "src/CMakeFiles/hbc_graph.dir/graph/generators/erdos_renyi.cpp.o" "gcc" "src/CMakeFiles/hbc_graph.dir/graph/generators/erdos_renyi.cpp.o.d"
+  "/root/repo/src/graph/generators/kronecker.cpp" "src/CMakeFiles/hbc_graph.dir/graph/generators/kronecker.cpp.o" "gcc" "src/CMakeFiles/hbc_graph.dir/graph/generators/kronecker.cpp.o.d"
+  "/root/repo/src/graph/generators/mesh.cpp" "src/CMakeFiles/hbc_graph.dir/graph/generators/mesh.cpp.o" "gcc" "src/CMakeFiles/hbc_graph.dir/graph/generators/mesh.cpp.o.d"
+  "/root/repo/src/graph/generators/registry.cpp" "src/CMakeFiles/hbc_graph.dir/graph/generators/registry.cpp.o" "gcc" "src/CMakeFiles/hbc_graph.dir/graph/generators/registry.cpp.o.d"
+  "/root/repo/src/graph/generators/rgg.cpp" "src/CMakeFiles/hbc_graph.dir/graph/generators/rgg.cpp.o" "gcc" "src/CMakeFiles/hbc_graph.dir/graph/generators/rgg.cpp.o.d"
+  "/root/repo/src/graph/generators/road.cpp" "src/CMakeFiles/hbc_graph.dir/graph/generators/road.cpp.o" "gcc" "src/CMakeFiles/hbc_graph.dir/graph/generators/road.cpp.o.d"
+  "/root/repo/src/graph/generators/scale_free.cpp" "src/CMakeFiles/hbc_graph.dir/graph/generators/scale_free.cpp.o" "gcc" "src/CMakeFiles/hbc_graph.dir/graph/generators/scale_free.cpp.o.d"
+  "/root/repo/src/graph/generators/small_world.cpp" "src/CMakeFiles/hbc_graph.dir/graph/generators/small_world.cpp.o" "gcc" "src/CMakeFiles/hbc_graph.dir/graph/generators/small_world.cpp.o.d"
+  "/root/repo/src/graph/generators/web_crawl.cpp" "src/CMakeFiles/hbc_graph.dir/graph/generators/web_crawl.cpp.o" "gcc" "src/CMakeFiles/hbc_graph.dir/graph/generators/web_crawl.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/hbc_graph.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/hbc_graph.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/transforms.cpp" "src/CMakeFiles/hbc_graph.dir/graph/transforms.cpp.o" "gcc" "src/CMakeFiles/hbc_graph.dir/graph/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

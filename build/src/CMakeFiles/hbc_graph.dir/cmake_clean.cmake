@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbc_graph.dir/graph/algorithms.cpp.o"
+  "CMakeFiles/hbc_graph.dir/graph/algorithms.cpp.o.d"
+  "CMakeFiles/hbc_graph.dir/graph/builder.cpp.o"
+  "CMakeFiles/hbc_graph.dir/graph/builder.cpp.o.d"
+  "CMakeFiles/hbc_graph.dir/graph/csr.cpp.o"
+  "CMakeFiles/hbc_graph.dir/graph/csr.cpp.o.d"
+  "CMakeFiles/hbc_graph.dir/graph/generators/erdos_renyi.cpp.o"
+  "CMakeFiles/hbc_graph.dir/graph/generators/erdos_renyi.cpp.o.d"
+  "CMakeFiles/hbc_graph.dir/graph/generators/kronecker.cpp.o"
+  "CMakeFiles/hbc_graph.dir/graph/generators/kronecker.cpp.o.d"
+  "CMakeFiles/hbc_graph.dir/graph/generators/mesh.cpp.o"
+  "CMakeFiles/hbc_graph.dir/graph/generators/mesh.cpp.o.d"
+  "CMakeFiles/hbc_graph.dir/graph/generators/registry.cpp.o"
+  "CMakeFiles/hbc_graph.dir/graph/generators/registry.cpp.o.d"
+  "CMakeFiles/hbc_graph.dir/graph/generators/rgg.cpp.o"
+  "CMakeFiles/hbc_graph.dir/graph/generators/rgg.cpp.o.d"
+  "CMakeFiles/hbc_graph.dir/graph/generators/road.cpp.o"
+  "CMakeFiles/hbc_graph.dir/graph/generators/road.cpp.o.d"
+  "CMakeFiles/hbc_graph.dir/graph/generators/scale_free.cpp.o"
+  "CMakeFiles/hbc_graph.dir/graph/generators/scale_free.cpp.o.d"
+  "CMakeFiles/hbc_graph.dir/graph/generators/small_world.cpp.o"
+  "CMakeFiles/hbc_graph.dir/graph/generators/small_world.cpp.o.d"
+  "CMakeFiles/hbc_graph.dir/graph/generators/web_crawl.cpp.o"
+  "CMakeFiles/hbc_graph.dir/graph/generators/web_crawl.cpp.o.d"
+  "CMakeFiles/hbc_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/hbc_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/hbc_graph.dir/graph/transforms.cpp.o"
+  "CMakeFiles/hbc_graph.dir/graph/transforms.cpp.o.d"
+  "libhbc_graph.a"
+  "libhbc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

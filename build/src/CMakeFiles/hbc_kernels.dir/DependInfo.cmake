@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/bc_state.cpp" "src/CMakeFiles/hbc_kernels.dir/kernels/bc_state.cpp.o" "gcc" "src/CMakeFiles/hbc_kernels.dir/kernels/bc_state.cpp.o.d"
+  "/root/repo/src/kernels/direction_optimized.cpp" "src/CMakeFiles/hbc_kernels.dir/kernels/direction_optimized.cpp.o" "gcc" "src/CMakeFiles/hbc_kernels.dir/kernels/direction_optimized.cpp.o.d"
+  "/root/repo/src/kernels/driver.cpp" "src/CMakeFiles/hbc_kernels.dir/kernels/driver.cpp.o" "gcc" "src/CMakeFiles/hbc_kernels.dir/kernels/driver.cpp.o.d"
+  "/root/repo/src/kernels/edge_parallel.cpp" "src/CMakeFiles/hbc_kernels.dir/kernels/edge_parallel.cpp.o" "gcc" "src/CMakeFiles/hbc_kernels.dir/kernels/edge_parallel.cpp.o.d"
+  "/root/repo/src/kernels/gpufan.cpp" "src/CMakeFiles/hbc_kernels.dir/kernels/gpufan.cpp.o" "gcc" "src/CMakeFiles/hbc_kernels.dir/kernels/gpufan.cpp.o.d"
+  "/root/repo/src/kernels/hybrid.cpp" "src/CMakeFiles/hbc_kernels.dir/kernels/hybrid.cpp.o" "gcc" "src/CMakeFiles/hbc_kernels.dir/kernels/hybrid.cpp.o.d"
+  "/root/repo/src/kernels/sampling.cpp" "src/CMakeFiles/hbc_kernels.dir/kernels/sampling.cpp.o" "gcc" "src/CMakeFiles/hbc_kernels.dir/kernels/sampling.cpp.o.d"
+  "/root/repo/src/kernels/vertex_parallel.cpp" "src/CMakeFiles/hbc_kernels.dir/kernels/vertex_parallel.cpp.o" "gcc" "src/CMakeFiles/hbc_kernels.dir/kernels/vertex_parallel.cpp.o.d"
+  "/root/repo/src/kernels/weighted.cpp" "src/CMakeFiles/hbc_kernels.dir/kernels/weighted.cpp.o" "gcc" "src/CMakeFiles/hbc_kernels.dir/kernels/weighted.cpp.o.d"
+  "/root/repo/src/kernels/work_efficient.cpp" "src/CMakeFiles/hbc_kernels.dir/kernels/work_efficient.cpp.o" "gcc" "src/CMakeFiles/hbc_kernels.dir/kernels/work_efficient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

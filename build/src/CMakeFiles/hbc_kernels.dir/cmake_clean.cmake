@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbc_kernels.dir/kernels/bc_state.cpp.o"
+  "CMakeFiles/hbc_kernels.dir/kernels/bc_state.cpp.o.d"
+  "CMakeFiles/hbc_kernels.dir/kernels/direction_optimized.cpp.o"
+  "CMakeFiles/hbc_kernels.dir/kernels/direction_optimized.cpp.o.d"
+  "CMakeFiles/hbc_kernels.dir/kernels/driver.cpp.o"
+  "CMakeFiles/hbc_kernels.dir/kernels/driver.cpp.o.d"
+  "CMakeFiles/hbc_kernels.dir/kernels/edge_parallel.cpp.o"
+  "CMakeFiles/hbc_kernels.dir/kernels/edge_parallel.cpp.o.d"
+  "CMakeFiles/hbc_kernels.dir/kernels/gpufan.cpp.o"
+  "CMakeFiles/hbc_kernels.dir/kernels/gpufan.cpp.o.d"
+  "CMakeFiles/hbc_kernels.dir/kernels/hybrid.cpp.o"
+  "CMakeFiles/hbc_kernels.dir/kernels/hybrid.cpp.o.d"
+  "CMakeFiles/hbc_kernels.dir/kernels/sampling.cpp.o"
+  "CMakeFiles/hbc_kernels.dir/kernels/sampling.cpp.o.d"
+  "CMakeFiles/hbc_kernels.dir/kernels/vertex_parallel.cpp.o"
+  "CMakeFiles/hbc_kernels.dir/kernels/vertex_parallel.cpp.o.d"
+  "CMakeFiles/hbc_kernels.dir/kernels/weighted.cpp.o"
+  "CMakeFiles/hbc_kernels.dir/kernels/weighted.cpp.o.d"
+  "CMakeFiles/hbc_kernels.dir/kernels/work_efficient.cpp.o"
+  "CMakeFiles/hbc_kernels.dir/kernels/work_efficient.cpp.o.d"
+  "libhbc_kernels.a"
+  "libhbc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

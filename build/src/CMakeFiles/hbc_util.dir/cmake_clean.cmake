@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbc_util.dir/util/log.cpp.o"
+  "CMakeFiles/hbc_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/hbc_util.dir/util/stats.cpp.o"
+  "CMakeFiles/hbc_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/hbc_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/hbc_util.dir/util/thread_pool.cpp.o.d"
+  "libhbc_util.a"
+  "libhbc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

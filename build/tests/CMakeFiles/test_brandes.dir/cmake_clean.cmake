@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_brandes.dir/test_brandes.cpp.o"
+  "CMakeFiles/test_brandes.dir/test_brandes.cpp.o.d"
+  "test_brandes"
+  "test_brandes.pdb"
+  "test_brandes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_brandes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consistency_sweep.dir/test_consistency_sweep.cpp.o"
+  "CMakeFiles/test_consistency_sweep.dir/test_consistency_sweep.cpp.o.d"
+  "test_consistency_sweep"
+  "test_consistency_sweep.pdb"
+  "test_consistency_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consistency_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

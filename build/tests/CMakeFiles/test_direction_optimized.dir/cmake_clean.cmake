@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_direction_optimized.dir/test_direction_optimized.cpp.o"
+  "CMakeFiles/test_direction_optimized.dir/test_direction_optimized.cpp.o.d"
+  "test_direction_optimized"
+  "test_direction_optimized.pdb"
+  "test_direction_optimized[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_direction_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

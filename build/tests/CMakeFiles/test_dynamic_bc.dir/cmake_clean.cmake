@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_bc.dir/test_dynamic_bc.cpp.o"
+  "CMakeFiles/test_dynamic_bc.dir/test_dynamic_bc.cpp.o.d"
+  "test_dynamic_bc"
+  "test_dynamic_bc.pdb"
+  "test_dynamic_bc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_bc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_bc.dir/test_edge_bc.cpp.o"
+  "CMakeFiles/test_edge_bc.dir/test_edge_bc.cpp.o.d"
+  "test_edge_bc"
+  "test_edge_bc.pdb"
+  "test_edge_bc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_bc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weighted_kernels.dir/test_weighted_kernels.cpp.o"
+  "CMakeFiles/test_weighted_kernels.dir/test_weighted_kernels.cpp.o.d"
+  "test_weighted_kernels"
+  "test_weighted_kernels.pdb"
+  "test_weighted_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weighted_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

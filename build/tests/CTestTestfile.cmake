@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_logging[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_brandes[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid_sampling[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_dist[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_bc[1]_include.cmake")
+include("/root/repo/build/tests/test_approx[1]_include.cmake")
+include("/root/repo/build/tests/test_weighted[1]_include.cmake")
+include("/root/repo/build/tests/test_transforms[1]_include.cmake")
+include("/root/repo/build/tests/test_direction_optimized[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamic_bc[1]_include.cmake")
+include("/root/repo/build/tests/test_weighted_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_consistency_sweep[1]_include.cmake")

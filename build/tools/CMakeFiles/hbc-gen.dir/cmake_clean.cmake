@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbc-gen.dir/hbc_gen.cpp.o"
+  "CMakeFiles/hbc-gen.dir/hbc_gen.cpp.o.d"
+  "hbc-gen"
+  "hbc-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbc-gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

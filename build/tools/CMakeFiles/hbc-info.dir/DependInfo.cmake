@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/hbc_info.cpp" "tools/CMakeFiles/hbc-info.dir/hbc_info.cpp.o" "gcc" "tools/CMakeFiles/hbc-info.dir/hbc_info.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbc_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbc-info.dir/hbc_info.cpp.o"
+  "CMakeFiles/hbc-info.dir/hbc_info.cpp.o.d"
+  "hbc-info"
+  "hbc-info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbc-info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

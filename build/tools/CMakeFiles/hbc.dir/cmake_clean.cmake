@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbc.dir/hbc_cli.cpp.o"
+  "CMakeFiles/hbc.dir/hbc_cli.cpp.o.d"
+  "hbc"
+  "hbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

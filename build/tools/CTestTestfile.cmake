@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_bc_generator "/root/repo/build/tools/hbc" "gen:smallworld:10" "--strategy" "sampling" "--top" "5")
+set_tests_properties(cli_bc_generator PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bc_approx "/root/repo/build/tools/hbc" "gen:scalefree:11" "--roots" "64" "--strategy" "hybrid" "--normalize")
+set_tests_properties(cli_bc_approx PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bc_lcc "/root/repo/build/tools/hbc" "gen:kron:10" "--lcc" "--strategy" "work-efficient" "--top" "3")
+set_tests_properties(cli_bc_lcc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/hbc-info" "gen:road:10")
+set_tests_properties(cli_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gen_then_load "sh" "-c" "/root/repo/build/tools/hbc-gen delaunay 9 /root/repo/build/tools/t.graph && /root/repo/build/tools/hbc /root/repo/build/tools/t.graph --strategy cpu --top 2")
+set_tests_properties(cli_gen_then_load PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_strategy "/root/repo/build/tools/hbc" "gen:road:8" "--strategy" "bogus")
+set_tests_properties(cli_rejects_bad_strategy PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_missing_file "/root/repo/build/tools/hbc" "/nonexistent.mtx")
+set_tests_properties(cli_rejects_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_weighted "/root/repo/build/tools/hbc" "gen:smallworld:10" "--weighted" "1:3" "--roots" "32" "--top" "3")
+set_tests_properties(cli_weighted PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_binary_roundtrip "sh" "-c" "/root/repo/build/tools/hbc-gen kron 10 /root/repo/build/tools/t.hbc && /root/repo/build/tools/hbc /root/repo/build/tools/t.hbc --strategy work-efficient --roots 32 --top 2")
+set_tests_properties(cli_binary_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
