@@ -1,0 +1,125 @@
+// Service throughput: QPS vs worker count x cache-hit ratio.
+//
+// Replays a synthetic query workload (sampling-strategy approximate BC
+// over a small-world graph) through hbc::service::BcService at 0% and
+// ~90% request-level cache-hit ratios for 1, 4, and hardware worker
+// threads. The cold-cache column measures how well the worker pool scales
+// compute throughput (on a multi-core host 1 -> 4 workers should exceed
+// 2x); the warm column shows the cache collapsing latency to lookups, at
+// which point QPS is bounded by the submit path, not by workers.
+//
+// Environment knobs (bench/common.hpp conventions):
+//   HBC_BENCH_SCALE     log2 vertices of the benchmark graph (default 11)
+//   HBC_BENCH_ROOTS     sample_roots per query          (default 16)
+//   HBC_BENCH_REQUESTS  requests per measurement        (default 96)
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/bc.hpp"
+#include "graph/generators.hpp"
+#include "service/service.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace hbc;
+
+struct Measurement {
+  double qps = 0.0;
+  double hit_rate = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+Measurement run_workload(const graph::CSRGraph& g, std::size_t workers,
+                         double hit_ratio, std::uint32_t sample_roots,
+                         std::size_t requests) {
+  service::ServiceConfig cfg;
+  cfg.workers = workers;
+  cfg.admission.max_queue_depth = requests;  // measure workers, not admission
+  service::BcService svc(cfg);
+  svc.load_graph("bench", std::make_shared<const graph::CSRGraph>(g));
+
+  // hit_ratio ~0.9: 90% of requests cycle through a small warm set that
+  // was computed once up front; the rest (and everything at ratio 0) get
+  // unique seeds so each is a fresh computation.
+  constexpr std::size_t kWarmSet = 4;
+  auto make_request = [&](std::uint64_t seed) {
+    service::Request r;
+    r.graph_id = "bench";
+    r.options.strategy = core::Strategy::Sampling;
+    r.options.sample_roots = sample_roots;
+    r.options.seed = seed;
+    return r;
+  };
+  if (hit_ratio > 0.0) {
+    for (std::size_t i = 0; i < kWarmSet; ++i) {
+      (void)svc.query(make_request(i));  // pre-warm, excluded from timing
+    }
+  }
+
+  util::Timer wall;
+  std::vector<service::Ticket> tickets;
+  tickets.reserve(requests);
+  std::uint64_t unique_seed = 1u << 20;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const bool warm = hit_ratio > 0.0 &&
+                      (static_cast<double>(i % 10) < hit_ratio * 10.0);
+    tickets.push_back(svc.submit(make_request(warm ? i % kWarmSet : unique_seed++)));
+  }
+  for (const auto& t : tickets) (void)svc.wait(t);
+  const double seconds = wall.elapsed_seconds();
+
+  const service::MetricsSnapshot m = svc.metrics();
+  Measurement out;
+  out.qps = seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  out.hit_rate = m.cache_hit_rate();
+  out.p50_ms = m.latency_p50_ms;
+  out.p99_ms = m.latency_p99_ms;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t scale = bench::env_u32("HBC_BENCH_SCALE", 11);
+  const std::uint32_t roots = bench::env_u32("HBC_BENCH_ROOTS", 16);
+  const std::size_t requests = bench::env_u32("HBC_BENCH_REQUESTS", 96);
+
+  const auto g = graph::gen::small_world({.num_vertices = 1u << scale, .k = 4, .seed = 3});
+
+  bench::print_header(
+      "service throughput: QPS vs workers x cache-hit ratio",
+      "graph: " + g.summary() + "\nsampling strategy, " + std::to_string(roots) +
+          " roots/query, " + std::to_string(requests) + " requests per cell");
+
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> worker_counts{1, 4};
+  if (hw != 1 && hw != 4) worker_counts.push_back(hw);
+
+  std::printf("%8s | %28s | %28s\n", "", "cold cache (0% target)", "warm cache (~90% target)");
+  std::printf("%8s | %10s %8s %8s | %10s %8s %8s\n", "workers", "QPS", "hit%",
+              "p99 ms", "QPS", "hit%", "p99 ms");
+  bench::print_rule();
+
+  double qps_1 = 0.0, qps_4 = 0.0;
+  for (const std::size_t w : worker_counts) {
+    const Measurement cold = run_workload(g, w, 0.0, roots, requests);
+    const Measurement warm = run_workload(g, w, 0.9, roots, requests);
+    if (w == 1) qps_1 = cold.qps;
+    if (w == 4) qps_4 = cold.qps;
+    std::printf("%8zu | %10.1f %8.1f %8.2f | %10.1f %8.1f %8.2f\n", w, cold.qps,
+                100.0 * cold.hit_rate, cold.p99_ms, warm.qps, 100.0 * warm.hit_rate,
+                warm.p99_ms);
+  }
+  bench::print_rule();
+  if (qps_1 > 0.0 && qps_4 > 0.0) {
+    std::printf("cold-cache speedup 1 -> 4 workers: %.2fx (hardware reports %zu cores;"
+                " expect >2x when >=4 are available)\n",
+                qps_4 / qps_1, hw);
+  }
+  return 0;
+}

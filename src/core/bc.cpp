@@ -1,6 +1,8 @@
 #include "core/bc.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/teps.hpp"
@@ -58,7 +60,34 @@ std::vector<VertexId> sample_roots(VertexId n, std::uint32_t k, std::uint64_t se
   return ids;
 }
 
+std::string options_signature(const Options& o) {
+  std::ostringstream s;
+  s << "strategy=" << to_string(o.strategy);
+  s << ";sample_roots=" << o.sample_roots << ";seed=" << o.seed;
+  s << ";halve=" << (o.halve_undirected ? 1 : 0)
+    << ";normalize=" << (o.normalize ? 1 : 0);
+  if (o.strategy == Strategy::CpuParallel || o.strategy == Strategy::CpuFineGrained) {
+    s << ";cpu_threads=" << o.cpu_threads;
+  }
+  const gpusim::DeviceConfig& d = o.device;
+  const gpusim::CostModel& c = d.cost;
+  s << ";device=" << d.name << ',' << d.num_sms << ',' << d.threads_per_block << ','
+    << d.warp_size << ',' << d.clock_ghz << ',' << d.memory_bytes << ',' << d.time_scale;
+  s << ";cost=" << c.scan_seq << ',' << c.process_seq << ',' << c.process_rand << ','
+    << c.stream_threshold << ',' << c.queue_vertex << ',' << c.queue_insert << ','
+    << c.atomic_extra << ',' << c.thread_ilp << ',' << c.block_barrier << ','
+    << c.hybrid_decision << ',' << c.sampling_guard << ',' << c.grid_relaunch;
+  s << ";hybrid=" << o.hybrid.alpha << ',' << o.hybrid.beta;
+  s << ";sampling=" << o.sampling.n_samps << ',' << o.sampling.gamma << ','
+    << o.sampling.min_frontier;
+  s << ";roots=";
+  for (const VertexId v : o.roots) s << v << ',';
+  return s.str();
+}
+
 namespace {
+
+std::atomic<std::uint64_t> g_compute_invocations{0};
 
 kernels::Strategy to_kernel_strategy(Strategy s) {
   switch (s) {
@@ -75,7 +104,12 @@ kernels::Strategy to_kernel_strategy(Strategy s) {
 
 }  // namespace
 
+std::uint64_t compute_invocations() noexcept {
+  return g_compute_invocations.load(std::memory_order_relaxed);
+}
+
 BCResult compute(const graph::CSRGraph& g, const Options& options) {
+  g_compute_invocations.fetch_add(1, std::memory_order_relaxed);
   BCResult result;
   result.strategy = options.strategy;
 

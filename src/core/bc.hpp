@@ -101,4 +101,25 @@ std::vector<std::pair<graph::VertexId, double>> top_k(std::span<const double> sc
 std::vector<graph::VertexId> sample_roots(graph::VertexId n, std::uint32_t k,
                                           std::uint64_t seed);
 
+/// Stable, canonical serialization of every Options field that can change
+/// the scores (or reported metrics) compute() produces for a fixed graph.
+/// Two Options with equal signatures yield identical BCResults on the same
+/// machine, so the string is usable as a cache key component (hbc::service
+/// keys its result cache on graph fingerprint + this signature).
+///
+/// Canonicalization rules:
+///  * `roots` is serialized verbatim, NOT sorted: root order changes the
+///    floating-point association of the per-root accumulation, so two
+///    permutations of the same root set are distinct cache entries.
+///  * `cpu_threads` is included only for the CPU-parallel strategies — it
+///    changes how roots partition across threads and therefore the bit
+///    pattern of the merged scores; for every other strategy it is ignored.
+///  * `collect_per_root_stats` is excluded: it only adds diagnostics.
+std::string options_signature(const Options& options);
+
+/// Monotone process-wide count of core::compute() invocations (all
+/// threads). The serving layer's tests assert request coalescing and cache
+/// hits by differencing this counter around a workload.
+std::uint64_t compute_invocations() noexcept;
+
 }  // namespace hbc::core

@@ -1,0 +1,43 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hbc::service {
+
+const char* to_string(AdmissionPolicy policy) noexcept {
+  switch (policy) {
+    case AdmissionPolicy::Block: return "block";
+    case AdmissionPolicy::Reject: return "reject";
+    case AdmissionPolicy::Shed: return "shed";
+  }
+  return "?";
+}
+
+AdmissionPolicy admission_policy_from_string(const std::string& name) {
+  if (name == "block") return AdmissionPolicy::Block;
+  if (name == "reject") return AdmissionPolicy::Reject;
+  if (name == "shed") return AdmissionPolicy::Shed;
+  throw std::invalid_argument("unknown admission policy: " + name);
+}
+
+core::Options shed_downgrade(core::Options options, std::uint32_t shed_sample_roots) {
+  shed_sample_roots = std::max<std::uint32_t>(1, shed_sample_roots);
+
+  // Already cheaper than the shed target? Leave it alone (an explicit tiny
+  // root set or a smaller sample both cost less than the downgrade).
+  if (!options.roots.empty() && options.roots.size() <= shed_sample_roots) {
+    return options;
+  }
+  if (options.roots.empty() && options.sample_roots > 0 &&
+      options.sample_roots <= shed_sample_roots) {
+    return options;
+  }
+
+  options.roots.clear();
+  options.sample_roots = shed_sample_roots;
+  options.strategy = core::Strategy::Sampling;  // the paper's cheapest engine
+  return options;
+}
+
+}  // namespace hbc::service

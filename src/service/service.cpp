@@ -1,0 +1,373 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace hbc::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string make_key(std::uint64_t fingerprint, const core::Options& options) {
+  return fingerprint_prefix(fingerprint) + core::options_signature(options);
+}
+
+}  // namespace
+
+const char* to_string(QueryStatus status) noexcept {
+  switch (status) {
+    case QueryStatus::Ok: return "ok";
+    case QueryStatus::QueueFull: return "queue-full";
+    case QueryStatus::DeadlineExceeded: return "deadline-exceeded";
+    case QueryStatus::GraphNotFound: return "graph-not-found";
+    case QueryStatus::ServiceStopped: return "service-stopped";
+    case QueryStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
+BcService::BcService(ServiceConfig config)
+    : cfg_(std::move(config)),
+      cache_(cfg_.cache_bytes),
+      queue_(cfg_.admission),
+      workers_(cfg_.workers != 0
+                   ? cfg_.workers
+                   : std::max<std::size_t>(1, std::thread::hardware_concurrency())),
+      pool_(std::make_unique<util::ThreadPool>(workers_)) {
+  for (std::size_t i = 0; i < workers_; ++i) {
+    pool_->submit([this] { worker_loop(); });
+  }
+}
+
+BcService::~BcService() { stop(); }
+
+void BcService::load_graph(const std::string& id, graph::CSRGraph g) {
+  load_graph(id, std::make_shared<const graph::CSRGraph>(std::move(g)));
+}
+
+void BcService::load_graph(const std::string& id,
+                           std::shared_ptr<const graph::CSRGraph> g) {
+  if (!g) throw std::invalid_argument("load_graph: null graph");
+  GraphEntry entry{std::move(g), 0};
+  entry.fingerprint = graph_fingerprint(*entry.graph);  // O(n+m), outside the lock
+  std::lock_guard<std::mutex> lock(mu_);
+  graphs_[id] = std::move(entry);
+}
+
+bool BcService::evict_graph(const std::string& id) {
+  std::uint64_t fingerprint = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = graphs_.find(id);
+    if (it == graphs_.end()) return false;
+    fingerprint = it->second.fingerprint;
+    graphs_.erase(it);
+    // Another id registered over the same structure keeps the cache warm.
+    for (const auto& [other_id, entry] : graphs_) {
+      if (entry.fingerprint == fingerprint) return true;
+    }
+  }
+  const std::string prefix = fingerprint_prefix(fingerprint);
+  cache_.erase_if([&prefix](const std::string& key) {
+    return key.compare(0, prefix.size(), prefix) == 0;
+  });
+  return true;
+}
+
+std::vector<std::string> BcService::graph_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(graphs_.size());
+  for (const auto& [id, entry] : graphs_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::shared_ptr<const graph::CSRGraph> BcService::graph(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = graphs_.find(id);
+  return it == graphs_.end() ? nullptr : it->second.graph;
+}
+
+Ticket BcService::ready_ticket(std::uint64_t id, Response response) {
+  std::promise<Response> promise;
+  Ticket ticket;
+  ticket.id = id;
+  ticket.cache_hit = response.from_cache;
+  ticket.shed = response.shed;
+  promise.set_value(std::move(response));
+  ticket.future = promise.get_future().share();
+  return ticket;
+}
+
+Ticket BcService::submit(Request request) {
+  metrics_.on_submitted();
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const Clock::time_point submitted = Clock::now();
+  util::Timer turnaround;
+
+  std::shared_ptr<const graph::CSRGraph> g;
+  std::uint64_t fingerprint = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      Response r;
+      r.status = QueryStatus::ServiceStopped;
+      auto t = ready_ticket(id, std::move(r));
+      t.top_k = request.top_k;
+      return t;
+    }
+    const auto it = graphs_.find(request.graph_id);
+    if (it == graphs_.end()) {
+      metrics_.on_graph_not_found();
+      Response r;
+      r.status = QueryStatus::GraphNotFound;
+      r.error = "no graph registered as '" + request.graph_id + "'";
+      auto t = ready_ticket(id, std::move(r));
+      t.top_k = request.top_k;
+      return t;
+    }
+    g = it->second.graph;
+    fingerprint = it->second.fingerprint;
+
+    std::string key = make_key(fingerprint, request.options);
+    if (auto cached = cache_.get(key)) {
+      Response r;
+      r.status = QueryStatus::Ok;
+      r.result = std::shared_ptr<const core::BCResult>(cached, &cached->result);
+      r.from_cache = true;
+      r.total_ms = turnaround.elapsed_ms();
+      metrics_.on_cache_hit(r.total_ms);
+      auto t = ready_ticket(id, std::move(r));
+      t.top_k = request.top_k;
+      return t;
+    }
+    if (const auto inflight = inflight_.find(key); inflight != inflight_.end()) {
+      metrics_.on_coalesced();
+      Ticket t;
+      t.future = inflight->second->future;
+      t.id = id;
+      t.top_k = request.top_k;
+      t.coalesced = true;
+      t.shed = inflight->second->shed;
+      return t;
+    }
+  }
+
+  // Admission (blocking for Block policy) happens OUTSIDE mu_ so a waiting
+  // submitter never wedges workers that need the lock to publish results.
+  const Clock::time_point deadline = request.timeout.count() > 0
+                                         ? submitted + request.timeout
+                                         : Clock::time_point::max();
+  const Admit admit = queue_.admit(request.options, deadline);
+  switch (admit) {
+    case Admit::RejectedFull: {
+      metrics_.on_rejected_full();
+      Response r;
+      r.status = QueryStatus::QueueFull;
+      auto t = ready_ticket(id, std::move(r));
+      t.top_k = request.top_k;
+      return t;
+    }
+    case Admit::RejectedDeadline: {
+      metrics_.on_rejected_deadline();
+      Response r;
+      r.status = QueryStatus::DeadlineExceeded;
+      auto t = ready_ticket(id, std::move(r));
+      t.top_k = request.top_k;
+      return t;
+    }
+    case Admit::RejectedClosed: {
+      Response r;
+      r.status = QueryStatus::ServiceStopped;
+      auto t = ready_ticket(id, std::move(r));
+      t.top_k = request.top_k;
+      return t;
+    }
+    case Admit::Admitted:
+    case Admit::Shed:
+      break;
+  }
+  const bool shed = admit == Admit::Shed;
+  if (shed) metrics_.on_shed();
+
+  // The shed downgrade may have rewritten the options, so the key is
+  // final only now; re-check cache and in-flight under the lock before
+  // becoming the leader (also closes the submit/submit race above).
+  const std::string key = make_key(fingerprint, request.options);
+  std::shared_ptr<Inflight> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      queue_.cancel();
+      Response r;
+      r.status = QueryStatus::ServiceStopped;
+      auto t = ready_ticket(id, std::move(r));
+      t.top_k = request.top_k;
+      return t;
+    }
+    if (auto cached = cache_.get(key)) {
+      queue_.cancel();
+      Response r;
+      r.status = QueryStatus::Ok;
+      r.result = std::shared_ptr<const core::BCResult>(cached, &cached->result);
+      r.from_cache = true;
+      r.shed = shed;
+      r.total_ms = turnaround.elapsed_ms();
+      metrics_.on_cache_hit(r.total_ms);
+      auto t = ready_ticket(id, std::move(r));
+      t.top_k = request.top_k;
+      return t;
+    }
+    if (const auto inflight = inflight_.find(key); inflight != inflight_.end()) {
+      queue_.cancel();
+      metrics_.on_coalesced();
+      Ticket t;
+      t.future = inflight->second->future;
+      t.id = id;
+      t.top_k = request.top_k;
+      t.coalesced = true;
+      t.shed = inflight->second->shed;
+      return t;
+    }
+    entry = std::make_shared<Inflight>();
+    entry->future = entry->promise.get_future().share();
+    entry->key = key;
+    entry->shed = shed;
+    inflight_[key] = entry;
+    metrics_.on_cache_miss();
+
+    // Push while still holding mu_: stop() flips stopped_ under the same
+    // lock before draining, so a job is either visible to that drain or
+    // the submit above already bailed with ServiceStopped — a leader can
+    // never enqueue into a queue nobody will ever pop again.
+    Job job;
+    job.entry = entry;
+    job.graph = std::move(g);
+    job.options = std::move(request.options);
+    job.submitted = submitted;
+    job.deadline = deadline;
+    queue_.push(std::move(job));
+  }
+
+  Ticket t;
+  t.future = entry->future;
+  t.id = id;
+  t.top_k = request.top_k;
+  t.shed = shed;
+  return t;
+}
+
+Response BcService::wait(const Ticket& ticket) const {
+  Response r = ticket.future.get();
+  r.coalesced = ticket.coalesced;
+  if (ticket.cache_hit) r.from_cache = true;
+  if (ticket.top_k > 0 && r.result) {
+    r.top = core::top_k(r.result->scores, ticket.top_k);
+  }
+  return r;
+}
+
+Response BcService::query(Request request) {
+  const Ticket ticket = submit(std::move(request));
+  return wait(ticket);
+}
+
+core::BCResult BcService::run_compute(const graph::CSRGraph& g, const core::Options& o) {
+  return cfg_.compute_fn ? cfg_.compute_fn(g, o) : core::compute(g, o);
+}
+
+void BcService::worker_loop() {
+  for (;;) {
+    std::optional<Job> job = queue_.pop();
+    if (!job) return;
+    const std::shared_ptr<Inflight>& entry = job->entry;
+
+    Response resp;
+    resp.shed = entry->shed;
+
+    if (Clock::now() > job->deadline) {
+      metrics_.on_deadline_dropped();
+      resp.status = QueryStatus::DeadlineExceeded;
+    } else {
+      util::Timer timer;
+      try {
+        core::BCResult computed = run_compute(*job->graph, job->options);
+        resp.compute_ms = timer.elapsed_ms();
+
+        auto cached = std::make_shared<CachedResult>();
+        cached->result = std::move(computed);
+        cached->bytes = estimate_result_bytes(cached->result);
+        cache_.put(entry->key, cached);
+
+        resp.status = QueryStatus::Ok;
+        resp.result = std::shared_ptr<const core::BCResult>(cached, &cached->result);
+        resp.total_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - job->submitted)
+                .count();
+        metrics_.on_computed(resp.compute_ms, resp.total_ms);
+      } catch (const std::exception& e) {
+        metrics_.on_error();
+        resp.status = QueryStatus::Failed;
+        resp.error = e.what();
+      } catch (...) {
+        metrics_.on_error();
+        resp.status = QueryStatus::Failed;
+        resp.error = "unknown exception in compute";
+      }
+    }
+
+    // Unregister before completing: once the promise is set the result is
+    // in the cache (or failed), so later twins must go through the cache,
+    // not attach to a dead entry.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = inflight_.find(entry->key);
+      if (it != inflight_.end() && it->second == entry) inflight_.erase(it);
+    }
+    entry->promise.set_value(std::move(resp));
+  }
+}
+
+void BcService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  queue_.close();
+  pool_.reset();  // workers drain the queue, then join
+
+  // A submitter that was admitted before close() may have pushed after the
+  // workers drained; answer anything left so no future is abandoned.
+  while (std::optional<Job> job = queue_.pop()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = inflight_.find(job->entry->key);
+      if (it != inflight_.end() && it->second == job->entry) inflight_.erase(it);
+    }
+    Response r;
+    r.status = QueryStatus::ServiceStopped;
+    job->entry->promise.set_value(std::move(r));
+  }
+}
+
+std::size_t BcService::worker_count() const noexcept { return workers_; }
+
+MetricsSnapshot BcService::metrics() const {
+  MetricsSnapshot s = metrics_.snapshot();
+  s.cache_evictions = cache_.evictions();
+  s.cache_entries = cache_.size();
+  s.cache_bytes = cache_.bytes();
+  s.cache_budget_bytes = cache_.budget_bytes();
+  s.queue_depth = queue_.depth();
+  s.queue_peak_depth = queue_.peak_depth();
+  s.workers = workers_;
+  return s;
+}
+
+}  // namespace hbc::service

@@ -1,0 +1,197 @@
+#pragma once
+
+// hbc::service — an in-process concurrent BC query service.
+//
+// The serving pipeline (docs/serving.md has the full walkthrough):
+//
+//   submit ──► cache lookup ──► in-flight coalescing ──► admission ──►
+//        bounded queue ──► worker pool (util::ThreadPool) ──►
+//        core::compute ──► cache insert ──► future completion ──► metrics
+//
+// A request names a registered graph plus a full core::Options, so every
+// strategy in the library (CPU engines and the paper's GPU-model kernels)
+// is servable. Identical concurrent requests — same graph fingerprint and
+// canonical options signature — share one computation: the first becomes
+// the in-flight leader, later twins attach to its shared future and the
+// queue never sees them. Completed results land in a byte-budgeted LRU
+// cache; a full queue blocks, rejects, or sheds load per AdmissionPolicy.
+//
+// Usage:
+//
+//   hbc::service::BcService svc({.workers = 4});
+//   svc.load_graph("web", hbc::graph::gen::web_crawl({.num_vertices = 1 << 16}));
+//   auto t = svc.submit({.graph_id = "web", .options = {...}, .top_k = 10});
+//   hbc::service::Response r = svc.wait(t);
+//   for (auto [v, score] : r.top) { ... }
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/bc.hpp"
+#include "graph/csr.hpp"
+#include "service/admission.hpp"
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hbc::service {
+
+enum class QueryStatus {
+  Ok,
+  QueueFull,         // Reject policy and the queue was full
+  DeadlineExceeded,  // request's deadline passed before compute started
+  GraphNotFound,     // graph_id not registered (or already evicted)
+  ServiceStopped,    // submitted during/after stop()
+  Failed,            // compute threw; Response::error has the message
+};
+
+const char* to_string(QueryStatus status) noexcept;
+
+struct Request {
+  std::string graph_id;
+  core::Options options;
+  /// When > 0, wait() fills Response::top with the top-k (vertex, score)
+  /// pairs. Per-request: coalesced twins may ask for different k.
+  std::size_t top_k = 0;
+  /// Total budget from submit to compute start; 0 = none. Expiry while
+  /// queued (or while blocked on admission) yields DeadlineExceeded.
+  std::chrono::milliseconds timeout{0};
+};
+
+struct Response {
+  QueryStatus status = QueryStatus::Ok;
+  std::string error;
+  /// Shared with the cache and with every coalesced twin; null unless Ok.
+  std::shared_ptr<const core::BCResult> result;
+  /// Top-k view (only filled by wait() when the ticket asked for it).
+  std::vector<std::pair<graph::VertexId, double>> top;
+  bool from_cache = false;
+  bool coalesced = false;
+  bool shed = false;        // served from a shed (downgraded) computation
+  double compute_ms = 0.0;  // 0 for cache hits
+  double total_ms = 0.0;    // submit -> response
+  bool ok() const noexcept { return status == QueryStatus::Ok; }
+};
+
+/// Handle returned by submit(). Cheap to copy; wait() may be called from
+/// any thread, multiple times.
+struct Ticket {
+  std::shared_future<Response> future;
+  std::uint64_t id = 0;
+  std::size_t top_k = 0;
+  bool cache_hit = false;   // answered synchronously from the cache
+  bool coalesced = false;   // attached to an identical in-flight request
+  bool shed = false;        // admitted with a downgraded configuration
+  bool valid() const noexcept { return future.valid(); }
+};
+
+struct ServiceConfig {
+  /// Worker threads draining the queue; 0 = hardware concurrency.
+  std::size_t workers = 0;
+  /// Result-cache budget; 0 disables caching (coalescing still applies).
+  std::size_t cache_bytes = 256ull << 20;
+  AdmissionConfig admission;
+  /// Test hook / strategy override: replaces core::compute for every job.
+  /// Must be thread-safe; default (empty) calls core::compute.
+  std::function<core::BCResult(const graph::CSRGraph&, const core::Options&)> compute_fn;
+};
+
+class BcService {
+ public:
+  explicit BcService(ServiceConfig config = {});
+  ~BcService();
+
+  BcService(const BcService&) = delete;
+  BcService& operator=(const BcService&) = delete;
+
+  // -- Graph registry -----------------------------------------------------
+
+  /// Register (or replace) a graph under `id`. The fingerprint is hashed
+  /// here, once, so submits are O(options) not O(graph).
+  void load_graph(const std::string& id, graph::CSRGraph g);
+  void load_graph(const std::string& id, std::shared_ptr<const graph::CSRGraph> g);
+
+  /// Unregister `id` and drop its cached results. In-flight jobs keep a
+  /// reference and finish normally. Returns false if `id` was unknown.
+  bool evict_graph(const std::string& id);
+
+  std::vector<std::string> graph_ids() const;
+  std::shared_ptr<const graph::CSRGraph> graph(const std::string& id) const;
+
+  // -- Query path ---------------------------------------------------------
+
+  /// Non-blocking under Reject/Shed; blocks for queue space under Block.
+  /// Always returns a valid ticket — rejections come back as an already-
+  /// completed future with the corresponding status.
+  Ticket submit(Request request);
+
+  /// Block for the response; fills Response::top per the ticket's top_k.
+  Response wait(const Ticket& ticket) const;
+
+  /// submit + wait convenience.
+  Response query(Request request);
+
+  // -- Lifecycle & observability ------------------------------------------
+
+  /// Stop admissions, drain queued jobs, join workers. Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+  std::size_t worker_count() const noexcept;
+  std::size_t queue_depth() const { return queue_.depth(); }
+  MetricsSnapshot metrics() const;
+  std::string metrics_report() const { return format_report(metrics()); }
+
+ private:
+  struct GraphEntry {
+    std::shared_ptr<const graph::CSRGraph> graph;
+    std::uint64_t fingerprint = 0;
+  };
+
+  /// One leader computation plus everyone awaiting it.
+  struct Inflight {
+    std::promise<Response> promise;
+    std::shared_future<Response> future;
+    std::string key;
+    bool shed = false;
+  };
+
+  struct Job {
+    std::shared_ptr<Inflight> entry;
+    std::shared_ptr<const graph::CSRGraph> graph;
+    core::Options options;
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  static Ticket ready_ticket(std::uint64_t id, Response response);
+  void worker_loop();
+  core::BCResult run_compute(const graph::CSRGraph& g, const core::Options& o);
+
+  ServiceConfig cfg_;
+  ResultCache cache_;
+  AdmissionQueue<Job> queue_;
+  ServiceMetrics metrics_;
+
+  // mu_ guards graphs_, inflight_, and stopped_.
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, GraphEntry> graphs_;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+  bool stopped_ = false;
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::size_t workers_ = 0;
+  std::unique_ptr<util::ThreadPool> pool_;  // last member: joins first
+};
+
+}  // namespace hbc::service

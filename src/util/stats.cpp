@@ -73,6 +73,17 @@ double max_value(std::span<const double> xs) noexcept {
   return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
 }
 
+double percentile(std::vector<double> xs, double p) noexcept {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
 void RunningStats::add(double x) noexcept {
   if (n_ == 0) {
     min_ = max_ = x;

@@ -36,6 +36,12 @@ double geometric_mean(std::span<const double> xs) noexcept;
 double min_value(std::span<const double> xs) noexcept;
 double max_value(std::span<const double> xs) noexcept;
 
+/// p-th percentile (p in [0, 100]) of a copy of the input, linearly
+/// interpolated between the two nearest order statistics (the common
+/// "linear" / numpy default convention). Empty input returns 0; p is
+/// clamped to [0, 100]. Used by the serving layer for latency quantiles.
+double percentile(std::vector<double> xs, double p) noexcept;
+
 /// Online accumulator for mean/variance (Welford) plus min/max.
 class RunningStats {
  public:

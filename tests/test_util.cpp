@@ -223,4 +223,41 @@ TEST(ThreadPool, WaitIdleWithNoTasksReturns) {
   SUCCEED();
 }
 
+// Service-style usage: worker tasks themselves submit follow-up work (the
+// coalescing path re-enqueues twins from inside a running job).
+TEST(ThreadPool, SubmitFromInsideRunningTask) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    ran.fetch_add(1);
+    pool.submit([&] { ran.fetch_add(1); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingleton) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::size_t seen = 99;
+  pool.parallel_for(1, [&](std::size_t i) { seen = i; });
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(ThreadPool, WaitIdleRacesNewSubmissions) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+    pool.wait_idle();  // must observe everything submitted before this call
+    EXPECT_GE(done.load(), (round + 1) * 8);
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 160);
+}
+
 }  // namespace

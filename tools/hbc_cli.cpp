@@ -3,7 +3,7 @@
 //   hbc [options] <graph-file | gen:<family>:<scale>[:<seed>]>
 //
 // Options:
- //   --strategy NAME   cpu | cpu-fine | cpu-parallel | vertex | edge | gpufan |
+//   --strategy NAME   cpu | cpu-fine | cpu-parallel | vertex | edge | gpufan |
 //                     work-efficient | hybrid | sampling | diropt
 //                     (default: sampling — the paper's best overall)
 //   --roots K         approximate BC from K sampled roots (default: exact)
@@ -13,6 +13,8 @@
 //   --lcc             restrict to the largest connected component
 //   --out FILE        write "<vertex>\t<score>" lines to FILE
 //   --seed S          RNG seed for root sampling (default 42)
+//   --threads N       worker threads for the CPU-parallel strategies
+//                     (default 0 = hardware concurrency)
 //   --weighted LO:HI  weighted BC with uniform random edge weights in
 //                     [LO, HI); runs the weighted sampling engine
 //                     (Bellman-Ford vs near-far chosen by probe)
@@ -40,7 +42,7 @@ using namespace hbc;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--strategy NAME] [--roots K] [--top K] [--normalize]\n"
-               "          [--halve] [--lcc] [--out FILE] [--seed S]\n"
+               "          [--halve] [--lcc] [--out FILE] [--seed S] [--threads N]\n"
                "          <graph-file | gen:<family>:<scale>[:<seed>]>\n",
                argv0);
   std::exit(2);
@@ -98,6 +100,8 @@ int main(int argc, char** argv) {
         out_path = next();
       } else if (arg == "--seed") {
         options.seed = std::stoull(next());
+      } else if (arg == "--threads") {
+        options.cpu_threads = std::stoul(next());
       } else if (arg == "--weighted") {
         weighted = true;
         const std::string range = next();

@@ -1,0 +1,264 @@
+// hbc-serve — drive the in-process BC query service with a workload and
+// print its metrics report.
+//
+//   hbc-serve [options] <graph-spec> [<graph-spec> ...]
+//
+// Graph specs are the same as hbc: a METIS/.mtx/SNAP/.hbc file or a
+// generator spec gen:<family>:<scale>[:<seed>]. The i-th graph is
+// registered as "g<i>" (g0, g1, ...).
+//
+// Options:
+//   --workers N       worker threads draining the queue (default: hardware)
+//   --queue N         admission queue bound (default 64)
+//   --policy P        block | reject | shed on a full queue (default block)
+//   --shed-roots K    sample roots a shed request is downgraded to (64)
+//   --cache-mb M      result-cache budget in MiB; 0 disables (default 256)
+//   --requests N      synthetic workload size (default 200)
+//   --hit-ratio P     fraction of requests re-drawn from a small warm set
+//                     of repeated queries, in [0,1] (default 0.5)
+//   --distinct K      size of that warm set (default 8)
+//   --strategy NAME   strategy for synthetic queries (default sampling)
+//   --roots K         sample_roots per synthetic query (default 32)
+//   --threads N       cpu_threads for the CPU-parallel strategies (0=hw)
+//   --top K           request top-k extraction per query (default 10)
+//   --timeout MS      per-request deadline in milliseconds (default none)
+//   --seed S          workload RNG seed (default 7)
+//   --workload FILE   file-driven workload instead of the synthetic one:
+//                     one request per line, "graph_id strategy roots seed",
+//                     '#' starts a comment
+//
+// Exit code 0 when every request completed Ok (rejections under --policy
+// reject/deadline are reported but still exit 0: they are the service
+// behaving as configured); 1 on setup errors; 2 on bad usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bc.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace hbc;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers N] [--queue N] [--policy block|reject|shed]\n"
+               "          [--shed-roots K] [--cache-mb M] [--requests N]\n"
+               "          [--hit-ratio P] [--distinct K] [--strategy NAME]\n"
+               "          [--roots K] [--threads N] [--top K] [--timeout MS]\n"
+               "          [--seed S] [--workload FILE]\n"
+               "          <graph-file | gen:<family>:<scale>[:<seed>]> ...\n",
+               argv0);
+  std::exit(2);
+}
+
+graph::CSRGraph load_graph_spec(const std::string& spec) {
+  if (spec.rfind("gen:", 0) == 0) {
+    const std::size_t c1 = spec.find(':', 4);
+    if (c1 == std::string::npos) {
+      throw std::invalid_argument("generator spec needs gen:<family>:<scale>");
+    }
+    const std::string family = spec.substr(4, c1 - 4);
+    const std::size_t c2 = spec.find(':', c1 + 1);
+    const std::uint32_t scale =
+        static_cast<std::uint32_t>(std::stoul(spec.substr(c1 + 1, c2 - c1 - 1)));
+    const std::uint64_t seed =
+        c2 == std::string::npos ? 1 : std::stoull(spec.substr(c2 + 1));
+    return graph::gen::family_by_name(family).make(scale, seed);
+  }
+  return graph::io::read_auto(spec);
+}
+
+struct ServeArgs {
+  service::ServiceConfig config;
+  std::size_t requests = 200;
+  double hit_ratio = 0.5;
+  std::size_t distinct = 8;
+  core::Strategy strategy = core::Strategy::Sampling;
+  std::uint32_t sample_roots = 32;
+  std::size_t cpu_threads = 0;
+  std::size_t top_k = 10;
+  std::chrono::milliseconds timeout{0};
+  std::uint64_t seed = 7;
+  std::string workload_file;
+  std::vector<std::string> graph_specs;
+};
+
+std::vector<service::Request> synthetic_workload(const ServeArgs& args,
+                                                 std::size_t num_graphs) {
+  // The warm set is `distinct` fixed queries; each request either re-draws
+  // one of them (probability hit_ratio -> a cache hit once warm) or gets a
+  // unique seed (a guaranteed miss).
+  std::vector<service::Request> warm;
+  for (std::size_t i = 0; i < args.distinct; ++i) {
+    service::Request r;
+    r.graph_id = "g" + std::to_string(i % num_graphs);
+    r.options.strategy = args.strategy;
+    r.options.sample_roots = args.sample_roots;
+    r.options.seed = 1000 + i;
+    r.options.cpu_threads = args.cpu_threads;
+    r.top_k = args.top_k;
+    r.timeout = args.timeout;
+    warm.push_back(std::move(r));
+  }
+
+  util::Xoshiro256 rng(args.seed);
+  std::vector<service::Request> out;
+  out.reserve(args.requests);
+  std::uint64_t unique_seed = 1u << 20;
+  for (std::size_t i = 0; i < args.requests; ++i) {
+    if (rng.next_double() < args.hit_ratio) {
+      out.push_back(warm[rng.next_below(warm.size())]);
+    } else {
+      service::Request r = warm[rng.next_below(warm.size())];
+      r.options.seed = unique_seed++;
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+std::vector<service::Request> file_workload(const ServeArgs& args) {
+  std::ifstream in(args.workload_file);
+  if (!in) throw std::runtime_error("cannot read workload file " + args.workload_file);
+  std::vector<service::Request> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string graph_id, strategy;
+    std::uint32_t roots = 0;
+    std::uint64_t seed = 0;
+    if (!(fields >> graph_id)) continue;  // blank line
+    if (!(fields >> strategy >> roots >> seed)) {
+      throw std::runtime_error("workload line " + std::to_string(lineno) +
+                               ": expected 'graph_id strategy roots seed'");
+    }
+    service::Request r;
+    r.graph_id = graph_id;
+    r.options.strategy = core::strategy_from_string(strategy);
+    r.options.sample_roots = roots;
+    r.options.seed = seed;
+    r.options.cpu_threads = args.cpu_threads;
+    r.top_k = args.top_k;
+    r.timeout = args.timeout;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeArgs args;
+  args.config.admission.policy = service::AdmissionPolicy::Block;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--workers") {
+        args.config.workers = std::stoul(next());
+      } else if (arg == "--queue") {
+        args.config.admission.max_queue_depth = std::stoul(next());
+      } else if (arg == "--policy") {
+        args.config.admission.policy = service::admission_policy_from_string(next());
+      } else if (arg == "--shed-roots") {
+        args.config.admission.shed_sample_roots =
+            static_cast<std::uint32_t>(std::stoul(next()));
+      } else if (arg == "--cache-mb") {
+        args.config.cache_bytes = std::stoull(next()) << 20;
+      } else if (arg == "--requests") {
+        args.requests = std::stoul(next());
+      } else if (arg == "--hit-ratio") {
+        args.hit_ratio = std::stod(next());
+      } else if (arg == "--distinct") {
+        args.distinct = std::max<std::size_t>(1, std::stoul(next()));
+      } else if (arg == "--strategy") {
+        args.strategy = core::strategy_from_string(next());
+      } else if (arg == "--roots") {
+        args.sample_roots = static_cast<std::uint32_t>(std::stoul(next()));
+      } else if (arg == "--threads") {
+        args.cpu_threads = std::stoul(next());
+      } else if (arg == "--top") {
+        args.top_k = std::stoul(next());
+      } else if (arg == "--timeout") {
+        args.timeout = std::chrono::milliseconds(std::stoll(next()));
+      } else if (arg == "--seed") {
+        args.seed = std::stoull(next());
+      } else if (arg == "--workload") {
+        args.workload_file = next();
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+        usage(argv[0]);
+      } else {
+        args.graph_specs.push_back(arg);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad argument for %s: %s\n", arg.c_str(), e.what());
+      return 2;
+    }
+  }
+  if (args.graph_specs.empty()) usage(argv[0]);
+
+  try {
+    service::BcService svc(args.config);
+    for (std::size_t i = 0; i < args.graph_specs.size(); ++i) {
+      graph::CSRGraph g = load_graph_spec(args.graph_specs[i]);
+      const std::string id = "g" + std::to_string(i);
+      std::printf("loaded %-4s %s\n", id.c_str(), g.summary().c_str());
+      svc.load_graph(id, std::move(g));
+    }
+
+    const std::vector<service::Request> workload =
+        args.workload_file.empty() ? synthetic_workload(args, args.graph_specs.size())
+                                   : file_workload(args);
+    std::printf("replaying %zu requests (%s workload) on %zu workers, "
+                "queue=%zu policy=%s cache=%zu MiB\n",
+                workload.size(), args.workload_file.empty() ? "synthetic" : "file",
+                svc.worker_count(), args.config.admission.max_queue_depth,
+                to_string(args.config.admission.policy),
+                args.config.cache_bytes >> 20);
+
+    util::Timer wall;
+    std::vector<service::Ticket> tickets;
+    tickets.reserve(workload.size());
+    for (const auto& request : workload) tickets.push_back(svc.submit(request));
+
+    std::map<std::string, std::size_t> by_status;
+    for (const auto& ticket : tickets) {
+      const service::Response r = svc.wait(ticket);
+      ++by_status[to_string(r.status)];
+    }
+    const double wall_s = wall.elapsed_seconds();
+
+    std::printf("\nreplay finished in %.3f s (%.1f submitted QPS)\n", wall_s,
+                static_cast<double>(workload.size()) / wall_s);
+    for (const auto& [status, count] : by_status) {
+      std::printf("  %-18s %zu\n", status.c_str(), count);
+    }
+    std::printf("\n%s", svc.metrics_report().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
