@@ -9,8 +9,21 @@
 //   * 5c: GPU-FAN marginally competitive at the smallest kron scale,
 //     then falls behind and runs OUT OF MEMORY (O(n^2) predecessor list)
 //     at scales its competitors handle easily — the dotted lines.
+//
+// A second axis measures HOST-thread scaling: kernels::BlockDriver maps
+// simulated blocks onto real threads, so wall-clock (not simulated) time
+// shrinks with --threads while results stay bitwise-identical. Knobs:
+//   HBC_BENCH_THREAD_SCALE — graph scale for the thread sweep (default 12)
+//   HBC_BENCH_THREAD_ROOTS — roots for the thread sweep (default 28)
+//   HBC_BENCH_JSON         — also write the machine-readable records to
+//                            this path (they always print after the tables)
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "graph/generators.hpp"
@@ -36,6 +49,51 @@ void print_cell(double seconds) {
     std::printf(" %11s", "OOM");
   } else {
     std::printf(" %11.4f", seconds);
+  }
+}
+
+/// Machine-readable output: one JSON object per measurement, collected
+/// while the human tables print and emitted as a JSON array at the end.
+std::vector<std::string> g_json_records;
+
+void record_size_scaling(const std::string& family, std::uint32_t scale,
+                         const graph::CSRGraph& g, const char* strategy,
+                         std::uint32_t roots, double sim_seconds) {
+  std::ostringstream s;
+  s << "{\"bench\":\"fig5_size_scaling\",\"family\":\"" << family
+    << "\",\"scale\":" << scale << ",\"vertices\":" << g.num_vertices()
+    << ",\"edges\":" << g.num_undirected_edges() << ",\"strategy\":\"" << strategy
+    << "\",\"roots\":" << roots << ",\"oom\":" << (sim_seconds < 0 ? "true" : "false")
+    << ",\"sim_seconds\":" << (sim_seconds < 0 ? 0.0 : sim_seconds) << "}";
+  g_json_records.push_back(s.str());
+}
+
+void record_thread_scaling(const std::string& family, std::uint32_t scale,
+                           const char* strategy, std::uint32_t roots,
+                           std::size_t threads, double wall_seconds,
+                           double sim_seconds, double speedup) {
+  std::ostringstream s;
+  s << "{\"bench\":\"fig5_thread_scaling\",\"family\":\"" << family
+    << "\",\"scale\":" << scale << ",\"strategy\":\"" << strategy
+    << "\",\"roots\":" << roots << ",\"threads\":" << threads
+    << ",\"wall_seconds\":" << wall_seconds << ",\"sim_seconds\":" << sim_seconds
+    << ",\"speedup_vs_1\":" << speedup << "}";
+  g_json_records.push_back(s.str());
+}
+
+void emit_json() {
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < g_json_records.size(); ++i) {
+    out << "  " << g_json_records[i] << (i + 1 < g_json_records.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+
+  std::printf("\n--- machine-readable (JSON) ---\n%s", out.str().c_str());
+  if (const char* path = std::getenv("HBC_BENCH_JSON"); path != nullptr && *path) {
+    std::ofstream f(path);
+    f << out.str();
+    std::printf("wrote %zu records to %s\n", g_json_records.size(), path);
   }
 }
 
@@ -74,6 +132,9 @@ int main() {
       const double sa = run_or_oom(kernels::Strategy::Sampling, g, config);
       const double ep = run_or_oom(kernels::Strategy::EdgeParallel, g, config);
       const double fan = run_or_oom(kernels::Strategy::GpuFan, g, config);
+      record_size_scaling(fam, scale, g, "sampling", num_roots, sa);
+      record_size_scaling(fam, scale, g, "edge-parallel", num_roots, ep);
+      record_size_scaling(fam, scale, g, "gpu-fan", num_roots, fan);
 
       std::printf("%7u %10u %12llu", scale, g.num_vertices(),
                   static_cast<unsigned long long>(g.num_undirected_edges()));
@@ -98,5 +159,56 @@ int main() {
   std::printf("note: times cover %u roots; full-BC time extrapolates linearly in n\n"
               "(the paper's uniform-root-cost observation), so ratios are scale-true.\n",
               num_roots);
+
+  // --- Host-thread scaling axis ------------------------------------------
+  // Simulated time is invariant in the host-thread count (BlockDriver's
+  // determinism contract); wall time is what scales. One scale-free graph,
+  // wall-seconds per strategy as threads grow toward the block count (the
+  // GTX Titan model has 14 SMs, so 14 blocks is the parallelism ceiling).
+  const std::uint32_t t_scale = bench::env_u32("HBC_BENCH_THREAD_SCALE", 12);
+  const std::uint32_t t_roots = bench::env_u32("HBC_BENCH_THREAD_ROOTS", 28);
+  const graph::CSRGraph tg =
+      graph::gen::family_by_name("scalefree").make(t_scale, /*seed=*/1);
+
+  bench::print_header(
+      "Host-thread scaling — wall seconds per strategy (scalefree scale " +
+          std::to_string(t_scale) + ", " + std::to_string(t_roots) + " roots)",
+      "simulated blocks execute on real host threads; identical results at\n"
+      "every thread count, so only wall time moves");
+
+  const std::size_t thread_counts[] = {1, 2, 4, 8, 14};
+  const std::pair<kernels::Strategy, const char*> sweep[] = {
+      {kernels::Strategy::WorkEfficient, "work-efficient"},
+      {kernels::Strategy::EdgeParallel, "edge-parallel"},
+      {kernels::Strategy::Hybrid, "hybrid"},
+      {kernels::Strategy::Sampling, "sampling"},
+  };
+
+  std::printf("%16s", "strategy");
+  for (const std::size_t t : thread_counts) std::printf("   t=%-8zu", t);
+  std::printf("  speedup(14)\n");
+  for (const auto& [strategy, name] : sweep) {
+    kernels::RunConfig config;
+    config.device = gpusim::gtx_titan();
+    config.roots = bench::first_roots(tg, t_roots);
+    config.sampling.n_samps = std::max<std::uint32_t>(2, t_roots / 4);
+
+    std::printf("%16s", name);
+    double wall_1 = 0.0, speedup_last = 0.0;
+    for (const std::size_t t : thread_counts) {
+      config.cpu_threads = t;
+      const kernels::RunResult r = kernels::run_strategy(strategy, tg, config);
+      if (t == 1) wall_1 = r.metrics.wall_seconds;
+      const double speedup =
+          r.metrics.wall_seconds > 0 ? wall_1 / r.metrics.wall_seconds : 0.0;
+      speedup_last = speedup;
+      std::printf(" %9.4fs  ", r.metrics.wall_seconds);
+      record_thread_scaling("scalefree", t_scale, name, t_roots, t,
+                            r.metrics.wall_seconds, r.metrics.sim_seconds, speedup);
+    }
+    std::printf("  %9.2fx\n", speedup_last);
+  }
+
+  emit_json();
   return 0;
 }

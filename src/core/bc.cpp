@@ -46,6 +46,17 @@ Strategy strategy_from_string(const std::string& name) {
   throw std::invalid_argument("unknown strategy name: " + name);
 }
 
+bool uses_gpu_model(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::CpuSerial:
+    case Strategy::CpuParallel:
+    case Strategy::CpuFineGrained:
+      return false;
+    default:
+      return true;
+  }
+}
+
 std::vector<VertexId> sample_roots(VertexId n, std::uint32_t k, std::uint64_t seed) {
   // Partial Fisher–Yates over a dense id vector.
   std::vector<VertexId> ids(n);
@@ -89,6 +100,26 @@ namespace {
 
 std::atomic<std::uint64_t> g_compute_invocations{0};
 
+// Out-of-range roots would index past the CSR arrays; duplicate roots
+// silently double-count their sigma/delta contributions into the scores.
+// Both are caller bugs — reject them before any work happens.
+void validate_roots(const graph::CSRGraph& g, std::span<const VertexId> roots) {
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (const VertexId r : roots) {
+    if (r >= g.num_vertices()) {
+      throw std::invalid_argument(
+          "core::compute: root " + std::to_string(r) + " out of range for graph with " +
+          std::to_string(g.num_vertices()) + " vertices");
+    }
+    if (seen[r]) {
+      throw std::invalid_argument(
+          "core::compute: duplicate root " + std::to_string(r) +
+          " (duplicates double-count its contribution to every score)");
+    }
+    seen[r] = true;
+  }
+}
+
 kernels::Strategy to_kernel_strategy(Strategy s) {
   switch (s) {
     case Strategy::VertexParallel: return kernels::Strategy::VertexParallel;
@@ -109,6 +140,7 @@ std::uint64_t compute_invocations() noexcept {
 }
 
 BCResult compute(const graph::CSRGraph& g, const Options& options) {
+  validate_roots(g, options.roots);
   g_compute_invocations.fetch_add(1, std::memory_order_relaxed);
   BCResult result;
   result.strategy = options.strategy;
@@ -153,6 +185,7 @@ BCResult compute(const graph::CSRGraph& g, const Options& options) {
       rc.hybrid = options.hybrid;
       rc.sampling = options.sampling;
       rc.collect_per_root_stats = options.collect_per_root_stats;
+      rc.cpu_threads = options.cpu_threads;
       kernels::RunResult r =
           kernels::run_strategy(to_kernel_strategy(options.strategy), g, rc);
       result.scores = std::move(r.bc);

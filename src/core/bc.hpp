@@ -43,10 +43,19 @@ const char* to_string(Strategy strategy) noexcept;
 /// "work-efficient", "hybrid", "sampling"; throws std::invalid_argument.
 Strategy strategy_from_string(const std::string& name);
 
+/// True for the strategies that run on the simulated GPU (everything but
+/// the three CPU engines). GPU-model strategies are bitwise-deterministic
+/// in `Options::cpu_threads`; the CPU engines are not.
+bool uses_gpu_model(Strategy strategy) noexcept;
+
 struct Options {
   Strategy strategy = Strategy::Sampling;
 
   /// Explicit root set. Empty = exact BC (all vertices as sources).
+  /// compute() validates the list: a root >= n or a duplicate root (which
+  /// would silently double-count its sigma/delta contributions) throws
+  /// std::invalid_argument. Order is significant — it fixes the
+  /// floating-point association of the accumulation.
   std::vector<graph::VertexId> roots;
 
   /// Approximate BC with k sampled roots (Bader et al. style): when > 0
@@ -64,7 +73,13 @@ struct Options {
   gpusim::DeviceConfig device = gpusim::gtx_titan();
   kernels::HybridParams hybrid;
   kernels::SamplingParams sampling;
-  std::size_t cpu_threads = 0;  // CpuParallel: 0 = hardware concurrency
+  /// Host worker threads. For the CPU-parallel engines this partitions
+  /// roots across threads (and changes the bit pattern of the merged
+  /// scores). For GPU-model strategies it sets how many simulated blocks
+  /// kernels::BlockDriver executes concurrently — scores, counters, and
+  /// simulated-cycle metrics are bitwise-identical for every value.
+  /// 0 = hardware concurrency.
+  std::size_t cpu_threads = 0;
 
   bool collect_per_root_stats = false;
 };
@@ -113,7 +128,12 @@ std::vector<graph::VertexId> sample_roots(graph::VertexId n, std::uint32_t k,
 ///    permutations of the same root set are distinct cache entries.
 ///  * `cpu_threads` is included only for the CPU-parallel strategies — it
 ///    changes how roots partition across threads and therefore the bit
-///    pattern of the merged scores; for every other strategy it is ignored.
+///    pattern of the merged scores. For GPU-model strategies it is
+///    EXCLUDED even though kernels::BlockDriver now threads them: the
+///    driver's fixed-block-order reduction makes scores and simulated
+///    metrics bitwise-identical for every thread count, so thread count
+///    must not fragment the cache (a hit computed at any thread count is
+///    bit-identical to a fresh compute at any other).
 ///  * `collect_per_root_stats` is excluded: it only adds diagnostics.
 std::string options_signature(const Options& options);
 

@@ -147,8 +147,13 @@ class BlockContext {
   std::uint64_t* cycles_;
 };
 
-/// A simulated GPU. Owns the memory ledger and the per-block cycle state
-/// for the current kernel run.
+/// A simulated GPU. Owns the memory ledger and the per-block cycle and
+/// counter state for the current kernel run.
+///
+/// Each block has a private Counters ledger in addition to its private
+/// cycle accumulator, so blocks may execute on distinct host threads
+/// without sharing any mutable state (kernels::BlockDriver relies on
+/// this). Aggregation happens only in counters(), after the run.
 class Device {
  public:
   explicit Device(DeviceConfig cfg)
@@ -157,12 +162,21 @@ class Device {
   const DeviceConfig& config() const noexcept { return cfg_; }
   GlobalMemory& memory() noexcept { return memory_; }
   const GlobalMemory& memory() const noexcept { return memory_; }
-  Counters& counters() noexcept { return counters_; }
-  const Counters& counters() const noexcept { return counters_; }
+
+  /// Aggregated operation counters: the per-block ledgers merged in
+  /// block order. Safe to call only while no block context is live on
+  /// another thread (i.e. between runs or after joining block threads).
+  Counters counters() const noexcept {
+    Counters total;
+    for (const Counters& c : block_counters_) total += c;
+    return total;
+  }
 
   /// Start a run with `num_blocks` concurrent blocks (one per SM slot).
   void begin_run(std::uint32_t num_blocks) {
-    block_cycles_.assign(std::max<std::uint32_t>(num_blocks, 1), 0);
+    const std::uint32_t n = std::max<std::uint32_t>(num_blocks, 1);
+    block_cycles_.assign(n, 0);
+    block_counters_.assign(n, Counters{});
   }
 
   std::uint32_t num_blocks() const noexcept {
@@ -170,11 +184,15 @@ class Device {
   }
 
   BlockContext block(std::uint32_t index) {
-    return BlockContext(cfg_, counters_, block_cycles_.at(index));
+    return BlockContext(cfg_, block_counters_.at(index), block_cycles_.at(index));
   }
 
   std::uint64_t block_cycles(std::uint32_t index) const {
     return block_cycles_.at(index);
+  }
+
+  const Counters& block_counters(std::uint32_t index) const {
+    return block_counters_.at(index);
   }
 
   /// Elapsed cycles of the run so far: blocks execute concurrently on
@@ -190,16 +208,16 @@ class Device {
   }
 
   void reset() {
-    counters_ = Counters{};
     block_cycles_.clear();
+    block_counters_.clear();
     memory_.release_all();
   }
 
  private:
   DeviceConfig cfg_;
   GlobalMemory memory_;
-  Counters counters_;
   std::vector<std::uint64_t> block_cycles_;
+  std::vector<Counters> block_counters_;
 };
 
 }  // namespace hbc::gpusim

@@ -74,6 +74,12 @@ struct RunConfig {
   /// Lets the cluster model evaluate many node counts from one kernel run
   /// (Figure 6 / Table IV).
   bool collect_root_cycles = false;
+  /// Host threads that execute simulated blocks concurrently (the
+  /// coarse-grained block→thread mapping of kernels::BlockDriver).
+  /// 0 = hardware concurrency; always clamped to the block count. The BC
+  /// vector, operation counters, and simulated-cycle metrics are bitwise
+  /// identical for every value — threading changes wall_seconds only.
+  std::size_t cpu_threads = 0;
 };
 
 /// One forward-stage BFS level of one root.

@@ -1,0 +1,150 @@
+#include "kernels/block_driver.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace hbc::kernels {
+
+using graph::CSRGraph;
+using graph::VertexId;
+
+namespace {
+
+std::vector<VertexId> resolve_roots(const CSRGraph& g, const RunConfig& config) {
+  if (!config.roots.empty()) return config.roots;
+  std::vector<VertexId> roots(g.num_vertices());
+  std::iota(roots.begin(), roots.end(), VertexId{0});
+  return roots;
+}
+
+}  // namespace
+
+BlockDriver::BlockDriver(const CSRGraph& g, const RunConfig& config,
+                         const DriverLayout& layout)
+    : g_(&g), config_(&config), device_(config.device) {
+  num_blocks_ = layout.num_blocks != 0 ? layout.num_blocks : config.device.num_sms;
+  num_blocks_ = std::max<std::uint32_t>(num_blocks_, 1);
+
+  // Device-memory layout: the replicated graph arrays, then each block's
+  // local structures — the same ledger order as the serial drivers, so
+  // high-water marks (and OOM behaviour) are unchanged.
+  auto& mem = device_.memory();
+  mem.allocate((static_cast<std::uint64_t>(g.num_vertices()) + 1) *
+                   sizeof(graph::EdgeOffset),
+               "csr.row_offsets");
+  mem.allocate(g.num_directed_edges() * sizeof(VertexId), "csr.col_indices");
+  if (layout.needs_edge_sources) {
+    mem.allocate(g.num_directed_edges() * sizeof(VertexId), "csr.edge_sources");
+  }
+  mem.allocate(static_cast<std::uint64_t>(g.num_vertices()) * sizeof(double),
+               "bc.global");
+  for (std::uint32_t b = 0; b < num_blocks_; ++b) {
+    for (const PerBlockAllocation& alloc : layout.per_block) {
+      mem.allocate(alloc.bytes, alloc.label);
+    }
+  }
+  device_.begin_run(num_blocks_);
+
+  roots_ = resolve_roots(g, config);
+
+  workspaces_.reserve(num_blocks_);
+  partial_bc_.reserve(num_blocks_);
+  for (std::uint32_t b = 0; b < num_blocks_; ++b) {
+    workspaces_.push_back(std::make_unique<BCWorkspace>(g));
+    partial_bc_.emplace_back(g.num_vertices(), 0.0);
+  }
+  we_levels_.assign(num_blocks_, 0);
+  ep_levels_.assign(num_blocks_, 0);
+  if (config.collect_per_root_stats) per_root_.resize(roots_.size());
+  if (config.collect_root_cycles) per_root_cycles_.assign(roots_.size(), 0);
+
+  const std::size_t requested =
+      config.cpu_threads != 0
+          ? config.cpu_threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  host_threads_ = std::clamp<std::size_t>(requested, 1, num_blocks_);
+}
+
+BlockDriver::~BlockDriver() = default;
+
+void BlockDriver::process_block(std::uint32_t block, std::size_t begin,
+                                std::size_t end, const RootFn& fn) {
+  gpusim::BlockContext ctx = device_.block(block);
+  BCWorkspace& ws = *workspaces_[block];
+  // This block owns every global index ≡ block (mod B) — the serial
+  // round-robin deal, so the schedule is identical for any thread count.
+  const std::size_t phase = begin % num_blocks_;
+  std::size_t i = begin + (block + num_blocks_ - phase) % num_blocks_;
+  for (; i < end; i += num_blocks_) {
+    RootTask task{ws,
+                  ctx,
+                  roots_[i],
+                  i,
+                  block,
+                  std::span<double>(partial_bc_[block]),
+                  we_levels_[block],
+                  ep_levels_[block],
+                  nullptr};
+    if (config_->collect_per_root_stats) {
+      per_root_[i].root = roots_[i];
+      task.stats = &per_root_[i];
+    }
+    const std::uint64_t root_start_cycles = ctx.cycles();
+    fn(task);
+    ++ctx.counters().roots_processed;
+    if (config_->collect_root_cycles) {
+      per_root_cycles_[i] = ctx.cycles() - root_start_cycles;
+    }
+  }
+}
+
+void BlockDriver::run_phase(std::size_t count, const RootFn& fn) {
+  const std::size_t begin = next_index_;
+  const std::size_t end =
+      count == npos ? roots_.size() : std::min(roots_.size(), begin + count);
+  next_index_ = end;
+  if (begin >= end) return;
+
+  if (host_threads_ <= 1) {
+    for (std::uint32_t b = 0; b < num_blocks_; ++b) {
+      process_block(b, begin, end, fn);
+    }
+    return;
+  }
+  // One task per simulated block; blocks share no mutable state, so the
+  // pool may interleave them freely. parallel_for blocks until all are
+  // done — the phase barrier every strategy's serial loop had implicitly.
+  util::ThreadPool pool(host_threads_);
+  pool.parallel_for(num_blocks_, [&](std::size_t b) {
+    process_block(static_cast<std::uint32_t>(b), begin, end, fn);
+  });
+}
+
+RunResult BlockDriver::finish() {
+  RunResult result;
+  result.bc.assign(g_->num_vertices(), 0.0);
+  // Fixed ascending block order: the per-vertex sum is associated the same
+  // way for every host-thread count, keeping scores bitwise-deterministic.
+  for (std::uint32_t b = 0; b < num_blocks_; ++b) {
+    const std::vector<double>& part = partial_bc_[b];
+    for (std::size_t v = 0; v < part.size(); ++v) result.bc[v] += part[v];
+    result.metrics.we_levels += we_levels_[b];
+    result.metrics.ep_levels += ep_levels_[b];
+  }
+  if (config_->collect_per_root_stats) result.per_root = std::move(per_root_);
+  if (config_->collect_root_cycles) {
+    result.metrics.per_root_cycles = std::move(per_root_cycles_);
+  }
+  result.metrics.counters = device_.counters();
+  result.metrics.elapsed_cycles = device_.elapsed_cycles();
+  result.metrics.sim_seconds = device_.elapsed_seconds();
+  result.metrics.wall_seconds = wall_.elapsed_seconds();
+  result.metrics.device_memory_high_water = device_.memory().high_water_mark();
+  return result;
+}
+
+}  // namespace hbc::kernels

@@ -1,0 +1,141 @@
+#pragma once
+
+// kernels::BlockDriver — the shared run loop behind every GPU-model BC
+// strategy.
+//
+// The paper's coarse-grained design (Algorithm 1) gives each simulated
+// thread block its own root and its own O(n) local workspace; blocks share
+// nothing but the read-only graph and the global BC accumulator. A
+// strategy therefore reduces to a *per-root functor* (forward stage +
+// dependency stage over a BCWorkspace and BlockContext); everything else —
+// root resolution, device-memory layout, root→block scheduling, workspace
+// pooling, per-root stats/cycle collection, and metrics finalization — is
+// identical across strategies and lives here.
+//
+// Because blocks are independent, the driver executes them on real host
+// threads (util::ThreadPool), one task per block. Determinism is preserved
+// by construction, for every thread count:
+//
+//   * roots are dealt round-robin: global root index i → block i mod B,
+//     exactly the serial schedule, so each block processes the same roots
+//     in the same order regardless of which host thread runs it;
+//   * each block owns a private Counters/cycle ledger (gpusim::Device) and
+//     a private partial BC vector; nothing mutable is shared;
+//   * finish() reduces the partials and ledgers in fixed ascending block
+//     order, so the floating-point association — hence the bit pattern of
+//     every score — and the simulated-cycle totals are independent of the
+//     host thread count. Threading changes wall_seconds only.
+//
+// docs/driver.md walks through the block→thread mapping in detail.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "graph/csr.hpp"
+#include "kernels/bc_state.hpp"
+#include "util/timer.hpp"
+
+namespace hbc::kernels {
+
+/// One device-memory allocation replicated for every simulated block
+/// (each block's local structures live in global memory on the ledger).
+struct PerBlockAllocation {
+  std::uint64_t bytes = 0;
+  std::string label;
+};
+
+/// What a strategy asks the driver to lay out before the run starts.
+struct DriverLayout {
+  /// Also keep the per-edge source lookup on the device (edge-parallel
+  /// scans need it).
+  bool needs_edge_sources = false;
+  /// Local structures allocated once per simulated block. Allocation may
+  /// throw gpusim::DeviceOutOfMemory (GPU-FAN's O(n^2) cliff) from the
+  /// driver constructor.
+  std::vector<PerBlockAllocation> per_block;
+  /// Simulated block count. 0 = one block per SM (the Jia et al. mapping
+  /// the paper adopts); GPU-FAN overrides this to 1 grid-wide block.
+  std::uint32_t num_blocks = 0;
+};
+
+class BlockDriver {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Everything a per-root functor may touch. All mutable references are
+  /// private to the executing block, so the functor needs no locking.
+  struct RootTask {
+    BCWorkspace& ws;               // this block's workspace, reused per root
+    gpusim::BlockContext& ctx;     // this block's cycle/counter ledger
+    graph::VertexId root;          // the root to process
+    std::size_t index;             // global root index (position in roots())
+    std::uint32_t block_id;        // owning simulated block
+    std::span<double> bc;          // this block's partial BC accumulator
+    std::uint64_t& we_levels;      // block-local forward-level tallies
+    std::uint64_t& ep_levels;
+    /// Per-root stats sink; nullptr unless collect_per_root_stats is set.
+    /// `root` and, by the functor, `max_depth`/`iterations` are filled.
+    PerRootStats* stats;
+  };
+
+  using RootFn = std::function<void(RootTask&)>;
+
+  /// Resolves roots, builds the device (graph arrays + per-block locals on
+  /// the memory ledger, in layout order), sizes the per-block workspaces
+  /// and partial BC vectors, and picks the host-thread count
+  /// (clamp(config.cpu_threads or hardware concurrency, 1, num_blocks)).
+  BlockDriver(const graph::CSRGraph& g, const RunConfig& config,
+              const DriverLayout& layout);
+  ~BlockDriver();
+
+  BlockDriver(const BlockDriver&) = delete;
+  BlockDriver& operator=(const BlockDriver&) = delete;
+
+  std::uint32_t num_blocks() const noexcept { return num_blocks_; }
+  std::size_t host_threads() const noexcept { return host_threads_; }
+  std::span<const graph::VertexId> roots() const noexcept { return roots_; }
+  /// Roots consumed by run()/run_phase() so far.
+  std::size_t processed_roots() const noexcept { return next_index_; }
+  /// The simulated device (phase-boundary charges, e.g. sampling's sort).
+  /// Touch only between run phases — never while a phase is executing.
+  gpusim::Device& device() noexcept { return device_; }
+
+  /// Process the next `count` roots (npos = all remaining) with `fn`,
+  /// executing blocks concurrently on the host threads. Returns when every
+  /// root of the phase is done (host threads joined at the phase barrier).
+  void run_phase(std::size_t count, const RootFn& fn);
+
+  /// Process every remaining root.
+  void run(const RootFn& fn) { run_phase(npos, fn); }
+
+  /// Reduce per-block partials in fixed block order and finalize metrics
+  /// (counters, elapsed/sim/wall time, memory high-water, per-root data).
+  RunResult finish();
+
+ private:
+  void process_block(std::uint32_t block, std::size_t begin, std::size_t end,
+                     const RootFn& fn);
+
+  const graph::CSRGraph* g_;
+  const RunConfig* config_;
+  util::Timer wall_;
+  gpusim::Device device_;
+  std::uint32_t num_blocks_ = 1;
+  std::size_t host_threads_ = 1;
+  std::vector<graph::VertexId> roots_;
+  std::size_t next_index_ = 0;
+  std::vector<std::unique_ptr<BCWorkspace>> workspaces_;  // one per block
+  std::vector<std::vector<double>> partial_bc_;           // one per block
+  std::vector<std::uint64_t> we_levels_;                  // one per block
+  std::vector<std::uint64_t> ep_levels_;                  // one per block
+  std::vector<PerRootStats> per_root_;          // root-indexed, if enabled
+  std::vector<std::uint64_t> per_root_cycles_;  // root-indexed, if enabled
+};
+
+}  // namespace hbc::kernels

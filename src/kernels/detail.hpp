@@ -1,14 +1,16 @@
 #pragma once
 
-// Internal helpers shared by the kernel drivers. Not part of the public
-// API (tests include it to probe internals; nothing else should).
+// Internal helpers shared by kernel drivers that have not moved onto
+// kernels::BlockDriver (the weighted engines keep a bespoke loop). The
+// run-loop plumbing that used to live here — root resolution, graph
+// allocation for the unweighted kernels, metrics finalization — is now
+// owned by BlockDriver (see block_driver.hpp). Not part of the public API.
 
 #include <numeric>
 #include <vector>
 
 #include "gpusim/device.hpp"
 #include "kernels/bc_state.hpp"
-#include "util/timer.hpp"
 
 namespace hbc::kernels::detail {
 
@@ -35,19 +37,9 @@ inline void allocate_graph(gpusim::Device& device, const graph::CSRGraph& g,
   mem.allocate(static_cast<std::uint64_t>(g.num_vertices()) * sizeof(double), "bc.global");
 }
 
-/// Finalize the metrics block after the run loop.
-inline void finalize_metrics(RunResult& result, gpusim::Device& device,
-                             const util::Timer& wall) {
-  result.metrics.counters = device.counters();
-  result.metrics.elapsed_cycles = device.elapsed_cycles();
-  result.metrics.sim_seconds = device.elapsed_seconds();
-  result.metrics.wall_seconds = wall.elapsed_seconds();
-  result.metrics.device_memory_high_water = device.memory().high_water_mark();
-}
-
-/// Shared driver for the Jia et al. level-check kernels (vertex- and
-/// edge-parallel differ only in the per-level primitive). Implemented in
-/// edge_parallel.cpp.
+/// Shared BlockDriver functor for the Jia et al. level-check kernels
+/// (vertex- and edge-parallel differ only in the per-level primitive).
+/// Implemented in edge_parallel.cpp.
 RunResult run_levelcheck_kernel(const graph::CSRGraph& g, const RunConfig& config,
                                 Mode mode);
 

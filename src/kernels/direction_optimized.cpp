@@ -1,6 +1,4 @@
-#include <memory>
-
-#include "kernels/detail.hpp"
+#include "kernels/block_driver.hpp"
 #include "kernels/kernels.hpp"
 
 namespace hbc::kernels {
@@ -22,43 +20,20 @@ using graph::VertexId;
 // queue pressure — a win exactly on the huge middle levels of small-world
 // and kron graphs. The dependency stage is unchanged (Algorithm 3).
 RunResult run_direction_optimized(const CSRGraph& g, const RunConfig& config) {
-  util::Timer wall;
-  gpusim::Device device(config.device);
-  const std::uint32_t num_blocks = config.device.num_sms;
-
-  detail::allocate_graph(device, g, /*needs_edge_sources=*/false);
-  for (std::uint32_t b = 0; b < num_blocks; ++b) {
-    device.memory().allocate(BCWorkspace::work_efficient_bytes(g.num_vertices()),
-                             "diropt.block_locals");
-  }
-  device.begin_run(num_blocks);
-
-  const std::vector<VertexId> roots = detail::resolve_roots(g, config);
-  RunResult result;
-  result.bc.assign(g.num_vertices(), 0.0);
-
-  std::vector<std::unique_ptr<BCWorkspace>> workspaces;
-  workspaces.reserve(num_blocks);
-  for (std::uint32_t b = 0; b < num_blocks; ++b) {
-    workspaces.push_back(std::make_unique<BCWorkspace>(g));
-  }
+  DriverLayout layout;
+  layout.per_block.push_back(
+      {BCWorkspace::work_efficient_bytes(g.num_vertices()), "diropt.block_locals"});
+  BlockDriver driver(g, config, layout);
 
   const EdgeOffset m = g.num_directed_edges();
   const std::uint64_t n = g.num_vertices();
   constexpr std::uint64_t kAlpha = 14;  // Beamer's tuned constants
   constexpr std::uint64_t kBeta = 24;
 
-  for (std::size_t i = 0; i < roots.size(); ++i) {
-    const VertexId root = roots[i];
-    const std::uint32_t block_id = static_cast<std::uint32_t>(i % num_blocks);
-    auto ctx = device.block(block_id);
-    BCWorkspace& ws = *workspaces[block_id];
-    const std::uint64_t root_start_cycles = ctx.cycles();
-
-    PerRootStats stats;
-    stats.root = root;
-
-    ws.init_root(root, ctx);
+  driver.run([&](BlockDriver::RootTask& task) {
+    BCWorkspace& ws = task.ws;
+    gpusim::BlockContext& ctx = task.ctx;
+    ws.init_root(task.root, ctx);
 
     Mode mode = Mode::WorkEfficient;  // top-down
     std::uint64_t explored_edges = 0;
@@ -68,13 +43,14 @@ RunResult run_direction_optimized(const CSRGraph& g, const RunConfig& config) {
           mode == Mode::BottomUp ? ws.bu_forward_level(ctx, ws.current_depth())
                                  : ws.we_forward_level(ctx);
       if (mode == Mode::BottomUp) {
-        ++result.metrics.ep_levels;  // reported as "non-queue" levels
+        ++task.ep_levels;  // reported as "non-queue" levels
       } else {
-        ++result.metrics.we_levels;
+        ++task.we_levels;
       }
-      if (config.collect_per_root_stats) {
-        stats.iterations.push_back({ws.current_depth(), level.vertex_frontier,
-                                    level.edge_frontier, ctx.cycles() - before, mode});
+      if (task.stats) {
+        task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
+                                          level.edge_frontier, ctx.cycles() - before,
+                                          mode});
       }
       explored_edges += level.edge_frontier;
 
@@ -101,22 +77,16 @@ RunResult run_direction_optimized(const CSRGraph& g, const RunConfig& config) {
       ws.finish_level(ctx);
     }
     const std::uint32_t max_depth = ws.max_depth();
-    stats.max_depth = max_depth;
+    if (task.stats) task.stats->max_depth = max_depth;
 
     for (std::uint32_t dep = max_depth; dep-- > 1;) {
       ws.we_backward_level(ctx, dep);
     }
 
-    ws.accumulate_bc(result.bc, root, /*use_queue=*/true, ctx);
-    ++device.counters().roots_processed;
-    if (config.collect_root_cycles) {
-      result.metrics.per_root_cycles.push_back(ctx.cycles() - root_start_cycles);
-    }
-    if (config.collect_per_root_stats) result.per_root.push_back(std::move(stats));
-  }
+    ws.accumulate_bc(task.bc, task.root, /*use_queue=*/true, ctx);
+  });
 
-  detail::finalize_metrics(result, device, wall);
-  return result;
+  return driver.finish();
 }
 
 }  // namespace hbc::kernels

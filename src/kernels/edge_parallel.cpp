@@ -1,55 +1,31 @@
-#include <memory>
-
+#include "kernels/block_driver.hpp"
 #include "kernels/detail.hpp"
 #include "kernels/kernels.hpp"
 
 namespace hbc::kernels {
 
 using graph::CSRGraph;
-using graph::VertexId;
 
 namespace detail {
 
-// Jia et al. driver: coarse-grained parallelism assigns each root to a
+// Jia et al. strategies: coarse-grained parallelism assigns each root to a
 // thread block (one block per SM); within the block the per-level
 // primitive is either the vertex-parallel or the edge-parallel O(n^2+m)
 // level-check traversal. No explicit queue exists, so termination is
 // detected by the "nothing discovered" flag after a full scan — that last
 // futile scan is charged, exactly as on hardware.
 RunResult run_levelcheck_kernel(const CSRGraph& g, const RunConfig& config, Mode mode) {
-  util::Timer wall;
-  gpusim::Device device(config.device);
-  const std::uint32_t num_blocks = config.device.num_sms;
+  DriverLayout layout;
+  layout.needs_edge_sources = mode == Mode::EdgeParallel;
+  layout.per_block.push_back(
+      {BCWorkspace::jia_bytes(g.num_vertices(), g.num_directed_edges()),
+       "jia.block_locals"});
+  BlockDriver driver(g, config, layout);
 
-  allocate_graph(device, g, /*needs_edge_sources=*/mode == Mode::EdgeParallel);
-  for (std::uint32_t b = 0; b < num_blocks; ++b) {
-    device.memory().allocate(BCWorkspace::jia_bytes(g.num_vertices(), g.num_directed_edges()),
-                             "jia.block_locals");
-  }
-  device.begin_run(num_blocks);
-
-  const std::vector<VertexId> roots = resolve_roots(g, config);
-  RunResult result;
-  result.bc.assign(g.num_vertices(), 0.0);
-
-  // One workspace per block, reused across its roots.
-  std::vector<std::unique_ptr<BCWorkspace>> workspaces;
-  workspaces.reserve(num_blocks);
-  for (std::uint32_t b = 0; b < num_blocks; ++b) {
-    workspaces.push_back(std::make_unique<BCWorkspace>(g));
-  }
-
-  for (std::size_t i = 0; i < roots.size(); ++i) {
-    const VertexId root = roots[i];
-    const std::uint32_t block_id = static_cast<std::uint32_t>(i % num_blocks);
-    auto ctx = device.block(block_id);
-    BCWorkspace& ws = *workspaces[block_id];
-    const std::uint64_t root_start_cycles = ctx.cycles();
-
-    PerRootStats stats;
-    stats.root = root;
-
-    ws.init_root(root, ctx);
+  driver.run([&](BlockDriver::RootTask& task) {
+    BCWorkspace& ws = task.ws;
+    gpusim::BlockContext& ctx = task.ctx;
+    ws.init_root(task.root, ctx);
 
     // Forward: scan every level until a scan discovers nothing.
     std::uint64_t frontier = 1;  // |{v : d[v] == depth}|
@@ -60,16 +36,16 @@ RunResult run_levelcheck_kernel(const CSRGraph& g, const RunConfig& config, Mode
           mode == Mode::EdgeParallel
               ? ws.ep_forward_level(ctx, depth, /*maintain_queue=*/false)
               : ws.vp_forward_level(ctx, depth);
-      if (config.collect_per_root_stats) {
-        stats.iterations.push_back({depth, frontier, level.edge_frontier,
-                                    ctx.cycles() - before, mode});
+      if (task.stats) {
+        task.stats->iterations.push_back(
+            {depth, frontier, level.edge_frontier, ctx.cycles() - before, mode});
       }
       if (level.discovered == 0) break;
       frontier = level.discovered;
     }
     const std::uint32_t max_depth = depth;  // deepest populated level
-    stats.max_depth = max_depth;
-    result.metrics.ep_levels += (mode == Mode::EdgeParallel) ? max_depth + 1 : 0;
+    if (task.stats) task.stats->max_depth = max_depth;
+    if (mode == Mode::EdgeParallel) task.ep_levels += max_depth + 1;
 
     // Backward: vertices at max_depth have no successors (delta = 0), so
     // start one level closer to the root.
@@ -81,16 +57,10 @@ RunResult run_levelcheck_kernel(const CSRGraph& g, const RunConfig& config, Mode
       }
     }
 
-    ws.accumulate_bc(result.bc, root, /*use_queue=*/false, ctx);
-    ++device.counters().roots_processed;
-    if (config.collect_root_cycles) {
-      result.metrics.per_root_cycles.push_back(ctx.cycles() - root_start_cycles);
-    }
-    if (config.collect_per_root_stats) result.per_root.push_back(std::move(stats));
-  }
+    ws.accumulate_bc(task.bc, task.root, /*use_queue=*/false, ctx);
+  });
 
-  finalize_metrics(result, device, wall);
-  return result;
+  return driver.finish();
 }
 
 }  // namespace detail

@@ -1,43 +1,34 @@
-#include "kernels/detail.hpp"
+#include "kernels/block_driver.hpp"
 #include "kernels/kernels.hpp"
 
 namespace hbc::kernels {
 
 using graph::CSRGraph;
-using graph::VertexId;
 
 // GPU-FAN (Shi & Zhang): fine-grained parallelism only. Every thread of
 // every block cooperates on a single root at a time, so per-level
 // synchronization is grid-wide (a kernel relaunch) rather than a block
 // barrier, and there is exactly one set of local structures — including
 // the O(n^2) predecessor list whose allocation is what kills this
-// approach at scale (Figure 5's dotted lines).
+// approach at scale (Figure 5's dotted lines). The driver consequently
+// runs one logical "grid block" (num_blocks = 1, rounds span every device
+// thread), which also means no host-thread parallelism: the model has no
+// independent blocks to spread.
 RunResult run_gpufan(const CSRGraph& g, const RunConfig& config) {
-  util::Timer wall;
-  gpusim::Device device(config.device);
-
-  detail::allocate_graph(device, g, /*needs_edge_sources=*/true);
+  DriverLayout layout;
+  layout.needs_edge_sources = true;
+  layout.num_blocks = 1;
   // Throws gpusim::DeviceOutOfMemory when n^2 entries exceed capacity.
-  device.memory().allocate(BCWorkspace::gpufan_bytes(g.num_vertices()),
-                           "gpufan.locals+predecessor_n2");
+  layout.per_block.push_back(
+      {BCWorkspace::gpufan_bytes(g.num_vertices()), "gpufan.locals+predecessor_n2"});
+  BlockDriver driver(g, config, layout);
 
-  // One logical "grid block": rounds span every device thread.
-  device.begin_run(1);
   const std::uint64_t width = config.device.device_threads();
 
-  const std::vector<VertexId> roots = detail::resolve_roots(g, config);
-  RunResult result;
-  result.bc.assign(g.num_vertices(), 0.0);
-
-  BCWorkspace ws(g);
-  for (const VertexId root : roots) {
-    auto ctx = device.block(0);
-    const std::uint64_t root_start_cycles = ctx.cycles();
-
-    PerRootStats stats;
-    stats.root = root;
-
-    ws.init_root(root, ctx);
+  driver.run([&](BlockDriver::RootTask& task) {
+    BCWorkspace& ws = task.ws;
+    gpusim::BlockContext& ctx = task.ctx;
+    ws.init_root(task.root, ctx);
 
     std::uint64_t frontier = 1;
     std::uint32_t depth = 0;
@@ -46,32 +37,26 @@ RunResult run_gpufan(const CSRGraph& g, const RunConfig& config) {
       const BCWorkspace::LevelStats level =
           ws.ep_forward_level(ctx, depth, /*maintain_queue=*/false, width);
       ctx.charge_grid_sync();  // level boundary = kernel relaunch
-      if (config.collect_per_root_stats) {
-        stats.iterations.push_back({depth, frontier, level.edge_frontier,
-                                    ctx.cycles() - before, Mode::EdgeParallel});
+      if (task.stats) {
+        task.stats->iterations.push_back({depth, frontier, level.edge_frontier,
+                                          ctx.cycles() - before, Mode::EdgeParallel});
       }
       if (level.discovered == 0) break;
       frontier = level.discovered;
     }
     const std::uint32_t max_depth = depth;
-    stats.max_depth = max_depth;
-    result.metrics.ep_levels += max_depth + 1;
+    if (task.stats) task.stats->max_depth = max_depth;
+    task.ep_levels += max_depth + 1;
 
     for (std::uint32_t dep = max_depth; dep-- > 1;) {
       ws.ep_backward_level(ctx, dep, width);
       ctx.charge_grid_sync();
     }
 
-    ws.accumulate_bc(result.bc, root, /*use_queue=*/false, ctx);
-    ++device.counters().roots_processed;
-    if (config.collect_root_cycles) {
-      result.metrics.per_root_cycles.push_back(ctx.cycles() - root_start_cycles);
-    }
-    if (config.collect_per_root_stats) result.per_root.push_back(std::move(stats));
-  }
+    ws.accumulate_bc(task.bc, task.root, /*use_queue=*/false, ctx);
+  });
 
-  detail::finalize_metrics(result, device, wall);
-  return result;
+  return driver.finish();
 }
 
 }  // namespace hbc::kernels

@@ -1,13 +1,12 @@
 #include <cstdlib>
-#include <memory>
+#include <vector>
 
-#include "kernels/detail.hpp"
+#include "kernels/block_driver.hpp"
 #include "kernels/kernels.hpp"
 
 namespace hbc::kernels {
 
 using graph::CSRGraph;
-using graph::VertexId;
 
 // Algorithm 4: per-iteration selection between the work-efficient and
 // edge-parallel primitives. The strategy is reconsidered only when the
@@ -21,43 +20,26 @@ using graph::VertexId;
 // frontier sizes stay observable and the dependency stage can still jump
 // directly to each level's S-slice.
 RunResult run_hybrid(const CSRGraph& g, const RunConfig& config) {
-  util::Timer wall;
-  gpusim::Device device(config.device);
-  const std::uint32_t num_blocks = config.device.num_sms;
-
-  detail::allocate_graph(device, g, /*needs_edge_sources=*/true);
-  for (std::uint32_t b = 0; b < num_blocks; ++b) {
-    device.memory().allocate(BCWorkspace::work_efficient_bytes(g.num_vertices()),
-                             "hybrid.block_locals");
-  }
-  device.begin_run(num_blocks);
-
-  const std::vector<VertexId> roots = detail::resolve_roots(g, config);
-  RunResult result;
-  result.bc.assign(g.num_vertices(), 0.0);
-
-  std::vector<std::unique_ptr<BCWorkspace>> workspaces;
-  workspaces.reserve(num_blocks);
-  for (std::uint32_t b = 0; b < num_blocks; ++b) {
-    workspaces.push_back(std::make_unique<BCWorkspace>(g));
-  }
+  DriverLayout layout;
+  layout.needs_edge_sources = true;
+  layout.per_block.push_back(
+      {BCWorkspace::work_efficient_bytes(g.num_vertices()), "hybrid.block_locals"});
+  BlockDriver driver(g, config, layout);
 
   const std::int64_t alpha = config.hybrid.alpha;
   const std::int64_t beta = config.hybrid.beta;
 
-  std::vector<Mode> level_modes;  // forward mode per depth, reused backward
-  for (std::size_t i = 0; i < roots.size(); ++i) {
-    const VertexId root = roots[i];
-    const std::uint32_t block_id = static_cast<std::uint32_t>(i % num_blocks);
-    auto ctx = device.block(block_id);
-    BCWorkspace& ws = *workspaces[block_id];
-    const std::uint64_t root_start_cycles = ctx.cycles();
+  // Forward mode per depth, reused by the dependency stage. Block-local
+  // scratch: indexed by the owning block so concurrent blocks don't share.
+  std::vector<std::vector<Mode>> level_modes(driver.num_blocks());
 
-    PerRootStats stats;
-    stats.root = root;
+  driver.run([&](BlockDriver::RootTask& task) {
+    BCWorkspace& ws = task.ws;
+    gpusim::BlockContext& ctx = task.ctx;
+    std::vector<Mode>& modes = level_modes[task.block_id];
 
-    ws.init_root(root, ctx);
-    level_modes.clear();
+    ws.init_root(task.root, ctx);
+    modes.clear();
 
     Mode mode = Mode::WorkEfficient;
     for (;;) {
@@ -66,15 +48,16 @@ RunResult run_hybrid(const CSRGraph& g, const RunConfig& config) {
           mode == Mode::WorkEfficient
               ? ws.we_forward_level(ctx)
               : ws.ep_forward_level(ctx, ws.current_depth(), /*maintain_queue=*/true);
-      level_modes.push_back(mode);
+      modes.push_back(mode);
       if (mode == Mode::WorkEfficient) {
-        ++result.metrics.we_levels;
+        ++task.we_levels;
       } else {
-        ++result.metrics.ep_levels;
+        ++task.ep_levels;
       }
-      if (config.collect_per_root_stats) {
-        stats.iterations.push_back({ws.current_depth(), level.vertex_frontier,
-                                    level.edge_frontier, ctx.cycles() - before, mode});
+      if (task.stats) {
+        task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
+                                          level.edge_frontier, ctx.cycles() - before,
+                                          mode});
       }
 
       // Algorithm 4: reconsider only when the frontier moved by > alpha.
@@ -91,27 +74,21 @@ RunResult run_hybrid(const CSRGraph& g, const RunConfig& config) {
       ws.finish_level(ctx);
     }
     const std::uint32_t max_depth = ws.max_depth();
-    stats.max_depth = max_depth;
+    if (task.stats) task.stats->max_depth = max_depth;
 
     // Dependency stage mirrors the per-level strategy chosen forward.
     for (std::uint32_t dep = max_depth; dep-- > 1;) {
-      if (dep < level_modes.size() && level_modes[dep] == Mode::EdgeParallel) {
+      if (dep < modes.size() && modes[dep] == Mode::EdgeParallel) {
         ws.ep_backward_level(ctx, dep);
       } else {
         ws.we_backward_level(ctx, dep);
       }
     }
 
-    ws.accumulate_bc(result.bc, root, /*use_queue=*/true, ctx);
-    ++device.counters().roots_processed;
-    if (config.collect_root_cycles) {
-      result.metrics.per_root_cycles.push_back(ctx.cycles() - root_start_cycles);
-    }
-    if (config.collect_per_root_stats) result.per_root.push_back(std::move(stats));
-  }
+    ws.accumulate_bc(task.bc, task.root, /*use_queue=*/true, ctx);
+  });
 
-  detail::finalize_metrics(result, device, wall);
-  return result;
+  return driver.finish();
 }
 
 }  // namespace hbc::kernels

@@ -1,46 +1,41 @@
 #include <algorithm>
 #include <cmath>
-#include <memory>
+#include <vector>
 
-#include "kernels/detail.hpp"
+#include "kernels/block_driver.hpp"
 #include "kernels/kernels.hpp"
 #include "util/stats.hpp"
 
 namespace hbc::kernels {
 
 using graph::CSRGraph;
-using graph::VertexId;
 
 namespace {
 
 // Process one root work-efficiently (Algorithms 1–3); returns max depth.
-std::uint32_t process_root_we(BCWorkspace& ws, gpusim::BlockContext ctx, VertexId root,
-                              std::vector<double>& bc, RunResult& result,
-                              const RunConfig& config) {
-  PerRootStats stats;
-  stats.root = root;
-
-  ws.init_root(root, ctx);
+std::uint32_t process_root_we(BlockDriver::RootTask& task) {
+  BCWorkspace& ws = task.ws;
+  gpusim::BlockContext& ctx = task.ctx;
+  ws.init_root(task.root, ctx);
   for (;;) {
     const std::uint64_t before = ctx.cycles();
     const BCWorkspace::LevelStats level = ws.we_forward_level(ctx);
-    ++result.metrics.we_levels;
-    if (config.collect_per_root_stats) {
-      stats.iterations.push_back({ws.current_depth(), level.vertex_frontier,
-                                  level.edge_frontier, ctx.cycles() - before,
-                                  Mode::WorkEfficient});
+    ++task.we_levels;
+    if (task.stats) {
+      task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
+                                        level.edge_frontier, ctx.cycles() - before,
+                                        Mode::WorkEfficient});
     }
     if (ws.q_next_len() == 0) break;
     ws.finish_level(ctx);
   }
   const std::uint32_t max_depth = ws.max_depth();
-  stats.max_depth = max_depth;
+  if (task.stats) task.stats->max_depth = max_depth;
 
   for (std::uint32_t dep = max_depth; dep-- > 1;) {
     ws.we_backward_level(ctx, dep);
   }
-  ws.accumulate_bc(bc, root, /*use_queue=*/true, ctx);
-  if (config.collect_per_root_stats) result.per_root.push_back(std::move(stats));
+  ws.accumulate_bc(task.bc, task.root, /*use_queue=*/true, ctx);
   return max_depth;
 }
 
@@ -48,14 +43,11 @@ std::uint32_t process_root_we(BCWorkspace& ws, gpusim::BlockContext ctx, VertexI
 // holds at least min_frontier vertices run edge-parallel, smaller ones
 // (including the opening expansion of the root) revert to work-efficient
 // — the per-iteration check described at the end of §IV.C.
-std::uint32_t process_root_guarded_ep(BCWorkspace& ws, gpusim::BlockContext ctx,
-                                      VertexId root, std::vector<double>& bc,
-                                      RunResult& result, const RunConfig& config,
-                                      std::vector<Mode>& level_modes) {
-  PerRootStats stats;
-  stats.root = root;
-
-  ws.init_root(root, ctx);
+void process_root_guarded_ep(BlockDriver::RootTask& task, const RunConfig& config,
+                             std::vector<Mode>& level_modes) {
+  BCWorkspace& ws = task.ws;
+  gpusim::BlockContext& ctx = task.ctx;
+  ws.init_root(task.root, ctx);
   level_modes.clear();
   for (;;) {
     ctx.charge_cycles(ctx.cost().sampling_guard);
@@ -69,19 +61,20 @@ std::uint32_t process_root_guarded_ep(BCWorkspace& ws, gpusim::BlockContext ctx,
             : ws.we_forward_level(ctx);
     level_modes.push_back(mode);
     if (mode == Mode::WorkEfficient) {
-      ++result.metrics.we_levels;
+      ++task.we_levels;
     } else {
-      ++result.metrics.ep_levels;
+      ++task.ep_levels;
     }
-    if (config.collect_per_root_stats) {
-      stats.iterations.push_back({ws.current_depth(), level.vertex_frontier,
-                                  level.edge_frontier, ctx.cycles() - before, mode});
+    if (task.stats) {
+      task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
+                                        level.edge_frontier, ctx.cycles() - before,
+                                        mode});
     }
     if (ws.q_next_len() == 0) break;
     ws.finish_level(ctx);
   }
   const std::uint32_t max_depth = ws.max_depth();
-  stats.max_depth = max_depth;
+  if (task.stats) task.stats->max_depth = max_depth;
 
   for (std::uint32_t dep = max_depth; dep-- > 1;) {
     if (dep < level_modes.size() && level_modes[dep] == Mode::EdgeParallel) {
@@ -90,9 +83,7 @@ std::uint32_t process_root_guarded_ep(BCWorkspace& ws, gpusim::BlockContext ctx,
       ws.we_backward_level(ctx, dep);
     }
   }
-  ws.accumulate_bc(bc, root, /*use_queue=*/true, ctx);
-  if (config.collect_per_root_stats) result.per_root.push_back(std::move(stats));
-  return max_depth;
+  ws.accumulate_bc(task.bc, task.root, /*use_queue=*/true, ctx);
 }
 
 }  // namespace
@@ -106,80 +97,49 @@ std::uint32_t process_root_guarded_ep(BCWorkspace& ws, gpusim::BlockContext ctx,
 // run work-efficiently. The probe work is useful work: its dependencies
 // are already accumulated into the BC vector.
 RunResult run_sampling(const CSRGraph& g, const RunConfig& config) {
-  util::Timer wall;
-  gpusim::Device device(config.device);
-  const std::uint32_t num_blocks = config.device.num_sms;
-
-  detail::allocate_graph(device, g, /*needs_edge_sources=*/true);
-  for (std::uint32_t b = 0; b < num_blocks; ++b) {
-    device.memory().allocate(BCWorkspace::work_efficient_bytes(g.num_vertices()),
-                             "sampling.block_locals");
-  }
-  device.begin_run(num_blocks);
-
-  const std::vector<VertexId> roots = detail::resolve_roots(g, config);
-  RunResult result;
-  result.bc.assign(g.num_vertices(), 0.0);
-
-  std::vector<std::unique_ptr<BCWorkspace>> workspaces;
-  workspaces.reserve(num_blocks);
-  for (std::uint32_t b = 0; b < num_blocks; ++b) {
-    workspaces.push_back(std::make_unique<BCWorkspace>(g));
-  }
+  DriverLayout layout;
+  layout.needs_edge_sources = true;
+  layout.per_block.push_back(
+      {BCWorkspace::work_efficient_bytes(g.num_vertices()), "sampling.block_locals"});
+  BlockDriver driver(g, config, layout);
 
   const std::size_t n_samps =
-      std::min<std::size_t>(config.sampling.n_samps, roots.size());
+      std::min<std::size_t>(config.sampling.n_samps, driver.roots().size());
 
   // Phase 1: probe roots with the default (work-efficient) method and
-  // collect each BFS's maximum depth ("keys" in Algorithm 5).
-  std::vector<double> keys;
-  keys.reserve(n_samps);
-  for (std::size_t i = 0; i < n_samps; ++i) {
-    const std::uint32_t block_id = static_cast<std::uint32_t>(i % num_blocks);
-    const std::uint64_t before = device.block_cycles(block_id);
-    const std::uint32_t depth =
-        process_root_we(*workspaces[block_id], device.block(block_id), roots[i],
-                        result.bc, result, config);
-    keys.push_back(static_cast<double>(depth));
-    ++device.counters().roots_processed;
-    if (config.collect_root_cycles) {
-      result.metrics.per_root_cycles.push_back(device.block_cycles(block_id) - before);
-    }
-  }
+  // collect each BFS's maximum depth ("keys" in Algorithm 5). Keys are
+  // written by global root index, so their order — hence the median — is
+  // independent of the host-thread interleaving.
+  std::vector<double> keys(n_samps, 0.0);
+  driver.run_phase(n_samps, [&](BlockDriver::RootTask& task) {
+    keys[task.index] = static_cast<double>(process_root_we(task));
+  });
 
   // Algorithm 5 decision: keys[n_samps/2] < gamma * log2(n). The sort of
   // the key array is charged to block 0 (a single-block bitonic sort).
   if (!keys.empty()) {
     const double k = static_cast<double>(keys.size());
-    device.block(0).charge_cycles(
+    driver.device().block(0).charge_cycles(
         static_cast<std::uint64_t>(k * std::max(1.0, std::log2(k)) * 4.0));
   }
   const double median = util::median_lower(keys);
   const double threshold =
       config.sampling.gamma * std::log2(std::max<double>(2.0, g.num_vertices()));
   const bool choose_edge_parallel = !keys.empty() && median < threshold;
-  result.metrics.sampling_median_depth = median;
-  result.metrics.sampling_chose_edge_parallel = choose_edge_parallel;
 
   // Phase 2: remaining roots with the selected method.
-  std::vector<Mode> level_modes;
-  for (std::size_t i = n_samps; i < roots.size(); ++i) {
-    const std::uint32_t block_id = static_cast<std::uint32_t>(i % num_blocks);
-    BCWorkspace& ws = *workspaces[block_id];
-    const std::uint64_t before = device.block_cycles(block_id);
-    if (choose_edge_parallel) {
-      process_root_guarded_ep(ws, device.block(block_id), roots[i], result.bc, result,
-                              config, level_modes);
-    } else {
-      process_root_we(ws, device.block(block_id), roots[i], result.bc, result, config);
-    }
-    ++device.counters().roots_processed;
-    if (config.collect_root_cycles) {
-      result.metrics.per_root_cycles.push_back(device.block_cycles(block_id) - before);
-    }
+  if (choose_edge_parallel) {
+    std::vector<std::vector<Mode>> level_modes(driver.num_blocks());
+    driver.run([&](BlockDriver::RootTask& task) {
+      process_root_guarded_ep(task, config, level_modes[task.block_id]);
+    });
+  } else {
+    driver.run([&](BlockDriver::RootTask& task) { process_root_we(task); });
   }
 
-  detail::finalize_metrics(result, device, wall);
+  RunResult result = driver.finish();
+  result.metrics.sampling_median_depth = median;
+  result.metrics.sampling_chose_edge_parallel = choose_edge_parallel;
   return result;
 }
 

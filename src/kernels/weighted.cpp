@@ -9,6 +9,7 @@
 
 #include "kernels/detail.hpp"
 #include "util/stats.hpp"
+#include "util/timer.hpp"
 
 namespace hbc::kernels {
 
@@ -339,7 +340,7 @@ WeightedRunResult run_weighted_bc(const CSRGraph& g, std::span<const double> wei
     if (sampling && i < n_samps) probe_phases.push_back(static_cast<double>(rounds));
 
     accumulate_weighted(g, weights, ws, root, result.bc, ctx);
-    ++device.counters().roots_processed;
+    ++ctx.counters().roots_processed;
   }
   if (sampling && roots.size() <= n_samps && !probe_phases.empty()) {
     result.sampling_median_phases = util::median_lower(probe_phases);

@@ -1,12 +1,9 @@
-#include <memory>
-
-#include "kernels/detail.hpp"
+#include "kernels/block_driver.hpp"
 #include "kernels/kernels.hpp"
 
 namespace hbc::kernels {
 
 using graph::CSRGraph;
-using graph::VertexId;
 
 // The paper's work-efficient kernel (Algorithms 1–3): explicit frontier
 // queues in the forward stage, the S/ends level index feeding a
@@ -14,60 +11,37 @@ using graph::VertexId;
 // Local storage is O(n) per block — the scalability win over both prior
 // implementations.
 RunResult run_work_efficient(const CSRGraph& g, const RunConfig& config) {
-  util::Timer wall;
-  gpusim::Device device(config.device);
-  const std::uint32_t num_blocks = config.device.num_sms;
-
-  detail::allocate_graph(device, g, /*needs_edge_sources=*/false);
-  for (std::uint32_t b = 0; b < num_blocks; ++b) {
-    device.memory().allocate(BCWorkspace::work_efficient_bytes(g.num_vertices()),
-                             "we.block_locals");
-    if (config.use_predecessor_bitmap) {
-      device.memory().allocate(
-          BCWorkspace::predecessor_bitmap_bytes(g.num_directed_edges()),
-          "we.predecessor_bitmap");
-    }
+  DriverLayout layout;
+  layout.per_block.push_back(
+      {BCWorkspace::work_efficient_bytes(g.num_vertices()), "we.block_locals"});
+  if (config.use_predecessor_bitmap) {
+    layout.per_block.push_back(
+        {BCWorkspace::predecessor_bitmap_bytes(g.num_directed_edges()),
+         "we.predecessor_bitmap"});
   }
-  device.begin_run(num_blocks);
+  BlockDriver driver(g, config, layout);
 
-  const std::vector<VertexId> roots = detail::resolve_roots(g, config);
-  RunResult result;
-  result.bc.assign(g.num_vertices(), 0.0);
-
-  std::vector<std::unique_ptr<BCWorkspace>> workspaces;
-  workspaces.reserve(num_blocks);
-  for (std::uint32_t b = 0; b < num_blocks; ++b) {
-    workspaces.push_back(std::make_unique<BCWorkspace>(g));
-  }
-
-  for (std::size_t i = 0; i < roots.size(); ++i) {
-    const VertexId root = roots[i];
-    const std::uint32_t block_id = static_cast<std::uint32_t>(i % num_blocks);
-    auto ctx = device.block(block_id);
-    BCWorkspace& ws = *workspaces[block_id];
-    const std::uint64_t root_start_cycles = ctx.cycles();
-
-    PerRootStats stats;
-    stats.root = root;
-
-    ws.init_root(root, ctx);
+  driver.run([&](BlockDriver::RootTask& task) {
+    BCWorkspace& ws = task.ws;
+    gpusim::BlockContext& ctx = task.ctx;
+    ws.init_root(task.root, ctx);
 
     // Stage 1 (Algorithm 2).
     for (;;) {
       const std::uint64_t before = ctx.cycles();
       const BCWorkspace::LevelStats level =
           ws.we_forward_level(ctx, config.use_predecessor_bitmap);
-      if (config.collect_per_root_stats) {
-        stats.iterations.push_back({ws.current_depth(), level.vertex_frontier,
-                                    level.edge_frontier, ctx.cycles() - before,
-                                    Mode::WorkEfficient});
+      if (task.stats) {
+        task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
+                                          level.edge_frontier, ctx.cycles() - before,
+                                          Mode::WorkEfficient});
       }
-      ++result.metrics.we_levels;
+      ++task.we_levels;
       if (ws.q_next_len() == 0) break;
       ws.finish_level(ctx);
     }
     const std::uint32_t max_depth = ws.max_depth();
-    stats.max_depth = max_depth;
+    if (task.stats) task.stats->max_depth = max_depth;
 
     // Stage 2 (Algorithm 3): depth = d[S[S_len-1]] - 1 down to 1.
     for (std::uint32_t dep = max_depth; dep-- > 1;) {
@@ -78,16 +52,10 @@ RunResult run_work_efficient(const CSRGraph& g, const RunConfig& config) {
       }
     }
 
-    ws.accumulate_bc(result.bc, root, /*use_queue=*/true, ctx);
-    ++device.counters().roots_processed;
-    if (config.collect_root_cycles) {
-      result.metrics.per_root_cycles.push_back(ctx.cycles() - root_start_cycles);
-    }
-    if (config.collect_per_root_stats) result.per_root.push_back(std::move(stats));
-  }
+    ws.accumulate_bc(task.bc, task.root, /*use_queue=*/true, ctx);
+  });
 
-  detail::finalize_metrics(result, device, wall);
-  return result;
+  return driver.finish();
 }
 
 }  // namespace hbc::kernels

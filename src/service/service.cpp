@@ -278,6 +278,16 @@ Response BcService::query(Request request) {
 }
 
 core::BCResult BcService::run_compute(const graph::CSRGraph& g, const core::Options& o) {
+  // Apply the service's per-request thread budget to GPU-model runs. The
+  // cache key was computed from the request's options at submit time —
+  // that stays correct because options_signature excludes cpu_threads for
+  // GPU-model strategies and BlockDriver results are thread-invariant.
+  if (cfg_.compute_threads != 0 && core::uses_gpu_model(o.strategy) &&
+      o.cpu_threads != cfg_.compute_threads) {
+    core::Options budgeted = o;
+    budgeted.cpu_threads = cfg_.compute_threads;
+    return cfg_.compute_fn ? cfg_.compute_fn(g, budgeted) : core::compute(g, budgeted);
+  }
   return cfg_.compute_fn ? cfg_.compute_fn(g, o) : core::compute(g, o);
 }
 

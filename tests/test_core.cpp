@@ -233,6 +233,56 @@ TEST(Report, CpuReportOmitsDeviceSections) {
   EXPECT_NE(s.find("wall clock"), std::string::npos);
 }
 
+TEST(RootValidation, OutOfRangeRootThrows) {
+  const CSRGraph g = graph::gen::figure1_graph();
+  Options opt;
+  opt.strategy = Strategy::CpuSerial;
+  opt.roots = {0, g.num_vertices()};  // one past the end
+  EXPECT_THROW(core::compute(g, opt), std::invalid_argument);
+  opt.roots = {static_cast<VertexId>(g.num_vertices() + 100)};
+  EXPECT_THROW(core::compute(g, opt), std::invalid_argument);
+}
+
+TEST(RootValidation, DuplicateRootThrows) {
+  const CSRGraph g = graph::gen::figure1_graph();
+  for (const Strategy s : {Strategy::CpuSerial, Strategy::WorkEfficient}) {
+    Options opt;
+    opt.strategy = s;
+    opt.roots = {2, 5, 2};
+    EXPECT_THROW(core::compute(g, opt), std::invalid_argument) << core::to_string(s);
+  }
+}
+
+TEST(RootValidation, ValidSubsetStillComputes) {
+  const CSRGraph g = graph::gen::figure1_graph();
+  Options opt;
+  opt.strategy = Strategy::WorkEfficient;
+  opt.roots = {5, 0, 3};  // unordered but distinct and in range: fine
+  const auto r = core::compute(g, opt);
+  EXPECT_EQ(r.roots_processed, 3u);
+  EXPECT_TRUE(r.approximate);
+}
+
+TEST(RootValidation, RejectionDoesNotCountAsInvocation) {
+  const CSRGraph g = graph::gen::figure1_graph();
+  const auto before = core::compute_invocations();
+  Options opt;
+  opt.roots = {0, 0};
+  EXPECT_THROW(core::compute(g, opt), std::invalid_argument);
+  EXPECT_EQ(core::compute_invocations(), before);
+}
+
+TEST(Strategy, UsesGpuModelPartition) {
+  EXPECT_FALSE(core::uses_gpu_model(Strategy::CpuSerial));
+  EXPECT_FALSE(core::uses_gpu_model(Strategy::CpuParallel));
+  EXPECT_FALSE(core::uses_gpu_model(Strategy::CpuFineGrained));
+  EXPECT_TRUE(core::uses_gpu_model(Strategy::VertexParallel));
+  EXPECT_TRUE(core::uses_gpu_model(Strategy::WorkEfficient));
+  EXPECT_TRUE(core::uses_gpu_model(Strategy::Hybrid));
+  EXPECT_TRUE(core::uses_gpu_model(Strategy::Sampling));
+  EXPECT_TRUE(core::uses_gpu_model(Strategy::DirectionOptimized));
+}
+
 TEST(Report, ApproximateFlagShown) {
   const CSRGraph g = graph::gen::small_world({.num_vertices = 128, .k = 3, .seed = 1});
   core::Options opt;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "gpusim/config.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/memory.hpp"
@@ -164,11 +166,50 @@ TEST(Device, ResetClearsEverything) {
   dev.begin_run(1);
   dev.block(0).charge_cycles(10);
   dev.memory().allocate(100, "x");
-  dev.counters().edges_traversed = 5;
+  dev.block(0).counters().edges_traversed = 5;
   dev.reset();
   EXPECT_EQ(dev.elapsed_cycles(), 0u);
   EXPECT_EQ(dev.memory().used(), 0u);
   EXPECT_EQ(dev.counters().edges_traversed, 0u);
+}
+
+TEST(Device, PerBlockCountersAreIsolatedAndMergeInOrder) {
+  Device dev(test_device());
+  dev.begin_run(3);
+  dev.block(0).counters().edges_traversed = 7;
+  dev.block(2).counters().edges_traversed = 5;
+  dev.block(1).counters().atomic_ops = 3;
+  EXPECT_EQ(dev.block_counters(0).edges_traversed, 7u);
+  EXPECT_EQ(dev.block_counters(1).edges_traversed, 0u);
+  EXPECT_EQ(dev.block_counters(2).edges_traversed, 5u);
+  const Counters total = dev.counters();
+  EXPECT_EQ(total.edges_traversed, 12u);
+  EXPECT_EQ(total.atomic_ops, 3u);
+}
+
+TEST(Device, BlocksChargeFromDistinctThreadsWithoutSharing) {
+  Device dev(test_device());
+  dev.begin_run(2);
+  std::thread t0([&] {
+    auto ctx = dev.block(0);
+    for (int i = 0; i < 1000; ++i) {
+      ctx.charge_cycles(1);
+      ++ctx.counters().edges_traversed;
+    }
+  });
+  std::thread t1([&] {
+    auto ctx = dev.block(1);
+    for (int i = 0; i < 500; ++i) {
+      ctx.charge_cycles(2);
+      ++ctx.counters().queue_inserts;
+    }
+  });
+  t0.join();
+  t1.join();
+  EXPECT_EQ(dev.block_cycles(0), 1000u);
+  EXPECT_EQ(dev.block_cycles(1), 1000u);
+  EXPECT_EQ(dev.counters().edges_traversed, 1000u);
+  EXPECT_EQ(dev.counters().queue_inserts, 500u);
 }
 
 TEST(Config, PresetsMatchPaperHardware) {

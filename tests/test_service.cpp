@@ -192,6 +192,46 @@ TEST(BcServiceTest, CacheHitIsBitIdenticalToFreshCompute) {
   EXPECT_GE(core::compute_invocations(), 2u);
 }
 
+TEST(BcServiceTest, CacheHitsAreBitIdenticalAcrossThreadCounts) {
+  // GPU-model strategies thread through kernels::BlockDriver, but the
+  // thread count never changes a bit of the result — so it is excluded
+  // from the cache key and a hit computed at one thread count must serve
+  // a request made at another, bit-for-bit.
+  core::Options one = exact_cpu_options();
+  one.strategy = core::Strategy::Hybrid;
+  one.cpu_threads = 1;
+  core::Options eight = one;
+  eight.cpu_threads = 8;
+  EXPECT_EQ(core::options_signature(one), core::options_signature(eight));
+
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.compute_threads = 2;  // service's own per-request budget
+  BcService svc(cfg);
+  const auto g = test_graph();
+  svc.load_graph("g", g);
+
+  const auto invocations_before = core::compute_invocations();
+  const Response cold = svc.query({.graph_id = "g", .options = one});
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.from_cache);
+
+  const Response warm = svc.query({.graph_id = "g", .options = eight});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(core::compute_invocations(), invocations_before + 1);
+
+  // The cached scores match a fresh compute at BOTH thread counts.
+  for (const core::Options& o : {one, eight}) {
+    const core::BCResult fresh = core::compute(g, o);
+    ASSERT_EQ(warm.result->scores.size(), fresh.scores.size());
+    EXPECT_EQ(std::memcmp(warm.result->scores.data(), fresh.scores.data(),
+                          fresh.scores.size() * sizeof(double)),
+              0)
+        << "cpu_threads=" << o.cpu_threads;
+  }
+}
+
 TEST(BcServiceTest, IdenticalConcurrentRequestsCoalesceToOneCompute) {
   auto gate = std::make_shared<ComputeGate>();
   ServiceConfig cfg;

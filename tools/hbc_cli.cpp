@@ -13,8 +13,10 @@
 //   --lcc             restrict to the largest connected component
 //   --out FILE        write "<vertex>\t<score>" lines to FILE
 //   --seed S          RNG seed for root sampling (default 42)
-//   --threads N       worker threads for the CPU-parallel strategies
-//                     (default 0 = hardware concurrency)
+//   --threads N       host worker threads. CPU-parallel strategies split
+//                     roots across threads; GPU-model strategies execute
+//                     simulated blocks concurrently with identical results
+//                     at any thread count (default 0 = hardware concurrency)
 //   --weighted LO:HI  weighted BC with uniform random edge weights in
 //                     [LO, HI); runs the weighted sampling engine
 //                     (Bellman-Ford vs near-far chosen by probe)
