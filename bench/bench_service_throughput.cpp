@@ -1,4 +1,5 @@
-// Service throughput: QPS vs worker count x cache-hit ratio.
+// Service throughput: QPS vs worker count x cache-hit ratio, plus the
+// resilience axes (docs/resilience.md).
 //
 // Replays a synthetic query workload (sampling-strategy approximate BC
 // over a small-world graph) through hbc::service::BcService at 0% and
@@ -8,19 +9,38 @@
 // 2x); the warm column shows the cache collapsing latency to lookups, at
 // which point QPS is bounded by the submit path, not by workers.
 //
+// Two resilience measurements follow:
+//   * a fault-rate axis — the same cold-cache workload with a transient
+//     fault plan injecting faults into 0%, 1%, and 10% of roots, reporting
+//     QPS, p99 latency, and the fallback ratio (ladder descents per
+//     computed request; transient faults recover in-driver, so it should
+//     stay 0 while QPS degrades only by the retried roots' extra work);
+//   * a cancellation-overhead check — the driver polls its CancelToken at
+//     every root boundary even when no deadline is set; best-of-N kernel
+//     runs with an inert vs. an armed (never firing) token must stay
+//     within 2%, i.e. fault-free runs don't pay for cancellability.
+//
 // Environment knobs (bench/common.hpp conventions):
 //   HBC_BENCH_SCALE     log2 vertices of the benchmark graph (default 11)
 //   HBC_BENCH_ROOTS     sample_roots per query          (default 16)
 //   HBC_BENCH_REQUESTS  requests per measurement        (default 96)
+//   HBC_BENCH_JSON      also write machine-readable records to this path
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "core/bc.hpp"
+#include "gpusim/faults.hpp"
 #include "graph/generators.hpp"
 #include "service/service.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -32,16 +52,54 @@ struct Measurement {
   double hit_rate = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  double fallback_ratio = 0.0;  // ladder descents per computed request
+  std::uint64_t faults = 0;     // device faults injected (incl. recovered)
+  std::uint64_t reruns = 0;     // service whole-run compute retries
 };
+
+std::vector<std::string> g_json_records;
+
+void record_measurement(const char* axis, std::size_t workers, double hit_ratio,
+                        double fault_rate, const Measurement& m) {
+  std::ostringstream s;
+  s << "{\"bench\":\"service_throughput\",\"axis\":\"" << axis
+    << "\",\"workers\":" << workers << ",\"target_hit_ratio\":" << hit_ratio
+    << ",\"fault_rate\":" << fault_rate << ",\"qps\":" << m.qps
+    << ",\"hit_rate\":" << m.hit_rate << ",\"p50_ms\":" << m.p50_ms
+    << ",\"p99_ms\":" << m.p99_ms << ",\"fallback_ratio\":" << m.fallback_ratio
+    << ",\"faults\":" << m.faults << ",\"compute_retries\":" << m.reruns << "}";
+  g_json_records.push_back(s.str());
+}
+
+void emit_json() {
+  const char* path = std::getenv("HBC_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < g_json_records.size(); ++i) {
+    out << "  " << g_json_records[i] << (i + 1 < g_json_records.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  std::ofstream f(path);
+  f << out.str();
+  std::printf("wrote %zu records to %s\n", g_json_records.size(), path);
+}
 
 Measurement run_workload(const graph::CSRGraph& g, std::size_t workers,
                          double hit_ratio, std::uint32_t sample_roots,
-                         std::size_t requests) {
+                         std::size_t requests, double fault_rate = 0.0) {
   service::ServiceConfig cfg;
   cfg.workers = workers;
   cfg.admission.max_queue_depth = requests;  // measure workers, not admission
   service::BcService svc(cfg);
   svc.load_graph("bench", std::make_shared<const graph::CSRGraph>(g));
+
+  std::shared_ptr<const gpusim::FaultPlan> plan;
+  if (fault_rate > 0.0) {
+    gpusim::FaultPlan p(5);
+    p.add({.kind = gpusim::FaultKind::KernelLaunch, .rate = fault_rate});
+    plan = std::make_shared<const gpusim::FaultPlan>(std::move(p));
+  }
 
   // hit_ratio ~0.9: 90% of requests cycle through a small warm set that
   // was computed once up front; the rest (and everything at ratio 0) get
@@ -53,6 +111,7 @@ Measurement run_workload(const graph::CSRGraph& g, std::size_t workers,
     r.options.strategy = core::Strategy::Sampling;
     r.options.sample_roots = sample_roots;
     r.options.seed = seed;
+    r.options.fault_plan = plan;
     return r;
   };
   if (hit_ratio > 0.0) {
@@ -79,7 +138,31 @@ Measurement run_workload(const graph::CSRGraph& g, std::size_t workers,
   out.hit_rate = m.cache_hit_rate();
   out.p50_ms = m.latency_p50_ms;
   out.p99_ms = m.latency_p99_ms;
+  out.fallback_ratio = m.computed > 0
+                           ? static_cast<double>(m.fallbacks) /
+                                 static_cast<double>(m.computed)
+                           : 0.0;
+  out.faults = m.device_faults;
+  out.reruns = m.compute_retries;
   return out;
+}
+
+/// Best-of-N wall seconds for one sampling run over `g` with the given
+/// cancel token. Min-of-N is the standard noise-robust point estimate for
+/// "how fast can this go" comparisons.
+double best_run_seconds(const graph::CSRGraph& g, std::uint32_t sample_roots,
+                        const util::CancelToken& token, int reps) {
+  core::Options o;
+  o.strategy = core::Strategy::Sampling;
+  o.sample_roots = sample_roots;
+  o.cancel = token;
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    util::Timer t;
+    (void)core::compute(g, o);
+    best = std::min(best, t.elapsed_seconds());
+  }
+  return best;
 }
 
 }  // namespace
@@ -109,6 +192,8 @@ int main() {
   for (const std::size_t w : worker_counts) {
     const Measurement cold = run_workload(g, w, 0.0, roots, requests);
     const Measurement warm = run_workload(g, w, 0.9, roots, requests);
+    record_measurement("workers", w, 0.0, 0.0, cold);
+    record_measurement("workers", w, 0.9, 0.0, warm);
     if (w == 1) qps_1 = cold.qps;
     if (w == 4) qps_4 = cold.qps;
     std::printf("%8zu | %10.1f %8.1f %8.2f | %10.1f %8.1f %8.2f\n", w, cold.qps,
@@ -121,5 +206,45 @@ int main() {
                 " expect >2x when >=4 are available)\n",
                 qps_4 / qps_1, hw);
   }
-  return 0;
+
+  // --- fault-rate axis ----------------------------------------------------
+  // Transient launch faults on 0% / 1% / 10% of roots (docs/resilience.md).
+  // Every fault recovers in-driver, so the fallback ratio stays 0 and QPS
+  // pays only for the retried launches.
+  const std::size_t fault_workers = std::min<std::size_t>(4, hw);
+  std::printf("\nfault-rate axis (cold cache, %zu workers, transient launch faults)\n",
+              fault_workers);
+  std::printf("%10s | %10s %8s %10s %8s %8s\n", "fault rate", "QPS", "p99 ms",
+              "fallback%", "faults", "reruns");
+  bench::print_rule();
+  for (const double rate : {0.0, 0.01, 0.10}) {
+    const Measurement m = run_workload(g, fault_workers, 0.0, roots, requests, rate);
+    record_measurement("fault_rate", fault_workers, 0.0, rate, m);
+    std::printf("%9.0f%% | %10.1f %8.2f %9.1f%% %8llu %8llu\n", 100.0 * rate, m.qps,
+                m.p99_ms, 100.0 * m.fallback_ratio,
+                static_cast<unsigned long long>(m.faults),
+                static_cast<unsigned long long>(m.reruns));
+  }
+  bench::print_rule();
+
+  // --- cancellation-check overhead ----------------------------------------
+  // The driver polls RunConfig::cancel once per root even with no deadline
+  // set. Compare best-of-N runs with an inert token (default) against an
+  // armed token whose deadline never fires: the armed run adds one atomic
+  // load + clock read per root, which must stay within 2%.
+  constexpr int kReps = 5;
+  const util::CancelToken inert;  // default: one pointer test per check
+  util::CancelSource armed =
+      util::CancelSource::with_timeout(std::chrono::hours(24));
+  const double base_s = best_run_seconds(g, roots, inert, kReps);
+  const double armed_s = best_run_seconds(g, roots, armed.token(), kReps);
+  const double overhead = base_s > 0.0 ? (armed_s - base_s) / base_s : 0.0;
+  std::printf("\ncancellation-check overhead (best of %d, %u roots): "
+              "inert %.4fs vs armed %.4fs -> %+.2f%%\n",
+              kReps, roots, base_s, armed_s, 100.0 * overhead);
+  const bool overhead_ok = overhead <= 0.02;
+  std::printf("cancellation overhead within 2%%: %s\n", overhead_ok ? "PASS" : "FAIL");
+
+  emit_json();
+  return overhead_ok ? 0 : 1;
 }

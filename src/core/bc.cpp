@@ -93,6 +93,15 @@ std::string options_signature(const Options& o) {
     << o.sampling.min_frontier;
   s << ";roots=";
   for (const VertexId v : o.roots) s << v << ',';
+  // A fully-recovered fault-injected run is bitwise-identical to a clean
+  // one, but runs that can FAIL roots are not interchangeable with clean
+  // runs — so any armed plan (and the retry budget that shapes which roots
+  // survive) conservatively fragments the key. cancel/fault_retry_epoch
+  // are excluded: they never change the scores of a result that completes.
+  if (o.fault_plan && !o.fault_plan->empty()) {
+    s << ";faults=" << o.fault_plan->signature()
+      << ";max_attempts=" << o.max_root_attempts;
+  }
   return s.str();
 }
 
@@ -156,7 +165,8 @@ BCResult compute(const graph::CSRGraph& g, const Options& options) {
   util::Timer wall;
   switch (options.strategy) {
     case Strategy::CpuSerial: {
-      cpu::BrandesResult r = cpu::brandes(g, {.sources = roots});
+      cpu::BrandesResult r =
+          cpu::brandes(g, {.sources = roots, .cancel = options.cancel});
       result.scores = std::move(r.bc);
       result.roots_processed = r.roots_processed;
       result.time_seconds = wall.elapsed_seconds();
@@ -164,7 +174,8 @@ BCResult compute(const graph::CSRGraph& g, const Options& options) {
     }
     case Strategy::CpuParallel: {
       cpu::BrandesResult r = cpu::parallel_brandes(
-          g, {.sources = roots, .num_threads = options.cpu_threads});
+          g, {.sources = roots, .num_threads = options.cpu_threads,
+              .cancel = options.cancel});
       result.scores = std::move(r.bc);
       result.roots_processed = r.roots_processed;
       result.time_seconds = wall.elapsed_seconds();
@@ -172,7 +183,8 @@ BCResult compute(const graph::CSRGraph& g, const Options& options) {
     }
     case Strategy::CpuFineGrained: {
       cpu::BrandesResult r = cpu::fine_grained_brandes(
-          g, {.sources = roots, .num_threads = options.cpu_threads});
+          g, {.sources = roots, .num_threads = options.cpu_threads,
+              .cancel = options.cancel});
       result.scores = std::move(r.bc);
       result.roots_processed = r.roots_processed;
       result.time_seconds = wall.elapsed_seconds();
@@ -186,6 +198,10 @@ BCResult compute(const graph::CSRGraph& g, const Options& options) {
       rc.sampling = options.sampling;
       rc.collect_per_root_stats = options.collect_per_root_stats;
       rc.cpu_threads = options.cpu_threads;
+      rc.fault_plan = options.fault_plan;
+      rc.cancel = options.cancel;
+      rc.max_root_attempts = options.max_root_attempts;
+      rc.fault_retry_epoch = options.fault_retry_epoch;
       kernels::RunResult r =
           kernels::run_strategy(to_kernel_strategy(options.strategy), g, rc);
       result.scores = std::move(r.bc);
@@ -193,6 +209,7 @@ BCResult compute(const graph::CSRGraph& g, const Options& options) {
       result.time_seconds = r.metrics.sim_seconds;
       result.kernel_metrics = std::move(r.metrics);
       result.per_root = std::move(r.per_root);
+      result.faults = std::move(r.faults);
       break;
     }
   }

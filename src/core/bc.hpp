@@ -13,14 +13,17 @@
 //   for (auto [v, score] : hbc::core::top_k(r.scores, 10)) { ... }
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "gpusim/config.hpp"
+#include "gpusim/faults.hpp"
 #include "graph/csr.hpp"
 #include "kernels/kernels.hpp"
+#include "util/cancel.hpp"
 
 namespace hbc::core {
 
@@ -82,6 +85,24 @@ struct Options {
   std::size_t cpu_threads = 0;
 
   bool collect_per_root_stats = false;
+
+  // --- resilience (docs/resilience.md) ---
+
+  /// Deterministic fault injection into the simulated device (GPU-model
+  /// strategies only; CPU engines run no simulated device and ignore it).
+  /// nullptr = fault-free.
+  std::shared_ptr<const gpusim::FaultPlan> fault_plan;
+  /// Cooperative cancellation: every engine (GPU-model and CPU) polls this
+  /// token at root boundaries and throws util::Cancelled, so a deadline or
+  /// a manual cancel takes effect within one root rather than at run end.
+  /// Default-constructed = never cancels.
+  util::CancelToken cancel;
+  /// Launches a root may consume before it is reported as failed (first
+  /// try + retries + the recovery-sweep attempt). Minimum 1.
+  std::uint32_t max_root_attempts = 3;
+  /// Attempt-index offset for FaultPlan queries; bump per whole-run retry
+  /// so transient faults deterministically clear (see RunConfig).
+  std::uint32_t fault_retry_epoch = 0;
 };
 
 struct BCResult {
@@ -101,6 +122,12 @@ struct BCResult {
   /// Populated for GPU-model strategies.
   kernels::RunMetrics kernel_metrics;
   std::vector<kernels::PerRootStats> per_root;
+
+  /// Fault-injection accounting (GPU-model strategies with a fault_plan).
+  /// complete() == false means some roots' contributions are missing from
+  /// `scores` — the result is partial, not exact; callers decide whether
+  /// to retry, degrade, or surface the failure.
+  gpusim::FaultReport faults;
 };
 
 BCResult compute(const graph::CSRGraph& g, const Options& options = {});

@@ -105,12 +105,14 @@ BrandesResult brandes(const CSRGraph& g, const BrandesOptions& options) {
 
   if (options.sources.empty()) {
     for (VertexId s = 0; s < n; ++s) {
+      options.cancel.check();
       brandes_single_source(g, s, result.bc, &result);
       ++result.roots_processed;
     }
   } else {
     for (VertexId s : options.sources) {
       if (s >= n) continue;
+      options.cancel.check();
       brandes_single_source(g, s, result.bc, &result);
       ++result.roots_processed;
     }

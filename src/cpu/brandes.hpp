@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "util/cancel.hpp"
 
 namespace hbc::cpu {
 
@@ -22,6 +23,8 @@ struct BrandesOptions {
   /// This is exactly the paper's root-subset mechanism used for
   /// approximation and for multi-GPU work distribution.
   std::vector<graph::VertexId> sources;
+  /// Polled before each source; throws util::Cancelled within one root.
+  util::CancelToken cancel;
 };
 
 struct BrandesResult {

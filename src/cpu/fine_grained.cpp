@@ -57,6 +57,9 @@ BrandesResult fine_grained_brandes(const CSRGraph& g, const FineGrainedOptions& 
 
   for (const VertexId s : sources) {
     if (s >= n) continue;
+    // Root boundary (the outer loop runs on the calling thread; the pool
+    // only splits levels, so throwing here never crosses a pool task).
+    options.cancel.check();
     state.reset();
     frontier.assign(1, s);
     stack.assign(1, s);

@@ -23,6 +23,8 @@ namespace hbc::cpu {
 struct FineGrainedOptions {
   std::vector<graph::VertexId> sources;  // empty = all vertices
   std::size_t num_threads = 0;           // 0 = hardware concurrency
+  /// Polled before each source; throws util::Cancelled within one root.
+  util::CancelToken cancel;
 };
 
 /// Exact BC with intra-source parallelism. Deterministic: per-level

@@ -29,12 +29,16 @@ BrandesResult parallel_brandes(const CSRGraph& g, const ParallelBrandesOptions& 
   pool.parallel_ranges(sources.size(), [&](std::size_t tid, std::size_t begin, std::size_t end) {
     BrandesResult& local = partials[tid];
     for (std::size_t i = begin; i < end; ++i) {
+      // Pool tasks must not throw; bail at the root boundary and let the
+      // calling thread raise Cancelled after the join below.
+      if (options.cancel.cancelled()) return;
       const VertexId s = sources[i];
       if (s >= n) continue;
       brandes_single_source(g, s, local.bc, &local);
       ++local.roots_processed;
     }
   });
+  options.cancel.check();
 
   BrandesResult result;
   result.bc.assign(n, 0.0);

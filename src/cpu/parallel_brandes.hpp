@@ -16,6 +16,9 @@ namespace hbc::cpu {
 struct ParallelBrandesOptions {
   std::vector<graph::VertexId> sources;  // empty = all vertices
   std::size_t num_threads = 0;           // 0 = hardware concurrency
+  /// Polled at each worker's source boundaries; the run throws
+  /// util::Cancelled (from the calling thread) within one root per worker.
+  util::CancelToken cancel;
 };
 
 BrandesResult parallel_brandes(const graph::CSRGraph& g,

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "gpusim/config.hpp"
+#include "gpusim/faults.hpp"
 #include "gpusim/memory.hpp"
 
 namespace hbc::gpusim {
@@ -97,27 +98,44 @@ class ImbalancedRound {
 };
 
 /// Per-block accounting handle passed into kernels.
+///
+/// When the driver arms a FaultArm on the block (fault injection), the
+/// charge_* methods throw DeviceFault once the block's cycle ledger
+/// crosses the armed threshold — modelling an ECC error or watchdog
+/// timeout surfacing mid-kernel. With no arm (the default) they cannot
+/// throw; cycles charged before the trip stay in the ledger, mirroring
+/// the wasted device time a real fault leaves behind.
 class BlockContext {
  public:
-  BlockContext(const DeviceConfig& cfg, Counters& counters, std::uint64_t& cycles)
-      : cfg_(&cfg), counters_(&counters), cycles_(&cycles) {}
+  BlockContext(const DeviceConfig& cfg, Counters& counters, std::uint64_t& cycles,
+               FaultArm* arm = nullptr, std::uint32_t block_index = 0)
+      : cfg_(&cfg),
+        counters_(&counters),
+        cycles_(&cycles),
+        arm_(arm),
+        block_index_(block_index) {}
 
   const DeviceConfig& config() const noexcept { return *cfg_; }
   const CostModel& cost() const noexcept { return cfg_->cost; }
   Counters& counters() noexcept { return *counters_; }
+  std::uint32_t block_index() const noexcept { return block_index_; }
 
   std::uint64_t cycles() const noexcept { return *cycles_; }
-  void charge_cycles(std::uint64_t cycles) noexcept { *cycles_ += cycles; }
+  void charge_cycles(std::uint64_t cycles) {
+    *cycles_ += cycles;
+    maybe_trip();
+  }
 
   /// Uniform parallel round: N items, each costing item_cycles, spread
   /// over the block's threads (or `width` threads if given — GPU-FAN runs
   /// grid-wide rounds with width = device_threads()).
   void charge_uniform_round(std::uint64_t items, std::uint64_t item_cycles,
-                            std::uint64_t width = 0) noexcept {
+                            std::uint64_t width = 0) {
     if (items == 0) return;
     const std::uint64_t threads = width ? width : cfg_->threads_per_block;
     const std::uint64_t rounds = (items + threads - 1) / threads;
     *cycles_ += rounds * item_cycles;
+    maybe_trip();
   }
 
   /// Imbalanced round helper; commit with charge_imbalanced_round().
@@ -127,24 +145,38 @@ class BlockContext {
         std::min<std::uint64_t>(threads, 1u << 20)));
   }
 
-  void charge_imbalanced_round(const ImbalancedRound& round) noexcept {
+  void charge_imbalanced_round(const ImbalancedRound& round) {
     *cycles_ += round.cost_cycles(cfg_->cost.thread_ilp);
+    maybe_trip();
   }
 
-  void charge_barrier() noexcept {
+  void charge_barrier() {
     *cycles_ += cfg_->cost.block_barrier;
     ++counters_->barriers;
+    maybe_trip();
   }
 
-  void charge_grid_sync() noexcept {
+  void charge_grid_sync() {
     *cycles_ += cfg_->cost.grid_relaunch;
     ++counters_->grid_syncs;
+    maybe_trip();
   }
 
  private:
+  void maybe_trip() {
+    if (arm_ && arm_->armed && *cycles_ >= arm_->trip_cycles) {
+      // Disarm before throwing so unwinding charge paths (and the next
+      // root on this block) don't re-trip the same fault.
+      arm_->armed = false;
+      throw DeviceFault(arm_->kind, arm_->root, block_index_, arm_->transient);
+    }
+  }
+
   const DeviceConfig* cfg_;
   Counters* counters_;
   std::uint64_t* cycles_;
+  FaultArm* arm_;
+  std::uint32_t block_index_;
 };
 
 /// A simulated GPU. Owns the memory ledger and the per-block cycle and
@@ -177,6 +209,7 @@ class Device {
     const std::uint32_t n = std::max<std::uint32_t>(num_blocks, 1);
     block_cycles_.assign(n, 0);
     block_counters_.assign(n, Counters{});
+    block_arms_.assign(n, FaultArm{});
   }
 
   std::uint32_t num_blocks() const noexcept {
@@ -184,8 +217,25 @@ class Device {
   }
 
   BlockContext block(std::uint32_t index) {
-    return BlockContext(cfg_, block_counters_.at(index), block_cycles_.at(index));
+    return BlockContext(cfg_, block_counters_.at(index), block_cycles_.at(index),
+                        &block_arms_.at(index), index);
   }
+
+  /// Arm an execution fault on a block: contexts for this block throw
+  /// DeviceFault once the block ledger reaches arm-time cycles +
+  /// `after_cycles`. The arm auto-disarms when it trips; call disarm()
+  /// when the armed root completes without tripping.
+  void arm_fault(std::uint32_t index, FaultKind kind, std::uint32_t root,
+                 bool transient, std::uint64_t after_cycles) {
+    FaultArm& arm = block_arms_.at(index);
+    arm.armed = true;
+    arm.kind = kind;
+    arm.root = root;
+    arm.transient = transient;
+    arm.trip_cycles = block_cycles_.at(index) + after_cycles;
+  }
+
+  void disarm_fault(std::uint32_t index) { block_arms_.at(index).armed = false; }
 
   std::uint64_t block_cycles(std::uint32_t index) const {
     return block_cycles_.at(index);
@@ -210,6 +260,7 @@ class Device {
   void reset() {
     block_cycles_.clear();
     block_counters_.clear();
+    block_arms_.clear();
     memory_.release_all();
   }
 
@@ -218,6 +269,7 @@ class Device {
   GlobalMemory memory_;
   std::vector<std::uint64_t> block_cycles_;
   std::vector<Counters> block_counters_;
+  std::vector<FaultArm> block_arms_;
 };
 
 }  // namespace hbc::gpusim

@@ -22,13 +22,16 @@
 // the simulated device through the BlockContext (see gpusim/device.hpp).
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "gpusim/device.hpp"
+#include "gpusim/faults.hpp"
 #include "graph/csr.hpp"
 #include "util/bitvector.hpp"
+#include "util/cancel.hpp"
 
 namespace hbc::kernels {
 
@@ -80,6 +83,20 @@ struct RunConfig {
   /// vector, operation counters, and simulated-cycle metrics are bitwise
   /// identical for every value — threading changes wall_seconds only.
   std::size_t cpu_threads = 0;
+  /// Deterministic fault injection (nullptr = fault-free). Shared and
+  /// immutable so concurrent runs can reference one plan.
+  std::shared_ptr<const gpusim::FaultPlan> fault_plan;
+  /// Cooperative cancellation, polled by the driver at every root
+  /// boundary. Default-constructed = never cancels (one pointer test).
+  util::CancelToken cancel;
+  /// Total launches a root may consume (first try + in-block retries +
+  /// the recovery-sweep attempt) before it lands in FaultReport. Min 1.
+  std::uint32_t max_root_attempts = 3;
+  /// Offset applied to the attempt index in FaultPlan queries. A whole-run
+  /// retry at epoch+1 sees fresh attempt numbers, so transient faults
+  /// (which clear after `fail_attempts` launches) deterministically stop
+  /// firing — the service's backoff path relies on this.
+  std::uint32_t fault_retry_epoch = 0;
 };
 
 /// One forward-stage BFS level of one root.
@@ -117,6 +134,10 @@ struct RunResult {
   std::vector<double> bc;
   RunMetrics metrics;
   std::vector<PerRootStats> per_root;  // populated when requested
+  /// Fault-injection accounting. faults.complete() == true means every
+  /// root's contribution is present (scores exact); failed roots are
+  /// missing from `bc` and listed in faults.failed_roots.
+  gpusim::FaultReport faults;
 };
 
 /// Per-block working set (Algorithm 1's local variables).

@@ -61,6 +61,15 @@ BlockDriver::BlockDriver(const CSRGraph& g, const RunConfig& config,
   ep_levels_.assign(num_blocks_, 0);
   if (config.collect_per_root_stats) per_root_.resize(roots_.size());
   if (config.collect_root_cycles) per_root_cycles_.assign(roots_.size(), 0);
+  root_done_.assign(roots_.size(), 0);
+  deferred_.resize(num_blocks_);
+  block_reports_.resize(num_blocks_);
+
+  // Attempt budget: a root gets max_root_attempts launches in total. The
+  // last one is reserved for the serial recovery sweep (the "reassignment"
+  // lane); the rest happen in-block, back to back.
+  max_attempts_ = std::max<std::uint32_t>(config.max_root_attempts, 1);
+  in_block_budget_ = std::max<std::uint32_t>(max_attempts_ - 1, 1);
 
   const std::size_t requested =
       config.cpu_threads != 0
@@ -71,33 +80,92 @@ BlockDriver::BlockDriver(const CSRGraph& g, const RunConfig& config,
 
 BlockDriver::~BlockDriver() = default;
 
+void BlockDriver::launch_root(std::uint32_t block, gpusim::BlockContext& ctx,
+                              std::size_t i, std::uint32_t plan_attempt,
+                              const RootFn& fn) {
+  const auto root32 = static_cast<std::uint32_t>(roots_[i]);
+  if (const gpusim::FaultPlan* plan = config_->fault_plan.get()) {
+    // Launch-stage faults fail before any work is done or charged.
+    if (const auto lf = plan->launch_fault(root32, plan_attempt)) {
+      throw gpusim::DeviceFault(lf->kind, root32, block, lf->transient);
+    }
+    // Execution-stage faults trip from inside the charge paths once the
+    // block ledger advances `after_cycles` past this point.
+    if (const auto ef = plan->execution_fault(root32, plan_attempt)) {
+      device_.arm_fault(block, ef->kind, root32, ef->transient, ef->after_cycles);
+    }
+  }
+  RootTask task{*workspaces_[block],
+                ctx,
+                roots_[i],
+                i,
+                block,
+                std::span<double>(partial_bc_[block]),
+                we_levels_[block],
+                ep_levels_[block],
+                nullptr};
+  if (config_->collect_per_root_stats) {
+    // Reset the sink each launch so a retried root doesn't duplicate
+    // iteration records from the aborted attempt.
+    per_root_[i] = PerRootStats{};
+    per_root_[i].root = roots_[i];
+    task.stats = &per_root_[i];
+  }
+  const std::uint64_t root_start_cycles = ctx.cycles();
+  try {
+    fn(task);
+  } catch (...) {
+    // A tripped arm self-disarms; an untripped one must not leak into the
+    // next root (or the phase-boundary charges).
+    device_.disarm_fault(block);
+    throw;
+  }
+  device_.disarm_fault(block);
+  if (config_->collect_root_cycles) {
+    // Cycles of the completing attempt; aborted attempts' cycles stay in
+    // the block ledger (wasted device time) but not in the per-root view.
+    per_root_cycles_[i] = ctx.cycles() - root_start_cycles;
+  }
+}
+
+void BlockDriver::mark_completed(std::size_t i, gpusim::BlockContext& ctx) {
+  root_done_[i] = 1;
+  ++ctx.counters().roots_processed;
+}
+
 void BlockDriver::process_block(std::uint32_t block, std::size_t begin,
                                 std::size_t end, const RootFn& fn) {
   gpusim::BlockContext ctx = device_.block(block);
-  BCWorkspace& ws = *workspaces_[block];
+  gpusim::FaultReport& rep = block_reports_[block];
+  const std::uint32_t epoch_base = config_->fault_retry_epoch * max_attempts_;
   // This block owns every global index ≡ block (mod B) — the serial
   // round-robin deal, so the schedule is identical for any thread count.
   const std::size_t phase = begin % num_blocks_;
   std::size_t i = begin + (block + num_blocks_ - phase) % num_blocks_;
   for (; i < end; i += num_blocks_) {
-    RootTask task{ws,
-                  ctx,
-                  roots_[i],
-                  i,
-                  block,
-                  std::span<double>(partial_bc_[block]),
-                  we_levels_[block],
-                  ep_levels_[block],
-                  nullptr};
-    if (config_->collect_per_root_stats) {
-      per_root_[i].root = roots_[i];
-      task.stats = &per_root_[i];
-    }
-    const std::uint64_t root_start_cycles = ctx.cycles();
-    fn(task);
-    ++ctx.counters().roots_processed;
-    if (config_->collect_root_cycles) {
-      per_root_cycles_[i] = ctx.cycles() - root_start_cycles;
+    // Root boundary: the only cancellation point. An inert token is one
+    // pointer test, so fault-free runs pay (almost) nothing.
+    config_->cancel.check();
+    std::uint32_t attempt = 0;
+    while (true) {
+      try {
+        launch_root(block, ctx, i, epoch_base + attempt, fn);
+        mark_completed(i, ctx);
+        break;
+      } catch (const gpusim::DeviceFault& f) {
+        ++rep.faults_injected;
+        ++attempt;
+        // Retry transient faults back to back while the in-block budget
+        // lasts; park everything else for the phase-end recovery sweep
+        // (persistent faults would fail identically here anyway).
+        if (f.transient() && attempt < in_block_budget_) {
+          ++rep.retries;
+          continue;
+        }
+        deferred_[block].push_back(
+            DeferredRoot{i, attempt, f.kind(), f.transient()});
+        break;
+      }
     }
   }
 }
@@ -113,15 +181,85 @@ void BlockDriver::run_phase(std::size_t count, const RootFn& fn) {
     for (std::uint32_t b = 0; b < num_blocks_; ++b) {
       process_block(b, begin, end, fn);
     }
-    return;
+  } else {
+    // One task per simulated block; blocks share no mutable state, so the
+    // pool may interleave them freely. parallel_for blocks until all are
+    // done — the phase barrier every strategy's serial loop had
+    // implicitly. Pool tasks must not throw (the pool terminates), so
+    // each block captures its exception and the driver thread rethrows
+    // the lowest block's after the join — a deterministic choice.
+    std::vector<std::exception_ptr> errors(num_blocks_);
+    util::ThreadPool pool(host_threads_);
+    pool.parallel_for(num_blocks_, [&](std::size_t b) {
+      try {
+        process_block(static_cast<std::uint32_t>(b), begin, end, fn);
+      } catch (...) {
+        errors[b] = std::current_exception();
+      }
+    });
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
   }
-  // One task per simulated block; blocks share no mutable state, so the
-  // pool may interleave them freely. parallel_for blocks until all are
-  // done — the phase barrier every strategy's serial loop had implicitly.
-  util::ThreadPool pool(host_threads_);
-  pool.parallel_for(num_blocks_, [&](std::size_t b) {
-    process_block(static_cast<std::uint32_t>(b), begin, end, fn);
-  });
+  recovery_sweep(fn);
+}
+
+void BlockDriver::recovery_sweep(const RootFn& fn) {
+  // Merge the phase's per-block fault accounting in block order.
+  for (std::uint32_t b = 0; b < num_blocks_; ++b) {
+    report_ += block_reports_[b];
+    block_reports_[b] = gpusim::FaultReport{};
+  }
+  std::vector<DeferredRoot> parked;
+  for (std::uint32_t b = 0; b < num_blocks_; ++b) {
+    parked.insert(parked.end(), deferred_[b].begin(), deferred_[b].end());
+    deferred_[b].clear();
+  }
+  if (parked.empty()) return;
+  // Serial, ascending-root-index order on the driver thread: deterministic
+  // no matter which host thread deferred each root. Each rescue executes
+  // with the root's OWNING block context and accumulates into that block's
+  // partial vector — the right block, but after the block's other roots,
+  // so a rescued run matches a clean one up to FP re-association (and is
+  // bitwise-reproducible for the same plan at any thread count).
+  std::sort(parked.begin(), parked.end(),
+            [](const DeferredRoot& a, const DeferredRoot& b) {
+              return a.index < b.index;
+            });
+  const std::uint32_t epoch_base = config_->fault_retry_epoch * max_attempts_;
+  for (const DeferredRoot& d : parked) {
+    config_->cancel.check();
+    std::uint32_t attempt = d.attempts;
+    gpusim::FaultKind last_kind = d.last_kind;
+    bool last_transient = d.last_transient;
+    bool completed = false;
+    const auto block = static_cast<std::uint32_t>(d.index % num_blocks_);
+    gpusim::BlockContext ctx = device_.block(block);
+    while (last_transient && attempt < max_attempts_) {
+      ++report_.retries;
+      try {
+        launch_root(block, ctx, d.index, epoch_base + attempt, fn);
+        mark_completed(d.index, ctx);
+        ++report_.rescued_roots;
+        completed = true;
+        break;
+      } catch (const gpusim::DeviceFault& f) {
+        ++report_.faults_injected;
+        ++attempt;
+        last_kind = f.kind();
+        last_transient = f.transient();
+      }
+    }
+    if (!completed) {
+      report_.failed_roots.push_back(gpusim::RootFailure{
+          static_cast<std::uint32_t>(roots_[d.index]), last_kind, attempt,
+          last_transient});
+    }
+  }
+  std::sort(report_.failed_roots.begin(), report_.failed_roots.end(),
+            [](const gpusim::RootFailure& a, const gpusim::RootFailure& b) {
+              return a.root < b.root;
+            });
 }
 
 RunResult BlockDriver::finish() {
@@ -144,6 +282,8 @@ RunResult BlockDriver::finish() {
   result.metrics.sim_seconds = device_.elapsed_seconds();
   result.metrics.wall_seconds = wall_.elapsed_seconds();
   result.metrics.device_memory_high_water = device_.memory().high_water_mark();
+  result.faults = std::move(report_);
+  report_ = gpusim::FaultReport{};
   return result;
 }
 

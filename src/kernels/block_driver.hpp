@@ -26,6 +26,24 @@
 //     every score — and the simulated-cycle totals are independent of the
 //     host thread count. Threading changes wall_seconds only.
 //
+// Resilience (docs/resilience.md): when RunConfig carries a FaultPlan,
+// each root launch may raise a gpusim::DeviceFault. The driver treats the
+// root as the unit of recovery — a completed-root ledger records what is
+// already accumulated, transient faults are retried in-block, and roots
+// that exhaust their in-block budget are deferred to a serial recovery
+// sweep at the end of the phase. In-block retries relaunch before the
+// block moves on, so a run recovered in-block is bitwise-identical to a
+// fault-free run. The sweep runs on the driver thread but charges the
+// root's *owning* block context and accumulates into that block's partial
+// vector: a rescued root's value lands on the right block, but AFTER the
+// block's other roots, so sweep rescues equal the fault-free scores only
+// up to floating-point re-association — while remaining bitwise-
+// deterministic for a given plan at every host-thread count (the
+// determinism the cache and the tests actually rely on). Roots that fail
+// every attempt are reported in RunResult::faults instead of aborting.
+// RunConfig::cancel is polled at every root boundary (including the
+// sweep), so a deadline or stop() takes effect within one root.
+//
 // docs/driver.md walks through the block→thread mapping in detail.
 
 #include <cstddef>
@@ -108,19 +126,50 @@ class BlockDriver {
 
   /// Process the next `count` roots (npos = all remaining) with `fn`,
   /// executing blocks concurrently on the host threads. Returns when every
-  /// root of the phase is done (host threads joined at the phase barrier).
+  /// root of the phase is done (host threads joined at the phase barrier)
+  /// — including the recovery sweep for fault-deferred roots. Throws
+  /// util::Cancelled if RunConfig::cancel fires (within one root boundary
+  /// per block).
   void run_phase(std::size_t count, const RootFn& fn);
 
   /// Process every remaining root.
   void run(const RootFn& fn) { run_phase(npos, fn); }
+
+  /// Completed-root ledger: true once root index `i` (position in
+  /// roots()) has been accumulated into its block's partial BC vector.
+  /// Call between phases only (worker threads write it during a phase).
+  bool root_completed(std::size_t i) const { return root_done_.at(i) != 0; }
+  /// Roots whose contribution is accumulated (= roots_processed counter).
+  std::size_t completed_roots() const noexcept {
+    return device_.counters().roots_processed;
+  }
+  /// Fault accounting so far (merged at phase boundaries).
+  const gpusim::FaultReport& fault_report() const noexcept { return report_; }
 
   /// Reduce per-block partials in fixed block order and finalize metrics
   /// (counters, elapsed/sim/wall time, memory high-water, per-root data).
   RunResult finish();
 
  private:
+  /// A root that exhausted its in-block attempts, parked for the sweep.
+  struct DeferredRoot {
+    std::size_t index;          // global root index
+    std::uint32_t attempts;     // launches consumed so far
+    gpusim::FaultKind last_kind;
+    bool last_transient;
+  };
+
   void process_block(std::uint32_t block, std::size_t begin, std::size_t end,
                      const RootFn& fn);
+  /// One launch of root index `i` on `block`: inject/arm plan faults for
+  /// `plan_attempt`, run `fn`, disarm. Throws gpusim::DeviceFault when the
+  /// launch fails or an armed fault trips mid-kernel.
+  void launch_root(std::uint32_t block, gpusim::BlockContext& ctx, std::size_t i,
+                   std::uint32_t plan_attempt, const RootFn& fn);
+  void mark_completed(std::size_t i, gpusim::BlockContext& ctx);
+  /// Serially retry the phase's deferred roots in ascending root order,
+  /// charging each root's owning block (run after the phase barrier).
+  void recovery_sweep(const RootFn& fn);
 
   const graph::CSRGraph* g_;
   const RunConfig* config_;
@@ -128,6 +177,8 @@ class BlockDriver {
   gpusim::Device device_;
   std::uint32_t num_blocks_ = 1;
   std::size_t host_threads_ = 1;
+  std::uint32_t max_attempts_ = 3;    // total launches per root
+  std::uint32_t in_block_budget_ = 2; // launches before deferring to sweep
   std::vector<graph::VertexId> roots_;
   std::size_t next_index_ = 0;
   std::vector<std::unique_ptr<BCWorkspace>> workspaces_;  // one per block
@@ -136,6 +187,10 @@ class BlockDriver {
   std::vector<std::uint64_t> ep_levels_;                  // one per block
   std::vector<PerRootStats> per_root_;          // root-indexed, if enabled
   std::vector<std::uint64_t> per_root_cycles_;  // root-indexed, if enabled
+  std::vector<std::uint8_t> root_done_;         // root-indexed ledger
+  std::vector<std::vector<DeferredRoot>> deferred_;     // one list per block
+  std::vector<gpusim::FaultReport> block_reports_;      // one per block
+  gpusim::FaultReport report_;  // merged in block order at phase end
 };
 
 }  // namespace hbc::kernels

@@ -116,6 +116,33 @@ void ServiceMetrics::on_computed(double compute_ms, double total_ms) {
   latency_.record(total_ms);
 }
 
+void ServiceMetrics::on_faults(std::uint64_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_.device_faults += n;
+}
+
+void ServiceMetrics::on_compute_retry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.compute_retries;
+}
+
+void ServiceMetrics::on_fallback() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.fallbacks;
+}
+
+void ServiceMetrics::on_degraded() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.degraded;
+}
+
+void ServiceMetrics::on_cancelled(double time_to_cancel_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.cancellations;
+  if (time_to_cancel_ms >= 0.0) time_to_cancel_ms_.add(time_to_cancel_ms);
+}
+
 MetricsSnapshot ServiceMetrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s = counts_;
@@ -126,6 +153,8 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.latency_mean_ms = latency_.mean_ms();
   s.latency_max_ms = latency_.max_ms();
   s.compute_mean_ms = compute_ms_.mean();
+  s.time_to_cancel_mean_ms = time_to_cancel_ms_.mean();
+  s.time_to_cancel_max_ms = time_to_cancel_ms_.max();
   s.uptime_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
                          .count();
   s.qps = s.uptime_seconds > 0.0 ? static_cast<double>(s.completed) / s.uptime_seconds : 0.0;
@@ -133,7 +162,7 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
 }
 
 std::string format_report(const MetricsSnapshot& s) {
-  char buf[1536];
+  char buf[2048];
   const int written = std::snprintf(
       buf, sizeof(buf),
       "== hbc::service metrics ==\n"
@@ -145,6 +174,8 @@ std::string format_report(const MetricsSnapshot& s) {
       "admission   shed=%llu rejected_full=%llu rejected_deadline=%llu"
       " deadline_dropped=%llu graph_not_found=%llu\n"
       "queue       depth=%zu peak=%zu\n"
+      "resilience  faults=%llu retries=%llu fallbacks=%llu degraded=%llu"
+      " cancelled=%llu time_to_cancel_ms mean=%.3f max=%.3f\n"
       "latency_ms  p50=%.3f p90=%.3f p95=%.3f p99=%.3f mean=%.3f max=%.3f"
       " (n=%llu)\n"
       "compute_ms  mean=%.3f\n",
@@ -164,6 +195,12 @@ std::string format_report(const MetricsSnapshot& s) {
       static_cast<unsigned long long>(s.deadline_dropped),
       static_cast<unsigned long long>(s.graph_not_found),
       s.queue_depth, s.queue_peak_depth,
+      static_cast<unsigned long long>(s.device_faults),
+      static_cast<unsigned long long>(s.compute_retries),
+      static_cast<unsigned long long>(s.fallbacks),
+      static_cast<unsigned long long>(s.degraded),
+      static_cast<unsigned long long>(s.cancellations),
+      s.time_to_cancel_mean_ms, s.time_to_cancel_max_ms,
       s.latency_p50_ms, s.latency_p90_ms, s.latency_p95_ms, s.latency_p99_ms,
       s.latency_mean_ms, s.latency_max_ms,
       static_cast<unsigned long long>(s.completed),

@@ -71,6 +71,17 @@ struct MetricsSnapshot {
   std::size_t queue_peak_depth = 0;
   std::size_t workers = 0;
 
+  // Resilience (docs/resilience.md).
+  std::uint64_t device_faults = 0;    // simulated DeviceFaults observed
+  std::uint64_t compute_retries = 0;  // whole-run retries after transient failure
+  std::uint64_t fallbacks = 0;        // degradation-ladder descents
+  std::uint64_t degraded = 0;         // responses served degraded
+  std::uint64_t cancellations = 0;    // in-flight computes cancelled
+                                      // (deadline mid-compute or stop())
+  // Cancel request -> compute actually stopped (one root boundary).
+  double time_to_cancel_mean_ms = 0.0;
+  double time_to_cancel_max_ms = 0.0;
+
   // Latency (end-to-end submit -> response, milliseconds).
   double latency_p50_ms = 0.0;
   double latency_p90_ms = 0.0;
@@ -112,6 +123,17 @@ class ServiceMetrics {
   void on_error();
   /// A computed (cache-miss) request finished OK.
   void on_computed(double compute_ms, double total_ms);
+  /// `n` simulated device faults surfaced from one compute run.
+  void on_faults(std::uint64_t n);
+  /// A whole-run retry was scheduled after a transient failure.
+  void on_compute_retry();
+  /// The degradation ladder descended one rung.
+  void on_fallback();
+  /// A response was served degraded (substitute or partial result).
+  void on_degraded();
+  /// An in-flight compute was cancelled; `time_to_cancel_ms` measures
+  /// cancel request -> the run actually unwinding (root-boundary latency).
+  void on_cancelled(double time_to_cancel_ms);
 
   /// Counters + latency fields; cache/queue fields are the caller's job.
   MetricsSnapshot snapshot() const;
@@ -122,6 +144,7 @@ class ServiceMetrics {
   MetricsSnapshot counts_;  // only the counter fields are maintained here
   LatencyHistogram latency_;
   util::RunningStats compute_ms_;
+  util::RunningStats time_to_cancel_ms_;
 };
 
 }  // namespace hbc::service

@@ -4,6 +4,8 @@
 #include <exception>
 #include <thread>
 
+#include "gpusim/faults.hpp"
+#include "gpusim/memory.hpp"
 #include "util/timer.hpp"
 
 namespace hbc::service {
@@ -25,6 +27,7 @@ const char* to_string(QueryStatus status) noexcept {
     case QueryStatus::DeadlineExceeded: return "deadline-exceeded";
     case QueryStatus::GraphNotFound: return "graph-not-found";
     case QueryStatus::ServiceStopped: return "service-stopped";
+    case QueryStatus::BadRequest: return "bad-request";
     case QueryStatus::Failed: return "failed";
   }
   return "?";
@@ -291,6 +294,111 @@ core::BCResult BcService::run_compute(const graph::CSRGraph& g, const core::Opti
   return cfg_.compute_fn ? cfg_.compute_fn(g, o) : core::compute(g, o);
 }
 
+namespace {
+
+/// Deadline- and cancel-aware backoff sleep: never sleeps past the
+/// moment the token would fire, and wakes promptly on stop().
+void backoff_sleep(std::chrono::milliseconds budget, const util::CancelToken& cancel) {
+  const Clock::time_point until = Clock::now() + budget;
+  while (Clock::now() < until) {
+    if (cancel.cancelled()) return;  // the next check() will throw
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+core::BCResult BcService::compute_resilient(const graph::CSRGraph& g,
+                                            const core::Options& requested,
+                                            const util::CancelSource& cancel,
+                                            bool& degraded) {
+  degraded = false;
+  core::Options opts = requested;
+  opts.cancel = cancel.token();
+
+  // Rung 0: the requested strategy, with whole-run retries while failures
+  // are transient. Each retry bumps fault_retry_epoch, so a seeded
+  // FaultPlan's transient faults deterministically clear.
+  core::BCResult partial;
+  bool have_partial = false;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    opts.cancel.check();
+    try {
+      core::BCResult r = run_compute(g, opts);
+      metrics_.on_faults(r.faults.faults_injected);
+      if (r.faults.complete()) return r;  // clean or fully recovered
+      if (r.faults.all_failures_transient() && attempt < cfg_.max_compute_retries) {
+        metrics_.on_compute_retry();
+        backoff_sleep(cfg_.retry_backoff * (1u << attempt), opts.cancel);
+        opts.fault_retry_epoch = requested.fault_retry_epoch + attempt + 1;
+        continue;
+      }
+      partial = std::move(r);  // persistent failures (or retries exhausted)
+      have_partial = true;
+    } catch (const util::Cancelled&) {
+      throw;
+    } catch (const std::invalid_argument&) {
+      throw;  // client error — never worth a fallback
+    } catch (const hbc::DeviceFault& f) {
+      // A fault escaped compute (e.g. an injecting compute_fn hook).
+      metrics_.on_faults(1);
+      if (f.transient() && attempt < cfg_.max_compute_retries) {
+        metrics_.on_compute_retry();
+        backoff_sleep(cfg_.retry_backoff * (1u << attempt), opts.cancel);
+        opts.fault_retry_epoch = requested.fault_retry_epoch + attempt + 1;
+        continue;
+      }
+      if (!cfg_.enable_fallback || !core::uses_gpu_model(requested.strategy)) throw;
+    } catch (const gpusim::DeviceOutOfMemory&) {
+      // Resource exhaustion never clears by retrying — descend directly.
+      if (!cfg_.enable_fallback || !core::uses_gpu_model(requested.strategy)) throw;
+    }
+    break;
+  }
+
+  if (!cfg_.enable_fallback || !core::uses_gpu_model(requested.strategy)) {
+    // No ladder: surface the partial result, marked degraded (failed
+    // roots are listed in result.faults; the cache never sees it).
+    if (have_partial) {
+      degraded = true;
+      metrics_.on_degraded();
+      return partial;
+    }
+    throw std::runtime_error("compute failed with no result");
+  }
+
+  // Rung 1: exact scores on the CPU — slower, but immune to device faults.
+  degraded = true;
+  metrics_.on_fallback();
+  try {
+    core::Options cpu = requested;
+    cpu.strategy = core::Strategy::CpuParallel;
+    cpu.fault_plan.reset();
+    cpu.cancel = cancel.token();
+    if (cfg_.compute_threads != 0) cpu.cpu_threads = cfg_.compute_threads;
+    core::BCResult r = run_compute(g, cpu);
+    metrics_.on_degraded();
+    return r;
+  } catch (const util::Cancelled&) {
+    throw;
+  } catch (const std::exception&) {
+    // fall through to the approximation rung
+  }
+
+  // Rung 2: McLaughlin & Bader Algorithm-5 style approximation — a
+  // principled partial answer when the exact one can't be afforded.
+  metrics_.on_fallback();
+  core::Options approx = requested;
+  approx.strategy = core::Strategy::Sampling;
+  approx.fault_plan.reset();
+  approx.cancel = cancel.token();
+  approx.roots.clear();
+  approx.sample_roots = std::max<std::uint32_t>(1, cfg_.fallback_sample_roots);
+  core::BCResult r = run_compute(g, approx);
+  metrics_.on_degraded();
+  return r;
+}
+
 void BcService::worker_loop() {
   for (;;) {
     std::optional<Job> job = queue_.pop();
@@ -300,26 +408,60 @@ void BcService::worker_loop() {
     Response resp;
     resp.shed = entry->shed;
 
-    if (Clock::now() > job->deadline) {
+    // Register this job's cancel source under mu_ while re-checking
+    // stopped_: either stop() already ran (fast-complete, no compute) or
+    // the source is visible in inflight_ for stop() to cancel — a compute
+    // can never start unnoticed by a concurrent stop().
+    util::CancelSource cancel = util::CancelSource::with_deadline(job->deadline);
+    bool stopped = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopped = stopped_;
+      if (!stopped) entry->cancel = cancel;
+    }
+
+    if (stopped) {
+      resp.status = QueryStatus::ServiceStopped;
+    } else if (Clock::now() > job->deadline) {
       metrics_.on_deadline_dropped();
       resp.status = QueryStatus::DeadlineExceeded;
     } else {
       util::Timer timer;
       try {
-        core::BCResult computed = run_compute(*job->graph, job->options);
+        bool degraded = false;
+        core::BCResult computed = compute_resilient(*job->graph, job->options,
+                                                    cancel, degraded);
         resp.compute_ms = timer.elapsed_ms();
+        resp.degraded = degraded;
 
-        auto cached = std::make_shared<CachedResult>();
-        cached->result = std::move(computed);
-        cached->bytes = estimate_result_bytes(cached->result);
-        cache_.put(entry->key, cached);
+        // Degraded results are substitutes (or partial) — never cached, so
+        // an identical later request gets a fresh shot at the real answer.
+        if (!degraded) {
+          auto cached = std::make_shared<CachedResult>();
+          cached->result = std::move(computed);
+          cached->bytes = estimate_result_bytes(cached->result);
+          cache_.put(entry->key, cached);
+          resp.result =
+              std::shared_ptr<const core::BCResult>(cached, &cached->result);
+        } else {
+          resp.result = std::make_shared<const core::BCResult>(std::move(computed));
+        }
 
         resp.status = QueryStatus::Ok;
-        resp.result = std::shared_ptr<const core::BCResult>(cached, &cached->result);
         resp.total_ms =
             std::chrono::duration<double, std::milli>(Clock::now() - job->submitted)
                 .count();
         metrics_.on_computed(resp.compute_ms, resp.total_ms);
+      } catch (const util::Cancelled& c) {
+        metrics_.on_cancelled(cancel.ms_since_cancel());
+        resp.status = c.reason() == util::CancelReason::Deadline
+                          ? QueryStatus::DeadlineExceeded
+                          : QueryStatus::ServiceStopped;
+        resp.error = c.what();
+      } catch (const std::invalid_argument& e) {
+        metrics_.on_error();
+        resp.status = QueryStatus::BadRequest;
+        resp.error = e.what();
       } catch (const std::exception& e) {
         metrics_.on_error();
         resp.status = QueryStatus::Failed;
@@ -348,9 +490,15 @@ void BcService::stop() {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) return;
     stopped_ = true;
+    // Cancel every in-flight computation under the same lock the workers
+    // register their sources with: a worker either saw stopped_ (and
+    // won't compute) or its source is here and gets cancelled. Running
+    // computes unwind with util::Cancelled at their next root boundary
+    // and complete their futures with ServiceStopped.
+    for (auto& [key, entry] : inflight_) entry->cancel.cancel();
   }
   queue_.close();
-  pool_.reset();  // workers drain the queue, then join
+  pool_.reset();  // workers fast-complete queued jobs, then join
 
   // A submitter that was admitted before close() may have pushed after the
   // workers drained; answer anything left so no future is abandoned.

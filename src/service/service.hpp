@@ -42,6 +42,7 @@
 #include "service/admission.hpp"
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hbc::service {
@@ -49,9 +50,11 @@ namespace hbc::service {
 enum class QueryStatus {
   Ok,
   QueueFull,         // Reject policy and the queue was full
-  DeadlineExceeded,  // request's deadline passed before compute started
+  DeadlineExceeded,  // deadline passed — queued, blocked, or MID-COMPUTE
+                     // (the worker cancels the run at a root boundary)
   GraphNotFound,     // graph_id not registered (or already evicted)
-  ServiceStopped,    // submitted during/after stop()
+  ServiceStopped,    // submitted during/after stop(), or cancelled by it
+  BadRequest,        // invalid options (bad roots etc.); error has details
   Failed,            // compute threw; Response::error has the message
 };
 
@@ -63,8 +66,10 @@ struct Request {
   /// When > 0, wait() fills Response::top with the top-k (vertex, score)
   /// pairs. Per-request: coalesced twins may ask for different k.
   std::size_t top_k = 0;
-  /// Total budget from submit to compute start; 0 = none. Expiry while
-  /// queued (or while blocked on admission) yields DeadlineExceeded.
+  /// Total budget from submit to response; 0 = none. Expiry while queued
+  /// (or blocked on admission) yields DeadlineExceeded immediately; expiry
+  /// mid-compute cancels the run cooperatively at the next root boundary
+  /// and yields DeadlineExceeded then (see docs/resilience.md).
   std::chrono::milliseconds timeout{0};
 };
 
@@ -78,6 +83,12 @@ struct Response {
   bool from_cache = false;
   bool coalesced = false;
   bool shed = false;        // served from a shed (downgraded) computation
+  /// The answer is not what was asked for: the requested strategy failed
+  /// persistently and the degradation ladder served a CPU or sampling
+  /// substitute (result->strategy says which), or — with the ladder
+  /// disabled — a partial result with failed roots missing. Degraded
+  /// results are NEVER cached; a later identical request recomputes.
+  bool degraded = false;
   double compute_ms = 0.0;  // 0 for cache hits
   double total_ms = 0.0;    // submit -> response
   bool ok() const noexcept { return status == QueryStatus::Ok; }
@@ -112,8 +123,27 @@ struct ServiceConfig {
   /// on cpu_threads, which the cache key therefore includes.
   std::size_t compute_threads = 1;
   /// Test hook / strategy override: replaces core::compute for every job.
-  /// Must be thread-safe; default (empty) calls core::compute.
+  /// Must be thread-safe; default (empty) calls core::compute. Receives
+  /// the job's full Options including `cancel` and any `fault_plan`.
   std::function<core::BCResult(const graph::CSRGraph&, const core::Options&)> compute_fn;
+
+  // --- resilience (docs/resilience.md) ---
+
+  /// Whole-run retries after a run fails only transiently (every failed
+  /// root's last fault was transient, or a transient DeviceFault escaped
+  /// compute). Each retry bumps Options::fault_retry_epoch so a seeded
+  /// FaultPlan deterministically clears, and backs off exponentially.
+  std::uint32_t max_compute_retries = 2;
+  /// Backoff before the first retry; doubles per retry. Sleeps are capped
+  /// by the request deadline and interrupted by stop().
+  std::chrono::milliseconds retry_backoff{1};
+  /// After retries are exhausted (or a persistent fault), descend the
+  /// ladder: requested GPU strategy → CpuParallel exact → Sampling
+  /// approximation — marking the response degraded. false = surface the
+  /// partial result (degraded) instead of substituting.
+  bool enable_fallback = true;
+  /// Root-sample width of the final (approximation) rung.
+  std::uint32_t fallback_sample_roots = 64;
 };
 
 class BcService {
@@ -153,8 +183,13 @@ class BcService {
 
   // -- Lifecycle & observability ------------------------------------------
 
-  /// Stop admissions, drain queued jobs, join workers. Idempotent; the
-  /// destructor calls it.
+  /// Stop the service. Idempotent; the destructor calls it. Guarantees:
+  ///  * new submits complete immediately with ServiceStopped;
+  ///  * queued-but-unstarted jobs complete with ServiceStopped — they are
+  ///    never computed and never hang their futures;
+  ///  * in-flight computations are cancelled cooperatively (CancelToken)
+  ///    and complete with ServiceStopped within one root boundary;
+  ///  * workers are joined before stop() returns.
   void stop();
 
   std::size_t worker_count() const noexcept;
@@ -174,6 +209,10 @@ class BcService {
     std::shared_future<Response> future;
     std::string key;
     bool shed = false;
+    /// Replaced (under mu_) by the worker's deadline-bearing source when
+    /// compute starts; stop() cancels it so in-flight work aborts within
+    /// one root boundary.
+    util::CancelSource cancel;
   };
 
   struct Job {
@@ -187,6 +226,13 @@ class BcService {
   static Ticket ready_ticket(std::uint64_t id, Response response);
   void worker_loop();
   core::BCResult run_compute(const graph::CSRGraph& g, const core::Options& o);
+  /// Retry-with-backoff + degradation ladder around run_compute. Sets
+  /// `degraded` when a substitute (or partial) result is returned. Throws
+  /// util::Cancelled, std::invalid_argument, or the final rung's error.
+  core::BCResult compute_resilient(const graph::CSRGraph& g,
+                                   const core::Options& requested,
+                                   const util::CancelSource& cancel,
+                                   bool& degraded);
 
   ServiceConfig cfg_;
   ResultCache cache_;

@@ -20,6 +20,13 @@
 //   --weighted LO:HI  weighted BC with uniform random edge weights in
 //                     [LO, HI); runs the weighted sampling engine
 //                     (Bellman-Ford vs near-far chosen by probe)
+//   --inject-faults SPEC  deterministic simulated-device fault plan for
+//                     GPU-model strategies (docs/resilience.md), e.g.
+//                     "seed=9;launch,rate=0.05;timeout,roots=3:17,persistent"
+//   --max-attempts N  launches a root may consume before it is reported
+//                     failed (default 3: first try + retry + rescue)
+//   --deadline MS     cancel the computation cooperatively after MS
+//                     milliseconds (exit code 3 when it fires)
 //
 // Graph sources: any METIS/.graph, MatrixMarket/.mtx, or SNAP edge-list
 // file, or a built-in generator, e.g. gen:smallworld:14 or gen:road:15:7.
@@ -29,13 +36,17 @@
 #include <fstream>
 #include <string>
 
+#include <chrono>
+
 #include "core/bc.hpp"
 #include "core/teps.hpp"
 #include "cpu/weighted_brandes.hpp"
+#include "gpusim/faults.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/transforms.hpp"
 #include "kernels/weighted.hpp"
+#include "util/cancel.hpp"
 
 namespace {
 
@@ -45,6 +56,7 @@ using namespace hbc;
   std::fprintf(stderr,
                "usage: %s [--strategy NAME] [--roots K] [--top K] [--normalize]\n"
                "          [--halve] [--lcc] [--out FILE] [--seed S] [--threads N]\n"
+               "          [--inject-faults SPEC] [--max-attempts N] [--deadline MS]\n"
                "          <graph-file | gen:<family>:<scale>[:<seed>]>\n",
                argv0);
   std::exit(2);
@@ -76,6 +88,7 @@ int main(int argc, char** argv) {
   bool use_lcc = false;
   bool weighted = false;
   double weight_lo = 1.0, weight_hi = 4.0;
+  long long deadline_ms = 0;
   std::string out_path;
   std::string graph_spec;
 
@@ -104,6 +117,12 @@ int main(int argc, char** argv) {
         options.seed = std::stoull(next());
       } else if (arg == "--threads") {
         options.cpu_threads = std::stoul(next());
+      } else if (arg == "--inject-faults") {
+        options.fault_plan = gpusim::FaultPlan::parse_shared(next());
+      } else if (arg == "--max-attempts") {
+        options.max_root_attempts = static_cast<std::uint32_t>(std::stoul(next()));
+      } else if (arg == "--deadline") {
+        deadline_ms = std::stoll(next());
       } else if (arg == "--weighted") {
         weighted = true;
         const std::string range = next();
@@ -129,6 +148,12 @@ int main(int argc, char** argv) {
     }
   }
   if (graph_spec.empty()) usage(argv[0]);
+
+  util::CancelSource cancel =
+      deadline_ms > 0
+          ? util::CancelSource::with_timeout(std::chrono::milliseconds(deadline_ms))
+          : util::CancelSource();
+  if (deadline_ms > 0) options.cancel = cancel.token();
 
   try {
     graph::CSRGraph g = load_graph(graph_spec);
@@ -169,6 +194,20 @@ int main(int argc, char** argv) {
     }
 
     const core::BCResult result = core::compute(g, options);
+    if (options.fault_plan && !options.fault_plan->empty()) {
+      const gpusim::FaultReport& fr = result.faults;
+      std::printf("faults: injected=%llu retries=%llu rescued=%llu failed=%zu%s\n",
+                  static_cast<unsigned long long>(fr.faults_injected),
+                  static_cast<unsigned long long>(fr.retries),
+                  static_cast<unsigned long long>(fr.rescued_roots),
+                  fr.failed_roots.size(),
+                  fr.complete() ? " (scores exact)" : " (scores partial)");
+      for (const gpusim::RootFailure& f : fr.failed_roots) {
+        std::printf("  root %u failed: %s after %u attempts (%s)\n", f.root,
+                    gpusim::to_string(f.kind), f.attempts,
+                    f.transient ? "transient" : "persistent");
+      }
+    }
     std::printf("strategy %s: %llu roots, %.4f s (%s), %.2f MTEPS%s\n",
                 core::to_string(result.strategy),
                 static_cast<unsigned long long>(result.roots_processed),
@@ -199,6 +238,9 @@ int main(int argc, char** argv) {
       }
       std::printf("wrote %zu scores to %s\n", scores.size(), out_path.c_str());
     }
+  } catch (const util::Cancelled& c) {
+    std::fprintf(stderr, "cancelled after %lld ms: %s\n", deadline_ms, c.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -26,6 +26,13 @@
 //   --workload FILE   file-driven workload instead of the synthetic one:
 //                     one request per line, "graph_id strategy roots seed",
 //                     '#' starts a comment
+//   --inject-faults SPEC  attach a deterministic fault plan to every
+//                     request (docs/resilience.md grammar), exercising the
+//                     service's retry and degradation ladder
+//   --max-attempts N  per-root launch budget inside each run (default 3)
+//   --retries N       whole-run retries after transient failure (default 2)
+//   --no-fallback     disable the CPU/sampling degradation ladder
+//   --fallback-roots K  sample width of the final ladder rung (default 64)
 //
 // Exit code 0 when every request completed Ok (rejections under --policy
 // reject/deadline are reported but still exit 0: they are the service
@@ -40,6 +47,7 @@
 #include <vector>
 
 #include "core/bc.hpp"
+#include "gpusim/faults.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "service/service.hpp"
@@ -56,7 +64,9 @@ using namespace hbc;
                "          [--shed-roots K] [--cache-mb M] [--requests N]\n"
                "          [--hit-ratio P] [--distinct K] [--strategy NAME]\n"
                "          [--roots K] [--threads N] [--top K] [--timeout MS]\n"
-               "          [--seed S] [--workload FILE]\n"
+               "          [--seed S] [--workload FILE] [--inject-faults SPEC]\n"
+               "          [--max-attempts N] [--retries N] [--no-fallback]\n"
+               "          [--fallback-roots K]\n"
                "          <graph-file | gen:<family>:<scale>[:<seed>]> ...\n",
                argv0);
   std::exit(2);
@@ -91,6 +101,8 @@ struct ServeArgs {
   std::chrono::milliseconds timeout{0};
   std::uint64_t seed = 7;
   std::string workload_file;
+  std::shared_ptr<const gpusim::FaultPlan> fault_plan;
+  std::uint32_t max_root_attempts = 3;
   std::vector<std::string> graph_specs;
 };
 
@@ -107,6 +119,8 @@ std::vector<service::Request> synthetic_workload(const ServeArgs& args,
     r.options.sample_roots = args.sample_roots;
     r.options.seed = 1000 + i;
     r.options.cpu_threads = args.cpu_threads;
+    r.options.fault_plan = args.fault_plan;
+    r.options.max_root_attempts = args.max_root_attempts;
     r.top_k = args.top_k;
     r.timeout = args.timeout;
     warm.push_back(std::move(r));
@@ -153,6 +167,8 @@ std::vector<service::Request> file_workload(const ServeArgs& args) {
     r.options.sample_roots = roots;
     r.options.seed = seed;
     r.options.cpu_threads = args.cpu_threads;
+    r.options.fault_plan = args.fault_plan;
+    r.options.max_root_attempts = args.max_root_attempts;
     r.top_k = args.top_k;
     r.timeout = args.timeout;
     out.push_back(std::move(r));
@@ -204,6 +220,17 @@ int main(int argc, char** argv) {
         args.seed = std::stoull(next());
       } else if (arg == "--workload") {
         args.workload_file = next();
+      } else if (arg == "--inject-faults") {
+        args.fault_plan = gpusim::FaultPlan::parse_shared(next());
+      } else if (arg == "--max-attempts") {
+        args.max_root_attempts = static_cast<std::uint32_t>(std::stoul(next()));
+      } else if (arg == "--retries") {
+        args.config.max_compute_retries = static_cast<std::uint32_t>(std::stoul(next()));
+      } else if (arg == "--no-fallback") {
+        args.config.enable_fallback = false;
+      } else if (arg == "--fallback-roots") {
+        args.config.fallback_sample_roots =
+            static_cast<std::uint32_t>(std::stoul(next()));
       } else if (arg == "--help" || arg == "-h") {
         usage(argv[0]);
       } else if (!arg.empty() && arg[0] == '-') {
@@ -244,9 +271,11 @@ int main(int argc, char** argv) {
     for (const auto& request : workload) tickets.push_back(svc.submit(request));
 
     std::map<std::string, std::size_t> by_status;
+    std::size_t degraded = 0;
     for (const auto& ticket : tickets) {
       const service::Response r = svc.wait(ticket);
       ++by_status[to_string(r.status)];
+      degraded += r.degraded ? 1 : 0;
     }
     const double wall_s = wall.elapsed_seconds();
 
@@ -254,6 +283,9 @@ int main(int argc, char** argv) {
                 static_cast<double>(workload.size()) / wall_s);
     for (const auto& [status, count] : by_status) {
       std::printf("  %-18s %zu\n", status.c_str(), count);
+    }
+    if (degraded > 0) {
+      std::printf("  %-18s %zu\n", "(degraded)", degraded);
     }
     std::printf("\n%s", svc.metrics_report().c_str());
   } catch (const std::exception& e) {
