@@ -40,6 +40,7 @@
 #include "gpusim/faults.hpp"
 #include "graph/generators.hpp"
 #include "service/service.hpp"
+#include "trace/trace.hpp"
 #include "util/cancel.hpp"
 #include "util/timer.hpp"
 
@@ -111,7 +112,7 @@ Measurement run_workload(const graph::CSRGraph& g, std::size_t workers,
     r.options.strategy = core::Strategy::Sampling;
     r.options.sample_roots = sample_roots;
     r.options.seed = seed;
-    r.options.fault_plan = plan;
+    r.options.resilience.fault_plan = plan;
     return r;
   };
   if (hit_ratio > 0.0) {
@@ -151,11 +152,13 @@ Measurement run_workload(const graph::CSRGraph& g, std::size_t workers,
 /// cancel token. Min-of-N is the standard noise-robust point estimate for
 /// "how fast can this go" comparisons.
 double best_run_seconds(const graph::CSRGraph& g, std::uint32_t sample_roots,
-                        const util::CancelToken& token, int reps) {
+                        const util::CancelToken& token, int reps,
+                        trace::Tracer* tracer = nullptr) {
   core::Options o;
   o.strategy = core::Strategy::Sampling;
   o.sample_roots = sample_roots;
-  o.cancel = token;
+  o.resilience.cancel = token;
+  o.trace.tracer = tracer;
   double best = 1e300;
   for (int i = 0; i < reps; ++i) {
     util::Timer t;
@@ -245,6 +248,33 @@ int main() {
   const bool overhead_ok = overhead <= 0.02;
   std::printf("cancellation overhead within 2%%: %s\n", overhead_ok ? "PASS" : "FAIL");
 
+  // --- disabled-tracing overhead ------------------------------------------
+  // Every instrumentation point holds a null Sink pointer when no tracer is
+  // attached, so tracing off must be free to the same standard as the inert
+  // cancel token. Compare no tracer (baseline) against a tracer with every
+  // category masked off (one load+AND per point): within 2%. An enabled
+  // capture is also timed and written out so bench runs double as trace
+  // producers (HBC_BENCH_TRACE overrides the output path).
+  trace::Tracer masked(trace::TracerConfig{.categories = trace::kNone});
+  const double masked_s = best_run_seconds(g, roots, inert, kReps, &masked);
+  const double trace_overhead =
+      base_s > 0.0 ? (masked_s - base_s) / base_s : 0.0;
+  std::printf("\ndisabled-tracing overhead (best of %d, %u roots): "
+              "off %.4fs vs masked %.4fs -> %+.2f%%\n",
+              kReps, roots, base_s, masked_s, 100.0 * trace_overhead);
+  const bool trace_ok = trace_overhead <= 0.02;
+  std::printf("disabled-tracing overhead within 2%%: %s\n", trace_ok ? "PASS" : "FAIL");
+
+  trace::Tracer enabled;
+  const double enabled_s = best_run_seconds(g, roots, inert, 1, &enabled);
+  const char* trace_path = std::getenv("HBC_BENCH_TRACE");
+  const std::string trace_out =
+      trace_path != nullptr && *trace_path != '\0' ? trace_path : "service_bench_trace.json";
+  std::ofstream tf(trace_out);
+  enabled.write_chrome_json(tf);
+  std::printf("enabled capture: %.4fs, %zu events -> %s\n", enabled_s,
+              enabled.event_count(), trace_out.c_str());
+
   emit_json();
-  return overhead_ok ? 0 : 1;
+  return overhead_ok && trace_ok ? 0 : 1;
 }

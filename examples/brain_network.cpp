@@ -14,12 +14,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "core/bc.hpp"
-#include "core/report.hpp"
-#include "cpu/approx.hpp"
-#include "graph/algorithms.hpp"
-#include "graph/builder.hpp"
-#include "util/rng.hpp"
+#include "hbc.hpp"
 
 namespace {
 

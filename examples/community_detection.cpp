@@ -9,10 +9,7 @@
 #include <cstdio>
 #include <map>
 
-#include "cpu/edge_bc.hpp"
-#include "graph/algorithms.hpp"
-#include "graph/builder.hpp"
-#include "util/rng.hpp"
+#include "hbc.hpp"
 
 namespace {
 

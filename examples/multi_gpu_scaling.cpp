@@ -5,9 +5,7 @@
 
 #include <cstdio>
 
-#include "cpu/brandes.hpp"
-#include "dist/cluster.hpp"
-#include "graph/generators.hpp"
+#include "hbc.hpp"
 
 int main() {
   using namespace hbc;

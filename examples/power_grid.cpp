@@ -11,10 +11,7 @@
 
 #include <cstdio>
 
-#include "core/bc.hpp"
-#include "graph/algorithms.hpp"
-#include "graph/builder.hpp"
-#include "graph/generators.hpp"
+#include "hbc.hpp"
 
 namespace {
 

@@ -7,10 +7,7 @@
 
 #include <cstdio>
 
-#include "core/bc.hpp"
-#include "core/teps.hpp"
-#include "graph/generators.hpp"
-#include "graph/io.hpp"
+#include "hbc.hpp"
 
 int main(int argc, char** argv) {
   using namespace hbc;

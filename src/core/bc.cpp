@@ -98,9 +98,10 @@ std::string options_signature(const Options& o) {
   // runs — so any armed plan (and the retry budget that shapes which roots
   // survive) conservatively fragments the key. cancel/fault_retry_epoch
   // are excluded: they never change the scores of a result that completes.
-  if (o.fault_plan && !o.fault_plan->empty()) {
-    s << ";faults=" << o.fault_plan->signature()
-      << ";max_attempts=" << o.max_root_attempts;
+  // Options::trace is excluded entirely — capture is pure diagnostics.
+  if (o.resilience.fault_plan && !o.resilience.fault_plan->empty()) {
+    s << ";faults=" << o.resilience.fault_plan->signature()
+      << ";max_attempts=" << o.resilience.max_root_attempts;
   }
   return s.str();
 }
@@ -162,11 +163,24 @@ BCResult compute(const graph::CSRGraph& g, const Options& options) {
   }
   result.approximate = approximate || (!roots.empty() && roots.size() < g.num_vertices());
 
+  // CPU engines get a wall-clock compute span on a host sink. GPU-model
+  // strategies deliberately get NO wall-clock events — their traces are
+  // stamped purely from the simulated cycle ledger so captures stay
+  // bitwise-identical at every host-thread count.
+  trace::Tracer* tracer = options.trace.tracer;
+  trace::Sink* host_sink =
+      tracer && !uses_gpu_model(options.strategy) ? tracer->thread_sink() : nullptr;
+  trace::ScopedSpan compute_span(host_sink, tracer, to_string(options.strategy),
+                                 trace::kCompute,
+                                 {{"roots", static_cast<std::uint64_t>(
+                                                roots.empty() ? g.num_vertices()
+                                                              : roots.size())}});
+
   util::Timer wall;
   switch (options.strategy) {
     case Strategy::CpuSerial: {
       cpu::BrandesResult r =
-          cpu::brandes(g, {.sources = roots, .cancel = options.cancel});
+          cpu::brandes(g, {.sources = roots, .cancel = options.resilience.cancel});
       result.scores = std::move(r.bc);
       result.roots_processed = r.roots_processed;
       result.time_seconds = wall.elapsed_seconds();
@@ -175,7 +189,7 @@ BCResult compute(const graph::CSRGraph& g, const Options& options) {
     case Strategy::CpuParallel: {
       cpu::BrandesResult r = cpu::parallel_brandes(
           g, {.sources = roots, .num_threads = options.cpu_threads,
-              .cancel = options.cancel});
+              .cancel = options.resilience.cancel});
       result.scores = std::move(r.bc);
       result.roots_processed = r.roots_processed;
       result.time_seconds = wall.elapsed_seconds();
@@ -184,7 +198,7 @@ BCResult compute(const graph::CSRGraph& g, const Options& options) {
     case Strategy::CpuFineGrained: {
       cpu::BrandesResult r = cpu::fine_grained_brandes(
           g, {.sources = roots, .num_threads = options.cpu_threads,
-              .cancel = options.cancel});
+              .cancel = options.resilience.cancel});
       result.scores = std::move(r.bc);
       result.roots_processed = r.roots_processed;
       result.time_seconds = wall.elapsed_seconds();
@@ -198,10 +212,11 @@ BCResult compute(const graph::CSRGraph& g, const Options& options) {
       rc.sampling = options.sampling;
       rc.collect_per_root_stats = options.collect_per_root_stats;
       rc.cpu_threads = options.cpu_threads;
-      rc.fault_plan = options.fault_plan;
-      rc.cancel = options.cancel;
-      rc.max_root_attempts = options.max_root_attempts;
-      rc.fault_retry_epoch = options.fault_retry_epoch;
+      rc.fault_plan = options.resilience.fault_plan;
+      rc.cancel = options.resilience.cancel;
+      rc.max_root_attempts = options.resilience.max_root_attempts;
+      rc.fault_retry_epoch = options.resilience.fault_retry_epoch;
+      rc.tracer = tracer;
       kernels::RunResult r =
           kernels::run_strategy(to_kernel_strategy(options.strategy), g, rc);
       result.scores = std::move(r.bc);

@@ -23,6 +23,7 @@
 #include "gpusim/faults.hpp"
 #include "graph/csr.hpp"
 #include "kernels/kernels.hpp"
+#include "trace/trace.hpp"
 #include "util/cancel.hpp"
 
 namespace hbc::core {
@@ -42,8 +43,13 @@ enum class Strategy {
 
 const char* to_string(Strategy strategy) noexcept;
 
-/// Parse "cpu", "cpu-parallel", "vertex", "edge", "gpufan",
-/// "work-efficient", "hybrid", "sampling"; throws std::invalid_argument.
+/// Parse a strategy name; round-trips with to_string for every Strategy.
+/// Accepted spellings (canonical first): "cpu-serial"/"cpu",
+/// "cpu-parallel", "cpu-fine-grained"/"cpu-fine", "vertex-parallel"/
+/// "vertex", "edge-parallel"/"edge", "gpu-fan"/"gpufan",
+/// "work-efficient"/"we", "hybrid", "sampling",
+/// "direction-optimized"/"diropt". Throws std::invalid_argument on
+/// anything else.
 Strategy strategy_from_string(const std::string& name);
 
 /// True for the strategies that run on the simulated GPU (everything but
@@ -86,23 +92,36 @@ struct Options {
 
   bool collect_per_root_stats = false;
 
-  // --- resilience (docs/resilience.md) ---
+  /// Resilience knobs (docs/resilience.md), grouped so the public surface
+  /// stays one nested struct per concern instead of a flat parameter pile.
+  struct Resilience {
+    /// Deterministic fault injection into the simulated device (GPU-model
+    /// strategies only; CPU engines run no simulated device and ignore
+    /// it). nullptr = fault-free.
+    std::shared_ptr<const gpusim::FaultPlan> fault_plan;
+    /// Cooperative cancellation: every engine (GPU-model and CPU) polls
+    /// this token at root boundaries and throws util::Cancelled, so a
+    /// deadline or a manual cancel takes effect within one root rather
+    /// than at run end. Default-constructed = never cancels.
+    util::CancelToken cancel;
+    /// Launches a root may consume before it is reported as failed (first
+    /// try + retries + the recovery-sweep attempt). Minimum 1.
+    std::uint32_t max_root_attempts = 3;
+    /// Attempt-index offset for FaultPlan queries; bump per whole-run
+    /// retry so transient faults deterministically clear (see RunConfig).
+    std::uint32_t fault_retry_epoch = 0;
+  };
+  Resilience resilience;
 
-  /// Deterministic fault injection into the simulated device (GPU-model
-  /// strategies only; CPU engines run no simulated device and ignore it).
-  /// nullptr = fault-free.
-  std::shared_ptr<const gpusim::FaultPlan> fault_plan;
-  /// Cooperative cancellation: every engine (GPU-model and CPU) polls this
-  /// token at root boundaries and throws util::Cancelled, so a deadline or
-  /// a manual cancel takes effect within one root rather than at run end.
-  /// Default-constructed = never cancels.
-  util::CancelToken cancel;
-  /// Launches a root may consume before it is reported as failed (first
-  /// try + retries + the recovery-sweep attempt). Minimum 1.
-  std::uint32_t max_root_attempts = 3;
-  /// Attempt-index offset for FaultPlan queries; bump per whole-run retry
-  /// so transient faults deterministically clear (see RunConfig).
-  std::uint32_t fault_retry_epoch = 0;
+  /// Trace capture (docs/tracing.md). Diagnostics only: never part of
+  /// options_signature, never changes scores.
+  struct TraceOptions {
+    /// Destination tracer; nullptr = tracing off (the default — engines
+    /// then pay one pointer test per would-be event). Non-owning: the
+    /// Tracer must outlive the compute() call.
+    trace::Tracer* tracer = nullptr;
+  };
+  TraceOptions trace;
 };
 
 struct BCResult {

@@ -27,6 +27,7 @@
 #include "gpusim/config.hpp"
 #include "gpusim/faults.hpp"
 #include "gpusim/memory.hpp"
+#include "trace/trace.hpp"
 
 namespace hbc::gpusim {
 
@@ -108,21 +109,36 @@ class ImbalancedRound {
 class BlockContext {
  public:
   BlockContext(const DeviceConfig& cfg, Counters& counters, std::uint64_t& cycles,
-               FaultArm* arm = nullptr, std::uint32_t block_index = 0)
+               FaultArm* arm = nullptr, std::uint32_t block_index = 0,
+               trace::Sink* trace = nullptr)
       : cfg_(&cfg),
         counters_(&counters),
         cycles_(&cycles),
         arm_(arm),
-        block_index_(block_index) {}
+        block_index_(block_index),
+        trace_(trace) {}
 
   const DeviceConfig& config() const noexcept { return *cfg_; }
   const CostModel& cost() const noexcept { return cfg_->cost; }
   Counters& counters() noexcept { return *counters_; }
   std::uint32_t block_index() const noexcept { return block_index_; }
 
+  /// This block's trace sink; nullptr when tracing is off (the only cost
+  /// an untraced run pays is this pointer test at each emission site).
+  trace::Sink* trace() const noexcept { return trace_; }
+
+  /// The block's cycle ledger as simulated-device nanoseconds. Pure
+  /// function of the (integer) ledger, so trace timestamps derived from
+  /// it are bitwise-identical at every host-thread count.
+  std::uint64_t sim_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        cfg_->seconds_from_cycles(static_cast<double>(*cycles_)) * 1e9);
+  }
+
   std::uint64_t cycles() const noexcept { return *cycles_; }
   void charge_cycles(std::uint64_t cycles) {
     *cycles_ += cycles;
+    trace_charge();
     maybe_trip();
   }
 
@@ -135,6 +151,7 @@ class BlockContext {
     const std::uint64_t threads = width ? width : cfg_->threads_per_block;
     const std::uint64_t rounds = (items + threads - 1) / threads;
     *cycles_ += rounds * item_cycles;
+    trace_charge();
     maybe_trip();
   }
 
@@ -147,22 +164,35 @@ class BlockContext {
 
   void charge_imbalanced_round(const ImbalancedRound& round) {
     *cycles_ += round.cost_cycles(cfg_->cost.thread_ilp);
+    trace_charge();
     maybe_trip();
   }
 
   void charge_barrier() {
     *cycles_ += cfg_->cost.block_barrier;
     ++counters_->barriers;
+    trace_charge();
     maybe_trip();
   }
 
   void charge_grid_sync() {
     *cycles_ += cfg_->cost.grid_relaunch;
     ++counters_->grid_syncs;
+    trace_charge();
     maybe_trip();
   }
 
  private:
+  /// kCharge firehose: the ledger as a Chrome counter series after every
+  /// charge. Off by default (not in trace::kDefault); when the category is
+  /// masked this is one pointer test + one load/AND.
+  void trace_charge() {
+    if (trace_ && trace_->wants(trace::kCharge)) {
+      trace_->counter("sim-cycles", trace::kCharge, sim_ns(),
+                      {{"cycles", *cycles_}});
+    }
+  }
+
   void maybe_trip() {
     if (arm_ && arm_->armed && *cycles_ >= arm_->trip_cycles) {
       // Disarm before throwing so unwinding charge paths (and the next
@@ -177,6 +207,7 @@ class BlockContext {
   std::uint64_t* cycles_;
   FaultArm* arm_;
   std::uint32_t block_index_;
+  trace::Sink* trace_;
 };
 
 /// A simulated GPU. Owns the memory ledger and the per-block cycle and
@@ -210,6 +241,15 @@ class Device {
     block_cycles_.assign(n, 0);
     block_counters_.assign(n, Counters{});
     block_arms_.assign(n, FaultArm{});
+    block_traces_.assign(n, nullptr);
+  }
+
+  /// Attach a trace sink to a block: every BlockContext handed out for the
+  /// block records into it. The sink must be written by one thread at a
+  /// time (kernels::BlockDriver guarantees a block runs on one host thread
+  /// per phase). nullptr detaches.
+  void set_block_trace(std::uint32_t index, trace::Sink* sink) {
+    block_traces_.at(index) = sink;
   }
 
   std::uint32_t num_blocks() const noexcept {
@@ -218,7 +258,7 @@ class Device {
 
   BlockContext block(std::uint32_t index) {
     return BlockContext(cfg_, block_counters_.at(index), block_cycles_.at(index),
-                        &block_arms_.at(index), index);
+                        &block_arms_.at(index), index, block_traces_.at(index));
   }
 
   /// Arm an execution fault on a block: contexts for this block throw
@@ -261,6 +301,7 @@ class Device {
     block_cycles_.clear();
     block_counters_.clear();
     block_arms_.clear();
+    block_traces_.clear();
     memory_.release_all();
   }
 
@@ -270,6 +311,7 @@ class Device {
   std::vector<std::uint64_t> block_cycles_;
   std::vector<Counters> block_counters_;
   std::vector<FaultArm> block_arms_;
+  std::vector<trace::Sink*> block_traces_;  // non-owning; may hold nullptr
 };
 
 }  // namespace hbc::gpusim

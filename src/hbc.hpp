@@ -1,0 +1,70 @@
+#pragma once
+
+// hbc.hpp — the library's single public entry point.
+//
+//   #include "hbc.hpp"
+//
+//   auto g = hbc::graph::gen::scale_free({.num_vertices = 1 << 14});
+//   hbc::core::Options opt;
+//   opt.strategy = hbc::core::Strategy::Hybrid;     // paper Algorithm 4
+//   hbc::core::BCResult r = hbc::core::compute(g, opt);
+//   for (auto [v, score] : hbc::core::top_k(r.scores, 10)) { ... }
+//
+// Applications and examples include this one header instead of reaching
+// into the per-module headers; the module layout underneath (core/,
+// graph/, kernels/, gpusim/, service/, trace/, cpu/, dist/, util/) is an
+// implementation detail that may be rearranged between releases.
+//
+// What you get, by namespace:
+//   hbc::core     compute(), Options, BCResult, top_k, strategy names
+//   hbc::graph    CSRGraph, builders, generators, file I/O, transforms
+//   hbc::kernels  the paper's GPU-model engines and their knobs
+//   hbc::gpusim   the simulated device: DeviceConfig, FaultPlan, memory
+//   hbc::service  BcService — concurrent query serving with caching
+//   hbc::trace    Tracer/Sink span capture + Chrome JSON export
+//   hbc::cpu      Brandes baselines, weighted/approx/edge variants
+//   hbc::dist     multi-device scaling model
+//   hbc::util     cancellation, RNG, timers, stats
+
+// Graph construction, generation, and I/O.
+#include "graph/algorithms.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/transforms.hpp"
+#include "graph/types.hpp"
+
+// The one-call public API and its reporting helpers.
+#include "core/bc.hpp"
+#include "core/report.hpp"
+#include "core/teps.hpp"
+
+// GPU-model engines and the simulated device they run on.
+#include "gpusim/config.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/faults.hpp"
+#include "gpusim/memory.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/weighted.hpp"
+
+// CPU reference and specialty engines.
+#include "cpu/approx.hpp"
+#include "cpu/brandes.hpp"
+#include "cpu/dynamic_bc.hpp"
+#include "cpu/edge_bc.hpp"
+#include "cpu/fine_grained.hpp"
+#include "cpu/parallel_brandes.hpp"
+#include "cpu/weighted_brandes.hpp"
+
+// Serving, scaling, and observability layers.
+#include "dist/cluster.hpp"
+#include "service/service.hpp"
+#include "trace/check.hpp"
+#include "trace/trace.hpp"
+
+// Cross-cutting utilities that appear in public signatures.
+#include "util/cancel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"

@@ -97,7 +97,56 @@ struct RunConfig {
   /// (which clear after `fail_attempts` launches) deterministically stop
   /// firing — the service's backoff path relies on this.
   std::uint32_t fault_retry_epoch = 0;
+  /// Trace capture (nullptr = off; docs/tracing.md). The driver registers
+  /// one sink per simulated block and stamps every event from the block's
+  /// cycle ledger, so captures are bitwise-identical at every host-thread
+  /// count. Non-owning: the Tracer must outlive the run.
+  trace::Tracer* tracer = nullptr;
 };
+
+/// RAII span on a block's sink with simulated-cycle timestamps: begins at
+/// the ledger's current sim_ns, ends (exception-safely — a DeviceFault
+/// unwinding mid-stage closes the span at the trip point) at destruction.
+/// Null sink or masked category = two pointer-sized tests, nothing else.
+class SimSpan {
+ public:
+  SimSpan(trace::Sink* sink, gpusim::BlockContext& ctx, const char* name,
+          trace::Category category, std::initializer_list<trace::Arg> args = {})
+      : sink_(sink && sink->wants(category) ? sink : nullptr),
+        ctx_(&ctx),
+        name_(name),
+        category_(category) {
+    if (sink_) sink_->begin(name_, category_, ctx_->sim_ns(), args);
+  }
+  ~SimSpan() {
+    if (sink_) sink_->end(name_, category_, ctx_->sim_ns());
+  }
+
+  SimSpan(const SimSpan&) = delete;
+  SimSpan& operator=(const SimSpan&) = delete;
+
+ private:
+  trace::Sink* sink_;
+  gpusim::BlockContext* ctx_;
+  const char* name_;
+  trace::Category category_;
+};
+
+/// Per-level frontier instant (kLevel), emitted AFTER the level completes
+/// so the sink's append order stays timestamp-ordered even when kCharge
+/// events interleave. Every forward-stage loop calls this once per level.
+inline void trace_level(trace::Sink* sink, gpusim::BlockContext& ctx,
+                        std::uint32_t depth, std::uint64_t vertex_frontier,
+                        std::uint64_t edge_frontier, Mode mode, std::uint64_t cycles) {
+  if (sink && sink->wants(trace::kLevel)) {
+    sink->instant("level", trace::kLevel, ctx.sim_ns(),
+                  {{"depth", std::uint64_t{depth}},
+                   {"vertices", vertex_frontier},
+                   {"edges", edge_frontier},
+                   {"mode", to_string(mode)},
+                   {"cycles", cycles}});
+  }
+}
 
 /// One forward-stage BFS level of one root.
 struct IterationRecord {

@@ -76,9 +76,35 @@ BlockDriver::BlockDriver(const CSRGraph& g, const RunConfig& config,
           ? config.cpu_threads
           : std::max<std::size_t>(1, std::thread::hardware_concurrency());
   host_threads_ = std::clamp<std::size_t>(requested, 1, num_blocks_);
+
+  // Trace capture: one driver sink (the run span) plus one sink per block,
+  // registered here, on the driver thread, in ascending block order — the
+  // registration order is the export order, and block events are stamped
+  // from the block's cycle ledger, so a capture is bitwise-identical at
+  // every host-thread count. Note the args deliberately exclude
+  // host_threads: it is the one knob allowed to differ between runs that
+  // must produce identical traces.
+  run_label_ = layout.label;
+  if (trace::Tracer* tracer = config.tracer) {
+    driver_sink_ = tracer->make_sink("driver", trace::kSimDevicePid, num_blocks_);
+    block_sinks_.reserve(num_blocks_);
+    for (std::uint32_t b = 0; b < num_blocks_; ++b) {
+      block_sinks_.push_back(tracer->make_sink("block " + std::to_string(b),
+                                               trace::kSimDevicePid, b));
+      device_.set_block_trace(b, block_sinks_.back().get());
+    }
+    driver_sink_->begin(run_label_, trace::kRun, 0,
+                        {{"blocks", num_blocks_},
+                         {"roots", static_cast<std::uint64_t>(roots_.size())}});
+  }
 }
 
 BlockDriver::~BlockDriver() = default;
+
+std::uint64_t BlockDriver::sim_ns(std::uint64_t cycles) const noexcept {
+  return static_cast<std::uint64_t>(
+      device_.config().seconds_from_cycles(static_cast<double>(cycles)) * 1e9);
+}
 
 void BlockDriver::launch_root(std::uint32_t block, gpusim::BlockContext& ctx,
                               std::size_t i, std::uint32_t plan_attempt,
@@ -103,7 +129,8 @@ void BlockDriver::launch_root(std::uint32_t block, gpusim::BlockContext& ctx,
                 std::span<double>(partial_bc_[block]),
                 we_levels_[block],
                 ep_levels_[block],
-                nullptr};
+                nullptr,
+                ctx.trace()};
   if (config_->collect_per_root_stats) {
     // Reset the sink each launch so a retried root doesn't duplicate
     // iteration records from the aborted attempt.
@@ -113,6 +140,11 @@ void BlockDriver::launch_root(std::uint32_t block, gpusim::BlockContext& ctx,
   }
   const std::uint64_t root_start_cycles = ctx.cycles();
   try {
+    // The launch span covers one attempt; SimSpan closes it during unwind
+    // when a fault trips mid-kernel, so spans stay balanced in the trace.
+    SimSpan launch(task.trace, ctx, "launch", trace::kRoot,
+                   {{"root", std::uint64_t{root32}},
+                    {"attempt", std::uint64_t{plan_attempt}}});
     fn(task);
   } catch (...) {
     // A tripped arm self-disarms; an untripped one must not leak into the
@@ -136,8 +168,12 @@ void BlockDriver::mark_completed(std::size_t i, gpusim::BlockContext& ctx) {
 void BlockDriver::process_block(std::uint32_t block, std::size_t begin,
                                 std::size_t end, const RootFn& fn) {
   gpusim::BlockContext ctx = device_.block(block);
+  trace::Sink* sink = ctx.trace();
   gpusim::FaultReport& rep = block_reports_[block];
   const std::uint32_t epoch_base = config_->fault_retry_epoch * max_attempts_;
+  SimSpan phase_span(sink, ctx, "phase", trace::kRun,
+                     {{"first_root", static_cast<std::uint64_t>(begin)},
+                      {"end_root", static_cast<std::uint64_t>(end)}});
   // This block owns every global index ≡ block (mod B) — the serial
   // round-robin deal, so the schedule is identical for any thread count.
   const std::size_t phase = begin % num_blocks_;
@@ -146,6 +182,9 @@ void BlockDriver::process_block(std::uint32_t block, std::size_t begin,
     // Root boundary: the only cancellation point. An inert token is one
     // pointer test, so fault-free runs pay (almost) nothing.
     config_->cancel.check();
+    SimSpan root_span(sink, ctx, "root", trace::kRoot,
+                      {{"root", static_cast<std::uint64_t>(roots_[i])},
+                       {"index", static_cast<std::uint64_t>(i)}});
     std::uint32_t attempt = 0;
     while (true) {
       try {
@@ -155,15 +194,32 @@ void BlockDriver::process_block(std::uint32_t block, std::size_t begin,
       } catch (const gpusim::DeviceFault& f) {
         ++rep.faults_injected;
         ++attempt;
+        if (sink && sink->wants(trace::kFault)) {
+          sink->instant("fault", trace::kFault, ctx.sim_ns(),
+                        {{"kind", gpusim::to_string(f.kind())},
+                         {"root", std::uint64_t{f.root()}},
+                         {"transient", f.transient() ? std::uint64_t{1}
+                                                     : std::uint64_t{0}}});
+        }
         // Retry transient faults back to back while the in-block budget
         // lasts; park everything else for the phase-end recovery sweep
         // (persistent faults would fail identically here anyway).
         if (f.transient() && attempt < in_block_budget_) {
           ++rep.retries;
+          if (sink && sink->wants(trace::kFault)) {
+            sink->instant("retry", trace::kFault, ctx.sim_ns(),
+                          {{"root", std::uint64_t{f.root()}},
+                           {"attempt", std::uint64_t{attempt}}});
+          }
           continue;
         }
         deferred_[block].push_back(
             DeferredRoot{i, attempt, f.kind(), f.transient()});
+        if (sink && sink->wants(trace::kFault)) {
+          sink->instant("deferred", trace::kFault, ctx.sim_ns(),
+                        {{"root", std::uint64_t{f.root()}},
+                         {"attempts", std::uint64_t{attempt}}});
+        }
         break;
       }
     }
@@ -234,7 +290,14 @@ void BlockDriver::recovery_sweep(const RootFn& fn) {
     bool last_transient = d.last_transient;
     bool completed = false;
     const auto block = static_cast<std::uint32_t>(d.index % num_blocks_);
+    // The sweep runs on the driver thread after the phase barrier, so
+    // writing the owning block's sink here is still single-writer; the
+    // block ledger keeps growing, so timestamps stay monotonic per sink.
     gpusim::BlockContext ctx = device_.block(block);
+    trace::Sink* sink = ctx.trace();
+    SimSpan rescue_span(sink, ctx, "rescue", trace::kFault,
+                        {{"root", static_cast<std::uint64_t>(roots_[d.index])},
+                         {"prior_attempts", std::uint64_t{d.attempts}}});
     while (last_transient && attempt < max_attempts_) {
       ++report_.retries;
       try {
@@ -248,6 +311,24 @@ void BlockDriver::recovery_sweep(const RootFn& fn) {
         ++attempt;
         last_kind = f.kind();
         last_transient = f.transient();
+        if (sink && sink->wants(trace::kFault)) {
+          sink->instant("fault", trace::kFault, ctx.sim_ns(),
+                        {{"kind", gpusim::to_string(f.kind())},
+                         {"root", std::uint64_t{f.root()}},
+                         {"transient", f.transient() ? std::uint64_t{1}
+                                                     : std::uint64_t{0}}});
+        }
+      }
+    }
+    if (sink && sink->wants(trace::kFault)) {
+      if (completed) {
+        sink->instant("rescued", trace::kFault, ctx.sim_ns(),
+                      {{"root", static_cast<std::uint64_t>(roots_[d.index])}});
+      } else {
+        sink->instant("root-failed", trace::kFault, ctx.sim_ns(),
+                      {{"root", static_cast<std::uint64_t>(roots_[d.index])},
+                       {"kind", gpusim::to_string(last_kind)},
+                       {"attempts", std::uint64_t{attempt}}});
       }
     }
     if (!completed) {
@@ -282,6 +363,10 @@ RunResult BlockDriver::finish() {
   result.metrics.sim_seconds = device_.elapsed_seconds();
   result.metrics.wall_seconds = wall_.elapsed_seconds();
   result.metrics.device_memory_high_water = device_.memory().high_water_mark();
+  if (driver_sink_) {
+    // Run span ends when the slowest block does (device time semantics).
+    driver_sink_->end(run_label_, trace::kRun, sim_ns(result.metrics.elapsed_cycles));
+  }
   result.faults = std::move(report_);
   report_ = gpusim::FaultReport{};
   return result;

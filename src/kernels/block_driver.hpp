@@ -70,6 +70,9 @@ struct PerBlockAllocation {
 
 /// What a strategy asks the driver to lay out before the run starts.
 struct DriverLayout {
+  /// Strategy label for the trace's run span (must be a string literal or
+  /// otherwise outlive the Tracer — event names are never copied).
+  const char* label = "run";
   /// Also keep the per-edge source lookup on the device (edge-parallel
   /// scans need it).
   bool needs_edge_sources = false;
@@ -100,6 +103,10 @@ class BlockDriver {
     /// Per-root stats sink; nullptr unless collect_per_root_stats is set.
     /// `root` and, by the functor, `max_depth`/`iterations` are filled.
     PerRootStats* stats;
+    /// This block's trace sink (same as ctx.trace()); nullptr when tracing
+    /// is off. Functors emit stage spans / level instants through it with
+    /// simulated timestamps (SimSpan, ctx.sim_ns()).
+    trace::Sink* trace;
   };
 
   using RootFn = std::function<void(RootTask&)>;
@@ -159,6 +166,9 @@ class BlockDriver {
     bool last_transient;
   };
 
+  /// Simulated nanoseconds for a cycle count (trace timestamps).
+  std::uint64_t sim_ns(std::uint64_t cycles) const noexcept;
+
   void process_block(std::uint32_t block, std::size_t begin, std::size_t end,
                      const RootFn& fn);
   /// One launch of root index `i` on `block`: inject/arm plan faults for
@@ -191,6 +201,13 @@ class BlockDriver {
   std::vector<std::vector<DeferredRoot>> deferred_;     // one list per block
   std::vector<gpusim::FaultReport> block_reports_;      // one per block
   gpusim::FaultReport report_;  // merged in block order at phase end
+
+  // Trace capture (all null/empty when RunConfig::tracer is null). The
+  // driver sink carries the run span; per-block sinks are registered in
+  // ascending block order so export order is deterministic.
+  const char* run_label_ = "run";
+  std::shared_ptr<trace::Sink> driver_sink_;
+  std::vector<std::shared_ptr<trace::Sink>> block_sinks_;
 };
 
 }  // namespace hbc::kernels

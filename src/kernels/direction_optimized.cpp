@@ -21,6 +21,7 @@ using graph::VertexId;
 // and kron graphs. The dependency stage is unchanged (Algorithm 3).
 RunResult run_direction_optimized(const CSRGraph& g, const RunConfig& config) {
   DriverLayout layout;
+  layout.label = "direction-optimized";
   layout.per_block.push_back(
       {BCWorkspace::work_efficient_bytes(g.num_vertices()), "diropt.block_locals"});
   BlockDriver driver(g, config, layout);
@@ -37,50 +38,69 @@ RunResult run_direction_optimized(const CSRGraph& g, const RunConfig& config) {
 
     Mode mode = Mode::WorkEfficient;  // top-down
     std::uint64_t explored_edges = 0;
-    for (;;) {
-      const std::uint64_t before = ctx.cycles();
-      const BCWorkspace::LevelStats level =
-          mode == Mode::BottomUp ? ws.bu_forward_level(ctx, ws.current_depth())
-                                 : ws.we_forward_level(ctx);
-      if (mode == Mode::BottomUp) {
-        ++task.ep_levels;  // reported as "non-queue" levels
-      } else {
-        ++task.we_levels;
-      }
-      if (task.stats) {
-        task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
-                                          level.edge_frontier, ctx.cycles() - before,
-                                          mode});
-      }
-      explored_edges += level.edge_frontier;
+    {
+      SimSpan stage(task.trace, ctx, "shortest-path", trace::kPhase);
+      for (;;) {
+        const std::uint64_t before = ctx.cycles();
+        const BCWorkspace::LevelStats level =
+            mode == Mode::BottomUp ? ws.bu_forward_level(ctx, ws.current_depth())
+                                   : ws.we_forward_level(ctx);
+        if (mode == Mode::BottomUp) {
+          ++task.ep_levels;  // reported as "non-queue" levels
+        } else {
+          ++task.we_levels;
+        }
+        if (task.stats) {
+          task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
+                                            level.edge_frontier, ctx.cycles() - before,
+                                            mode});
+        }
+        trace_level(task.trace, ctx, ws.current_depth(), level.vertex_frontier,
+                    level.edge_frontier, mode, ctx.cycles() - before);
+        explored_edges += level.edge_frontier;
 
-      // Beamer switch for the NEXT level. The heuristic needs the next
-      // level's edge count; a real kernel folds this degree sum into
-      // queue generation — charge one streaming op per element.
-      const std::uint64_t next_frontier = ws.q_next_len();
-      std::uint64_t next_edges = 0;
-      for (const VertexId w : ws.next_queue()) next_edges += g.degree(w);
-      ctx.charge_uniform_round(next_frontier, ctx.cost().scan_seq);
-      const std::uint64_t unexplored = m > explored_edges ? m - explored_edges : 0;
-      // Bottom-up requires BOTH a heavy edge frontier relative to the
-      // unexplored edges AND a large vertex frontier; otherwise the tail
-      // of a high-diameter search (tiny frontier, little left unexplored)
-      // would flap between directions every level.
-      if (mode == Mode::WorkEfficient && next_edges > unexplored / kAlpha &&
-          next_frontier >= n / kBeta) {
-        mode = Mode::BottomUp;
-      } else if (mode == Mode::BottomUp && next_frontier < n / kBeta) {
-        mode = Mode::WorkEfficient;
-      }
+        // Beamer switch for the NEXT level. The heuristic needs the next
+        // level's edge count; a real kernel folds this degree sum into
+        // queue generation — charge one streaming op per element.
+        const std::uint64_t next_frontier = ws.q_next_len();
+        std::uint64_t next_edges = 0;
+        for (const VertexId w : ws.next_queue()) next_edges += g.degree(w);
+        ctx.charge_uniform_round(next_frontier, ctx.cost().scan_seq);
+        const std::uint64_t unexplored = m > explored_edges ? m - explored_edges : 0;
+        // Bottom-up requires BOTH a heavy edge frontier relative to the
+        // unexplored edges AND a large vertex frontier; otherwise the tail
+        // of a high-diameter search (tiny frontier, little left unexplored)
+        // would flap between directions every level.
+        Mode next_mode = mode;
+        if (mode == Mode::WorkEfficient && next_edges > unexplored / kAlpha &&
+            next_frontier >= n / kBeta) {
+          next_mode = Mode::BottomUp;
+        } else if (mode == Mode::BottomUp && next_frontier < n / kBeta) {
+          next_mode = Mode::WorkEfficient;
+        }
+        if (next_mode != mode && task.trace &&
+            task.trace->wants(trace::kDecision)) {
+          task.trace->instant("direction-switch", trace::kDecision, ctx.sim_ns(),
+                              {{"from", to_string(mode)},
+                               {"to", to_string(next_mode)},
+                               {"next_edges", next_edges},
+                               {"unexplored", unexplored},
+                               {"next_frontier", next_frontier}});
+        }
+        mode = next_mode;
 
-      if (ws.q_next_len() == 0) break;
-      ws.finish_level(ctx);
+        if (ws.q_next_len() == 0) break;
+        ws.finish_level(ctx);
+      }
     }
     const std::uint32_t max_depth = ws.max_depth();
     if (task.stats) task.stats->max_depth = max_depth;
 
-    for (std::uint32_t dep = max_depth; dep-- > 1;) {
-      ws.we_backward_level(ctx, dep);
+    {
+      SimSpan stage(task.trace, ctx, "dependency", trace::kPhase);
+      for (std::uint32_t dep = max_depth; dep-- > 1;) {
+        ws.we_backward_level(ctx, dep);
+      }
     }
 
     ws.accumulate_bc(task.bc, task.root, /*use_queue=*/true, ctx);

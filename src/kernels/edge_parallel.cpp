@@ -16,6 +16,7 @@ namespace detail {
 // futile scan is charged, exactly as on hardware.
 RunResult run_levelcheck_kernel(const CSRGraph& g, const RunConfig& config, Mode mode) {
   DriverLayout layout;
+  layout.label = mode == Mode::EdgeParallel ? "edge-parallel" : "vertex-parallel";
   layout.needs_edge_sources = mode == Mode::EdgeParallel;
   layout.per_block.push_back(
       {BCWorkspace::jia_bytes(g.num_vertices(), g.num_directed_edges()),
@@ -30,18 +31,23 @@ RunResult run_levelcheck_kernel(const CSRGraph& g, const RunConfig& config, Mode
     // Forward: scan every level until a scan discovers nothing.
     std::uint64_t frontier = 1;  // |{v : d[v] == depth}|
     std::uint32_t depth = 0;
-    for (;; ++depth) {
-      const std::uint64_t before = ctx.cycles();
-      const BCWorkspace::LevelStats level =
-          mode == Mode::EdgeParallel
-              ? ws.ep_forward_level(ctx, depth, /*maintain_queue=*/false)
-              : ws.vp_forward_level(ctx, depth);
-      if (task.stats) {
-        task.stats->iterations.push_back(
-            {depth, frontier, level.edge_frontier, ctx.cycles() - before, mode});
+    {
+      SimSpan stage(task.trace, ctx, "shortest-path", trace::kPhase);
+      for (;; ++depth) {
+        const std::uint64_t before = ctx.cycles();
+        const BCWorkspace::LevelStats level =
+            mode == Mode::EdgeParallel
+                ? ws.ep_forward_level(ctx, depth, /*maintain_queue=*/false)
+                : ws.vp_forward_level(ctx, depth);
+        if (task.stats) {
+          task.stats->iterations.push_back(
+              {depth, frontier, level.edge_frontier, ctx.cycles() - before, mode});
+        }
+        trace_level(task.trace, ctx, depth, frontier, level.edge_frontier, mode,
+                    ctx.cycles() - before);
+        if (level.discovered == 0) break;
+        frontier = level.discovered;
       }
-      if (level.discovered == 0) break;
-      frontier = level.discovered;
     }
     const std::uint32_t max_depth = depth;  // deepest populated level
     if (task.stats) task.stats->max_depth = max_depth;
@@ -49,11 +55,14 @@ RunResult run_levelcheck_kernel(const CSRGraph& g, const RunConfig& config, Mode
 
     // Backward: vertices at max_depth have no successors (delta = 0), so
     // start one level closer to the root.
-    for (std::uint32_t dep = max_depth; dep-- > 1;) {
-      if (mode == Mode::EdgeParallel) {
-        ws.ep_backward_level(ctx, dep);
-      } else {
-        ws.vp_backward_level(ctx, dep);
+    {
+      SimSpan stage(task.trace, ctx, "dependency", trace::kPhase);
+      for (std::uint32_t dep = max_depth; dep-- > 1;) {
+        if (mode == Mode::EdgeParallel) {
+          ws.ep_backward_level(ctx, dep);
+        } else {
+          ws.vp_backward_level(ctx, dep);
+        }
       }
     }
 

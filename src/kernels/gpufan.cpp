@@ -16,6 +16,7 @@ using graph::CSRGraph;
 // independent blocks to spread.
 RunResult run_gpufan(const CSRGraph& g, const RunConfig& config) {
   DriverLayout layout;
+  layout.label = "gpufan";
   layout.needs_edge_sources = true;
   layout.num_blocks = 1;
   // Throws gpusim::DeviceOutOfMemory when n^2 entries exceed capacity.
@@ -32,25 +33,33 @@ RunResult run_gpufan(const CSRGraph& g, const RunConfig& config) {
 
     std::uint64_t frontier = 1;
     std::uint32_t depth = 0;
-    for (;; ++depth) {
-      const std::uint64_t before = ctx.cycles();
-      const BCWorkspace::LevelStats level =
-          ws.ep_forward_level(ctx, depth, /*maintain_queue=*/false, width);
-      ctx.charge_grid_sync();  // level boundary = kernel relaunch
-      if (task.stats) {
-        task.stats->iterations.push_back({depth, frontier, level.edge_frontier,
-                                          ctx.cycles() - before, Mode::EdgeParallel});
+    {
+      SimSpan stage(task.trace, ctx, "shortest-path", trace::kPhase);
+      for (;; ++depth) {
+        const std::uint64_t before = ctx.cycles();
+        const BCWorkspace::LevelStats level =
+            ws.ep_forward_level(ctx, depth, /*maintain_queue=*/false, width);
+        ctx.charge_grid_sync();  // level boundary = kernel relaunch
+        if (task.stats) {
+          task.stats->iterations.push_back({depth, frontier, level.edge_frontier,
+                                            ctx.cycles() - before, Mode::EdgeParallel});
+        }
+        trace_level(task.trace, ctx, depth, frontier, level.edge_frontier,
+                    Mode::EdgeParallel, ctx.cycles() - before);
+        if (level.discovered == 0) break;
+        frontier = level.discovered;
       }
-      if (level.discovered == 0) break;
-      frontier = level.discovered;
     }
     const std::uint32_t max_depth = depth;
     if (task.stats) task.stats->max_depth = max_depth;
     task.ep_levels += max_depth + 1;
 
-    for (std::uint32_t dep = max_depth; dep-- > 1;) {
-      ws.ep_backward_level(ctx, dep, width);
-      ctx.charge_grid_sync();
+    {
+      SimSpan stage(task.trace, ctx, "dependency", trace::kPhase);
+      for (std::uint32_t dep = max_depth; dep-- > 1;) {
+        ws.ep_backward_level(ctx, dep, width);
+        ctx.charge_grid_sync();
+      }
     }
 
     ws.accumulate_bc(task.bc, task.root, /*use_queue=*/false, ctx);

@@ -21,6 +21,7 @@ using graph::CSRGraph;
 // directly to each level's S-slice.
 RunResult run_hybrid(const CSRGraph& g, const RunConfig& config) {
   DriverLayout layout;
+  layout.label = "hybrid";
   layout.needs_edge_sources = true;
   layout.per_block.push_back(
       {BCWorkspace::work_efficient_bytes(g.num_vertices()), "hybrid.block_locals"});
@@ -42,46 +43,72 @@ RunResult run_hybrid(const CSRGraph& g, const RunConfig& config) {
     modes.clear();
 
     Mode mode = Mode::WorkEfficient;
-    for (;;) {
-      const std::uint64_t before = ctx.cycles();
-      const BCWorkspace::LevelStats level =
-          mode == Mode::WorkEfficient
-              ? ws.we_forward_level(ctx)
-              : ws.ep_forward_level(ctx, ws.current_depth(), /*maintain_queue=*/true);
-      modes.push_back(mode);
-      if (mode == Mode::WorkEfficient) {
-        ++task.we_levels;
-      } else {
-        ++task.ep_levels;
-      }
-      if (task.stats) {
-        task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
-                                          level.edge_frontier, ctx.cycles() - before,
-                                          mode});
-      }
+    {
+      SimSpan stage(task.trace, ctx, "shortest-path", trace::kPhase);
+      for (;;) {
+        const std::uint64_t before = ctx.cycles();
+        const BCWorkspace::LevelStats level =
+            mode == Mode::WorkEfficient
+                ? ws.we_forward_level(ctx)
+                : ws.ep_forward_level(ctx, ws.current_depth(), /*maintain_queue=*/true);
+        modes.push_back(mode);
+        if (mode == Mode::WorkEfficient) {
+          ++task.we_levels;
+        } else {
+          ++task.ep_levels;
+        }
+        if (task.stats) {
+          task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
+                                            level.edge_frontier, ctx.cycles() - before,
+                                            mode});
+        }
+        trace_level(task.trace, ctx, ws.current_depth(), level.vertex_frontier,
+                    level.edge_frontier, mode, ctx.cycles() - before);
 
-      // Algorithm 4: reconsider only when the frontier moved by > alpha.
-      ctx.charge_cycles(ctx.cost().hybrid_decision);
-      const std::int64_t q_change =
-          std::llabs(static_cast<std::int64_t>(ws.q_next_len()) -
-                     static_cast<std::int64_t>(ws.q_curr_len()));
-      if (q_change > alpha) {
-        mode = static_cast<std::int64_t>(ws.q_next_len()) > beta ? Mode::EdgeParallel
-                                                                 : Mode::WorkEfficient;
-      }
+        // Algorithm 4: reconsider only when the frontier moved by > alpha.
+        ctx.charge_cycles(ctx.cost().hybrid_decision);
+        const std::int64_t q_change =
+            std::llabs(static_cast<std::int64_t>(ws.q_next_len()) -
+                       static_cast<std::int64_t>(ws.q_curr_len()));
+        if (q_change > alpha) {
+          const Mode next_mode = static_cast<std::int64_t>(ws.q_next_len()) > beta
+                                     ? Mode::EdgeParallel
+                                     : Mode::WorkEfficient;
+          // |ΔQ| > α: the strategy is actually reconsidered — record the
+          // decision inputs, and a separate switch event when it flips.
+          if (task.trace && task.trace->wants(trace::kDecision)) {
+            task.trace->instant("decision", trace::kDecision, ctx.sim_ns(),
+                                {{"dq", static_cast<std::uint64_t>(q_change)},
+                                 {"alpha", static_cast<std::uint64_t>(alpha)},
+                                 {"q_next", ws.q_next_len()},
+                                 {"beta", static_cast<std::uint64_t>(beta)},
+                                 {"to", to_string(next_mode)}});
+            if (next_mode != mode) {
+              task.trace->instant("switch", trace::kDecision, ctx.sim_ns(),
+                                  {{"from", to_string(mode)},
+                                   {"to", to_string(next_mode)},
+                                   {"depth", std::uint64_t{ws.current_depth()}}});
+            }
+          }
+          mode = next_mode;
+        }
 
-      if (ws.q_next_len() == 0) break;
-      ws.finish_level(ctx);
+        if (ws.q_next_len() == 0) break;
+        ws.finish_level(ctx);
+      }
     }
     const std::uint32_t max_depth = ws.max_depth();
     if (task.stats) task.stats->max_depth = max_depth;
 
     // Dependency stage mirrors the per-level strategy chosen forward.
-    for (std::uint32_t dep = max_depth; dep-- > 1;) {
-      if (dep < modes.size() && modes[dep] == Mode::EdgeParallel) {
-        ws.ep_backward_level(ctx, dep);
-      } else {
-        ws.we_backward_level(ctx, dep);
+    {
+      SimSpan stage(task.trace, ctx, "dependency", trace::kPhase);
+      for (std::uint32_t dep = max_depth; dep-- > 1;) {
+        if (dep < modes.size() && modes[dep] == Mode::EdgeParallel) {
+          ws.ep_backward_level(ctx, dep);
+        } else {
+          ws.we_backward_level(ctx, dep);
+        }
       }
     }
 

@@ -17,23 +17,31 @@ std::uint32_t process_root_we(BlockDriver::RootTask& task) {
   BCWorkspace& ws = task.ws;
   gpusim::BlockContext& ctx = task.ctx;
   ws.init_root(task.root, ctx);
-  for (;;) {
-    const std::uint64_t before = ctx.cycles();
-    const BCWorkspace::LevelStats level = ws.we_forward_level(ctx);
-    ++task.we_levels;
-    if (task.stats) {
-      task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
-                                        level.edge_frontier, ctx.cycles() - before,
-                                        Mode::WorkEfficient});
+  {
+    SimSpan stage(task.trace, ctx, "shortest-path", trace::kPhase);
+    for (;;) {
+      const std::uint64_t before = ctx.cycles();
+      const BCWorkspace::LevelStats level = ws.we_forward_level(ctx);
+      ++task.we_levels;
+      if (task.stats) {
+        task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
+                                          level.edge_frontier, ctx.cycles() - before,
+                                          Mode::WorkEfficient});
+      }
+      trace_level(task.trace, ctx, ws.current_depth(), level.vertex_frontier,
+                  level.edge_frontier, Mode::WorkEfficient, ctx.cycles() - before);
+      if (ws.q_next_len() == 0) break;
+      ws.finish_level(ctx);
     }
-    if (ws.q_next_len() == 0) break;
-    ws.finish_level(ctx);
   }
   const std::uint32_t max_depth = ws.max_depth();
   if (task.stats) task.stats->max_depth = max_depth;
 
-  for (std::uint32_t dep = max_depth; dep-- > 1;) {
-    ws.we_backward_level(ctx, dep);
+  {
+    SimSpan stage(task.trace, ctx, "dependency", trace::kPhase);
+    for (std::uint32_t dep = max_depth; dep-- > 1;) {
+      ws.we_backward_level(ctx, dep);
+    }
   }
   ws.accumulate_bc(task.bc, task.root, /*use_queue=*/true, ctx);
   return max_depth;
@@ -49,38 +57,46 @@ void process_root_guarded_ep(BlockDriver::RootTask& task, const RunConfig& confi
   gpusim::BlockContext& ctx = task.ctx;
   ws.init_root(task.root, ctx);
   level_modes.clear();
-  for (;;) {
-    ctx.charge_cycles(ctx.cost().sampling_guard);
-    const Mode mode = ws.q_curr_len() >= config.sampling.min_frontier
-                          ? Mode::EdgeParallel
-                          : Mode::WorkEfficient;
-    const std::uint64_t before = ctx.cycles();
-    const BCWorkspace::LevelStats level =
-        mode == Mode::EdgeParallel
-            ? ws.ep_forward_level(ctx, ws.current_depth(), /*maintain_queue=*/true)
-            : ws.we_forward_level(ctx);
-    level_modes.push_back(mode);
-    if (mode == Mode::WorkEfficient) {
-      ++task.we_levels;
-    } else {
-      ++task.ep_levels;
+  {
+    SimSpan stage(task.trace, ctx, "shortest-path", trace::kPhase);
+    for (;;) {
+      ctx.charge_cycles(ctx.cost().sampling_guard);
+      const Mode mode = ws.q_curr_len() >= config.sampling.min_frontier
+                            ? Mode::EdgeParallel
+                            : Mode::WorkEfficient;
+      const std::uint64_t before = ctx.cycles();
+      const BCWorkspace::LevelStats level =
+          mode == Mode::EdgeParallel
+              ? ws.ep_forward_level(ctx, ws.current_depth(), /*maintain_queue=*/true)
+              : ws.we_forward_level(ctx);
+      level_modes.push_back(mode);
+      if (mode == Mode::WorkEfficient) {
+        ++task.we_levels;
+      } else {
+        ++task.ep_levels;
+      }
+      if (task.stats) {
+        task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
+                                          level.edge_frontier, ctx.cycles() - before,
+                                          mode});
+      }
+      trace_level(task.trace, ctx, ws.current_depth(), level.vertex_frontier,
+                  level.edge_frontier, mode, ctx.cycles() - before);
+      if (ws.q_next_len() == 0) break;
+      ws.finish_level(ctx);
     }
-    if (task.stats) {
-      task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
-                                        level.edge_frontier, ctx.cycles() - before,
-                                        mode});
-    }
-    if (ws.q_next_len() == 0) break;
-    ws.finish_level(ctx);
   }
   const std::uint32_t max_depth = ws.max_depth();
   if (task.stats) task.stats->max_depth = max_depth;
 
-  for (std::uint32_t dep = max_depth; dep-- > 1;) {
-    if (dep < level_modes.size() && level_modes[dep] == Mode::EdgeParallel) {
-      ws.ep_backward_level(ctx, dep);
-    } else {
-      ws.we_backward_level(ctx, dep);
+  {
+    SimSpan stage(task.trace, ctx, "dependency", trace::kPhase);
+    for (std::uint32_t dep = max_depth; dep-- > 1;) {
+      if (dep < level_modes.size() && level_modes[dep] == Mode::EdgeParallel) {
+        ws.ep_backward_level(ctx, dep);
+      } else {
+        ws.we_backward_level(ctx, dep);
+      }
     }
   }
   ws.accumulate_bc(task.bc, task.root, /*use_queue=*/true, ctx);
@@ -98,6 +114,7 @@ void process_root_guarded_ep(BlockDriver::RootTask& task, const RunConfig& confi
 // are already accumulated into the BC vector.
 RunResult run_sampling(const CSRGraph& g, const RunConfig& config) {
   DriverLayout layout;
+  layout.label = "sampling";
   layout.needs_edge_sources = true;
   layout.per_block.push_back(
       {BCWorkspace::work_efficient_bytes(g.num_vertices()), "sampling.block_locals"});
@@ -126,6 +143,19 @@ RunResult run_sampling(const CSRGraph& g, const RunConfig& config) {
   const double threshold =
       config.sampling.gamma * std::log2(std::max<double>(2.0, g.num_vertices()));
   const bool choose_edge_parallel = !keys.empty() && median < threshold;
+
+  // The Algorithm 5 decision happens at the phase boundary, on the same
+  // block the key sort was charged to.
+  {
+    gpusim::BlockContext b0 = driver.device().block(0);
+    if (trace::Sink* sink = b0.trace(); sink && sink->wants(trace::kDecision)) {
+      sink->instant("sampling-choice", trace::kDecision, b0.sim_ns(),
+                    {{"median_depth", median},
+                     {"threshold", threshold},
+                     {"probed", static_cast<std::uint64_t>(n_samps)},
+                     {"to", choose_edge_parallel ? "edge-parallel" : "work-efficient"}});
+    }
+  }
 
   // Phase 2: remaining roots with the selected method.
   if (choose_edge_parallel) {

@@ -12,6 +12,7 @@ using graph::CSRGraph;
 // implementations.
 RunResult run_work_efficient(const CSRGraph& g, const RunConfig& config) {
   DriverLayout layout;
+  layout.label = "work-efficient";
   layout.per_block.push_back(
       {BCWorkspace::work_efficient_bytes(g.num_vertices()), "we.block_locals"});
   if (config.use_predecessor_bitmap) {
@@ -27,28 +28,36 @@ RunResult run_work_efficient(const CSRGraph& g, const RunConfig& config) {
     ws.init_root(task.root, ctx);
 
     // Stage 1 (Algorithm 2).
-    for (;;) {
-      const std::uint64_t before = ctx.cycles();
-      const BCWorkspace::LevelStats level =
-          ws.we_forward_level(ctx, config.use_predecessor_bitmap);
-      if (task.stats) {
-        task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
-                                          level.edge_frontier, ctx.cycles() - before,
-                                          Mode::WorkEfficient});
+    {
+      SimSpan stage(task.trace, ctx, "shortest-path", trace::kPhase);
+      for (;;) {
+        const std::uint64_t before = ctx.cycles();
+        const BCWorkspace::LevelStats level =
+            ws.we_forward_level(ctx, config.use_predecessor_bitmap);
+        if (task.stats) {
+          task.stats->iterations.push_back({ws.current_depth(), level.vertex_frontier,
+                                            level.edge_frontier, ctx.cycles() - before,
+                                            Mode::WorkEfficient});
+        }
+        trace_level(task.trace, ctx, ws.current_depth(), level.vertex_frontier,
+                    level.edge_frontier, Mode::WorkEfficient, ctx.cycles() - before);
+        ++task.we_levels;
+        if (ws.q_next_len() == 0) break;
+        ws.finish_level(ctx);
       }
-      ++task.we_levels;
-      if (ws.q_next_len() == 0) break;
-      ws.finish_level(ctx);
     }
     const std::uint32_t max_depth = ws.max_depth();
     if (task.stats) task.stats->max_depth = max_depth;
 
     // Stage 2 (Algorithm 3): depth = d[S[S_len-1]] - 1 down to 1.
-    for (std::uint32_t dep = max_depth; dep-- > 1;) {
-      if (config.use_predecessor_bitmap) {
-        ws.we_backward_level_pred(ctx, dep);
-      } else {
-        ws.we_backward_level(ctx, dep);
+    {
+      SimSpan stage(task.trace, ctx, "dependency", trace::kPhase);
+      for (std::uint32_t dep = max_depth; dep-- > 1;) {
+        if (config.use_predecessor_bitmap) {
+          ws.we_backward_level_pred(ctx, dep);
+        } else {
+          ws.we_backward_level(ctx, dep);
+        }
       }
     }
 

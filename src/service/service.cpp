@@ -96,6 +96,17 @@ std::shared_ptr<const graph::CSRGraph> BcService::graph(const std::string& id) c
   return it == graphs_.end() ? nullptr : it->second.graph;
 }
 
+trace::Sink* BcService::trace_sink() const {
+  return cfg_.tracer != nullptr ? cfg_.tracer->thread_sink() : nullptr;
+}
+
+void BcService::trace_instant(const char* name, std::uint64_t id) const {
+  if (cfg_.tracer == nullptr) return;
+  trace::Sink* sink = cfg_.tracer->thread_sink();
+  if (sink == nullptr || !sink->wants(trace::kService)) return;
+  sink->instant(name, trace::kService, cfg_.tracer->now_ns(), {{"id", id}});
+}
+
 Ticket BcService::ready_ticket(std::uint64_t id, Response response) {
   std::promise<Response> promise;
   Ticket ticket;
@@ -110,6 +121,7 @@ Ticket BcService::ready_ticket(std::uint64_t id, Response response) {
 Ticket BcService::submit(Request request) {
   metrics_.on_submitted();
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  trace_instant("submit", id);
   const Clock::time_point submitted = Clock::now();
   util::Timer turnaround;
 
@@ -127,6 +139,7 @@ Ticket BcService::submit(Request request) {
     const auto it = graphs_.find(request.graph_id);
     if (it == graphs_.end()) {
       metrics_.on_graph_not_found();
+      trace_instant("graph-missing", id);
       Response r;
       r.status = QueryStatus::GraphNotFound;
       r.error = "no graph registered as '" + request.graph_id + "'";
@@ -139,6 +152,7 @@ Ticket BcService::submit(Request request) {
 
     std::string key = make_key(fingerprint, request.options);
     if (auto cached = cache_.get(key)) {
+      trace_instant("cache-hit", id);
       Response r;
       r.status = QueryStatus::Ok;
       r.result = std::shared_ptr<const core::BCResult>(cached, &cached->result);
@@ -151,6 +165,7 @@ Ticket BcService::submit(Request request) {
     }
     if (const auto inflight = inflight_.find(key); inflight != inflight_.end()) {
       metrics_.on_coalesced();
+      trace_instant("coalesced", id);
       Ticket t;
       t.future = inflight->second->future;
       t.id = id;
@@ -170,6 +185,7 @@ Ticket BcService::submit(Request request) {
   switch (admit) {
     case Admit::RejectedFull: {
       metrics_.on_rejected_full();
+      trace_instant("reject-full", id);
       Response r;
       r.status = QueryStatus::QueueFull;
       auto t = ready_ticket(id, std::move(r));
@@ -178,6 +194,7 @@ Ticket BcService::submit(Request request) {
     }
     case Admit::RejectedDeadline: {
       metrics_.on_rejected_deadline();
+      trace_instant("reject-deadline", id);
       Response r;
       r.status = QueryStatus::DeadlineExceeded;
       auto t = ready_ticket(id, std::move(r));
@@ -196,7 +213,10 @@ Ticket BcService::submit(Request request) {
       break;
   }
   const bool shed = admit == Admit::Shed;
-  if (shed) metrics_.on_shed();
+  if (shed) {
+    metrics_.on_shed();
+    trace_instant("shed", id);
+  }
 
   // The shed downgrade may have rewritten the options, so the key is
   // final only now; re-check cache and in-flight under the lock before
@@ -215,6 +235,7 @@ Ticket BcService::submit(Request request) {
     }
     if (auto cached = cache_.get(key)) {
       queue_.cancel();
+      trace_instant("cache-hit", id);
       Response r;
       r.status = QueryStatus::Ok;
       r.result = std::shared_ptr<const core::BCResult>(cached, &cached->result);
@@ -229,6 +250,7 @@ Ticket BcService::submit(Request request) {
     if (const auto inflight = inflight_.find(key); inflight != inflight_.end()) {
       queue_.cancel();
       metrics_.on_coalesced();
+      trace_instant("coalesced", id);
       Ticket t;
       t.future = inflight->second->future;
       t.id = id;
@@ -255,6 +277,7 @@ Ticket BcService::submit(Request request) {
     job.submitted = submitted;
     job.deadline = deadline;
     queue_.push(std::move(job));
+    trace_instant("enqueue", id);
   }
 
   Ticket t;
@@ -314,7 +337,7 @@ core::BCResult BcService::compute_resilient(const graph::CSRGraph& g,
                                             bool& degraded) {
   degraded = false;
   core::Options opts = requested;
-  opts.cancel = cancel.token();
+  opts.resilience.cancel = cancel.token();
 
   // Rung 0: the requested strategy, with whole-run retries while failures
   // are transient. Each retry bumps fault_retry_epoch, so a seeded
@@ -322,15 +345,17 @@ core::BCResult BcService::compute_resilient(const graph::CSRGraph& g,
   core::BCResult partial;
   bool have_partial = false;
   for (std::uint32_t attempt = 0;; ++attempt) {
-    opts.cancel.check();
+    opts.resilience.cancel.check();
     try {
       core::BCResult r = run_compute(g, opts);
       metrics_.on_faults(r.faults.faults_injected);
       if (r.faults.complete()) return r;  // clean or fully recovered
       if (r.faults.all_failures_transient() && attempt < cfg_.max_compute_retries) {
         metrics_.on_compute_retry();
-        backoff_sleep(cfg_.retry_backoff * (1u << attempt), opts.cancel);
-        opts.fault_retry_epoch = requested.fault_retry_epoch + attempt + 1;
+        trace_instant("compute-retry", attempt + 1);
+        backoff_sleep(cfg_.retry_backoff * (1u << attempt), opts.resilience.cancel);
+        opts.resilience.fault_retry_epoch =
+            requested.resilience.fault_retry_epoch + attempt + 1;
         continue;
       }
       partial = std::move(r);  // persistent failures (or retries exhausted)
@@ -344,8 +369,10 @@ core::BCResult BcService::compute_resilient(const graph::CSRGraph& g,
       metrics_.on_faults(1);
       if (f.transient() && attempt < cfg_.max_compute_retries) {
         metrics_.on_compute_retry();
-        backoff_sleep(cfg_.retry_backoff * (1u << attempt), opts.cancel);
-        opts.fault_retry_epoch = requested.fault_retry_epoch + attempt + 1;
+        trace_instant("compute-retry", attempt + 1);
+        backoff_sleep(cfg_.retry_backoff * (1u << attempt), opts.resilience.cancel);
+        opts.resilience.fault_retry_epoch =
+            requested.resilience.fault_retry_epoch + attempt + 1;
         continue;
       }
       if (!cfg_.enable_fallback || !core::uses_gpu_model(requested.strategy)) throw;
@@ -362,6 +389,7 @@ core::BCResult BcService::compute_resilient(const graph::CSRGraph& g,
     if (have_partial) {
       degraded = true;
       metrics_.on_degraded();
+      trace_instant("degraded-partial", 0);
       return partial;
     }
     throw std::runtime_error("compute failed with no result");
@@ -370,11 +398,12 @@ core::BCResult BcService::compute_resilient(const graph::CSRGraph& g,
   // Rung 1: exact scores on the CPU — slower, but immune to device faults.
   degraded = true;
   metrics_.on_fallback();
+  trace_instant("fallback-cpu-exact", 0);
   try {
     core::Options cpu = requested;
     cpu.strategy = core::Strategy::CpuParallel;
-    cpu.fault_plan.reset();
-    cpu.cancel = cancel.token();
+    cpu.resilience.fault_plan.reset();
+    cpu.resilience.cancel = cancel.token();
     if (cfg_.compute_threads != 0) cpu.cpu_threads = cfg_.compute_threads;
     core::BCResult r = run_compute(g, cpu);
     metrics_.on_degraded();
@@ -388,10 +417,11 @@ core::BCResult BcService::compute_resilient(const graph::CSRGraph& g,
   // Rung 2: McLaughlin & Bader Algorithm-5 style approximation — a
   // principled partial answer when the exact one can't be afforded.
   metrics_.on_fallback();
+  trace_instant("fallback-sampling", 0);
   core::Options approx = requested;
   approx.strategy = core::Strategy::Sampling;
-  approx.fault_plan.reset();
-  approx.cancel = cancel.token();
+  approx.resilience.fault_plan.reset();
+  approx.resilience.cancel = cancel.token();
   approx.roots.clear();
   approx.sample_roots = std::max<std::uint32_t>(1, cfg_.fallback_sample_roots);
   core::BCResult r = run_compute(g, approx);
@@ -404,6 +434,8 @@ void BcService::worker_loop() {
     std::optional<Job> job = queue_.pop();
     if (!job) return;
     const std::shared_ptr<Inflight>& entry = job->entry;
+    trace::ScopedSpan request_span(trace_sink(), cfg_.tracer, "request",
+                                   trace::kService);
 
     Response resp;
     resp.shed = entry->shed;
@@ -429,6 +461,8 @@ void BcService::worker_loop() {
       util::Timer timer;
       try {
         bool degraded = false;
+        trace::ScopedSpan compute_span(trace_sink(), cfg_.tracer,
+                                       "service-compute", trace::kCompute);
         core::BCResult computed = compute_resilient(*job->graph, job->options,
                                                     cancel, degraded);
         resp.compute_ms = timer.elapsed_ms();

@@ -42,6 +42,7 @@
 #include "service/admission.hpp"
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
@@ -144,6 +145,16 @@ struct ServiceConfig {
   bool enable_fallback = true;
   /// Root-sample width of the final (approximation) rung.
   std::uint32_t fallback_sample_roots = 64;
+
+  /// Request-lifecycle tracing (docs/tracing.md): submit / cache-hit /
+  /// coalesced / shed / reject instants and per-job request+compute spans,
+  /// recorded wall-clock on per-thread host sinks (category kService /
+  /// kCompute). The tracer is NOT propagated into kernel runs — concurrent
+  /// computes would share the simulated-device timeline rows and break the
+  /// per-row timestamp ordering the exporter guarantees; use hbc --trace
+  /// for kernel-level captures. Non-owning: the Tracer must outlive the
+  /// service. nullptr = off (one pointer test per instrumentation point).
+  trace::Tracer* tracer = nullptr;
 };
 
 class BcService {
@@ -224,6 +235,10 @@ class BcService {
   };
 
   static Ticket ready_ticket(std::uint64_t id, Response response);
+  /// This thread's host trace sink, or nullptr when tracing is off.
+  trace::Sink* trace_sink() const;
+  /// One kService instant tagged with the request id; no-op when off.
+  void trace_instant(const char* name, std::uint64_t id) const;
   void worker_loop();
   core::BCResult run_compute(const graph::CSRGraph& g, const core::Options& o);
   /// Retry-with-backoff + degradation ladder around run_compute. Sets

@@ -1,0 +1,335 @@
+#include "trace/check.hpp"
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <variant>
+
+namespace hbc::trace {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser. Enough for trace files:
+// objects, arrays, strings (with escapes), numbers, true/false/null.
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v = nullptr;
+
+  bool is_object() const { return std::holds_alternative<std::shared_ptr<JsonObject>>(v); }
+  bool is_array() const { return std::holds_alternative<std::shared_ptr<JsonArray>>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+
+  const JsonObject& object() const { return *std::get<std::shared_ptr<JsonObject>>(v); }
+  const JsonArray& array() const { return *std::get<std::shared_ptr<JsonArray>>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+  double number() const { return std::get<double>(v); }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (!parse_value(out, error)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing content at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string& error, const std::string& what) {
+    error = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool parse_value(JsonValue& out, std::string& error) {
+    if (pos_ >= text_.size()) return fail(error, "unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, error);
+      case '[': return parse_array(out, error);
+      case '"': {
+        std::string s;
+        if (!parse_string(s, error)) return false;
+        out.v = std::move(s);
+        return true;
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") { pos_ += 4; out.v = true; return true; }
+        return fail(error, "bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") { pos_ += 5; out.v = false; return true; }
+        return fail(error, "bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") { pos_ += 4; out.v = nullptr; return true; }
+        return fail(error, "bad literal");
+      default: return parse_number(out, error);
+    }
+  }
+
+  bool parse_object(JsonValue& out, std::string& error) {
+    ++pos_;  // '{'
+    auto obj = std::make_shared<JsonObject>();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      out.v = std::move(obj);
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail(error, "expected key");
+      std::string key;
+      if (!parse_string(key, error)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail(error, "expected ':'");
+      ++pos_;
+      skip_ws();
+      JsonValue val;
+      if (!parse_value(val, error)) return false;
+      (*obj)[std::move(key)] = std::move(val);
+      skip_ws();
+      if (pos_ >= text_.size()) return fail(error, "unterminated object");
+      if (text_[pos_] == ',') { ++pos_; continue; }
+      if (text_[pos_] == '}') { ++pos_; break; }
+      return fail(error, "expected ',' or '}'");
+    }
+    out.v = std::move(obj);
+    return true;
+  }
+
+  bool parse_array(JsonValue& out, std::string& error) {
+    ++pos_;  // '['
+    auto arr = std::make_shared<JsonArray>();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      out.v = std::move(arr);
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue val;
+      if (!parse_value(val, error)) return false;
+      arr->push_back(std::move(val));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail(error, "unterminated array");
+      if (text_[pos_] == ',') { ++pos_; continue; }
+      if (text_[pos_] == ']') { ++pos_; break; }
+      return fail(error, "expected ',' or ']'");
+    }
+    out.v = std::move(arr);
+    return true;
+  }
+
+  bool parse_string(std::string& out, std::string& error) {
+    ++pos_;  // '"'
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail(error, "bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail(error, "bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail(error, "bad \\u escape");
+            }
+            pos_ += 4;
+            // Trace names are ASCII; encode BMP code points as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail(error, "bad escape");
+        }
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail(error, "unterminated string");
+  }
+
+  bool parse_number(JsonValue& out, std::string& error) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail(error, "expected value");
+    try {
+      out.v = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      pos_ = start;
+      return fail(error, "bad number");
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue* find(const JsonObject& obj, const char* key) {
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+std::string CheckResult::error_text() const {
+  std::ostringstream out;
+  for (const auto& e : errors) out << e << "\n";
+  return out.str();
+}
+
+CheckResult validate_chrome_trace(std::string_view json) {
+  CheckResult result;
+  auto err = [&](const std::string& message) {
+    if (result.errors.size() < 20) result.errors.push_back(message);
+  };
+
+  JsonValue root;
+  std::string parse_error;
+  if (!Parser(json).parse(root, parse_error)) {
+    err("JSON parse error: " + parse_error);
+    return result;
+  }
+  if (!root.is_object()) {
+    err("top level is not an object");
+    return result;
+  }
+  const JsonValue* events = find(root.object(), "traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    err("missing \"traceEvents\" array");
+    return result;
+  }
+
+  // Per-(pid, tid) open-span stack of (name, ts, event index) plus the last
+  // timestamp seen, for the monotonicity check.
+  struct Timeline {
+    std::vector<std::pair<std::string, std::size_t>> open;
+    double last_ts = -1.0;
+  };
+  std::map<std::pair<double, double>, Timeline> timelines;
+
+  const JsonArray& arr = events->array();
+  result.total_events = arr.size();
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const std::string at = "event " + std::to_string(i);
+    if (!arr[i].is_object()) {
+      err(at + ": not an object");
+      continue;
+    }
+    const JsonObject& e = arr[i].object();
+    const JsonValue* name = find(e, "name");
+    const JsonValue* ph = find(e, "ph");
+    const JsonValue* pid = find(e, "pid");
+    const JsonValue* tid = find(e, "tid");
+    if (name == nullptr || !name->is_string()) { err(at + ": missing string \"name\""); continue; }
+    if (ph == nullptr || !ph->is_string() || ph->str().size() != 1) {
+      err(at + ": missing one-char \"ph\"");
+      continue;
+    }
+    if (pid == nullptr || !pid->is_number()) { err(at + ": missing numeric \"pid\""); continue; }
+    const char phase = ph->str()[0];
+    if (phase == 'M') {
+      ++result.metadata;
+      continue;  // metadata carries no ts; tid optional for process_name
+    }
+    if (tid == nullptr || !tid->is_number()) { err(at + ": missing numeric \"tid\""); continue; }
+    const JsonValue* ts = find(e, "ts");
+    if (ts == nullptr || !ts->is_number()) { err(at + ": missing numeric \"ts\""); continue; }
+
+    Timeline& tl = timelines[{pid->number(), tid->number()}];
+    if (ts->number() < tl.last_ts) {
+      err(at + " (\"" + name->str() + "\"): ts decreases within its timeline");
+    }
+    tl.last_ts = ts->number();
+
+    switch (phase) {
+      case 'B':
+        tl.open.emplace_back(name->str(), i);
+        break;
+      case 'E':
+        if (tl.open.empty()) {
+          err(at + ": \"E\" (\"" + name->str() + "\") with no open span");
+        } else if (tl.open.back().first != name->str()) {
+          err(at + ": \"E\" (\"" + name->str() + "\") does not nest; open span is \"" +
+              tl.open.back().first + "\" from event " +
+              std::to_string(tl.open.back().second));
+        } else {
+          tl.open.pop_back();
+          ++result.span_pairs;
+        }
+        break;
+      case 'i': ++result.instants; break;
+      case 'C': ++result.counters; break;
+      default:
+        err(at + ": unknown phase '" + std::string(1, phase) + "'");
+    }
+  }
+
+  for (const auto& [key, tl] : timelines) {
+    for (const auto& [name, index] : tl.open) {
+      err("span \"" + name + "\" (event " + std::to_string(index) +
+          ") never ends on pid/tid " + std::to_string(key.first) + "/" +
+          std::to_string(key.second));
+    }
+  }
+
+  result.ok = result.errors.empty();
+  return result;
+}
+
+}  // namespace hbc::trace

@@ -1,0 +1,37 @@
+#pragma once
+
+// Validation for exported Chrome trace_event JSON. Used by tests and the
+// hbc-trace-check tool; deliberately dependency-free (tiny recursive-
+// descent JSON parser, no external libraries).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hbc::trace {
+
+struct CheckResult {
+  bool ok = false;
+  std::vector<std::string> errors;  // empty when ok
+
+  std::size_t total_events = 0;    // every entry in traceEvents
+  std::size_t span_pairs = 0;      // matched B/E pairs
+  std::size_t instants = 0;        // "i" events
+  std::size_t counters = 0;        // "C" events
+  std::size_t metadata = 0;        // "M" events
+
+  std::string error_text() const;  // newline-joined errors
+};
+
+/// Validate a Chrome trace_event capture:
+///   * the document parses as JSON and is {"traceEvents": [...]};
+///   * every event is an object with string "name"/"ph" and numeric
+///     "pid"/"tid", plus numeric "ts" for everything but metadata;
+///   * per (pid, tid) timeline: "B"/"E" events balance as a stack with
+///     matching names (proper nesting) and non-decreasing timestamps,
+///     and no span is left open at the end.
+/// Error strings carry event indices so failures are actionable.
+CheckResult validate_chrome_trace(std::string_view json);
+
+}  // namespace hbc::trace

@@ -1,0 +1,312 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace hbc::trace {
+
+const char* to_string(Category category) noexcept {
+  switch (category) {
+    case kRun: return "run";
+    case kRoot: return "root";
+    case kPhase: return "phase";
+    case kLevel: return "level";
+    case kDecision: return "decision";
+    case kFault: return "fault";
+    case kCharge: return "charge";
+    case kService: return "service";
+    case kCompute: return "compute";
+    default: return "?";
+  }
+}
+
+namespace {
+
+std::atomic<std::uint64_t> g_tracer_generation{1};
+
+char phase_char(Phase phase) {
+  switch (phase) {
+    case Phase::Begin: return 'B';
+    case Phase::End: return 'E';
+    case Phase::Instant: return 'i';
+    case Phase::Counter: return 'C';
+  }
+  return 'i';
+}
+
+void append_json_string(std::string& out, const char* s) {
+  out += '"';
+  for (; *s; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Microseconds with fixed 3-decimal nanosecond fraction: integer math
+/// only, so the formatting is bit-stable across runs and platforms.
+void append_ts(std::string& out, std::uint64_t ts_ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ts_ns / 1000),
+                static_cast<unsigned long long>(ts_ns % 1000));
+  out += buf;
+}
+
+void append_arg_value(std::string& out, const Arg& a) {
+  char buf[40];
+  switch (a.kind) {
+    case Arg::Kind::U64:
+      std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(a.value.u));
+      out += buf;
+      break;
+    case Arg::Kind::I64:
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(a.value.i));
+      out += buf;
+      break;
+    case Arg::Kind::F64:
+      std::snprintf(buf, sizeof buf, "%.9g", a.value.f);
+      out += buf;
+      break;
+    case Arg::Kind::Str:
+      append_json_string(out, a.value.s ? a.value.s : "");
+      break;
+    case Arg::Kind::None:
+      out += "null";
+      break;
+  }
+}
+
+void append_event(std::string& out, const Event& e) {
+  out += "{\"name\":";
+  append_json_string(out, e.name ? e.name : "?");
+  out += ",\"cat\":";
+  append_json_string(out, to_string(e.category));
+  out += ",\"ph\":\"";
+  out += phase_char(e.phase);
+  out += "\",\"pid\":";
+  out += std::to_string(e.pid);
+  out += ",\"tid\":";
+  out += std::to_string(e.tid);
+  out += ",\"ts\":";
+  append_ts(out, e.ts_ns);
+  if (e.num_args > 0) {
+    out += ",\"args\":{";
+    for (std::uint8_t i = 0; i < e.num_args; ++i) {
+      if (i > 0) out += ',';
+      append_json_string(out, e.args[i].key ? e.args[i].key : "?");
+      out += ':';
+      append_arg_value(out, e.args[i]);
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+void append_metadata(std::string& out, const char* name, std::uint32_t pid,
+                     std::uint32_t tid, bool with_tid, const std::string& value) {
+  out += "{\"name\":\"";
+  out += name;
+  out += "\",\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  if (with_tid) {
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+  }
+  out += ",\"args\":{\"name\":";
+  append_json_string(out, value.c_str());
+  out += "}}";
+}
+
+}  // namespace
+
+Tracer::Tracer(TracerConfig config)
+    : config_(config),
+      epoch_(std::chrono::steady_clock::now()),
+      generation_(g_tracer_generation.fetch_add(1, std::memory_order_relaxed)) {}
+
+std::shared_ptr<Sink> Tracer::make_sink(std::string name, std::uint32_t pid,
+                                        std::uint32_t tid) {
+  // Not make_shared: Sink's constructor is private to this friend.
+  std::shared_ptr<Sink> sink(
+      new Sink(std::move(name), pid, tid, config_.categories, config_.sink_capacity));
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(sink);
+  return sink;
+}
+
+Sink* Tracer::thread_sink(const char* name_prefix) {
+  struct Cached {
+    std::uint64_t generation = 0;
+    std::shared_ptr<Sink> sink;
+  };
+  // Keyed by the tracer's process-unique generation, not its address, so
+  // a new Tracer allocated where a dead one lived can't hit a stale entry.
+  thread_local Cached cached;
+  if (cached.generation == generation_) return cached.sink.get();
+  std::uint32_t tid = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tid = next_host_tid_++;
+  }
+  cached.sink = make_sink(std::string(name_prefix) + " " + std::to_string(tid),
+                          kHostPid, tid);
+  cached.generation = generation_;
+  return cached.sink.get();
+}
+
+std::vector<Event> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  std::size_t total = 0;
+  for (const auto& sink : sinks_) total += sink->events().size();
+  out.reserve(total);
+  for (const auto& sink : sinks_) {
+    out.insert(out.end(), sink->events().begin(), sink->events().end());
+  }
+  return out;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& sink : sinks_) total += sink->events().size();
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& sink : sinks_) total += sink->dropped();
+  return total;
+}
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string buf;
+  buf += "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) buf += ",\n";
+    first = false;
+  };
+  // Process/thread naming metadata first, in registration order.
+  bool sim_named = false, host_named = false;
+  for (const auto& sink : sinks_) {
+    if (sink->pid() == kSimDevicePid && !sim_named) {
+      sep();
+      append_metadata(buf, "process_name", kSimDevicePid, 0, false, "simulated device");
+      sim_named = true;
+    }
+    if (sink->pid() == kHostPid && !host_named) {
+      sep();
+      append_metadata(buf, "process_name", kHostPid, 0, false, "host");
+      host_named = true;
+    }
+  }
+  for (const auto& sink : sinks_) {
+    sep();
+    append_metadata(buf, "thread_name", sink->pid(), sink->tid(), true, sink->name());
+  }
+  for (const auto& sink : sinks_) {
+    for (const Event& e : sink->events()) {
+      sep();
+      append_event(buf, e);
+    }
+  }
+  buf += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  out << buf;
+}
+
+std::string Tracer::chrome_json() const {
+  std::ostringstream out;
+  write_chrome_json(out);
+  return out.str();
+}
+
+void Tracer::write_summary(std::ostream& out) const {
+  struct Row {
+    std::size_t order = 0;  // first-appearance rank, for stable output
+    std::uint64_t count = 0;
+    std::uint64_t spans = 0;
+    std::uint64_t span_ns = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Row> rows;  // (cat, name)
+  std::size_t next_order = 0;
+  std::uint64_t total_events = 0, total_dropped = 0;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& sink : sinks_) {
+    total_dropped += sink->dropped();
+    // Per-sink open-span stack: Begin/End pairs nest by construction.
+    std::vector<const Event*> stack;
+    for (const Event& e : sink->events()) {
+      ++total_events;
+      auto [it, inserted] =
+          rows.try_emplace({to_string(e.category), e.name ? e.name : "?"});
+      if (inserted) it->second.order = next_order++;
+      Row& row = it->second;
+      if (e.phase == Phase::Begin) {
+        stack.push_back(&e);
+        ++row.spans;
+      } else if (e.phase == Phase::End) {
+        if (!stack.empty()) {
+          row.span_ns += e.ts_ns - stack.back()->ts_ns;
+          stack.pop_back();
+        }
+      } else {
+        ++row.count;
+      }
+    }
+  }
+
+  std::vector<const std::pair<const std::pair<std::string, std::string>, Row>*> ordered;
+  ordered.reserve(rows.size());
+  for (const auto& kv : rows) ordered.push_back(&kv);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto* a, const auto* b) { return a->second.order < b->second.order; });
+
+  char line[160];
+  std::snprintf(line, sizeof line, "%-10s %-22s %10s %10s %14s\n", "category", "name",
+                "events", "spans", "span ms");
+  out << line;
+  for (const auto* kv : ordered) {
+    const Row& r = kv->second;
+    std::snprintf(line, sizeof line, "%-10s %-22s %10llu %10llu %14.3f\n",
+                  kv->first.first.c_str(), kv->first.second.c_str(),
+                  static_cast<unsigned long long>(r.count),
+                  static_cast<unsigned long long>(r.spans),
+                  static_cast<double>(r.span_ns) / 1e6);
+    out << line;
+  }
+  std::snprintf(line, sizeof line, "total: %llu events in %zu sinks (%llu dropped)\n",
+                static_cast<unsigned long long>(total_events), sinks_.size(),
+                static_cast<unsigned long long>(total_dropped));
+  out << line;
+}
+
+std::string Tracer::summary() const {
+  std::ostringstream out;
+  write_summary(out);
+  return out.str();
+}
+
+}  // namespace hbc::trace

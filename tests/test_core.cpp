@@ -152,8 +152,14 @@ TEST(StrategyNames, RoundTrip) {
     EXPECT_EQ(core::strategy_from_string(core::to_string(s)), s);
   }
   EXPECT_THROW(core::strategy_from_string("bogus"), std::invalid_argument);
-  EXPECT_EQ(core::strategy_from_string("we"), Strategy::WorkEfficient);
+  // Every alias spelling the doc comment promises.
   EXPECT_EQ(core::strategy_from_string("cpu"), Strategy::CpuSerial);
+  EXPECT_EQ(core::strategy_from_string("cpu-fine"), Strategy::CpuFineGrained);
+  EXPECT_EQ(core::strategy_from_string("vertex"), Strategy::VertexParallel);
+  EXPECT_EQ(core::strategy_from_string("edge"), Strategy::EdgeParallel);
+  EXPECT_EQ(core::strategy_from_string("gpufan"), Strategy::GpuFan);
+  EXPECT_EQ(core::strategy_from_string("we"), Strategy::WorkEfficient);
+  EXPECT_EQ(core::strategy_from_string("diropt"), Strategy::DirectionOptimized);
 }
 
 TEST(Teps, MatchesEquationFour) {

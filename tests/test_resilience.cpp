@@ -273,7 +273,7 @@ TEST(CancelTest, PreCancelledTokenStopsEveryEngine) {
                                  core::Strategy::CpuFineGrained}) {
     core::Options o;
     o.strategy = s;
-    o.cancel = src.token();
+    o.resilience.cancel = src.token();
     EXPECT_THROW(core::compute(g, o), util::Cancelled) << core::to_string(s);
   }
 }
@@ -319,7 +319,7 @@ TEST(ServiceResilienceTest, TransientFaultsRecoverAndTheResultIsCached) {
   svc.load_graph("g", g);
 
   core::Options opts = gpu_options();
-  opts.fault_plan =
+  opts.resilience.fault_plan =
       one_spec_plan(3, {.kind = FaultKind::KernelLaunch, .rate = 0.1});
   const service::Response r = svc.query({.graph_id = "g", .options = opts});
   ASSERT_TRUE(r.ok()) << r.error;
@@ -351,7 +351,7 @@ TEST(ServiceResilienceTest, WholeRunRetryClearsStubbornTransientFaults) {
   svc.load_graph("g", g);
 
   core::Options opts = gpu_options();
-  opts.fault_plan = one_spec_plan(
+  opts.resilience.fault_plan = one_spec_plan(
       3, {.kind = FaultKind::KernelLaunch, .rate = 0.1, .fail_attempts = 3});
   const service::Response r = svc.query({.graph_id = "g", .options = opts});
   ASSERT_TRUE(r.ok()) << r.error;
@@ -369,7 +369,7 @@ TEST(ServiceResilienceTest, PersistentFaultsDescendTheLadderToCpuExact) {
   svc.load_graph("g", service_graph());
 
   core::Options opts = gpu_options(core::Strategy::Hybrid);
-  opts.fault_plan = one_spec_plan(
+  opts.resilience.fault_plan = one_spec_plan(
       11, {.kind = FaultKind::DeviceAlloc, .transient = false, .rate = 0.2});
   const service::Response r = svc.query({.graph_id = "g", .options = opts});
   ASSERT_TRUE(r.ok()) << r.error;
@@ -389,7 +389,7 @@ TEST(ServiceResilienceTest, DegradedResultsAreNeverCached) {
   svc.load_graph("g", service_graph());
 
   core::Options opts = gpu_options(core::Strategy::Hybrid);
-  opts.fault_plan = one_spec_plan(
+  opts.resilience.fault_plan = one_spec_plan(
       11, {.kind = FaultKind::DeviceAlloc, .transient = false, .rate = 0.2});
   const service::Request req{.graph_id = "g", .options = opts};
 
@@ -415,7 +415,7 @@ TEST(ServiceResilienceTest, LadderDisabledServesThePartialResult) {
   svc.load_graph("g", service_graph());
 
   core::Options opts = gpu_options();
-  opts.fault_plan = one_spec_plan(
+  opts.resilience.fault_plan = one_spec_plan(
       11, {.kind = FaultKind::Timeout, .transient = false, .rate = 0.1,
            .after_cycles = 500});
   const service::Response r = svc.query({.graph_id = "g", .options = opts});

@@ -1,0 +1,182 @@
+// hbc::trace — capture correctness: Chrome export validity, bitwise
+// determinism of GPU-model captures across host-thread counts, hybrid
+// decision events against Algorithm 4's thresholds, and the off switch.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hbc.hpp"
+
+namespace hbc {
+namespace {
+
+graph::CSRGraph star_graph(graph::VertexId n) {
+  graph::GraphBuilder b(n);
+  for (graph::VertexId leaf = 1; leaf < n; ++leaf) b.add_edge(0, leaf);
+  return b.build();
+}
+
+const trace::Arg* find_arg(const trace::Event& e, const char* key) {
+  for (std::uint8_t i = 0; i < e.num_args; ++i) {
+    if (std::strcmp(e.args[i].key, key) == 0) return &e.args[i];
+  }
+  return nullptr;
+}
+
+TEST(TraceExport, ChromeJsonValidatesAndCoversThePipeline) {
+  const auto g = graph::gen::scale_free({.num_vertices = 1 << 10});
+  trace::Tracer tracer;
+  core::Options opt;
+  opt.strategy = core::Strategy::Hybrid;
+  opt.sample_roots = 32;
+  opt.trace.tracer = &tracer;
+  core::compute(g, opt);
+
+  const std::string json = tracer.chrome_json();
+  const trace::CheckResult check = trace::validate_chrome_trace(json);
+  EXPECT_TRUE(check.ok) << check.error_text();
+  EXPECT_GT(check.span_pairs, 0u);   // run/root/phase spans
+  EXPECT_GT(check.instants, 0u);     // per-level frontier events
+  EXPECT_GT(check.metadata, 0u);     // process/thread names
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  // The capture must contain the per-root phase structure the paper's
+  // evaluation is built on.
+  bool saw_sp = false, saw_dep = false, saw_level = false;
+  for (const trace::Event& e : tracer.events()) {
+    if (std::strcmp(e.name, "shortest-path") == 0) saw_sp = true;
+    if (std::strcmp(e.name, "dependency") == 0) saw_dep = true;
+    if (e.category == trace::kLevel) saw_level = true;
+  }
+  EXPECT_TRUE(saw_sp);
+  EXPECT_TRUE(saw_dep);
+  EXPECT_TRUE(saw_level);
+}
+
+TEST(TraceDeterminism, GpuModelCapturesAreBitwiseIdenticalAcrossThreads) {
+  const auto g = graph::gen::small_world({.num_vertices = 1 << 9});
+  for (const auto strategy :
+       {core::Strategy::WorkEfficient, core::Strategy::Hybrid,
+        core::Strategy::Sampling, core::Strategy::DirectionOptimized}) {
+    std::string captures[2];
+    const std::size_t thread_counts[2] = {1, 8};
+    for (int i = 0; i < 2; ++i) {
+      trace::Tracer tracer;
+      core::Options opt;
+      opt.strategy = strategy;
+      opt.sample_roots = 24;
+      opt.cpu_threads = thread_counts[i];
+      opt.trace.tracer = &tracer;
+      core::compute(g, opt);
+      captures[i] = tracer.chrome_json();
+    }
+    EXPECT_EQ(captures[0], captures[1])
+        << "trace for " << core::to_string(strategy)
+        << " differs between 1 and 8 host threads";
+  }
+}
+
+TEST(TraceHybrid, DecisionEventsMatchAlgorithmFourThresholds) {
+  // Star graph from the hub: the frontier goes 1 -> n-1 -> 0, so with
+  // small alpha/beta every level crossing reconsiders the strategy and
+  // the first reconsideration must switch to edge-parallel.
+  const auto g = star_graph(64);
+  trace::Tracer tracer;
+  kernels::RunConfig config;
+  config.device = gpusim::gtx_titan();
+  config.roots = {0};
+  config.hybrid.alpha = 4;
+  config.hybrid.beta = 8;
+  config.tracer = &tracer;
+  kernels::run_hybrid(g, config);
+
+  std::size_t decisions = 0, switches = 0;
+  for (const trace::Event& e : tracer.events()) {
+    if (std::strcmp(e.name, "decision") == 0) {
+      ++decisions;
+      const trace::Arg* dq = find_arg(e, "dq");
+      const trace::Arg* q_next = find_arg(e, "q_next");
+      const trace::Arg* to = find_arg(e, "to");
+      ASSERT_NE(dq, nullptr);
+      ASSERT_NE(q_next, nullptr);
+      ASSERT_NE(to, nullptr);
+      // Algorithm 4: only |delta Q| > alpha reaches a decision, and the
+      // outcome is edge-parallel iff the next frontier exceeds beta.
+      EXPECT_GT(dq->value.u, config.hybrid.alpha);
+      EXPECT_EQ(q_next->value.u > config.hybrid.beta,
+                std::strcmp(to->value.s, "edge-parallel") == 0);
+    } else if (std::strcmp(e.name, "switch") == 0) {
+      ++switches;
+      const trace::Arg* from = find_arg(e, "from");
+      const trace::Arg* to = find_arg(e, "to");
+      ASSERT_NE(from, nullptr);
+      ASSERT_NE(to, nullptr);
+      EXPECT_STRNE(from->value.s, to->value.s);
+    }
+  }
+  // Hub frontier: 1 -> 63 (|dq|=62 > 4, 63 > 8: switch to edge-parallel),
+  // then 63 -> 0 (|dq|=63 > 4, 0 <= 8: switch back).
+  EXPECT_EQ(decisions, 2u);
+  EXPECT_EQ(switches, 2u);
+}
+
+TEST(TraceOff, NoTracerAndMaskedTracerRecordNothing) {
+  const auto g = graph::gen::scale_free({.num_vertices = 1 << 9});
+  core::Options opt;
+  opt.strategy = core::Strategy::Hybrid;
+  opt.sample_roots = 8;
+  const auto baseline = core::compute(g, opt);  // tracer == nullptr: no crash
+
+  trace::Tracer masked(trace::TracerConfig{.categories = trace::kNone});
+  opt.trace.tracer = &masked;
+  const auto traced = core::compute(g, opt);
+  EXPECT_EQ(masked.event_count(), 0u);
+  EXPECT_EQ(masked.dropped(), 0u);
+  EXPECT_EQ(baseline.scores, traced.scores);  // tracing never changes results
+}
+
+TEST(TraceSink, OverflowDropsNewestAndCounts) {
+  trace::Tracer tracer(trace::TracerConfig{.sink_capacity = 4});
+  auto sink = tracer.make_sink("tiny", trace::kHostPid, 0);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    sink->instant("tick", trace::kService, i, {{"i", i}});
+  }
+  EXPECT_EQ(sink->size(), 4u);
+  EXPECT_EQ(sink->dropped(), 6u);
+  EXPECT_EQ(tracer.event_count(), 4u);
+  const trace::CheckResult check = trace::validate_chrome_trace(tracer.chrome_json());
+  EXPECT_TRUE(check.ok) << check.error_text();
+}
+
+TEST(TraceService, RequestLifecycleEventsAreCaptured) {
+  trace::Tracer tracer;
+  service::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.tracer = &tracer;
+  service::BcService svc(cfg);
+  svc.load_graph("g", graph::gen::small_world({.num_vertices = 1 << 8}));
+  service::Request req;
+  req.graph_id = "g";
+  req.options.strategy = core::Strategy::WorkEfficient;
+  req.options.sample_roots = 8;
+  std::vector<service::Ticket> tickets;
+  for (int i = 0; i < 4; ++i) tickets.push_back(svc.submit(req));
+  for (const auto& t : tickets) svc.wait(t);
+  svc.stop();
+
+  bool saw_submit = false, saw_request = false;
+  for (const trace::Event& e : tracer.events()) {
+    if (std::strcmp(e.name, "submit") == 0) saw_submit = true;
+    if (std::strcmp(e.name, "request") == 0) saw_request = true;
+  }
+  EXPECT_TRUE(saw_submit);
+  EXPECT_TRUE(saw_request);
+  const trace::CheckResult check = trace::validate_chrome_trace(tracer.chrome_json());
+  EXPECT_TRUE(check.ok) << check.error_text();
+}
+
+}  // namespace
+}  // namespace hbc

@@ -1,0 +1,74 @@
+#include "cli_common.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace hbc::cli {
+
+bool is_generator_spec(const std::string& spec) {
+  return spec.rfind("gen:", 0) == 0;
+}
+
+graph::CSRGraph load_graph_spec(const std::string& spec) {
+  if (!is_generator_spec(spec)) return graph::io::read_auto(spec);
+  // gen:<family>:<scale>[:<seed>]
+  const std::size_t c1 = spec.find(':', 4);
+  if (c1 == std::string::npos) {
+    throw UsageError("generator spec needs gen:<family>:<scale>[:<seed>]: " + spec);
+  }
+  const std::string family = spec.substr(4, c1 - 4);
+  const std::size_t c2 = spec.find(':', c1 + 1);
+  const std::uint32_t scale = parse_u32(spec, spec.substr(c1 + 1, c2 - c1 - 1));
+  const std::uint64_t seed =
+      c2 == std::string::npos ? 1 : parse_u64(spec, spec.substr(c2 + 1));
+  return graph::gen::family_by_name(family).make(scale, seed);
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument("trailing characters");
+    return static_cast<std::uint64_t>(v);
+  } catch (const std::exception&) {
+    throw UsageError(flag + ": expected an unsigned integer, got '" + text + "'");
+  }
+}
+
+std::uint32_t parse_u32(const std::string& flag, const std::string& text) {
+  const std::uint64_t v = parse_u64(flag, text);
+  if (v > 0xffffffffull) {
+    throw UsageError(flag + ": value out of range: '" + text + "'");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+std::size_t parse_size(const std::string& flag, const std::string& text) {
+  return static_cast<std::size_t>(parse_u64(flag, text));
+}
+
+double parse_double(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError(flag + ": expected a number, got '" + text + "'");
+  }
+}
+
+void write_trace_json(const trace::Tracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace file " + path);
+  tracer.write_chrome_json(out);
+  if (!out) throw std::runtime_error("error writing trace file " + path);
+}
+
+std::string trace_stats_line(const trace::Tracer& tracer) {
+  std::ostringstream s;
+  s << tracer.event_count() << " events (" << tracer.dropped() << " dropped)";
+  return s.str();
+}
+
+}  // namespace hbc::cli

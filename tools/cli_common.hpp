@@ -1,0 +1,70 @@
+#pragma once
+
+// Shared plumbing for the hbc command-line tools (hbc, hbc-gen, hbc-info,
+// hbc-serve, hbc-trace-check): graph-spec loading, numeric flag parsing
+// with contextual errors, and trace-capture writing. Tool-specific flags
+// stay in the tools; this is only the logic that was copy-pasted between
+// them.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "hbc.hpp"
+
+namespace hbc::cli {
+
+/// Thrown by flag parsing when the invocation is malformed (missing flag
+/// value, trailing operand, unparsable number). Tools catch it, print the
+/// message plus their usage block, and exit 2.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Load a graph from a tool argument: either a file path (METIS /
+/// MatrixMarket / SNAP edge list / .hbc binary, dispatched on content)
+/// or a generator spec "gen:<family>:<scale>[:<seed>]".
+graph::CSRGraph load_graph_spec(const std::string& spec);
+
+/// True when `spec` names a generator rather than a file.
+bool is_generator_spec(const std::string& spec);
+
+/// Numeric parsers that reject trailing junk and report the offending
+/// flag: parse_u64("--roots", "12x") throws UsageError("--roots: ...").
+std::uint64_t parse_u64(const std::string& flag, const std::string& text);
+std::uint32_t parse_u32(const std::string& flag, const std::string& text);
+std::size_t parse_size(const std::string& flag, const std::string& text);
+double parse_double(const std::string& flag, const std::string& text);
+
+/// Argument cursor for the tools' flag loops. Wraps argv and hands out
+/// flag values with a UsageError (instead of a silent usage() exit) when
+/// a flag is missing its operand.
+class ArgCursor {
+ public:
+  ArgCursor(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  bool done() const noexcept { return i_ >= argc_; }
+  /// The next argument, advancing the cursor.
+  std::string take() { return argv_[i_++]; }
+  /// The operand of `flag` (the argument after it), advancing the cursor.
+  std::string value(const std::string& flag) {
+    if (i_ >= argc_) throw UsageError(flag + " requires a value");
+    return argv_[i_++];
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  int i_ = 1;
+};
+
+/// Serialize `tracer` as Chrome trace_event JSON to `path`. Throws
+/// std::runtime_error when the file cannot be written; prints nothing.
+void write_trace_json(const trace::Tracer& tracer, const std::string& path);
+
+/// One-line capture description for tool output, e.g.
+/// "2841 events (0 dropped)".
+std::string trace_stats_line(const trace::Tracer& tracer);
+
+}  // namespace hbc::cli

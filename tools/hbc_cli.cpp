@@ -27,26 +27,21 @@
 //                     failed (default 3: first try + retry + rescue)
 //   --deadline MS     cancel the computation cooperatively after MS
 //                     milliseconds (exit code 3 when it fires)
+//   --trace FILE      capture a structured span trace of the run and write
+//                     it as Chrome trace_event JSON to FILE (open in
+//                     chrome://tracing or https://ui.perfetto.dev); also
+//                     prints the per-phase text summary (docs/tracing.md)
 //
 // Graph sources: any METIS/.graph, MatrixMarket/.mtx, or SNAP edge-list
 // file, or a built-in generator, e.g. gen:smallworld:14 or gen:road:15:7.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 
-#include <chrono>
-
-#include "core/bc.hpp"
-#include "core/teps.hpp"
-#include "cpu/weighted_brandes.hpp"
-#include "gpusim/faults.hpp"
-#include "graph/generators.hpp"
-#include "graph/io.hpp"
-#include "graph/transforms.hpp"
-#include "kernels/weighted.hpp"
-#include "util/cancel.hpp"
+#include "cli_common.hpp"
 
 namespace {
 
@@ -57,27 +52,10 @@ using namespace hbc;
                "usage: %s [--strategy NAME] [--roots K] [--top K] [--normalize]\n"
                "          [--halve] [--lcc] [--out FILE] [--seed S] [--threads N]\n"
                "          [--inject-faults SPEC] [--max-attempts N] [--deadline MS]\n"
+               "          [--trace FILE]\n"
                "          <graph-file | gen:<family>:<scale>[:<seed>]>\n",
                argv0);
   std::exit(2);
-}
-
-graph::CSRGraph load_graph(const std::string& spec) {
-  if (spec.rfind("gen:", 0) == 0) {
-    // gen:<family>:<scale>[:<seed>]
-    const std::size_t c1 = spec.find(':', 4);
-    if (c1 == std::string::npos) {
-      throw std::invalid_argument("generator spec needs gen:<family>:<scale>");
-    }
-    const std::string family = spec.substr(4, c1 - 4);
-    const std::size_t c2 = spec.find(':', c1 + 1);
-    const std::uint32_t scale =
-        static_cast<std::uint32_t>(std::stoul(spec.substr(c1 + 1, c2 - c1 - 1)));
-    const std::uint64_t seed =
-        c2 == std::string::npos ? 1 : std::stoull(spec.substr(c2 + 1));
-    return graph::gen::family_by_name(family).make(scale, seed);
-  }
-  return graph::io::read_auto(spec);
 }
 
 }  // namespace
@@ -90,21 +68,19 @@ int main(int argc, char** argv) {
   double weight_lo = 1.0, weight_hi = 4.0;
   long long deadline_ms = 0;
   std::string out_path;
+  std::string trace_path;
   std::string graph_spec;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    try {
+  cli::ArgCursor args(argc, argv);
+  try {
+    while (!args.done()) {
+      const std::string arg = args.take();
       if (arg == "--strategy") {
-        options.strategy = core::strategy_from_string(next());
+        options.strategy = core::strategy_from_string(args.value(arg));
       } else if (arg == "--roots") {
-        options.sample_roots = static_cast<std::uint32_t>(std::stoul(next()));
+        options.sample_roots = cli::parse_u32(arg, args.value(arg));
       } else if (arg == "--top") {
-        top = std::stoul(next());
+        top = cli::parse_size(arg, args.value(arg));
       } else if (arg == "--normalize") {
         options.normalize = true;
       } else if (arg == "--halve") {
@@ -112,40 +88,44 @@ int main(int argc, char** argv) {
       } else if (arg == "--lcc") {
         use_lcc = true;
       } else if (arg == "--out") {
-        out_path = next();
+        out_path = args.value(arg);
       } else if (arg == "--seed") {
-        options.seed = std::stoull(next());
+        options.seed = cli::parse_u64(arg, args.value(arg));
       } else if (arg == "--threads") {
-        options.cpu_threads = std::stoul(next());
+        options.cpu_threads = cli::parse_size(arg, args.value(arg));
       } else if (arg == "--inject-faults") {
-        options.fault_plan = gpusim::FaultPlan::parse_shared(next());
+        options.resilience.fault_plan = gpusim::FaultPlan::parse_shared(args.value(arg));
       } else if (arg == "--max-attempts") {
-        options.max_root_attempts = static_cast<std::uint32_t>(std::stoul(next()));
+        options.resilience.max_root_attempts = cli::parse_u32(arg, args.value(arg));
       } else if (arg == "--deadline") {
-        deadline_ms = std::stoll(next());
+        deadline_ms = static_cast<long long>(cli::parse_u64(arg, args.value(arg)));
+      } else if (arg == "--trace") {
+        trace_path = args.value(arg);
       } else if (arg == "--weighted") {
         weighted = true;
-        const std::string range = next();
+        const std::string range = args.value(arg);
         const std::size_t colon = range.find(':');
         if (colon == std::string::npos) {
-          throw std::invalid_argument("--weighted expects LO:HI");
+          throw cli::UsageError("--weighted expects LO:HI");
         }
-        weight_lo = std::stod(range.substr(0, colon));
-        weight_hi = std::stod(range.substr(colon + 1));
+        weight_lo = cli::parse_double(arg, range.substr(0, colon));
+        weight_hi = cli::parse_double(arg, range.substr(colon + 1));
       } else if (arg == "--help" || arg == "-h") {
         usage(argv[0]);
       } else if (!arg.empty() && arg[0] == '-') {
-        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-        usage(argv[0]);
+        throw cli::UsageError("unknown option: " + arg);
       } else if (graph_spec.empty()) {
         graph_spec = arg;
       } else {
-        usage(argv[0]);
+        throw cli::UsageError("unexpected operand: " + arg);
       }
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "bad argument for %s: %s\n", arg.c_str(), e.what());
-      return 2;
     }
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad argument: %s\n", e.what());
+    return 2;
   }
   if (graph_spec.empty()) usage(argv[0]);
 
@@ -153,10 +133,13 @@ int main(int argc, char** argv) {
       deadline_ms > 0
           ? util::CancelSource::with_timeout(std::chrono::milliseconds(deadline_ms))
           : util::CancelSource();
-  if (deadline_ms > 0) options.cancel = cancel.token();
+  if (deadline_ms > 0) options.resilience.cancel = cancel.token();
+
+  trace::Tracer tracer;
+  if (!trace_path.empty()) options.trace.tracer = &tracer;
 
   try {
-    graph::CSRGraph g = load_graph(graph_spec);
+    graph::CSRGraph g = cli::load_graph_spec(graph_spec);
     std::printf("graph: %s\n", g.summary().c_str());
 
     graph::RelabeledGraph lcc;
@@ -194,7 +177,7 @@ int main(int argc, char** argv) {
     }
 
     const core::BCResult result = core::compute(g, options);
-    if (options.fault_plan && !options.fault_plan->empty()) {
+    if (options.resilience.fault_plan && !options.resilience.fault_plan->empty()) {
       const gpusim::FaultReport& fr = result.faults;
       std::printf("faults: injected=%llu retries=%llu rescued=%llu failed=%zu%s\n",
                   static_cast<unsigned long long>(fr.faults_injected),
@@ -237,6 +220,13 @@ int main(int argc, char** argv) {
         out << v << '\t' << scores[v] << '\n';
       }
       std::printf("wrote %zu scores to %s\n", scores.size(), out_path.c_str());
+    }
+
+    if (!trace_path.empty()) {
+      cli::write_trace_json(tracer, trace_path);
+      std::printf("\ntrace: %s -> %s\n%s",
+                  cli::trace_stats_line(tracer).c_str(), trace_path.c_str(),
+                  tracer.summary().c_str());
     }
   } catch (const util::Cancelled& c) {
     std::fprintf(stderr, "cancelled after %lld ms: %s\n", deadline_ms, c.what());

@@ -1,19 +1,17 @@
 // hbc-gen — write a synthetic Table II stand-in graph to a file.
 //
-//   hbc-gen <family> <scale> <output-file> [seed] [--format metis|edgelist]
+//   hbc-gen <family> <scale> <output-file> [seed] [--format metis|edgelist|binary]
 //
 // Families: rgg delaunay kron road smallworld scalefree web mesh2d.
 // The extension picks the default format: .graph/.metis -> METIS,
 // .hbc -> binary CSR, anything else -> SNAP edge list.
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
-#include "graph/generators.hpp"
-#include "graph/io.hpp"
+#include "cli_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace hbc;
@@ -21,32 +19,32 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s <family> <scale> <output-file> [seed]"
-                 " [--format metis|edgelist]\n",
+                 " [--format metis|edgelist|binary]\n",
                  argv[0]);
     return 2;
   }
 
-  const std::string family = argv[1];
-  const auto scale = static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
-  const std::string path = argv[3];
-  std::uint64_t seed = 1;
-  std::string format;
-
-  for (int i = 4; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
-      format = argv[++i];
-    } else {
-      seed = std::strtoull(argv[i], nullptr, 10);
-    }
-  }
-  if (format.empty()) {
-    const bool metis_ext = path.size() >= 6 && (path.rfind(".graph") == path.size() - 6 ||
-                                                path.rfind(".metis") == path.size() - 6);
-    const bool binary_ext = path.size() >= 4 && path.rfind(".hbc") == path.size() - 4;
-    format = metis_ext ? "metis" : binary_ext ? "binary" : "edgelist";
-  }
-
   try {
+    const std::string family = argv[1];
+    const std::uint32_t scale = cli::parse_u32("<scale>", argv[2]);
+    const std::string path = argv[3];
+    std::uint64_t seed = 1;
+    std::string format;
+
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+        format = argv[++i];
+      } else {
+        seed = cli::parse_u64("[seed]", argv[i]);
+      }
+    }
+    if (format.empty()) {
+      const bool metis_ext = path.size() >= 6 && (path.rfind(".graph") == path.size() - 6 ||
+                                                  path.rfind(".metis") == path.size() - 6);
+      const bool binary_ext = path.size() >= 4 && path.rfind(".hbc") == path.size() - 4;
+      format = metis_ext ? "metis" : binary_ext ? "binary" : "edgelist";
+    }
+
     const graph::CSRGraph g = graph::gen::family_by_name(family).make(scale, seed);
     std::ofstream out(path, format == "binary" ? std::ios::binary : std::ios::out);
     if (!out) {
@@ -65,6 +63,9 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s (%s) as %s to %s\n", family.c_str(), g.summary().c_str(),
                 format.c_str(), path.c_str());
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -6,10 +6,7 @@
 #include <cstdio>
 #include <string>
 
-#include "graph/algorithms.hpp"
-#include "graph/generators.hpp"
-#include "graph/io.hpp"
-#include "kernels/kernels.hpp"
+#include "cli_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace hbc;
@@ -21,20 +18,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const std::string spec = argv[1];
-    graph::CSRGraph g;
-    if (spec.rfind("gen:", 0) == 0) {
-      const std::size_t c1 = spec.find(':', 4);
-      const std::string family = spec.substr(4, c1 - 4);
-      const std::size_t c2 = spec.find(':', c1 + 1);
-      const auto scale =
-          static_cast<std::uint32_t>(std::stoul(spec.substr(c1 + 1, c2 - c1 - 1)));
-      const std::uint64_t seed =
-          c2 == std::string::npos ? 1 : std::stoull(spec.substr(c2 + 1));
-      g = graph::gen::family_by_name(family).make(scale, seed);
-    } else {
-      g = graph::io::read_auto(spec);
-    }
+    const graph::CSRGraph g = cli::load_graph_spec(argv[1]);
 
     const auto stats = graph::degree_stats(g);
     const auto cc = graph::connected_components(g);

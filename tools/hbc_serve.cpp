@@ -33,6 +33,9 @@
 //   --retries N       whole-run retries after transient failure (default 2)
 //   --no-fallback     disable the CPU/sampling degradation ladder
 //   --fallback-roots K  sample width of the final ladder rung (default 64)
+//   --trace-dir DIR   capture request-lifecycle spans for the replay and
+//                     write DIR/serve.json (Chrome trace_event JSON) and
+//                     DIR/serve-summary.txt; DIR is created if needed
 //
 // Exit code 0 when every request completed Ok (rejections under --policy
 // reject/deadline are reported but still exit 0: they are the service
@@ -40,19 +43,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "core/bc.hpp"
-#include "gpusim/faults.hpp"
-#include "graph/generators.hpp"
-#include "graph/io.hpp"
-#include "service/service.hpp"
-#include "util/rng.hpp"
-#include "util/timer.hpp"
+#include "cli_common.hpp"
 
 namespace {
 
@@ -66,27 +64,10 @@ using namespace hbc;
                "          [--roots K] [--threads N] [--top K] [--timeout MS]\n"
                "          [--seed S] [--workload FILE] [--inject-faults SPEC]\n"
                "          [--max-attempts N] [--retries N] [--no-fallback]\n"
-               "          [--fallback-roots K]\n"
+               "          [--fallback-roots K] [--trace-dir DIR]\n"
                "          <graph-file | gen:<family>:<scale>[:<seed>]> ...\n",
                argv0);
   std::exit(2);
-}
-
-graph::CSRGraph load_graph_spec(const std::string& spec) {
-  if (spec.rfind("gen:", 0) == 0) {
-    const std::size_t c1 = spec.find(':', 4);
-    if (c1 == std::string::npos) {
-      throw std::invalid_argument("generator spec needs gen:<family>:<scale>");
-    }
-    const std::string family = spec.substr(4, c1 - 4);
-    const std::size_t c2 = spec.find(':', c1 + 1);
-    const std::uint32_t scale =
-        static_cast<std::uint32_t>(std::stoul(spec.substr(c1 + 1, c2 - c1 - 1)));
-    const std::uint64_t seed =
-        c2 == std::string::npos ? 1 : std::stoull(spec.substr(c2 + 1));
-    return graph::gen::family_by_name(family).make(scale, seed);
-  }
-  return graph::io::read_auto(spec);
 }
 
 struct ServeArgs {
@@ -101,6 +82,7 @@ struct ServeArgs {
   std::chrono::milliseconds timeout{0};
   std::uint64_t seed = 7;
   std::string workload_file;
+  std::string trace_dir;
   std::shared_ptr<const gpusim::FaultPlan> fault_plan;
   std::uint32_t max_root_attempts = 3;
   std::vector<std::string> graph_specs;
@@ -119,8 +101,8 @@ std::vector<service::Request> synthetic_workload(const ServeArgs& args,
     r.options.sample_roots = args.sample_roots;
     r.options.seed = 1000 + i;
     r.options.cpu_threads = args.cpu_threads;
-    r.options.fault_plan = args.fault_plan;
-    r.options.max_root_attempts = args.max_root_attempts;
+    r.options.resilience.fault_plan = args.fault_plan;
+    r.options.resilience.max_root_attempts = args.max_root_attempts;
     r.top_k = args.top_k;
     r.timeout = args.timeout;
     warm.push_back(std::move(r));
@@ -167,8 +149,8 @@ std::vector<service::Request> file_workload(const ServeArgs& args) {
     r.options.sample_roots = roots;
     r.options.seed = seed;
     r.options.cpu_threads = args.cpu_threads;
-    r.options.fault_plan = args.fault_plan;
-    r.options.max_root_attempts = args.max_root_attempts;
+    r.options.resilience.fault_plan = args.fault_plan;
+    r.options.resilience.max_root_attempts = args.max_root_attempts;
     r.top_k = args.top_k;
     r.timeout = args.timeout;
     out.push_back(std::move(r));
@@ -182,74 +164,78 @@ int main(int argc, char** argv) {
   ServeArgs args;
   args.config.admission.policy = service::AdmissionPolicy::Block;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    try {
+  cli::ArgCursor cursor(argc, argv);
+  try {
+    while (!cursor.done()) {
+      const std::string arg = cursor.take();
       if (arg == "--workers") {
-        args.config.workers = std::stoul(next());
+        args.config.workers = cli::parse_size(arg, cursor.value(arg));
       } else if (arg == "--queue") {
-        args.config.admission.max_queue_depth = std::stoul(next());
+        args.config.admission.max_queue_depth = cli::parse_size(arg, cursor.value(arg));
       } else if (arg == "--policy") {
-        args.config.admission.policy = service::admission_policy_from_string(next());
+        args.config.admission.policy =
+            service::admission_policy_from_string(cursor.value(arg));
       } else if (arg == "--shed-roots") {
-        args.config.admission.shed_sample_roots =
-            static_cast<std::uint32_t>(std::stoul(next()));
+        args.config.admission.shed_sample_roots = cli::parse_u32(arg, cursor.value(arg));
       } else if (arg == "--cache-mb") {
-        args.config.cache_bytes = std::stoull(next()) << 20;
+        args.config.cache_bytes = cli::parse_u64(arg, cursor.value(arg)) << 20;
       } else if (arg == "--requests") {
-        args.requests = std::stoul(next());
+        args.requests = cli::parse_size(arg, cursor.value(arg));
       } else if (arg == "--hit-ratio") {
-        args.hit_ratio = std::stod(next());
+        args.hit_ratio = cli::parse_double(arg, cursor.value(arg));
       } else if (arg == "--distinct") {
-        args.distinct = std::max<std::size_t>(1, std::stoul(next()));
+        args.distinct = std::max<std::size_t>(1, cli::parse_size(arg, cursor.value(arg)));
       } else if (arg == "--strategy") {
-        args.strategy = core::strategy_from_string(next());
+        args.strategy = core::strategy_from_string(cursor.value(arg));
       } else if (arg == "--roots") {
-        args.sample_roots = static_cast<std::uint32_t>(std::stoul(next()));
+        args.sample_roots = cli::parse_u32(arg, cursor.value(arg));
       } else if (arg == "--threads") {
-        args.cpu_threads = std::stoul(next());
+        args.cpu_threads = cli::parse_size(arg, cursor.value(arg));
       } else if (arg == "--top") {
-        args.top_k = std::stoul(next());
+        args.top_k = cli::parse_size(arg, cursor.value(arg));
       } else if (arg == "--timeout") {
-        args.timeout = std::chrono::milliseconds(std::stoll(next()));
+        args.timeout =
+            std::chrono::milliseconds(cli::parse_u64(arg, cursor.value(arg)));
       } else if (arg == "--seed") {
-        args.seed = std::stoull(next());
+        args.seed = cli::parse_u64(arg, cursor.value(arg));
       } else if (arg == "--workload") {
-        args.workload_file = next();
+        args.workload_file = cursor.value(arg);
       } else if (arg == "--inject-faults") {
-        args.fault_plan = gpusim::FaultPlan::parse_shared(next());
+        args.fault_plan = gpusim::FaultPlan::parse_shared(cursor.value(arg));
       } else if (arg == "--max-attempts") {
-        args.max_root_attempts = static_cast<std::uint32_t>(std::stoul(next()));
+        args.max_root_attempts = cli::parse_u32(arg, cursor.value(arg));
       } else if (arg == "--retries") {
-        args.config.max_compute_retries = static_cast<std::uint32_t>(std::stoul(next()));
+        args.config.max_compute_retries = cli::parse_u32(arg, cursor.value(arg));
       } else if (arg == "--no-fallback") {
         args.config.enable_fallback = false;
       } else if (arg == "--fallback-roots") {
-        args.config.fallback_sample_roots =
-            static_cast<std::uint32_t>(std::stoul(next()));
+        args.config.fallback_sample_roots = cli::parse_u32(arg, cursor.value(arg));
+      } else if (arg == "--trace-dir") {
+        args.trace_dir = cursor.value(arg);
       } else if (arg == "--help" || arg == "-h") {
         usage(argv[0]);
       } else if (!arg.empty() && arg[0] == '-') {
-        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-        usage(argv[0]);
+        throw cli::UsageError("unknown option: " + arg);
       } else {
         args.graph_specs.push_back(arg);
       }
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "bad argument for %s: %s\n", arg.c_str(), e.what());
-      return 2;
     }
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad argument: %s\n", e.what());
+    return 2;
   }
   if (args.graph_specs.empty()) usage(argv[0]);
+
+  trace::Tracer tracer;
+  if (!args.trace_dir.empty()) args.config.tracer = &tracer;
 
   try {
     service::BcService svc(args.config);
     for (std::size_t i = 0; i < args.graph_specs.size(); ++i) {
-      graph::CSRGraph g = load_graph_spec(args.graph_specs[i]);
+      graph::CSRGraph g = cli::load_graph_spec(args.graph_specs[i]);
       const std::string id = "g" + std::to_string(i);
       std::printf("loaded %-4s %s\n", id.c_str(), g.summary().c_str());
       svc.load_graph(id, std::move(g));
@@ -288,6 +274,19 @@ int main(int argc, char** argv) {
       std::printf("  %-18s %zu\n", "(degraded)", degraded);
     }
     std::printf("\n%s", svc.metrics_report().c_str());
+
+    if (!args.trace_dir.empty()) {
+      // Export only after the workers have quiesced: stop() joins them, so
+      // no sink is being written while the exporter reads.
+      svc.stop();
+      std::filesystem::create_directories(args.trace_dir);
+      const std::string json_path = args.trace_dir + "/serve.json";
+      cli::write_trace_json(tracer, json_path);
+      std::ofstream summary(args.trace_dir + "/serve-summary.txt");
+      tracer.write_summary(summary);
+      std::printf("\ntrace: %s -> %s\n", cli::trace_stats_line(tracer).c_str(),
+                  json_path.c_str());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,52 @@
+// hbc-trace-check — validate a Chrome trace_event JSON capture.
+//
+//   hbc-trace-check <trace.json> [<trace.json> ...]
+//
+// Checks each file against the invariants hbc::trace guarantees on
+// export: well-formed JSON, a top-level {"traceEvents": [...]}, required
+// fields per event, properly nested B/E span pairs per (pid, tid) row,
+// and non-decreasing timestamps per row. Prints one summary line per
+// file; exit 0 when every file validates, 1 otherwise. CI runs this over
+// the capture produced by `hbc --trace`.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hbc;
+
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [<trace.json> ...]\n", argv[0]);
+    return 2;
+  }
+
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot read\n", path.c_str());
+      all_ok = false;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string json = buf.str();
+
+    const trace::CheckResult r = trace::validate_chrome_trace(json);
+    if (r.ok) {
+      std::printf("%s: OK — %zu events (%zu span pairs, %zu instants, "
+                  "%zu counters, %zu metadata)\n",
+                  path.c_str(), r.total_events, r.span_pairs, r.instants,
+                  r.counters, r.metadata);
+    } else {
+      all_ok = false;
+      std::printf("%s: INVALID\n%s", path.c_str(), r.error_text().c_str());
+    }
+  }
+  return all_ok ? 0 : 1;
+}
