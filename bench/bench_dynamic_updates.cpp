@@ -1,0 +1,337 @@
+// Dynamic updates: incremental-BC throughput and affected-fraction vs
+// batch size (docs/dynamic.md).
+//
+// Builds a scale-free graph, pays one full deterministic Brandes sweep to
+// seed dyn::IncrementalBC, then applies seeded batches of effective edge
+// updates (inserts of absent edges mixed ~2:1 with removes of present
+// ones) at increasing batch sizes. Each row reports the batch commit wall
+// time, updates/sec, the affected-source fraction the level test
+// identified, how many sources were actually recomputed, and the speedup
+// over recomputing from scratch (the measured epoch-0 sweep). The
+// affected fraction should grow with batch size — each extra edge unions
+// its affected set in — which is exactly the work cliff the churn
+// threshold guards.
+//
+// Environment knobs (bench/common.hpp conventions):
+//   HBC_BENCH_SCALE    log2 vertices of the scale-free graph (default 16,
+//                      the reproduction's dynamic-update benchmark size)
+//   HBC_BENCH_BATCHES  comma-separated batch sizes to sweep (default
+//                      "1,8,64,256")
+//   HBC_BENCH_UPDATE_MODE  "random" (default): uniform insert/remove mix —
+//                      on a low-diameter graph the union of per-edge
+//                      affected sets reaches ~100% fast, the churn-fallback
+//                      regime. "twin": an untimed setup batch first rewires
+//                      disjoint pairs of min-degree leaves into twins
+//                      (identical adjacency); the timed batches then insert
+//                      the twin chords. Such a chord is same-level from
+//                      every other source in both graphs, so it affects
+//                      exactly its two endpoints — the prune-friendly
+//                      regime the level test exists for.
+//   HBC_BENCH_VERIFY   when non-empty, after every batch compare the
+//                      engine's scores against a from-scratch cpu::brandes
+//                      run at 1e-7 relative tolerance and require that the
+//                      incremental path recomputed strictly fewer than all
+//                      sources; exit 1 on any miss. (Expensive: one exact
+//                      serial Brandes per batch.)
+//   HBC_BENCH_JSON     also write machine-readable records to this path
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "cpu/brandes.hpp"
+#include "dyn/incremental_bc.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace hbc;
+using graph::VertexId;
+
+std::vector<std::size_t> batch_sizes_from_env() {
+  const char* raw = std::getenv("HBC_BENCH_BATCHES");
+  const std::string spec = (raw != nullptr && *raw != '\0') ? raw : "1,8,64,256";
+  std::vector<std::size_t> sizes;
+  std::istringstream in(spec);
+  std::string field;
+  while (std::getline(in, field, ',')) {
+    const unsigned long v = std::strtoul(field.c_str(), nullptr, 10);
+    if (v > 0) sizes.push_back(static_cast<std::size_t>(v));
+  }
+  if (sizes.empty()) sizes = {1, 8, 64, 256};
+  return sizes;
+}
+
+/// `n` effective updates against the engine's current graph, tracked in
+/// `edges` (the normalized u < v edge set) so every update changes the
+/// graph and the reported batch == applied set.
+dyn::UpdateBatch next_batch(std::set<std::pair<VertexId, VertexId>>& edges,
+                            VertexId num_vertices, std::size_t n,
+                            util::Xoshiro256& rng) {
+  dyn::UpdateBatch batch;
+  while (batch.size() < n) {
+    const bool remove = !edges.empty() && rng.next_below(3) == 0;
+    if (remove) {
+      auto it = edges.begin();
+      std::advance(it, static_cast<long>(rng.next_below(edges.size())));
+      batch.remove(it->first, it->second);
+      edges.erase(it);
+    } else {
+      const auto u = static_cast<VertexId>(rng.next_below(num_vertices));
+      const auto v = static_cast<VertexId>(rng.next_below(num_vertices));
+      if (u == v) continue;
+      const auto key = std::minmax(u, v);
+      if (!edges.emplace(key.first, key.second).second) continue;
+      batch.insert(key.first, key.second);
+    }
+  }
+  return batch;
+}
+
+struct TwinPlan {
+  dyn::UpdateBatch setup;                            // rewires b_i onto N(a_i)
+  std::vector<std::pair<VertexId, VertexId>> pairs;  // the plantable chords
+};
+
+/// Plan to rewire up to `want` disjoint pairs (a, b) of min-degree leaves
+/// so each pair ends up with identical adjacency: remove b's edges, insert
+/// b–x for every x in N(a). Identical neighborhoods force
+/// d(s,a) == d(s,b) for every other source s in both the before and after
+/// graphs, so the later {a, b} chord's affected set is exactly {a, b}.
+/// Pairs are chosen so no vertex of one pair is touched by another pair's
+/// rewiring (each pair's ops touch only b ∪ N(a) ∪ N(b), and members'
+/// neighborhoods are kept clear of reserved vertices — adjacency is
+/// symmetric, so that check covers both directions).
+TwinPlan plant_twins(const graph::CSRGraph& g, std::size_t want) {
+  std::size_t min_deg = g.num_vertices();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t d = g.neighbors(v).size();
+    if (d > 0 && d < min_deg) min_deg = d;
+  }
+
+  TwinPlan plan;
+  std::vector<char> reserved(g.num_vertices(), 0);
+  const auto clear_of_reserved = [&](VertexId a, VertexId b) {
+    for (const VertexId x : g.neighbors(a)) {
+      if (reserved[x] != 0 || x == b) return false;
+    }
+    for (const VertexId x : g.neighbors(b)) {
+      if (reserved[x] != 0 || x == a) return false;
+    }
+    return true;
+  };
+
+  std::vector<VertexId> unpaired;
+  for (VertexId v = 0; v < g.num_vertices() && plan.pairs.size() < want; ++v) {
+    if (g.neighbors(v).size() != min_deg || reserved[v] != 0) continue;
+    bool paired = false;
+    for (std::size_t i = 0; i < unpaired.size() && !paired; ++i) {
+      const VertexId a = unpaired[i];
+      if (reserved[a] != 0 || !clear_of_reserved(a, v)) continue;
+      reserved[a] = reserved[v] = 1;
+      for (const VertexId x : g.neighbors(v)) plan.setup.remove(v, x);
+      for (const VertexId x : g.neighbors(a)) plan.setup.insert(v, x);
+      plan.pairs.emplace_back(std::min(a, v), std::max(a, v));
+      unpaired.erase(unpaired.begin() + static_cast<long>(i));
+      paired = true;
+    }
+    if (!paired) unpaired.push_back(v);
+  }
+  return plan;
+}
+
+bool verify_against_brandes(const dyn::IncrementalBC& engine) {
+  const std::vector<double> fresh = cpu::brandes(engine.graph()).bc;
+  const std::vector<double>& got = engine.scores();
+  if (got.size() != fresh.size()) return false;
+  for (std::size_t v = 0; v < fresh.size(); ++v) {
+    const double tol = 1e-7 * std::max(1.0, std::abs(fresh[v]));
+    if (std::abs(got[v] - fresh[v]) > tol) {
+      std::printf("  verify MISMATCH at vertex %zu: incremental %.12g vs fresh %.12g\n",
+                  v, got[v], fresh[v]);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> g_json_records;
+
+void emit_json() {
+  const char* path = std::getenv("HBC_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < g_json_records.size(); ++i) {
+    out << "  " << g_json_records[i] << (i + 1 < g_json_records.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  std::ofstream f(path);
+  f << out.str();
+  std::printf("wrote %zu records to %s\n", g_json_records.size(), path);
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t scale = bench::env_u32("HBC_BENCH_SCALE", 16);
+  const std::vector<std::size_t> batch_sizes = batch_sizes_from_env();
+  const char* verify_env = std::getenv("HBC_BENCH_VERIFY");
+  const bool verify = verify_env != nullptr && *verify_env != '\0';
+
+  graph::gen::ScaleFreeParams params;
+  params.num_vertices = 1u << scale;
+  params.seed = 3;
+  const graph::CSRGraph g = graph::gen::scale_free(params);
+  bench::print_header(
+      "dynamic updates: incremental BC vs batch size",
+      "graph: " + g.summary() +
+          (verify ? "\nverify: every batch checked against from-scratch Brandes"
+                  : ""));
+
+  // Seed the engine: this full sweep is the from-scratch baseline every
+  // batch row's speedup column is measured against.
+  util::Timer seed_timer;
+  dyn::IncrementalBC engine(g);
+  const double full_ms = seed_timer.elapsed_seconds() * 1e3;
+  const auto n = static_cast<double>(g.num_vertices());
+  std::printf("epoch-0 full sweep: %.1f ms (%u vertices)\n\n", full_ms,
+              g.num_vertices());
+
+  std::set<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u < v) edges.emplace(u, v);
+    }
+  }
+  util::Xoshiro256 rng(42);
+
+  const char* mode_env = std::getenv("HBC_BENCH_UPDATE_MODE");
+  const std::string mode = (mode_env != nullptr && *mode_env != '\0') ? mode_env : "random";
+  TwinPlan plan;
+  std::size_t twin_next = 0;
+  bool verify_ok = true;
+  if (mode == "twin") {
+    std::size_t want = 0;
+    for (const std::size_t b : batch_sizes) want += b;
+    plan = plant_twins(g, want);
+    if (plan.pairs.size() < want) {
+      std::fprintf(stderr, "twin mode: only %zu plantable pairs, need %zu\n",
+                   plan.pairs.size(), want);
+      return 1;
+    }
+    // Untimed setup epoch: rewiring ~every leaf pair is maximal churn, so
+    // this also exercises the fallback path at full scale.
+    util::Timer setup_timer;
+    const dyn::BatchStats setup = engine.apply(plan.setup);
+    std::printf("update mode: twin — setup epoch rewired %zu leaf pairs "
+                "(%zu updates, affected %.1f%%, full recompute: %s, %.1f ms)\n",
+                plan.pairs.size(), static_cast<std::size_t>(setup.applied_updates),
+                100.0 * setup.affected_fraction,
+                setup.full_recompute ? "yes" : "no",
+                setup_timer.elapsed_seconds() * 1e3);
+    if (verify && !verify_against_brandes(engine)) {
+      std::printf("  verify FAIL after twin setup epoch\n");
+      verify_ok = false;
+    }
+    std::printf("\n");
+  } else if (mode != "random") {
+    std::fprintf(stderr, "unknown HBC_BENCH_UPDATE_MODE '%s' (random|twin)\n",
+                 mode.c_str());
+    return 1;
+  }
+
+  std::printf("%7s | %10s %12s %10s %12s %9s %8s\n", "batch", "ms", "updates/s",
+              "affected", "recomputed", "speedup", "full?");
+  bench::print_rule();
+
+  for (const std::size_t batch_size : batch_sizes) {
+    dyn::UpdateBatch batch;
+    if (mode == "twin") {
+      while (batch.size() < batch_size && twin_next < plan.pairs.size()) {
+        const auto [u, v] = plan.pairs[twin_next++];
+        if (edges.emplace(u, v).second) batch.insert(u, v);
+      }
+    } else {
+      batch = next_batch(edges, g.num_vertices(), batch_size, rng);
+    }
+    util::Timer t;
+    const dyn::BatchStats stats = engine.apply(batch);
+    const double batch_ms = t.elapsed_seconds() * 1e3;
+    const double ups = batch_ms > 0.0
+                           ? static_cast<double>(stats.applied_updates) /
+                                 (batch_ms / 1e3)
+                           : 0.0;
+    const double speedup = batch_ms > 0.0 ? full_ms / batch_ms : 0.0;
+    std::printf("%7zu | %10.1f %12.1f %9.1f%% %12llu %8.1fx %8s\n", batch_size,
+                batch_ms, ups, 100.0 * stats.affected_fraction,
+                static_cast<unsigned long long>(stats.sources_recomputed), speedup,
+                stats.full_recompute ? "yes" : "no");
+
+    bool batch_ok = true;
+    if (verify) {
+      batch_ok = verify_against_brandes(engine);
+      if (stats.sources_recomputed >= g.num_vertices() && !stats.full_recompute) {
+        std::printf("  verify FAIL: no sources pruned (%llu of %u recomputed)\n",
+                    static_cast<unsigned long long>(stats.sources_recomputed),
+                    g.num_vertices());
+        batch_ok = false;
+      }
+      std::printf("  verify[batch=%zu]: %s (affected %.2f%%, recomputed %llu/%u)\n",
+                  batch_size, batch_ok ? "PASS" : "FAIL",
+                  100.0 * stats.affected_fraction,
+                  static_cast<unsigned long long>(stats.sources_recomputed),
+                  g.num_vertices());
+      verify_ok = verify_ok && batch_ok;
+    }
+
+    std::ostringstream rec;
+    rec << "{\"bench\":\"dynamic_updates\",\"mode\":\"" << mode
+        << "\",\"scale\":" << scale
+        << ",\"batch\":" << batch_size << ",\"applied\":" << stats.applied_updates
+        << ",\"epoch\":" << stats.epoch << ",\"batch_ms\":" << batch_ms
+        << ",\"updates_per_sec\":" << ups
+        << ",\"affected_fraction\":" << stats.affected_fraction
+        << ",\"sources_recomputed\":" << stats.sources_recomputed
+        << ",\"sources_skipped\":" << stats.sources_skipped
+        << ",\"identify_ms\":" << stats.identify_ms
+        << ",\"recompute_ms\":" << stats.recompute_ms
+        << ",\"full_recompute\":" << (stats.full_recompute ? "true" : "false")
+        << ",\"full_sweep_ms\":" << full_ms
+        << ",\"verified\":" << (verify ? (batch_ok ? "true" : "false") : "null")
+        << "}";
+    g_json_records.push_back(rec.str());
+  }
+  bench::print_rule();
+
+  const dyn::IncrementalBC::Totals& totals = engine.totals();
+  std::printf("totals: %llu batches, %llu updates, %llu sources recomputed, "
+              "%llu skipped (%.1f%% of %llu root passes), %llu full recomputes\n",
+              static_cast<unsigned long long>(totals.batches),
+              static_cast<unsigned long long>(totals.applied_updates),
+              static_cast<unsigned long long>(totals.sources_recomputed),
+              static_cast<unsigned long long>(totals.sources_skipped),
+              totals.batches > 0
+                  ? 100.0 * static_cast<double>(totals.sources_skipped) /
+                        (static_cast<double>(totals.batches) * n)
+                  : 0.0,
+              static_cast<unsigned long long>(totals.batches) *
+                  static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(totals.full_recomputes));
+
+  if (verify) {
+    std::printf("verification: %s\n", verify_ok ? "PASS" : "FAIL");
+  }
+  emit_json();
+  return verify_ok ? 0 : 1;
+}

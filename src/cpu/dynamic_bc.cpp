@@ -15,6 +15,11 @@ using graph::kInfDistance;
 using graph::VertexId;
 
 DynamicBC::DynamicBC(CSRGraph initial) : graph_(std::move(initial)) {
+  if (!graph_.undirected()) {
+    throw std::invalid_argument(
+        "DynamicBC: directed graphs are not supported — the affected-source "
+        "level test relies on d(s,u) == d(u,s) symmetry");
+  }
   bc_ = brandes(graph_).bc;
 }
 

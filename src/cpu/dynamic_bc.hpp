@@ -20,6 +20,16 @@
 // bridge affects every source); on incremental social-network updates the
 // affected fraction is typically small — the update_stats() counters let
 // callers observe the ratio.
+//
+// Undirected graphs ONLY. The affected-source test reads d(s, u) for all
+// s off a single BFS *from* u, which is d(u, s) — equal to d(s, u) only
+// under undirected symmetry. On a directed graph that substitution is
+// wrong (reverse-reachability differs from forward), so the pruning
+// would silently skip genuinely affected sources and corrupt the
+// maintained scores. The constructor therefore rejects directed graphs
+// with std::invalid_argument instead of producing wrong answers; use a
+// full recompute per update for directed dynamic graphs. The batched
+// engine (dyn::IncrementalBC) inherits the same restriction.
 
 #include <cstdint>
 #include <vector>
@@ -30,7 +40,8 @@ namespace hbc::cpu {
 
 class DynamicBC {
  public:
-  /// Builds initial scores with a full Brandes sweep (O(mn)).
+  /// Builds initial scores with a full Brandes sweep (O(mn)). Throws
+  /// std::invalid_argument if `initial` is directed (see header comment).
   explicit DynamicBC(graph::CSRGraph initial);
 
   const graph::CSRGraph& graph() const noexcept { return graph_; }

@@ -1,0 +1,166 @@
+#include "dyn/versioned_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "graph/builder.hpp"
+
+namespace hbc::dyn {
+
+using graph::CSRGraph;
+using graph::VertexId;
+
+namespace {
+
+std::uint64_t edge_key(VertexId u, VertexId v) noexcept {
+  const VertexId lo = std::min(u, v);
+  const VertexId hi = std::max(u, v);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+Epoch make_epoch(std::uint64_t id, std::shared_ptr<const CSRGraph> g) {
+  Epoch e;
+  e.id = id;
+  e.fingerprint = g->fingerprint();
+  e.graph = std::move(g);
+  return e;
+}
+
+std::shared_ptr<const CSRGraph> require_mutable(std::shared_ptr<const CSRGraph> g) {
+  if (!g) throw std::invalid_argument("VersionedGraph: null graph");
+  if (!g->undirected()) {
+    throw std::invalid_argument(
+        "VersionedGraph: only undirected graphs are mutable (the incremental "
+        "BC level test relies on d(s,u) == d(u,s) symmetry)");
+  }
+  return g;
+}
+
+}  // namespace
+
+VersionedGraph::VersionedGraph(CSRGraph initial, trace::Tracer* tracer)
+    : VersionedGraph(std::make_shared<const CSRGraph>(std::move(initial)), tracer) {}
+
+VersionedGraph::VersionedGraph(std::shared_ptr<const CSRGraph> initial,
+                               trace::Tracer* tracer)
+    : tracer_(tracer), current_(make_epoch(0, require_mutable(std::move(initial)))) {}
+
+Epoch VersionedGraph::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::uint64_t VersionedGraph::epoch_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_.id;
+}
+
+CommitResult VersionedGraph::apply(const UpdateBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CommitResult staged = stage_locked(batch);
+  commit_locked(staged);
+  return staged;
+}
+
+CommitResult VersionedGraph::stage(const UpdateBatch& batch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stage_locked(batch);
+}
+
+void VersionedGraph::commit(const CommitResult& staged) {
+  std::lock_guard<std::mutex> lock(mu_);
+  commit_locked(staged);
+}
+
+CommitResult VersionedGraph::stage_locked(const UpdateBatch& batch) const {
+  const CSRGraph& g = *current_.graph;
+  const VertexId n = g.num_vertices();
+
+  CommitResult result;
+  result.before = current_;
+
+  for (const EdgeUpdate& e : batch.edges) {
+    if (e.u >= n || e.v >= n) {
+      throw std::out_of_range("VersionedGraph::apply: vertex out of range");
+    }
+  }
+
+  // Last operation on each edge wins; then updates whose target state
+  // matches the current graph are no-ops. Self loops are always no-ops.
+  std::unordered_map<std::uint64_t, bool> last_op;  // edge -> present after?
+  std::size_t self_loops = 0;
+  for (const EdgeUpdate& e : batch.edges) {
+    if (e.u == e.v) {
+      ++self_loops;
+      continue;
+    }
+    last_op[edge_key(e.u, e.v)] = e.insert;
+  }
+
+  for (const auto& [key, present_after] : last_op) {
+    const auto u = static_cast<VertexId>(key >> 32);
+    const auto v = static_cast<VertexId>(key & 0xffffffffu);
+    const auto nbrs = g.neighbors(u);
+    const bool present_before = std::binary_search(nbrs.begin(), nbrs.end(), v);
+    if (present_before != present_after) {
+      result.applied.push_back({u, v, present_after});
+    }
+  }
+  result.noops = batch.edges.size() - result.applied.size();
+
+  if (result.applied.empty()) {
+    result.after = current_;
+    return result;
+  }
+  // Deterministic applied order (the hash map scrambled it).
+  std::sort(result.applied.begin(), result.applied.end(),
+            [](const EdgeUpdate& a, const EdgeUpdate& b) {
+              return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+            });
+
+  // Copy-on-write rebuild: surviving before-edges + inserted edges. The
+  // removal set is consulted via last_op (removals are exactly the
+  // applied non-inserts, but last_op already has them keyed).
+  graph::EdgeList edges;
+  edges.reserve(g.num_undirected_edges() + result.applied.size());
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) {
+        const auto it = last_op.find(edge_key(u, v));
+        if (it == last_op.end() || it->second) edges.push_back({u, v});
+      }
+    }
+  }
+  for (const EdgeUpdate& e : result.applied) {
+    if (e.insert) edges.push_back({e.u, e.v});
+  }
+
+  result.after = make_epoch(current_.id + 1, std::make_shared<const CSRGraph>(
+                                                 graph::build_csr(n, edges)));
+  return result;
+}
+
+void VersionedGraph::commit_locked(const CommitResult& staged) {
+  if (staged.applied.empty()) return;  // no-op stage: nothing to publish
+  if (staged.before.id != current_.id) {
+    throw std::logic_error(
+        "VersionedGraph::commit: stale stage (another batch committed since)");
+  }
+  current_ = staged.after;
+
+  if (tracer_ != nullptr) {
+    trace::Sink* sink = tracer_->thread_sink();
+    if (sink != nullptr && sink->wants(trace::kDyn)) {
+      sink->instant("epoch-commit", trace::kDyn, tracer_->now_ns(),
+                    {{"epoch", staged.after.id},
+                     {"applied", static_cast<std::uint64_t>(staged.applied.size())},
+                     {"noops", static_cast<std::uint64_t>(staged.noops)},
+                     {"edges", staged.after.graph->num_undirected_edges()}});
+    }
+  }
+}
+
+}  // namespace hbc::dyn

@@ -56,6 +56,28 @@ std::size_t CSRGraph::storage_bytes() const noexcept {
          edge_sources_.size() * sizeof(VertexId);
 }
 
+std::uint64_t CSRGraph::fingerprint() const noexcept {
+  constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+  const auto mix = [](std::uint64_t& h, const void* data, std::size_t len) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= kFnvPrime;
+    }
+  };
+  std::uint64_t h = kFnvOffset;
+  const std::uint64_t n = num_vertices();
+  const std::uint64_t m = num_directed_edges();
+  const std::uint64_t undirected = undirected_ ? 1 : 0;
+  mix(h, &n, sizeof(n));
+  mix(h, &m, sizeof(m));
+  mix(h, &undirected, sizeof(undirected));
+  mix(h, row_offsets_.data(), row_offsets_.size() * sizeof(EdgeOffset));
+  mix(h, col_indices_.data(), col_indices_.size() * sizeof(VertexId));
+  return h;
+}
+
 std::string CSRGraph::summary() const {
   std::ostringstream os;
   os << "n=" << num_vertices() << " m=" << num_undirected_edges()

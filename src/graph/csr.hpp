@@ -9,6 +9,7 @@
 // as num_undirected_edges().
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -66,6 +67,13 @@ class CSRGraph {
 
   /// Human-readable one-line summary for logs and bench headers.
   std::string summary() const;
+
+  /// 64-bit FNV-1a over the CSR arrays plus vertex/edge counts and the
+  /// undirected flag: two graphs fingerprint equal iff their CSR
+  /// structure is identical. O(n + m); compute once and reuse. This is
+  /// the identity the service keys its result cache on and the stamp
+  /// dyn::VersionedGraph gives every committed epoch.
+  std::uint64_t fingerprint() const noexcept;
 
  private:
   std::vector<EdgeOffset> row_offsets_;

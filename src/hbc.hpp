@@ -21,6 +21,7 @@
 //   hbc::kernels  the paper's GPU-model engines and their knobs
 //   hbc::gpusim   the simulated device: DeviceConfig, FaultPlan, memory
 //   hbc::service  BcService — concurrent query serving with caching
+//   hbc::dyn      epoch-versioned mutable graphs + batched incremental BC
 //   hbc::trace    Tracer/Sink span capture + Chrome JSON export
 //   hbc::cpu      Brandes baselines, weighted/approx/edge variants
 //   hbc::dist     multi-device scaling model
@@ -56,6 +57,10 @@
 #include "cpu/fine_grained.hpp"
 #include "cpu/parallel_brandes.hpp"
 #include "cpu/weighted_brandes.hpp"
+
+// Dynamic graphs: versioned mutation + batched incremental BC.
+#include "dyn/incremental_bc.hpp"
+#include "dyn/versioned_graph.hpp"
 
 // Serving, scaling, and observability layers.
 #include "dist/cluster.hpp"

@@ -1,41 +1,11 @@
 #include "service/cache.hpp"
 
 #include <cstdio>
-#include <span>
 
 namespace hbc::service {
 
-namespace {
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-void fnv_mix(std::uint64_t& h, const void* data, std::size_t len) noexcept {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-}
-
-template <typename T>
-void fnv_mix_span(std::uint64_t& h, std::span<const T> xs) noexcept {
-  fnv_mix(h, xs.data(), xs.size() * sizeof(T));
-}
-
-}  // namespace
-
 std::uint64_t graph_fingerprint(const graph::CSRGraph& g) noexcept {
-  std::uint64_t h = kFnvOffset;
-  const std::uint64_t n = g.num_vertices();
-  const std::uint64_t m = g.num_directed_edges();
-  const std::uint64_t undirected = g.undirected() ? 1 : 0;
-  fnv_mix(h, &n, sizeof(n));
-  fnv_mix(h, &m, sizeof(m));
-  fnv_mix(h, &undirected, sizeof(undirected));
-  fnv_mix_span(h, g.row_offsets());
-  fnv_mix_span(h, g.col_indices());
-  return h;
+  return g.fingerprint();
 }
 
 std::string fingerprint_prefix(std::uint64_t fingerprint) {
@@ -104,6 +74,23 @@ std::size_t ResultCache::erase_if(const std::function<bool(const std::string&)>&
     }
   }
   return removed;
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<const CachedResult>>>
+ResultCache::extract_if(const std::function<bool(const std::string&)>& pred) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::shared_ptr<const CachedResult>>> out;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (pred(it->first)) {
+      bytes_ -= it->second->bytes;
+      index_.erase(it->first);
+      out.emplace_back(std::move(it->first), std::move(it->second));
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
 }
 
 std::size_t ResultCache::size() const {

@@ -21,6 +21,7 @@
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include <unordered_map>
 
@@ -29,10 +30,13 @@
 
 namespace hbc::service {
 
-/// 64-bit FNV-1a over the CSR arrays plus vertex/edge counts and the
-/// undirected flag. Computed once per loaded graph (O(n + m)) and reused
-/// in every cache key, so two graphs with identical structure share cached
-/// results even when registered under different names.
+/// Structural graph identity for cache keys: forwards to
+/// graph::CSRGraph::fingerprint() (64-bit FNV-1a over the CSR arrays plus
+/// vertex/edge counts and the undirected flag — the same stamp
+/// dyn::VersionedGraph puts on epochs). Computed once per loaded graph
+/// (O(n + m)) and reused in every cache key, so two graphs with identical
+/// structure share cached results even when registered under different
+/// names.
 std::uint64_t graph_fingerprint(const graph::CSRGraph& g) noexcept;
 
 /// Leading component of every cache key for this graph ("<hex fp>|").
@@ -42,6 +46,13 @@ std::string fingerprint_prefix(std::uint64_t fingerprint);
 struct CachedResult {
   core::BCResult result;
   std::size_t bytes = 0;  // budget charge, from estimate_result_bytes
+  /// Eligible for incremental patching when the graph mutates: an exact
+  /// full-BC result with raw (unhalved, unnormalized) scores, so
+  /// dyn::refresh_scores can advance it across an epoch transition. Set by
+  /// the service worker at insert time (it knows the request's Options;
+  /// the result alone can't reveal score scaling). Entries that are
+  /// approximate, root-restricted, or rescaled are invalidated instead.
+  bool refreshable = false;
 };
 
 /// Approximate heap footprint of a BCResult: scores + per-root diagnostics
@@ -66,6 +77,13 @@ class ResultCache {
   /// of an evicted graph, matched by fingerprint prefix). Returns the
   /// number of entries removed. Not counted as budget evictions.
   std::size_t erase_if(const std::function<bool(const std::string&)>& pred);
+
+  /// Remove and return every entry whose key satisfies the predicate, in
+  /// LRU order (most recently used first — the mutation refresher patches
+  /// the hottest entries inside its budget and drops the tail). Not
+  /// counted as budget evictions.
+  std::vector<std::pair<std::string, std::shared_ptr<const CachedResult>>> extract_if(
+      const std::function<bool(const std::string&)>& pred);
 
   std::size_t size() const;
   std::size_t bytes() const;

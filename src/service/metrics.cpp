@@ -143,6 +143,25 @@ void ServiceMetrics::on_cancelled(double time_to_cancel_ms) {
   if (time_to_cancel_ms >= 0.0) time_to_cancel_ms_.add(time_to_cancel_ms);
 }
 
+void ServiceMetrics::on_mutation(std::uint64_t applied, std::uint64_t noops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.mutations;
+  counts_.mutation_updates += applied;
+  counts_.mutation_noops += noops;
+}
+
+void ServiceMetrics::on_refresh_patched(double affected_fraction) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.refresh_patched;
+  affected_fraction_.add(affected_fraction);
+}
+
+void ServiceMetrics::on_refresh_invalidated(std::uint64_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_.refresh_invalidated += n;
+}
+
 MetricsSnapshot ServiceMetrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s = counts_;
@@ -155,6 +174,10 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.compute_mean_ms = compute_ms_.mean();
   s.time_to_cancel_mean_ms = time_to_cancel_ms_.mean();
   s.time_to_cancel_max_ms = time_to_cancel_ms_.max();
+  if (affected_fraction_.count() > 0) {
+    s.affected_fraction_mean = affected_fraction_.mean();
+    s.affected_fraction_max = affected_fraction_.max();
+  }
   s.uptime_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
                          .count();
   s.qps = s.uptime_seconds > 0.0 ? static_cast<double>(s.completed) / s.uptime_seconds : 0.0;
@@ -176,6 +199,8 @@ std::string format_report(const MetricsSnapshot& s) {
       "queue       depth=%zu peak=%zu\n"
       "resilience  faults=%llu retries=%llu fallbacks=%llu degraded=%llu"
       " cancelled=%llu time_to_cancel_ms mean=%.3f max=%.3f\n"
+      "dynamic     mutations=%llu updates=%llu noops=%llu refresh_patched=%llu"
+      " invalidated=%llu affected_frac mean=%.3f max=%.3f\n"
       "latency_ms  p50=%.3f p90=%.3f p95=%.3f p99=%.3f mean=%.3f max=%.3f"
       " (n=%llu)\n"
       "compute_ms  mean=%.3f\n",
@@ -201,6 +226,12 @@ std::string format_report(const MetricsSnapshot& s) {
       static_cast<unsigned long long>(s.degraded),
       static_cast<unsigned long long>(s.cancellations),
       s.time_to_cancel_mean_ms, s.time_to_cancel_max_ms,
+      static_cast<unsigned long long>(s.mutations),
+      static_cast<unsigned long long>(s.mutation_updates),
+      static_cast<unsigned long long>(s.mutation_noops),
+      static_cast<unsigned long long>(s.refresh_patched),
+      static_cast<unsigned long long>(s.refresh_invalidated),
+      s.affected_fraction_mean, s.affected_fraction_max,
       s.latency_p50_ms, s.latency_p90_ms, s.latency_p95_ms, s.latency_p99_ms,
       s.latency_mean_ms, s.latency_max_ms,
       static_cast<unsigned long long>(s.completed),

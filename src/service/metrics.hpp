@@ -82,6 +82,16 @@ struct MetricsSnapshot {
   double time_to_cancel_mean_ms = 0.0;
   double time_to_cancel_max_ms = 0.0;
 
+  // Dynamic graphs (docs/dynamic.md).
+  std::uint64_t mutations = 0;           // committed batches that changed a graph
+  std::uint64_t mutation_updates = 0;    // edge updates applied across batches
+  std::uint64_t mutation_noops = 0;      // submitted updates dropped as no-ops
+  std::uint64_t refresh_patched = 0;     // cache entries incrementally patched
+  std::uint64_t refresh_invalidated = 0; // cache entries dropped on mutation
+  // Affected-source fraction of incremental patches (dyn level test).
+  double affected_fraction_mean = 0.0;
+  double affected_fraction_max = 0.0;
+
   // Latency (end-to-end submit -> response, milliseconds).
   double latency_p50_ms = 0.0;
   double latency_p90_ms = 0.0;
@@ -134,6 +144,13 @@ class ServiceMetrics {
   /// An in-flight compute was cancelled; `time_to_cancel_ms` measures
   /// cancel request -> the run actually unwinding (root-boundary latency).
   void on_cancelled(double time_to_cancel_ms);
+  /// A mutation batch committed a new epoch (`applied` effective updates,
+  /// `noops` dropped).
+  void on_mutation(std::uint64_t applied, std::uint64_t noops);
+  /// The refresher patched one cache entry across an epoch transition.
+  void on_refresh_patched(double affected_fraction);
+  /// `n` cache entries were dropped by a mutation instead of patched.
+  void on_refresh_invalidated(std::uint64_t n);
 
   /// Counters + latency fields; cache/queue fields are the caller's job.
   MetricsSnapshot snapshot() const;
@@ -145,6 +162,7 @@ class ServiceMetrics {
   LatencyHistogram latency_;
   util::RunningStats compute_ms_;
   util::RunningStats time_to_cancel_ms_;
+  util::RunningStats affected_fraction_;
 };
 
 }  // namespace hbc::service

@@ -44,6 +44,11 @@ BcService::BcService(ServiceConfig config)
   for (std::size_t i = 0; i < workers_; ++i) {
     pool_->submit([this] { worker_loop(); });
   }
+  if (cfg_.refresh.enabled) {
+    refresh_pool_ = std::make_unique<util::ThreadPool>(
+        std::max<std::size_t>(1, cfg_.refresh.threads));
+    refresher_ = std::thread([this] { refresher_loop(); });
+  }
 }
 
 BcService::~BcService() { stop(); }
@@ -55,7 +60,8 @@ void BcService::load_graph(const std::string& id, graph::CSRGraph g) {
 void BcService::load_graph(const std::string& id,
                            std::shared_ptr<const graph::CSRGraph> g) {
   if (!g) throw std::invalid_argument("load_graph: null graph");
-  GraphEntry entry{std::move(g), 0};
+  GraphEntry entry;
+  entry.graph = std::move(g);
   entry.fingerprint = graph_fingerprint(*entry.graph);  // O(n+m), outside the lock
   std::lock_guard<std::mutex> lock(mu_);
   graphs_[id] = std::move(entry);
@@ -94,6 +100,174 @@ std::shared_ptr<const graph::CSRGraph> BcService::graph(const std::string& id) c
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = graphs_.find(id);
   return it == graphs_.end() ? nullptr : it->second.graph;
+}
+
+std::uint64_t BcService::graph_epoch(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = graphs_.find(id);
+  return it == graphs_.end() ? 0 : it->second.epoch;
+}
+
+MutationResult BcService::mutate_graph(const std::string& id,
+                                       const dyn::UpdateBatch& batch) {
+  std::shared_ptr<dyn::VersionedGraph> vg;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) throw std::runtime_error("mutate_graph: service is stopped");
+    const auto it = graphs_.find(id);
+    if (it == graphs_.end()) {
+      throw std::invalid_argument("mutate_graph: no graph registered as '" + id + "'");
+    }
+    GraphEntry& entry = it->second;
+    if (!entry.versioned) {
+      // Throws invalid_argument for directed graphs; nothing changed then.
+      entry.versioned = std::make_shared<dyn::VersionedGraph>(entry.graph, cfg_.tracer);
+    }
+    vg = entry.versioned;
+  }
+
+  // Stage + commit outside mu_: the copy-on-write CSR rebuild is O(n + m)
+  // and must not block submits. Mutations of the same graph serialize on
+  // the VersionedGraph's own mutex.
+  const dyn::CommitResult cr = vg->apply(batch);
+
+  MutationResult out;
+  out.epoch = cr.after.id;
+  out.fingerprint_before = cr.before.fingerprint;
+  out.fingerprint_after = cr.after.fingerprint;
+  out.applied = cr.applied.size();
+  out.noops = cr.noops;
+  if (cr.applied.empty()) return out;  // all-no-op batch: same epoch
+
+  bool fingerprint_shared = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = graphs_.find(id);
+    // Skip the registry update if the id was evicted or reloaded while we
+    // were rebuilding — the commit still happened on `vg`, but that chain
+    // no longer backs the registered id.
+    if (it != graphs_.end() && it->second.versioned == vg) {
+      it->second.graph = cr.after.graph;
+      it->second.fingerprint = cr.after.fingerprint;
+      it->second.epoch = cr.after.id;
+    }
+    for (const auto& [other_id, entry] : graphs_) {
+      if (other_id != id && entry.fingerprint == cr.before.fingerprint) {
+        fingerprint_shared = true;
+      }
+    }
+  }
+  metrics_.on_mutation(out.applied, out.noops);
+  trace_instant("mutate", cr.after.id);
+
+  // Old-fingerprint cache entries can never answer queries against the
+  // mutated graph (the fingerprint is part of the key), so they are dead
+  // weight: drop them, or hand them to the refresher to patch forward —
+  // unless another registered graph still has the old structure.
+  if (fingerprint_shared) return out;
+  const std::string prefix = fingerprint_prefix(cr.before.fingerprint);
+  const auto is_stale = [&prefix](const std::string& key) {
+    return key.compare(0, prefix.size(), prefix) == 0;
+  };
+  if (cfg_.refresh.enabled) {
+    RefreshJob job;
+    job.old_fingerprint = cr.before.fingerprint;
+    job.new_fingerprint = cr.after.fingerprint;
+    job.before = cr.before.graph;
+    job.after = cr.after.graph;
+    job.applied = cr.applied;
+    job.entries = cache_.extract_if(is_stale);
+    out.cache_refresh_queued = job.entries.size();
+    if (!job.entries.empty()) {
+      std::lock_guard<std::mutex> lock(refresh_mu_);
+      refresh_queue_.push_back(std::move(job));
+      refresh_cv_.notify_one();
+    }
+  } else {
+    out.cache_invalidated = cache_.erase_if(is_stale);
+    metrics_.on_refresh_invalidated(out.cache_invalidated);
+  }
+  return out;
+}
+
+void BcService::drain_refreshes() {
+  std::unique_lock<std::mutex> lock(refresh_mu_);
+  refresh_idle_cv_.wait(lock,
+                        [this] { return refresh_queue_.empty() && !refresh_active_; });
+}
+
+void BcService::refresher_loop() {
+  for (;;) {
+    RefreshJob job;
+    {
+      std::unique_lock<std::mutex> lock(refresh_mu_);
+      refresh_cv_.wait(lock,
+                       [this] { return refresh_stop_ || !refresh_queue_.empty(); });
+      if (refresh_stop_) {
+        // Pending jobs die with the service; their entries were already
+        // out of the cache, so nothing stale can ever be served.
+        refresh_queue_.clear();
+        refresh_idle_cv_.notify_all();
+        return;
+      }
+      job = std::move(refresh_queue_.front());
+      refresh_queue_.pop_front();
+      refresh_active_ = true;
+    }
+
+    // A later mutation may have superseded this epoch already; patching
+    // toward a fingerprint no registered graph has would only create
+    // unreachable cache entries.
+    bool target_live = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [gid, entry] : graphs_) {
+        if (entry.fingerprint == job.new_fingerprint) {
+          target_live = true;
+          break;
+        }
+      }
+    }
+    const std::string old_prefix = fingerprint_prefix(job.old_fingerprint);
+    const std::string new_prefix = fingerprint_prefix(job.new_fingerprint);
+
+    std::size_t patched = 0;
+    std::uint64_t dropped = 0;
+    for (auto& [key, cached] : job.entries) {
+      if (!target_live || !cached->refreshable ||
+          patched >= cfg_.refresh.budget_entries) {
+        ++dropped;
+        continue;
+      }
+      try {
+        // Never patch in place: responses still share the old entry.
+        auto next = std::make_shared<CachedResult>();
+        next->result = cached->result;
+        next->refreshable = true;
+        dyn::IncrementalConfig icfg;
+        icfg.churn_threshold = cfg_.refresh.churn_threshold;
+        icfg.reduce_stripes = cfg_.refresh.reduce_stripes;
+        icfg.tracer = cfg_.tracer;
+        const dyn::BatchStats stats =
+            dyn::refresh_scores(*job.before, *job.after, job.applied,
+                                next->result.scores, *refresh_pool_, icfg);
+        next->bytes = estimate_result_bytes(next->result);
+        cache_.put(new_prefix + key.substr(old_prefix.size()), std::move(next));
+        ++patched;
+        metrics_.on_refresh_patched(stats.affected_fraction);
+        trace_instant("refresh-patch", job.new_fingerprint);
+      } catch (const std::exception&) {
+        ++dropped;  // a failed patch degrades to an invalidation
+      }
+    }
+    metrics_.on_refresh_invalidated(dropped);
+
+    {
+      std::lock_guard<std::mutex> lock(refresh_mu_);
+      refresh_active_ = false;
+      if (refresh_queue_.empty()) refresh_idle_cv_.notify_all();
+    }
+  }
 }
 
 trace::Sink* BcService::trace_sink() const {
@@ -474,6 +648,15 @@ void BcService::worker_loop() {
           auto cached = std::make_shared<CachedResult>();
           cached->result = std::move(computed);
           cached->bytes = estimate_result_bytes(cached->result);
+          // Patchable on mutation: exact full BC with raw scores (the
+          // refresher's dyn::refresh_scores contract). Decided here — the
+          // result alone can't reveal the request's score scaling.
+          cached->refreshable = !cached->result.approximate &&
+                                cached->result.roots_processed ==
+                                    job->graph->num_vertices() &&
+                                job->options.roots.empty() &&
+                                !job->options.halve_undirected &&
+                                !job->options.normalize;
           cache_.put(entry->key, cached);
           resp.result =
               std::shared_ptr<const core::BCResult>(cached, &cached->result);
@@ -533,6 +716,16 @@ void BcService::stop() {
   }
   queue_.close();
   pool_.reset();  // workers fast-complete queued jobs, then join
+
+  if (refresher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(refresh_mu_);
+      refresh_stop_ = true;
+    }
+    refresh_cv_.notify_all();
+    refresher_.join();
+    refresh_pool_.reset();
+  }
 
   // A submitter that was admitted before close() may have pushed after the
   // workers drained; answer anything left so no future is abandoned.

@@ -26,18 +26,22 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/bc.hpp"
+#include "dyn/incremental_bc.hpp"
 #include "graph/csr.hpp"
 #include "service/admission.hpp"
 #include "service/cache.hpp"
@@ -146,6 +150,34 @@ struct ServiceConfig {
   /// Root-sample width of the final (approximation) rung.
   std::uint32_t fallback_sample_roots = 64;
 
+  // --- dynamic graphs (docs/dynamic.md) ---
+
+  /// Background cache refresher for mutated graphs. Off by default: a
+  /// mutation then simply drops the old epoch's cache entries (they could
+  /// never serve the new fingerprint anyway — the key contains it — so
+  /// this only reclaims bytes). When enabled, a dedicated refresher
+  /// thread instead patches the hottest *refreshable* entries (exact
+  /// full-BC, raw scores — see CachedResult::refreshable) forward across
+  /// the epoch transition with dyn::refresh_scores and re-inserts them
+  /// under the new fingerprint, so a hot graph stays cache-warm through
+  /// mutations. Patched scores are value-equal to a fresh compute (1e-7
+  /// relative) but not bitwise-identical — the trade the refresher opts
+  /// into; entries beyond the budget, non-refreshable ones, and epochs
+  /// superseded before their turn are invalidated as usual.
+  struct RefreshConfig {
+    bool enabled = false;
+    /// Max entries patched per mutation (MRU first); the rest drop.
+    std::size_t budget_entries = 4;
+    /// Affected-source fraction above which a patch recomputes from
+    /// scratch instead (dyn::IncrementalConfig::churn_threshold).
+    double churn_threshold = 0.25;
+    /// Worker threads of the refresher's private pool.
+    std::size_t threads = 1;
+    /// Deterministic-reduction stripe count (dyn::IncrementalConfig).
+    std::size_t reduce_stripes = 32;
+  };
+  RefreshConfig refresh;
+
   /// Request-lifecycle tracing (docs/tracing.md): submit / cache-hit /
   /// coalesced / shed / reject instants and per-job request+compute spans,
   /// recorded wall-clock on per-thread host sinks (category kService /
@@ -155,6 +187,22 @@ struct ServiceConfig {
   /// for kernel-level captures. Non-owning: the Tracer must outlive the
   /// service. nullptr = off (one pointer test per instrumentation point).
   trace::Tracer* tracer = nullptr;
+};
+
+/// What one mutate_graph() call did (docs/dynamic.md).
+struct MutationResult {
+  std::uint64_t epoch = 0;  // graph's epoch id after the commit
+  std::uint64_t fingerprint_before = 0;
+  std::uint64_t fingerprint_after = 0;  // == before for all-no-op batches
+  std::size_t applied = 0;              // updates that changed the graph
+  std::size_t noops = 0;
+  /// Old-epoch cache entries dropped by this mutation (refresher off, or
+  /// shared-fingerprint entries kept: then 0).
+  std::size_t cache_invalidated = 0;
+  /// Old-epoch cache entries handed to the background refresher. The
+  /// refresher may still drop some (budget, non-refreshable, superseded);
+  /// those surface as MetricsSnapshot::refresh_invalidated.
+  std::size_t cache_refresh_queued = 0;
 };
 
 class BcService {
@@ -178,6 +226,28 @@ class BcService {
 
   std::vector<std::string> graph_ids() const;
   std::shared_ptr<const graph::CSRGraph> graph(const std::string& id) const;
+
+  /// Apply a batch of edge updates to a registered graph, committing a new
+  /// epoch (dyn::VersionedGraph copy-on-write: in-flight queries keep
+  /// computing on the snapshot they already hold; queries submitted after
+  /// the call see the new epoch — and can never be answered from
+  /// pre-mutation cache entries, whose keys carry the old fingerprint).
+  /// Old-epoch cache entries are invalidated, or handed to the background
+  /// refresher when ServiceConfig::refresh.enabled.
+  ///
+  /// Throws std::invalid_argument for an unknown id or a directed graph,
+  /// std::out_of_range for updates naming vertices >= n, and
+  /// std::runtime_error after stop(); the graph is unchanged in all cases.
+  /// Concurrent mutations of one graph serialize; mutations of different
+  /// graphs run concurrently.
+  MutationResult mutate_graph(const std::string& id, const dyn::UpdateBatch& batch);
+
+  /// Epochs committed for `id` (0 = never mutated or unknown id).
+  std::uint64_t graph_epoch(const std::string& id) const;
+
+  /// Block until every queued refresher job has been processed (including
+  /// the one in flight). Returns immediately when the refresher is off.
+  void drain_refreshes();
 
   // -- Query path ---------------------------------------------------------
 
@@ -212,6 +282,22 @@ class BcService {
   struct GraphEntry {
     std::shared_ptr<const graph::CSRGraph> graph;
     std::uint64_t fingerprint = 0;
+    /// Epoch id of `graph` (0 until the first mutation).
+    std::uint64_t epoch = 0;
+    /// Created lazily by the first mutate_graph(); load_graph over the
+    /// same id starts fresh. `graph`/`fingerprint` mirror its current
+    /// epoch so the submit path stays one map lookup.
+    std::shared_ptr<dyn::VersionedGraph> versioned;
+  };
+
+  /// One mutation's worth of extracted cache entries for the refresher.
+  struct RefreshJob {
+    std::uint64_t old_fingerprint = 0;
+    std::uint64_t new_fingerprint = 0;
+    std::shared_ptr<const graph::CSRGraph> before;
+    std::shared_ptr<const graph::CSRGraph> after;
+    std::vector<dyn::EdgeUpdate> applied;
+    std::vector<std::pair<std::string, std::shared_ptr<const CachedResult>>> entries;
   };
 
   /// One leader computation plus everyone awaiting it.
@@ -240,6 +326,7 @@ class BcService {
   /// One kService instant tagged with the request id; no-op when off.
   void trace_instant(const char* name, std::uint64_t id) const;
   void worker_loop();
+  void refresher_loop();
   core::BCResult run_compute(const graph::CSRGraph& g, const core::Options& o);
   /// Retry-with-backoff + degradation ladder around run_compute. Sets
   /// `degraded` when a substitute (or partial) result is returned. Throws
@@ -261,6 +348,18 @@ class BcService {
   bool stopped_ = false;
 
   std::atomic<std::uint64_t> next_id_{1};
+
+  // Refresher state (all guarded by refresh_mu_ except the pool/thread,
+  // which only the ctor and stop() touch).
+  std::mutex refresh_mu_;
+  std::condition_variable refresh_cv_;       // wakes the refresher
+  std::condition_variable refresh_idle_cv_;  // wakes drain_refreshes()
+  std::deque<RefreshJob> refresh_queue_;
+  bool refresh_active_ = false;  // a job is being processed right now
+  bool refresh_stop_ = false;
+  std::unique_ptr<util::ThreadPool> refresh_pool_;
+  std::thread refresher_;
+
   std::size_t workers_ = 0;
   std::unique_ptr<util::ThreadPool> pool_;  // last member: joins first
 };

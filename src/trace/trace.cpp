@@ -21,6 +21,7 @@ const char* to_string(Category category) noexcept {
     case kCharge: return "charge";
     case kService: return "service";
     case kCompute: return "compute";
+    case kDyn: return "dyn";
     default: return "?";
   }
 }

@@ -54,10 +54,11 @@ enum Category : std::uint32_t {
   kCharge = 1u << 6,    // raw gpusim cycle charges (verbose; off by default)
   kService = 1u << 7,   // request lifecycle in hbc::service
   kCompute = 1u << 8,   // host-side compute spans (CPU engines, workers)
+  kDyn = 1u << 9,       // dyn:: epoch commits, batches, incremental refresh
 
   kNone = 0,
   /// Everything except the per-charge firehose.
-  kDefault = kRun | kRoot | kPhase | kLevel | kDecision | kFault | kService | kCompute,
+  kDefault = kRun | kRoot | kPhase | kLevel | kDecision | kFault | kService | kCompute | kDyn,
   kAll = 0xffffffffu,
 };
 

@@ -44,6 +44,16 @@ class ThreadPool {
   void parallel_ranges(std::size_t n,
                        const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
+  /// Fixed-chunk-count partition: fn(chunk_id, begin, end) for exactly
+  /// `num_chunks` contiguous chunks of [0, n), independent of the pool's
+  /// thread count. This is the CPU analogue of kernels::BlockDriver's
+  /// block decomposition: callers that accumulate one partial per chunk
+  /// and reduce the partials in ascending chunk order get bitwise-
+  /// identical results at every thread count (dyn::IncrementalBC relies
+  /// on this). Chunks beyond n are skipped; num_chunks == 0 is an error.
+  void parallel_chunks(std::size_t n, std::size_t num_chunks,
+                       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
  private:
   void worker_loop();
 

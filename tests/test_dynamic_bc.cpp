@@ -58,6 +58,16 @@ TEST(DynamicBC, DuplicateInsertAndMissingRemoveAreNoOps) {
   EXPECT_EQ(dyn.update_stats().updates, 0u);
 }
 
+TEST(DynamicBC, RejectsDirectedGraphs) {
+  // The affected-source level test reads d(s,u) off a BFS *from* u, which
+  // equals d(s,u) only under undirected symmetry — a directed graph would
+  // be silently mis-pruned, so the constructor must refuse it outright.
+  const CSRGraph directed = graph::build_csr(
+      4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}}, {.symmetrize = false});
+  ASSERT_FALSE(directed.undirected());
+  EXPECT_THROW(cpu::DynamicBC{directed}, std::invalid_argument);
+}
+
 TEST(DynamicBC, OutOfRangeThrows) {
   cpu::DynamicBC dyn(graph::gen::figure1_graph());
   EXPECT_THROW(dyn.insert_edge(0, 99), std::out_of_range);

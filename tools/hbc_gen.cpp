@@ -1,17 +1,73 @@
 // hbc-gen — write a synthetic Table II stand-in graph to a file.
 //
 //   hbc-gen <family> <scale> <output-file> [seed] [--format metis|edgelist|binary]
+//           [--updates N] [--update-batch B] [--update-seed S]
 //
 // Families: rgg delaunay kron road smallworld scalefree web mesh2d.
 // The extension picks the default format: .graph/.metis -> METIS,
 // .hbc -> binary CSR, anything else -> SNAP edge list.
+//
+// --updates N additionally writes <output-file>.updates: a seeded stream
+// of N effective edge updates (inserts of absent edges mixed ~2:1 with
+// removes of present ones, tracked against the evolving edge set so every
+// line changes the graph) in the hbc-serve --mutate script grammar —
+// "g0 + u v" / "g0 - u v" with a "commit" every B lines (default 16).
+// The pair composes into a dynamic-graph serving run:
+//
+//   hbc-gen smallworld 12 g.hbc --updates 64
+//   hbc-serve --refresh --mutate g.hbc.updates g.hbc
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "cli_common.hpp"
+
+namespace {
+
+/// Stream `n` effective updates against `g` into `out`. Deterministic in
+/// `seed`; tracks the evolving edge set so no line is a no-op.
+void write_update_stream(const hbc::graph::CSRGraph& g, std::size_t n,
+                         std::size_t batch, std::uint64_t seed, std::ostream& out) {
+  using hbc::graph::VertexId;
+  std::set<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u < v) edges.emplace(u, v);
+    }
+  }
+  out << "# " << n << " seeded edge updates (seed " << seed << "), batch size "
+      << batch << " — hbc-serve --mutate grammar\n";
+  hbc::util::Xoshiro256 rng(seed);
+  const VertexId num_vertices = g.num_vertices();
+  std::size_t emitted = 0;
+  while (emitted < n) {
+    // ~1 remove per 2 inserts keeps the edge count drifting slowly upward
+    // instead of densifying or emptying the graph.
+    const bool remove = !edges.empty() && rng.next_below(3) == 0;
+    if (remove) {
+      auto it = edges.begin();
+      std::advance(it, static_cast<long>(rng.next_below(edges.size())));
+      out << "g0 - " << it->first << " " << it->second << "\n";
+      edges.erase(it);
+    } else {
+      const auto u = static_cast<VertexId>(rng.next_below(num_vertices));
+      const auto v = static_cast<VertexId>(rng.next_below(num_vertices));
+      if (u == v) continue;
+      const auto key = std::minmax(u, v);
+      if (!edges.emplace(key.first, key.second).second) continue;  // present
+      out << "g0 + " << key.first << " " << key.second << "\n";
+    }
+    ++emitted;
+    if (emitted % batch == 0 || emitted == n) out << "commit\n";
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hbc;
@@ -19,7 +75,8 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s <family> <scale> <output-file> [seed]"
-                 " [--format metis|edgelist|binary]\n",
+                 " [--format metis|edgelist|binary]\n"
+                 "          [--updates N] [--update-batch B] [--update-seed S]\n",
                  argv[0]);
     return 2;
   }
@@ -30,10 +87,19 @@ int main(int argc, char** argv) {
     const std::string path = argv[3];
     std::uint64_t seed = 1;
     std::string format;
+    std::size_t updates = 0;
+    std::size_t update_batch = 16;
+    std::uint64_t update_seed = 42;
 
     for (int i = 4; i < argc; ++i) {
       if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
         format = argv[++i];
+      } else if (std::strcmp(argv[i], "--updates") == 0 && i + 1 < argc) {
+        updates = cli::parse_size("--updates", argv[++i]);
+      } else if (std::strcmp(argv[i], "--update-batch") == 0 && i + 1 < argc) {
+        update_batch = std::max<std::size_t>(1, cli::parse_size("--update-batch", argv[++i]));
+      } else if (std::strcmp(argv[i], "--update-seed") == 0 && i + 1 < argc) {
+        update_seed = cli::parse_u64("--update-seed", argv[++i]);
       } else {
         seed = cli::parse_u64("[seed]", argv[i]);
       }
@@ -63,6 +129,19 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s (%s) as %s to %s\n", family.c_str(), g.summary().c_str(),
                 format.c_str(), path.c_str());
+
+    if (updates > 0) {
+      const std::string updates_path = path + ".updates";
+      std::ofstream uout(updates_path);
+      if (!uout) {
+        std::fprintf(stderr, "cannot write %s\n", updates_path.c_str());
+        return 1;
+      }
+      write_update_stream(g, updates, update_batch, update_seed, uout);
+      std::printf("wrote %zu updates (batch %zu, seed %llu) to %s\n", updates,
+                  update_batch, static_cast<unsigned long long>(update_seed),
+                  updates_path.c_str());
+    }
   } catch (const cli::UsageError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

@@ -26,6 +26,16 @@
 //   --workload FILE   file-driven workload instead of the synthetic one:
 //                     one request per line, "graph_id strategy roots seed",
 //                     '#' starts a comment
+//   --mutate FILE     scripted edge-update batches (docs/dynamic.md):
+//                     "graph_id + u v" inserts, "graph_id - u v" removes,
+//                     a "commit" line flushes the pending per-graph batches
+//                     as one epoch each (EOF commits too), '#' comments.
+//                     The script runs at the workload's midpoint — half the
+//                     replay sees the old epochs, half the new — and the
+//                     per-commit MutationResult is printed
+//   --refresh         enable the background cache refresher so mutations
+//                     patch hot exact entries instead of dropping them
+//   --refresh-budget N  entries patched per mutation (default 4)
 //   --inject-faults SPEC  attach a deterministic fault plan to every
 //                     request (docs/resilience.md grammar), exercising the
 //                     service's retry and degradation ladder
@@ -46,6 +56,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -65,6 +76,7 @@ using namespace hbc;
                "          [--seed S] [--workload FILE] [--inject-faults SPEC]\n"
                "          [--max-attempts N] [--retries N] [--no-fallback]\n"
                "          [--fallback-roots K] [--trace-dir DIR]\n"
+               "          [--mutate FILE] [--refresh] [--refresh-budget N]\n"
                "          <graph-file | gen:<family>:<scale>[:<seed>]> ...\n",
                argv0);
   std::exit(2);
@@ -82,6 +94,7 @@ struct ServeArgs {
   std::chrono::milliseconds timeout{0};
   std::uint64_t seed = 7;
   std::string workload_file;
+  std::string mutate_file;
   std::string trace_dir;
   std::shared_ptr<const gpusim::FaultPlan> fault_plan;
   std::uint32_t max_root_attempts = 3;
@@ -158,6 +171,81 @@ std::vector<service::Request> file_workload(const ServeArgs& args) {
   return out;
 }
 
+/// One scripted epoch transition: the batches to commit, one per graph.
+using MutationStep = std::map<std::string, dyn::UpdateBatch>;
+
+std::vector<MutationStep> parse_mutation_script(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read mutation script " + path);
+  std::vector<MutationStep> steps;
+  MutationStep pending;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string graph_id;
+    if (!(fields >> graph_id)) continue;  // blank line
+    if (graph_id == "commit") {
+      if (!pending.empty()) steps.push_back(std::move(pending));
+      pending.clear();
+      continue;
+    }
+    std::string op;
+    graph::VertexId u = 0, v = 0;
+    if (!(fields >> op >> u >> v) || (op != "+" && op != "-")) {
+      throw std::runtime_error("mutation script line " + std::to_string(lineno) +
+                               ": expected 'graph_id +|- u v' or 'commit'");
+    }
+    if (op == "+") {
+      pending[graph_id].insert(u, v);
+    } else {
+      pending[graph_id].remove(u, v);
+    }
+  }
+  if (!pending.empty()) steps.push_back(std::move(pending));
+  return steps;
+}
+
+/// Submit + wait one slice of the workload, folding statuses into the
+/// running tally. (Mutation runs between slices, so each slice is its own
+/// submit wave: requests in the second wave key off the new fingerprints.)
+void replay_slice(service::BcService& svc,
+                  std::span<const service::Request> slice,
+                  std::map<std::string, std::size_t>& by_status,
+                  std::size_t& degraded) {
+  std::vector<service::Ticket> tickets;
+  tickets.reserve(slice.size());
+  for (const auto& request : slice) tickets.push_back(svc.submit(request));
+  for (const auto& ticket : tickets) {
+    const service::Response r = svc.wait(ticket);
+    ++by_status[to_string(r.status)];
+    degraded += r.degraded ? 1 : 0;
+  }
+}
+
+void run_mutations(service::BcService& svc, const std::vector<MutationStep>& steps) {
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    for (const auto& [graph_id, batch] : steps[i]) {
+      const service::MutationResult mr = svc.mutate_graph(graph_id, batch);
+      std::printf(
+          "mutate #%zu %-4s epoch=%llu applied=%zu noops=%zu "
+          "fingerprint %016llx -> %016llx invalidated=%zu refresh_queued=%zu\n",
+          i + 1, graph_id.c_str(), static_cast<unsigned long long>(mr.epoch),
+          mr.applied, mr.noops,
+          static_cast<unsigned long long>(mr.fingerprint_before),
+          static_cast<unsigned long long>(mr.fingerprint_after),
+          mr.cache_invalidated, mr.cache_refresh_queued);
+    }
+    // Drain between steps: otherwise a later commit supersedes the
+    // previous epoch before the refresher reaches it and every queued
+    // entry is dropped instead of patched.
+    svc.drain_refreshes();
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,6 +288,12 @@ int main(int argc, char** argv) {
         args.seed = cli::parse_u64(arg, cursor.value(arg));
       } else if (arg == "--workload") {
         args.workload_file = cursor.value(arg);
+      } else if (arg == "--mutate") {
+        args.mutate_file = cursor.value(arg);
+      } else if (arg == "--refresh") {
+        args.config.refresh.enabled = true;
+      } else if (arg == "--refresh-budget") {
+        args.config.refresh.budget_entries = cli::parse_size(arg, cursor.value(arg));
       } else if (arg == "--inject-faults") {
         args.fault_plan = gpusim::FaultPlan::parse_shared(cursor.value(arg));
       } else if (arg == "--max-attempts") {
@@ -251,17 +345,23 @@ int main(int argc, char** argv) {
                 to_string(args.config.admission.policy),
                 args.config.cache_bytes >> 20);
 
-    util::Timer wall;
-    std::vector<service::Ticket> tickets;
-    tickets.reserve(workload.size());
-    for (const auto& request : workload) tickets.push_back(svc.submit(request));
+    // Parse the mutation script before replaying anything so a malformed
+    // script fails fast instead of after half the workload.
+    const std::vector<MutationStep> mutations =
+        args.mutate_file.empty() ? std::vector<MutationStep>{}
+                                 : parse_mutation_script(args.mutate_file);
 
+    util::Timer wall;
     std::map<std::string, std::size_t> by_status;
     std::size_t degraded = 0;
-    for (const auto& ticket : tickets) {
-      const service::Response r = svc.wait(ticket);
-      ++by_status[to_string(r.status)];
-      degraded += r.degraded ? 1 : 0;
+    const std::span<const service::Request> all(workload);
+    if (mutations.empty()) {
+      replay_slice(svc, all, by_status, degraded);
+    } else {
+      const std::size_t mid = workload.size() / 2;
+      replay_slice(svc, all.subspan(0, mid), by_status, degraded);
+      run_mutations(svc, mutations);
+      replay_slice(svc, all.subspan(mid), by_status, degraded);
     }
     const double wall_s = wall.elapsed_seconds();
 
