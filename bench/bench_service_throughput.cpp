@@ -26,10 +26,14 @@
 //   HBC_BENCH_REQUESTS  requests per measurement        (default 96)
 //   HBC_BENCH_JSON      also write machine-readable records to this path
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -39,6 +43,8 @@
 #include "core/bc.hpp"
 #include "gpusim/faults.hpp"
 #include "graph/generators.hpp"
+#include "net/coordinator.hpp"
+#include "net/worker.hpp"
 #include "service/service.hpp"
 #include "trace/trace.hpp"
 #include "util/cancel.hpp"
@@ -148,6 +154,85 @@ Measurement run_workload(const graph::CSRGraph& g, std::size_t workers,
   return out;
 }
 
+/// Distributed axis (docs/distributed.md): QPS through a net::Coordinator
+/// fronting `fleet` net::Worker threads over a Unix socket. Queries are
+/// block-sharded work-efficient runs with sampled roots and unique seeds
+/// (cold cache), issued sequentially — the measured parallelism is the
+/// intra-query shard fan-out across the fleet, the distributed analogue of
+/// the paper's multi-GPU root distribution. fleet == 0 measures the same
+/// sequential workload on an in-process BcService as the baseline.
+Measurement run_distributed(const graph::CSRGraph& g, std::size_t fleet,
+                            std::uint32_t sample_roots, std::size_t requests) {
+  auto shared = std::make_shared<const graph::CSRGraph>(g);
+  auto make_request = [&](std::uint64_t seed) {
+    service::Request r;
+    r.graph_id = "bench";
+    r.options.strategy = core::Strategy::WorkEfficient;
+    r.options.sample_roots = sample_roots;
+    r.options.seed = seed;
+    return r;
+  };
+
+  std::vector<double> lat_ms;
+  lat_ms.reserve(requests);
+  double seconds = 0.0;
+
+  if (fleet == 0) {
+    service::ServiceConfig cfg;
+    cfg.workers = 2;  // same service pool each net::Worker gets below
+    service::BcService svc(cfg);
+    svc.load_graph("bench", shared);
+    util::Timer wall;
+    for (std::size_t i = 0; i < requests; ++i) {
+      const service::Response r = svc.query(make_request(1000 + i));
+      lat_ms.push_back(r.total_ms);
+    }
+    seconds = wall.elapsed_seconds();
+  } else {
+    const std::string sock = "/tmp/hbc-bench-" + std::to_string(::getpid()) +
+                             "-" + std::to_string(fleet) + ".sock";
+    std::filesystem::remove(sock);
+    net::CoordinatorConfig cc;
+    cc.listen = net::Endpoint::parse("unix:" + sock);
+    net::Coordinator coord(cc);
+
+    std::vector<std::unique_ptr<net::Worker>> workers;
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < fleet; ++i) {
+      net::WorkerConfig wc;
+      wc.connect = cc.listen;
+      wc.name = "bench-worker-" + std::to_string(i);
+      wc.service.workers = 2;
+      wc.graph_loader = [shared](const std::string&) { return *shared; };
+      workers.push_back(std::make_unique<net::Worker>(wc));
+      threads.emplace_back([w = workers.back().get()] { w->run(); });
+    }
+    coord.wait_for_workers(fleet, std::chrono::seconds(20));
+    coord.load_graph("bench", shared, "bench");
+
+    util::Timer wall;
+    for (std::size_t i = 0; i < requests; ++i) {
+      const service::Response r = coord.query(make_request(1000 + i));
+      lat_ms.push_back(r.total_ms);
+    }
+    seconds = wall.elapsed_seconds();
+
+    coord.drain();
+    for (auto& w : workers) w->request_stop();
+    for (auto& t : threads) t.join();
+    std::filesystem::remove(sock);
+  }
+
+  std::sort(lat_ms.begin(), lat_ms.end());
+  Measurement out;
+  out.qps = seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  if (!lat_ms.empty()) {
+    out.p50_ms = lat_ms[lat_ms.size() / 2];
+    out.p99_ms = lat_ms[std::min(lat_ms.size() - 1, lat_ms.size() * 99 / 100)];
+  }
+  return out;
+}
+
 /// Best-of-N wall seconds for one sampling run over `g` with the given
 /// cancel token. Min-of-N is the standard noise-robust point estimate for
 /// "how fast can this go" comparisons.
@@ -227,6 +312,31 @@ int main() {
                 m.p99_ms, 100.0 * m.fallback_ratio,
                 static_cast<unsigned long long>(m.faults),
                 static_cast<unsigned long long>(m.reruns));
+  }
+  bench::print_rule();
+
+  // --- distributed axis ---------------------------------------------------
+  // Coordinator-mode QPS: block-sharded work-efficient queries fanned out
+  // across an in-process worker fleet over a Unix socket. Sequential
+  // submission (the coordinator runs one query at a time), so scaling here
+  // is intra-query: one query's B blocks spread across fleet x 2 threads.
+  const std::size_t dist_requests = std::max<std::size_t>(8, requests / 8);
+  std::printf("\ndistributed axis (coordinator + fleet over unix socket, "
+              "%zu work-efficient queries, %u sampled roots)\n",
+              dist_requests, roots);
+  std::printf("%12s | %10s %8s %8s\n", "fleet", "QPS", "p50 ms", "p99 ms");
+  bench::print_rule();
+  for (const std::size_t fleet : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}}) {
+    const Measurement m = run_distributed(g, fleet, roots, dist_requests);
+    record_measurement("distributed", fleet, 0.0, 0.0, m);
+    if (fleet == 0) {
+      std::printf("%12s | %10.1f %8.2f %8.2f\n", "standalone", m.qps, m.p50_ms,
+                  m.p99_ms);
+    } else {
+      std::printf("%8zu x2t | %10.1f %8.2f %8.2f\n", fleet, m.qps, m.p50_ms,
+                  m.p99_ms);
+    }
   }
   bench::print_rule();
 

@@ -90,6 +90,15 @@ struct Options {
   /// 0 = hardware concurrency.
   std::size_t cpu_threads = 0;
 
+  /// GPU-model strategies only: override the simulated grid size (number
+  /// of blocks). 0 = strategy default (device.num_sms; GPU-FAN forces 1).
+  /// Changing the block count changes how roots deal round-robin onto
+  /// blocks and therefore the floating-point association of the reduction,
+  /// so a nonzero value fragments options_signature. hbc::net shards a
+  /// query at block granularity with grid_blocks=1 sub-runs and reduces
+  /// the partials in block order, reproducing the default grid bitwise.
+  std::uint32_t grid_blocks = 0;
+
   bool collect_per_root_stats = false;
 
   /// Resilience knobs (docs/resilience.md), grouped so the public surface

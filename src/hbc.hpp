@@ -21,6 +21,7 @@
 //   hbc::kernels  the paper's GPU-model engines and their knobs
 //   hbc::gpusim   the simulated device: DeviceConfig, FaultPlan, memory
 //   hbc::service  BcService — concurrent query serving with caching
+//   hbc::net      sharded multi-process serving: Coordinator, Worker, wire
 //   hbc::dyn      epoch-versioned mutable graphs + batched incremental BC
 //   hbc::trace    Tracer/Sink span capture + Chrome JSON export
 //   hbc::cpu      Brandes baselines, weighted/approx/edge variants
@@ -64,6 +65,10 @@
 
 // Serving, scaling, and observability layers.
 #include "dist/cluster.hpp"
+#include "net/coordinator.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "net/worker.hpp"
 #include "service/service.hpp"
 #include "trace/check.hpp"
 #include "trace/trace.hpp"

@@ -83,6 +83,14 @@ struct RunConfig {
   /// vector, operation counters, and simulated-cycle metrics are bitwise
   /// identical for every value — threading changes wall_seconds only.
   std::size_t cpu_threads = 0;
+  /// Override for the simulated grid size (number of blocks). 0 = the
+  /// strategy default (device.num_sms, or a layout-forced count such as
+  /// GPU-FAN's single block). The distributed layer (hbc::net) uses
+  /// grid_blocks=1 to compute one block's shard of a larger run: because
+  /// BlockDriver deals root i to block i % num_blocks and reduces partials
+  /// in ascending block order, a B-way sharded run reassembled at the
+  /// coordinator is bitwise-identical to a local B-block run.
+  std::uint32_t grid_blocks = 0;
   /// Deterministic fault injection (nullptr = fault-free). Shared and
   /// immutable so concurrent runs can reference one plan.
   std::shared_ptr<const gpusim::FaultPlan> fault_plan;

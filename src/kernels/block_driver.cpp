@@ -26,7 +26,12 @@ std::vector<VertexId> resolve_roots(const CSRGraph& g, const RunConfig& config) 
 BlockDriver::BlockDriver(const CSRGraph& g, const RunConfig& config,
                          const DriverLayout& layout)
     : g_(&g), config_(&config), device_(config.device) {
-  num_blocks_ = layout.num_blocks != 0 ? layout.num_blocks : config.device.num_sms;
+  // Grid size precedence: a layout-forced count (GPU-FAN's grid mode) wins,
+  // then an explicit RunConfig override (the distributed shard path), then
+  // the device SM count.
+  num_blocks_ = layout.num_blocks != 0   ? layout.num_blocks
+                : config.grid_blocks != 0 ? config.grid_blocks
+                                          : config.device.num_sms;
   num_blocks_ = std::max<std::uint32_t>(num_blocks_, 1);
 
   // Device-memory layout: the replicated graph arrays, then each block's

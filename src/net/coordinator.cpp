@@ -1,0 +1,861 @@
+#include "net/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "core/teps.hpp"
+#include "net/shard.hpp"
+#include "util/timer.hpp"
+
+namespace hbc::net {
+
+using Clock = std::chrono::steady_clock;
+using service::QueryStatus;
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer — enough spread for ring placement.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+std::uint32_t remaining_ms(const Clock::time_point& deadline, bool has_deadline) {
+  if (!has_deadline) return 0;
+  const auto left = deadline - Clock::now();
+  if (left <= Clock::duration::zero()) return 1;  // expired: smallest budget
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(left).count();
+  return static_cast<std::uint32_t>(std::min<long long>(ms + 1, 0xffffffffll));
+}
+
+std::vector<wire::WireUpdate> to_wire(const std::vector<dyn::EdgeUpdate>& updates) {
+  std::vector<wire::WireUpdate> out;
+  out.reserve(updates.size());
+  for (const dyn::EdgeUpdate& e : updates) {
+    out.push_back({e.u, e.v, static_cast<std::uint8_t>(e.insert ? 1 : 0)});
+  }
+  return out;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorConfig config)
+    : cfg_(std::move(config)),
+      listener_(listen_on(cfg_.listen)),
+      cache_(cfg_.cache_bytes) {
+  cfg_.max_shard_attempts = std::max<std::uint32_t>(cfg_.max_shard_attempts, 1);
+}
+
+Coordinator::~Coordinator() = default;
+
+trace::Sink* Coordinator::sink() const {
+  return cfg_.tracer ? cfg_.tracer->thread_sink("coordinator") : nullptr;
+}
+
+void Coordinator::trace_instant(const char* name, std::uint64_t req,
+                                std::initializer_list<trace::Arg> extra) const {
+  trace::Sink* s = sink();
+  if (!s || !s->wants(trace::kService)) return;
+  // One fixed slot for the request id plus the caller's args.
+  switch (extra.size()) {
+    case 0:
+      s->instant(name, trace::kService, cfg_.tracer->now_ns(), {{"req", req}});
+      break;
+    default: {
+      std::initializer_list<trace::Arg> all = extra;
+      trace::Arg args[trace::Event::kMaxArgs];
+      std::size_t n = 0;
+      args[n++] = {"req", req};
+      for (const trace::Arg& a : all) {
+        if (n >= trace::Event::kMaxArgs) break;
+        args[n++] = a;
+      }
+      // Sink::instant takes an initializer_list; re-emit via the widest
+      // fixed arity we use (req + up to 3 extras).
+      if (n == 2) {
+        s->instant(name, trace::kService, cfg_.tracer->now_ns(), {args[0], args[1]});
+      } else if (n == 3) {
+        s->instant(name, trace::kService, cfg_.tracer->now_ns(),
+                   {args[0], args[1], args[2]});
+      } else {
+        s->instant(name, trace::kService, cfg_.tracer->now_ns(),
+                   {args[0], args[1], args[2], args[3]});
+      }
+      break;
+    }
+  }
+}
+
+std::size_t Coordinator::worker_count() const {
+  std::size_t n = 0;
+  for (const auto& [slot, w] : workers_) {
+    if (w.ready) ++n;
+  }
+  return n;
+}
+
+std::size_t Coordinator::wait_for_workers(std::size_t count,
+                                          std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  while (worker_count() < count && Clock::now() < deadline) {
+    pump(20);
+  }
+  return worker_count();
+}
+
+std::vector<std::uint32_t> Coordinator::owners(const std::string& id) const {
+  std::vector<std::uint32_t> ready;
+  for (const auto& [slot, w] : workers_) {
+    if (w.ready) ready.push_back(slot);
+  }
+  const std::uint32_t r = cfg_.replication;
+  if (r == 0 || r >= ready.size()) return ready;
+
+  std::map<std::uint64_t, std::uint32_t> ring;
+  for (const std::uint32_t slot : ready) {
+    for (std::uint32_t v = 0; v < std::max<std::uint32_t>(cfg_.virtual_nodes, 1); ++v) {
+      ring.emplace(mix64((static_cast<std::uint64_t>(slot) << 32) | v), slot);
+    }
+  }
+  const std::uint64_t h = mix64(std::hash<std::string>{}(id));
+  std::vector<std::uint32_t> out;
+  auto it = ring.lower_bound(h);
+  while (out.size() < r) {
+    if (it == ring.end()) it = ring.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Coordinator::send_graph_to(WorkerState& w, const std::string& id,
+                                const GraphEntry& e) {
+  wire::LoadGraphMsg m;
+  m.graph_id = id;
+  m.spec = e.spec;
+  m.fingerprint = e.base_fingerprint;
+  m.updates = e.history;
+  m.fingerprint_after = e.fingerprint;
+  w.conn->send(wire::encode(m, next_request_id_++));
+}
+
+std::size_t Coordinator::load_graph(const std::string& id, graph::CSRGraph g,
+                                    std::string spec) {
+  return load_graph(id, std::make_shared<const graph::CSRGraph>(std::move(g)),
+                    std::move(spec));
+}
+
+std::size_t Coordinator::load_graph(const std::string& id,
+                                    std::shared_ptr<const graph::CSRGraph> g,
+                                    std::string spec) {
+  GraphEntry e;
+  e.graph = std::move(g);
+  e.fingerprint = service::graph_fingerprint(*e.graph);
+  e.base_fingerprint = e.fingerprint;
+  e.spec = std::move(spec);
+  graphs_[id] = e;
+
+  const std::vector<std::uint32_t> owner_slots = owners(id);
+  if (owner_slots.empty()) return 0;
+
+  control_.emplace();
+  control_->request_id = next_request_id_++;
+  for (const std::uint32_t slot : owner_slots) {
+    auto it = workers_.find(slot);
+    if (it == workers_.end()) continue;
+    send_graph_to(it->second, id, graphs_[id]);
+    control_->waiting.insert(slot);
+  }
+  const auto deadline = Clock::now() + cfg_.control_timeout;
+  while (!control_->waiting.empty() && Clock::now() < deadline) {
+    pump(20);
+  }
+  const std::size_t confirmed = control_->confirmed;
+  control_.reset();
+  return confirmed;
+}
+
+std::uint64_t Coordinator::graph_fingerprint(const std::string& id) const {
+  auto it = graphs_.find(id);
+  return it == graphs_.end() ? 0 : it->second.fingerprint;
+}
+
+service::MutationResult Coordinator::mutate_graph(const std::string& id,
+                                                  const dyn::UpdateBatch& batch) {
+  auto it = graphs_.find(id);
+  if (it == graphs_.end()) {
+    throw std::invalid_argument("net::Coordinator::mutate_graph: unknown graph id '" +
+                                id + "'");
+  }
+  GraphEntry& e = it->second;
+  if (!e.versioned) {
+    // Throws std::invalid_argument for directed graphs, like the service.
+    e.versioned = std::make_shared<dyn::VersionedGraph>(e.graph, cfg_.tracer);
+  }
+  const dyn::CommitResult cr = e.versioned->apply(batch);
+  e.graph = cr.after.graph;
+  e.fingerprint = cr.after.fingerprint;
+  e.epoch = cr.after.id;
+  const std::vector<wire::WireUpdate> applied = to_wire(cr.applied);
+  e.history.insert(e.history.end(), applied.begin(), applied.end());
+
+  service::MutationResult out;
+  out.epoch = cr.after.id;
+  out.fingerprint_before = cr.before.fingerprint;
+  out.fingerprint_after = cr.after.fingerprint;
+  out.applied = cr.applied.size();
+  out.noops = cr.noops;
+
+  ++stats_.mutations;
+  if (cr.applied.empty()) return out;  // no-op batch: nothing changed anywhere
+
+  // The old epoch's cache entries can never serve the new fingerprint —
+  // their keys carry it — so dropping them only reclaims bytes.
+  const std::string old_prefix = service::fingerprint_prefix(cr.before.fingerprint);
+  out.cache_invalidated = cache_.erase_if([&](const std::string& key) {
+    return key.rfind(old_prefix, 0) == 0;
+  });
+
+  // Broadcast to every worker that holds the graph; fingerprint agreement
+  // is checked on each ack (a disagreeing worker is cut loose).
+  wire::MutateMsg m;
+  m.graph_id = id;
+  m.updates = applied;
+  m.fingerprint_after = e.fingerprint;
+  control_.emplace();
+  control_->request_id = next_request_id_++;
+  const std::vector<std::uint8_t> frame = wire::encode(m, control_->request_id);
+  for (auto& [slot, w] : workers_) {
+    if (!w.ready || w.graphs.count(id) == 0) continue;
+    w.conn->send(frame);
+    control_->waiting.insert(slot);
+  }
+  const auto deadline = Clock::now() + cfg_.control_timeout;
+  while (!control_->waiting.empty() && Clock::now() < deadline) {
+    pump(20);
+  }
+  control_.reset();
+  return out;
+}
+
+// --- the event pump ------------------------------------------------------
+
+void Coordinator::pump(int timeout_ms) {
+  std::vector<pollfd> fds;
+  std::vector<std::uint32_t> slots;
+  fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+  for (auto& [slot, w] : workers_) {
+    short events = POLLIN;
+    if (w.conn->wants_write()) events |= POLLOUT;
+    fds.push_back(pollfd{w.conn->fd(), events, 0});
+    slots.push_back(slot);
+  }
+  poll_wait(fds, timeout_ms);
+
+  if (fds[0].revents & POLLIN) {
+    for (;;) {
+      Socket s = accept_on(listener_);
+      if (!s.valid()) break;
+      const std::uint32_t slot = next_slot_++;
+      WorkerState w;
+      w.slot = slot;
+      w.conn = std::make_unique<Conn>(std::move(s), "worker#" + std::to_string(slot));
+      workers_.emplace(slot, std::move(w));
+    }
+  }
+
+  std::vector<std::uint32_t> dead;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const std::uint32_t slot = slots[i];
+    auto it = workers_.find(slot);
+    if (it == workers_.end()) continue;
+    WorkerState& w = *&it->second;
+    const short revents = fds[i + 1].revents;
+    bool failed = false;
+    if (revents & (POLLIN | POLLHUP | POLLERR)) {
+      const Conn::Io io = w.conn->pump_read();
+      // Handle buffered frames even when the peer already closed — a
+      // drained worker's final results and Goodbye arrive exactly so.
+      wire::Frame frame;
+      for (;;) {
+        const wire::DecodeStatus s = w.conn->next_frame(frame);
+        if (s == wire::DecodeStatus::Ok) {
+          handle_frame(w, frame);
+          continue;
+        }
+        if (s != wire::DecodeStatus::NeedMore) failed = true;  // poisoned stream
+        break;
+      }
+      if (io != Conn::Io::Ok) failed = true;
+    }
+    if (!failed && (revents & POLLOUT)) {
+      if (w.conn->pump_write() != Conn::Io::Ok) failed = true;
+    }
+    if (!failed && w.conn->wants_write()) {
+      // Opportunistic flush of replies queued by handle_frame.
+      if (w.conn->pump_write() != Conn::Io::Ok) failed = true;
+    }
+    if (failed) dead.push_back(slot);
+  }
+  for (const std::uint32_t slot : dead) worker_dead(slot);
+}
+
+void Coordinator::handle_frame(WorkerState& w, const wire::Frame& frame) {
+  switch (frame.type) {
+    case wire::MsgType::Hello: {
+      wire::HelloMsg m;
+      if (wire::decode(frame, m) != wire::DecodeStatus::Ok) return;
+      w.name = m.worker_name;
+      w.shard_slots = std::max<std::uint32_t>(m.shard_slots, 1);
+      w.ready = true;
+      wire::HelloAckMsg ack;
+      ack.worker_slot = w.slot;
+      ack.coordinator_name = cfg_.name;
+      w.conn->send(wire::encode(ack, frame.request_id));
+      // Late joiner: hand it every graph it now owns (history included, so
+      // a mutated graph catches up to the current epoch in one message).
+      for (const auto& [id, entry] : graphs_) {
+        const std::vector<std::uint32_t> own = owners(id);
+        if (std::find(own.begin(), own.end(), w.slot) != own.end()) {
+          send_graph_to(w, id, entry);
+        }
+      }
+      return;
+    }
+    case wire::MsgType::GraphLoaded: {
+      wire::GraphLoadedMsg m;
+      if (wire::decode(frame, m) != wire::DecodeStatus::Ok) return;
+      auto git = graphs_.find(m.graph_id);
+      const bool agrees = git != graphs_.end() && m.ok != 0 &&
+                          m.fingerprint == git->second.fingerprint;
+      if (agrees) {
+        w.graphs.insert(m.graph_id);
+        if (control_ && control_->waiting.erase(w.slot) != 0) ++control_->confirmed;
+      } else {
+        // Fingerprint disagreement means this worker would compute (and
+        // cache) answers for a different graph under our key: cut it loose.
+        if (control_ && control_->waiting.erase(w.slot) != 0) {
+          control_->errors.push_back("worker " + std::to_string(w.slot) + " (" +
+                                     w.name + "): " +
+                                     (m.error.empty() ? "fingerprint mismatch"
+                                                      : m.error));
+        }
+        trace_instant("graph-load-refused", frame.request_id,
+                      {{"worker", std::uint64_t{w.slot}}});
+        worker_dead(w.slot);
+      }
+      return;
+    }
+    case wire::MsgType::ShardResult: {
+      wire::ShardResultMsg m;
+      if (wire::decode(frame, m) != wire::DecodeStatus::Ok) return;
+      if (w.inflight > 0) --w.inflight;
+      if (!active_ || active_->id != frame.request_id) return;  // stale
+      ActiveQuery& q = *active_;
+      if (m.shard_index >= q.shards.size()) return;
+      Shard& s = q.shards[m.shard_index];
+      auto dit = std::find(s.dispatched_to.begin(), s.dispatched_to.end(), w.slot);
+      if (dit != s.dispatched_to.end()) s.dispatched_to.erase(dit);
+      if (s.state == Shard::State::Done || s.state == Shard::State::Abandoned) {
+        return;  // straggler duplicate: first result won
+      }
+      const bool partial_mode = s.msg.mode == wire::ShardMode::Partial;
+      const bool usable =
+          m.ok != 0 && (!partial_mode || m.degraded == 0) &&
+          m.scores.size() == q.graph->num_vertices();
+      if (!usable) {
+        ++stats_.shard_retries;
+        trace_instant("shard-failed", q.id,
+                      {{"shard", std::uint64_t{m.shard_index}},
+                       {"worker", std::uint64_t{w.slot}}});
+        if (s.dispatched_to.empty()) s.state = Shard::State::Pending;
+        return;
+      }
+      s.partial = std::move(m.scores);
+      s.roots_processed = m.roots_processed;
+      s.compute_ms = m.compute_ms;
+      s.degraded = m.degraded;
+      s.state = Shard::State::Done;
+      --q.remaining;
+      ++stats_.shards_completed;
+      trace_instant("shard-done", q.id,
+                    {{"shard", std::uint64_t{m.shard_index}},
+                     {"worker", std::uint64_t{w.slot}}});
+      return;
+    }
+    case wire::MsgType::MutateDone: {
+      wire::MutateDoneMsg m;
+      if (wire::decode(frame, m) != wire::DecodeStatus::Ok) return;
+      auto git = graphs_.find(m.graph_id);
+      const bool agrees = git != graphs_.end() && m.ok != 0 &&
+                          m.fingerprint == git->second.fingerprint;
+      if (agrees) {
+        if (control_ && control_->waiting.erase(w.slot) != 0) ++control_->confirmed;
+      } else {
+        if (control_ && control_->waiting.erase(w.slot) != 0) {
+          control_->errors.push_back(
+              "worker " + std::to_string(w.slot) + " mutate: " +
+              (m.error.empty() ? "fingerprint mismatch" : m.error));
+        }
+        worker_dead(w.slot);
+      }
+      return;
+    }
+    case wire::MsgType::Heartbeat: {
+      wire::HeartbeatMsg m;
+      if (wire::decode(frame, m) != wire::DecodeStatus::Ok) return;
+      wire::HeartbeatAckMsg ack;
+      ack.seq = m.seq;
+      w.conn->send(wire::encode(ack, frame.request_id));
+      return;
+    }
+    case wire::MsgType::Goodbye: {
+      w.goodbye = true;
+      return;
+    }
+    case wire::MsgType::Error: {
+      wire::ErrorMsg m;
+      if (wire::decode(frame, m) != wire::DecodeStatus::Ok) return;
+      if (control_ && control_->waiting.erase(w.slot) != 0) {
+        control_->errors.push_back("worker " + std::to_string(w.slot) + ": " +
+                                   m.message);
+      }
+      return;
+    }
+    default:
+      // Coordinator-bound streams should not carry coordinator->worker
+      // message types; ignore rather than kill (forward compatibility).
+      return;
+  }
+}
+
+void Coordinator::worker_dead(std::uint32_t slot) {
+  auto it = workers_.find(slot);
+  if (it == workers_.end()) return;
+  WorkerState& w = it->second;
+  if (w.ready && !w.goodbye) {
+    ++stats_.worker_deaths;
+    trace_instant("worker-dead", 0, {{"worker", std::uint64_t{slot}}});
+  }
+  if (control_) {
+    if (control_->waiting.erase(slot) != 0) {
+      control_->errors.push_back("worker " + std::to_string(slot) + " disconnected");
+    }
+  }
+  if (active_) {
+    // Root-range reassignment: every shard this worker still owed goes
+    // back to Pending; the dispatch loop finds it a new home (or the
+    // local-fallback lane computes it — bit-identical either way).
+    for (Shard& s : active_->shards) {
+      auto dit = std::find(s.dispatched_to.begin(), s.dispatched_to.end(), slot);
+      if (dit == s.dispatched_to.end()) continue;
+      s.dispatched_to.erase(dit);
+      if (s.state == Shard::State::Dispatched && s.dispatched_to.empty()) {
+        s.state = Shard::State::Pending;
+        trace_instant("shard-reassign", active_->id,
+                      {{"shard", std::uint64_t{s.index}},
+                       {"worker", std::uint64_t{slot}}});
+      }
+    }
+  }
+  workers_.erase(it);
+}
+
+// --- query path ----------------------------------------------------------
+
+void Coordinator::finish_shard_local(ActiveQuery& q, Shard& s) {
+  try {
+    // Same message → same options → same bits as a remote worker. The
+    // shard runs on the coordinator thread; this is the last rung, used
+    // only when the fleet cannot serve the shard.
+    util::Timer t;
+    core::BCResult r = core::compute(*q.graph, options_from_shard(s.msg));
+    s.partial = std::move(r.scores);
+    s.roots_processed = r.roots_processed;
+    s.compute_ms = t.elapsed_seconds() * 1e3;
+    s.degraded = 0;
+    s.state = Shard::State::Done;
+    --q.remaining;
+    ++stats_.local_fallbacks;
+    trace_instant("shard-local", q.id, {{"shard", std::uint64_t{s.index}}});
+  } catch (const std::invalid_argument& ex) {
+    q.failed = true;
+    q.fail_status = QueryStatus::BadRequest;
+    q.fail_error = ex.what();
+  } catch (const std::exception& ex) {
+    q.failed = true;
+    q.fail_status = QueryStatus::Failed;
+    q.fail_error = ex.what();
+  }
+}
+
+void Coordinator::escalate(ActiveQuery& q, Shard& s) {
+  if (cfg_.local_fallback) {
+    finish_shard_local(q, s);
+    return;
+  }
+  // Degradation: serve what completed (marked degraded, never cached) —
+  // unless nothing can complete at all.
+  s.state = Shard::State::Abandoned;
+  --q.remaining;
+  ++q.abandoned;
+  trace_instant("shard-abandoned", q.id, {{"shard", std::uint64_t{s.index}}});
+  if (q.abandoned == q.shards.size()) {
+    q.failed = true;
+    q.fail_status = QueryStatus::Failed;
+    q.fail_error = "no worker could serve any shard (local fallback disabled)";
+  }
+}
+
+void Coordinator::dispatch_pending(ActiveQuery& q) {
+  for (Shard& s : q.shards) {
+    if (q.failed) return;
+    if (s.state != Shard::State::Pending) continue;
+    if (s.attempts >= cfg_.max_shard_attempts) {
+      escalate(q, s);
+      continue;
+    }
+    // Candidates: ready owners of the graph, preferring ones this shard
+    // has not tried, then least in-flight (load balance).
+    WorkerState* best = nullptr;
+    bool best_untried = false;
+    for (auto& [slot, w] : workers_) {
+      if (!w.ready || w.graphs.count(q.graph_id) == 0) continue;
+      const bool untried = s.tried.count(slot) == 0;
+      if (best == nullptr || (untried && !best_untried) ||
+          (untried == best_untried && w.inflight < best->inflight)) {
+        best = &w;
+        best_untried = untried;
+      }
+    }
+    if (best == nullptr) {
+      escalate(q, s);
+      continue;
+    }
+    s.msg.deadline_ms = remaining_ms(q.deadline, q.has_deadline);
+    best->conn->send(wire::encode(s.msg, q.id));
+    ++best->inflight;
+    s.state = Shard::State::Dispatched;
+    ++s.attempts;
+    if (s.attempts > 1) ++stats_.shard_retries;
+    s.dispatched_to.push_back(best->slot);
+    s.tried.insert(best->slot);
+    s.last_dispatch = Clock::now();
+    ++stats_.shards_dispatched;
+    trace_instant("shard-dispatch", q.id,
+                  {{"shard", std::uint64_t{s.index}},
+                   {"worker", std::uint64_t{best->slot}}});
+  }
+}
+
+void Coordinator::check_stragglers(ActiveQuery& q) {
+  if (cfg_.straggler_timeout.count() <= 0) return;
+  const auto now = Clock::now();
+  for (Shard& s : q.shards) {
+    if (s.state != Shard::State::Dispatched) continue;
+    if (now - s.last_dispatch < cfg_.straggler_timeout) continue;
+    if (s.attempts >= cfg_.max_shard_attempts) continue;
+    // Second opinion: dispatch to an untried worker, first result wins.
+    WorkerState* best = nullptr;
+    for (auto& [slot, w] : workers_) {
+      if (!w.ready || w.graphs.count(q.graph_id) == 0) continue;
+      if (s.tried.count(slot) != 0) continue;
+      if (best == nullptr || w.inflight < best->inflight) best = &w;
+    }
+    if (best == nullptr) {
+      s.last_dispatch = now;  // nobody new to ask; don't spin
+      continue;
+    }
+    s.msg.deadline_ms = remaining_ms(q.deadline, q.has_deadline);
+    best->conn->send(wire::encode(s.msg, q.id));
+    ++best->inflight;
+    ++s.attempts;
+    s.dispatched_to.push_back(best->slot);
+    s.tried.insert(best->slot);
+    s.last_dispatch = now;
+    ++stats_.shards_dispatched;
+    ++stats_.straggler_redispatches;
+    trace_instant("shard-straggler", q.id,
+                  {{"shard", std::uint64_t{s.index}},
+                   {"worker", std::uint64_t{best->slot}}});
+  }
+}
+
+service::Response Coordinator::query(service::Request request) {
+  const auto t0 = Clock::now();
+  ++stats_.queries;
+  service::Response resp;
+
+  if (drained_) {
+    resp.status = QueryStatus::ServiceStopped;
+    resp.error = "coordinator drained";
+    resp.total_ms = ms_between(t0, Clock::now());
+    return resp;
+  }
+  auto git = graphs_.find(request.graph_id);
+  if (git == graphs_.end()) {
+    resp.status = QueryStatus::GraphNotFound;
+    resp.error = "graph '" + request.graph_id + "' is not registered";
+    resp.total_ms = ms_between(t0, Clock::now());
+    return resp;
+  }
+  const GraphEntry& entry = git->second;
+  const graph::VertexId n = entry.graph->num_vertices();
+
+  // Same validation core::compute applies, surfaced as BadRequest (the
+  // service contract) instead of a thrown invalid_argument.
+  {
+    std::vector<bool> seen(n, false);
+    for (const graph::VertexId r : request.options.roots) {
+      if (r >= n || seen[r]) {
+        resp.status = QueryStatus::BadRequest;
+        resp.error = r >= n ? "root " + std::to_string(r) + " out of range"
+                            : "duplicate root " + std::to_string(r);
+        resp.total_ms = ms_between(t0, Clock::now());
+        return resp;
+      }
+      seen[r] = true;
+    }
+  }
+
+  const std::string key = service::fingerprint_prefix(entry.fingerprint) +
+                          core::options_signature(request.options);
+  if (std::shared_ptr<const service::CachedResult> hit = cache_.get(key)) {
+    ++stats_.cache_hits;
+    resp.status = QueryStatus::Ok;
+    resp.from_cache = true;
+    resp.result = std::shared_ptr<const core::BCResult>(hit, &hit->result);
+    if (request.top_k > 0) resp.top = core::top_k(resp.result->scores, request.top_k);
+    resp.total_ms = ms_between(t0, Clock::now());
+    trace_instant("dist-cache-hit", 0);
+    return resp;
+  }
+
+  const core::Options& o = request.options;
+  const core::Strategy strategy = o.strategy;
+  // Block-shardable: every GPU-model strategy except Sampling (its probe
+  // phase ranks the whole root list — only correct on one node).
+  const bool whole =
+      !core::uses_gpu_model(strategy) || strategy == core::Strategy::Sampling;
+
+  auto q = std::make_unique<ActiveQuery>();
+  q->id = next_request_id_++;
+  q->graph_id = request.graph_id;
+  q->graph = entry.graph;
+  q->options = o;
+  q->whole = whole;
+  q->has_deadline = request.timeout.count() > 0;
+  q->deadline = t0 + request.timeout;
+
+  // Template shard message: everything except mode/index/roots.
+  wire::SubmitShardMsg base;
+  base.graph_id = request.graph_id;
+  base.fingerprint = entry.fingerprint;
+  base.strategy = static_cast<std::uint8_t>(strategy);
+  base.grid_blocks = o.grid_blocks;
+  base.seed = o.seed;
+  base.cpu_threads = static_cast<std::uint32_t>(o.cpu_threads);
+  base.max_root_attempts = o.resilience.max_root_attempts;
+  base.device_num_sms = o.device.num_sms;
+  base.hybrid_alpha = o.hybrid.alpha;
+  base.hybrid_beta = o.hybrid.beta;
+  base.sampling_n_samps = o.sampling.n_samps;
+  base.sampling_gamma = o.sampling.gamma;
+  base.sampling_min_frontier = o.sampling.min_frontier;
+
+  if (whole) {
+    ++stats_.whole_queries;
+    Shard s;
+    s.index = 0;
+    s.msg = base;
+    s.msg.mode = wire::ShardMode::Whole;
+    s.msg.halve_undirected = o.halve_undirected ? 1 : 0;
+    s.msg.normalize = o.normalize ? 1 : 0;
+    s.msg.sample_roots = o.sample_roots;
+    s.msg.roots = o.roots;
+    q->approximate = o.roots.empty() && o.sample_roots > 0 && o.sample_roots < n;
+    q->resolved_roots = !o.roots.empty()        ? o.roots.size()
+                        : q->approximate        ? o.sample_roots
+                                                : static_cast<std::size_t>(n);
+    q->shards.push_back(std::move(s));
+  } else {
+    // Resolve the root list exactly as core::compute would, then deal
+    // global index i to block i mod B — kernels::BlockDriver's schedule.
+    std::vector<graph::VertexId> roots = o.roots;
+    q->approximate = roots.empty() && o.sample_roots > 0 && o.sample_roots < n;
+    if (q->approximate) {
+      roots = core::sample_roots(n, o.sample_roots, o.seed);
+    } else if (roots.empty()) {
+      roots.resize(n);
+      for (graph::VertexId v = 0; v < n; ++v) roots[v] = v;
+    }
+    q->resolved_roots = roots.size();
+    std::uint32_t blocks = strategy == core::Strategy::GpuFan ? 1
+                           : o.grid_blocks != 0               ? o.grid_blocks
+                                                              : o.device.num_sms;
+    blocks = std::max<std::uint32_t>(blocks, 1);
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      Shard s;
+      s.index = b;
+      for (std::size_t i = b; i < roots.size(); i += blocks) {
+        s.msg.roots.push_back(roots[i]);
+      }
+      if (s.msg.roots.empty()) continue;  // k < B: zero partial, zero fold
+      wire::SubmitShardMsg m = base;
+      m.shard_index = b;
+      m.mode = wire::ShardMode::Partial;
+      m.grid_blocks = 1;  // one block == one shard == one raw partial
+      m.sample_roots = 0;
+      m.halve_undirected = 0;
+      m.normalize = 0;
+      m.roots = std::move(s.msg.roots);
+      s.msg = std::move(m);
+      q->shards.push_back(std::move(s));
+    }
+  }
+  q->remaining = q->shards.size();
+
+  trace::Sink* s = sink();
+  trace::ScopedSpan span(s, cfg_.tracer, "dist-request", trace::kService,
+                         {{"req", q->id},
+                          {"shards", static_cast<std::uint64_t>(q->shards.size())},
+                          {"workers", static_cast<std::uint64_t>(worker_count())}});
+
+  active_ = std::move(q);
+  ActiveQuery& aq = *active_;
+  while (!aq.failed && aq.remaining > 0) {
+    if (aq.has_deadline && Clock::now() >= aq.deadline) {
+      aq.failed = true;
+      aq.fail_status = QueryStatus::DeadlineExceeded;
+      aq.fail_error = "deadline exceeded with " + std::to_string(aq.remaining) +
+                      " shard(s) outstanding";
+      break;
+    }
+    dispatch_pending(aq);
+    if (aq.failed || aq.remaining == 0) break;
+    check_stragglers(aq);
+    int wait_ms = 20;
+    if (aq.has_deadline) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            aq.deadline - Clock::now())
+                            .count();
+      wait_ms = static_cast<int>(std::clamp<long long>(left, 0, wait_ms));
+    }
+    pump(wait_ms);
+  }
+
+  resp = assemble(aq, request.top_k, t0);
+  active_.reset();
+  return resp;
+}
+
+service::Response Coordinator::assemble(ActiveQuery& q, std::size_t top_k,
+                                        Clock::time_point t0) {
+  service::Response resp;
+  if (q.failed) {
+    resp.status = q.fail_status;
+    resp.error = q.fail_error;
+    resp.total_ms = ms_between(t0, Clock::now());
+    return resp;
+  }
+
+  const graph::VertexId n = q.graph->num_vertices();
+  auto result = std::make_shared<core::BCResult>();
+  result->strategy = q.options.strategy;
+  double compute_ms = 0.0;
+
+  if (q.whole) {
+    Shard& s = q.shards.front();
+    result->scores = std::move(s.partial);
+    result->roots_processed = s.roots_processed;
+    result->approximate = q.approximate || (q.resolved_roots < n);
+    resp.degraded = s.degraded != 0;
+    compute_ms = s.compute_ms;
+  } else {
+    // The paper's MPI_Reduce, made bitwise-deterministic: fold partials in
+    // ascending block order (the exact association BlockDriver::finish
+    // uses), then finalize exactly as core::compute does.
+    result->scores.assign(n, 0.0);
+    for (const Shard& s : q.shards) {
+      if (s.state != Shard::State::Done) continue;  // abandoned (degraded)
+      for (std::size_t v = 0; v < s.partial.size(); ++v) {
+        result->scores[v] += s.partial[v];
+      }
+      result->roots_processed += s.roots_processed;
+      compute_ms = std::max(compute_ms, s.compute_ms);
+    }
+    resp.degraded = q.abandoned > 0;
+    if (q.approximate && result->roots_processed > 0) {
+      const double scale = static_cast<double>(n) /
+                           static_cast<double>(result->roots_processed);
+      for (double& x : result->scores) x *= scale;
+    }
+    if (q.options.halve_undirected) {
+      for (double& x : result->scores) x *= 0.5;
+    }
+    if (q.options.normalize) {
+      result->scores = core::normalized(result->scores);
+    }
+    result->approximate = q.approximate || (q.resolved_roots < n);
+  }
+
+  result->time_seconds = compute_ms / 1e3;
+  result->wall_seconds = ms_between(t0, Clock::now()) / 1e3;
+  result->teps = core::teps_bc(*q.graph, result->roots_processed, result->time_seconds);
+
+  resp.status = QueryStatus::Ok;
+  resp.compute_ms = compute_ms;
+  resp.total_ms = ms_between(t0, Clock::now());
+  if (resp.degraded) {
+    ++stats_.degraded;
+  } else if (cache_.budget_bytes() > 0) {
+    // Single-threaded: the graph cannot have mutated since query() looked
+    // the entry up, so its fingerprint is still the one we sharded under.
+    auto git = graphs_.find(q.graph_id);
+    const std::uint64_t fp = git != graphs_.end() ? git->second.fingerprint
+                                                  : service::graph_fingerprint(*q.graph);
+    const std::string key =
+        service::fingerprint_prefix(fp) + core::options_signature(q.options);
+    auto cached = std::make_shared<service::CachedResult>();
+    cached->result = *result;
+    cached->bytes = service::estimate_result_bytes(cached->result);
+    cached->refreshable = false;
+    cache_.put(key, cached);
+  }
+  resp.result = std::move(result);
+  if (top_k > 0) resp.top = core::top_k(resp.result->scores, top_k);
+  return resp;
+}
+
+void Coordinator::drain() {
+  if (drained_) return;
+  drained_ = true;
+  const std::vector<std::uint8_t> frame =
+      wire::encode(wire::DrainMsg{}, next_request_id_++);
+  for (auto& [slot, w] : workers_) {
+    if (w.ready) w.conn->send(frame);
+  }
+  const auto deadline = Clock::now() + cfg_.control_timeout;
+  while (!workers_.empty() && Clock::now() < deadline) {
+    pump(20);
+    // A worker that said goodbye and whose socket has drained can go.
+    std::vector<std::uint32_t> done;
+    for (auto& [slot, w] : workers_) {
+      if (w.goodbye && !w.conn->wants_write()) done.push_back(slot);
+    }
+    for (const std::uint32_t slot : done) worker_dead(slot);
+  }
+  workers_.clear();
+}
+
+}  // namespace hbc::net

@@ -1,0 +1,36 @@
+#pragma once
+
+// Shared shard-message ↔ core::Options translation. The worker uses it to
+// execute a SubmitShard; the coordinator uses the SAME function for its
+// local-fallback path — one translation, so a shard computed locally is
+// bit-identical to the same shard computed remotely by construction.
+
+#include "core/bc.hpp"
+#include "net/wire.hpp"
+
+namespace hbc::net {
+
+inline core::Options options_from_shard(const wire::SubmitShardMsg& m) {
+  core::Options o;
+  o.strategy = static_cast<core::Strategy>(m.strategy);
+  o.roots.assign(m.roots.begin(), m.roots.end());
+  o.sample_roots = m.sample_roots;
+  o.seed = m.seed;
+  o.halve_undirected = m.halve_undirected != 0;
+  o.normalize = m.normalize != 0;
+  o.grid_blocks = m.grid_blocks;
+  o.cpu_threads = m.cpu_threads;
+  o.resilience.max_root_attempts = m.max_root_attempts;
+  // 0 = "use the worker's default device"; the tuning params are copied
+  // verbatim (the coordinator always fills them from the request, and they
+  // steer score-affecting decisions like the hybrid's mode switches).
+  if (m.device_num_sms != 0) o.device.num_sms = m.device_num_sms;
+  o.hybrid.alpha = m.hybrid_alpha;
+  o.hybrid.beta = m.hybrid_beta;
+  o.sampling.n_samps = m.sampling_n_samps;
+  o.sampling.gamma = m.sampling_gamma;
+  o.sampling.min_frontier = m.sampling_min_frontier;
+  return o;
+}
+
+}  // namespace hbc::net

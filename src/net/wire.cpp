@@ -1,0 +1,522 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "core/bc.hpp"
+
+namespace hbc::net::wire {
+
+namespace {
+
+// Bounds-checked little-endian primitives. The writer never fails; the
+// reader records the first out-of-bounds access and turns every later read
+// into a no-op, so decode functions can read a whole message straight
+// through and check ok() once.
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u16(std::uint16_t v) {
+    out_->push_back(static_cast<std::uint8_t>(v));
+    out_->push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+  void u32s(const std::vector<std::uint32_t>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (std::uint32_t x : v) u32(x);
+  }
+  void f64s(const std::vector<double>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (double x : v) f64(x);
+  }
+  void updates(const std::vector<WireUpdate>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (const WireUpdate& e : v) {
+      u32(e.u);
+      u32(e.v);
+      u8(e.insert);
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  bool ok() const noexcept { return !failed_; }
+  bool at_end() const noexcept { return pos_ == in_.size(); }
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return in_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(in_[pos_] | (in_[pos_ + 1] << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint32_t len = u32();
+    // Validate against the bytes actually present BEFORE allocating, so a
+    // hostile length prefix cannot demand memory the frame doesn't carry.
+    if (!need(len)) return {};
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  std::vector<std::uint32_t> u32s() {
+    const std::uint32_t count = u32();
+    if (!need(static_cast<std::size_t>(count) * 4)) return {};
+    std::vector<std::uint32_t> v(count);
+    for (std::uint32_t i = 0; i < count; ++i) v[i] = u32();
+    return v;
+  }
+  std::vector<double> f64s() {
+    const std::uint32_t count = u32();
+    if (!need(static_cast<std::size_t>(count) * 8)) return {};
+    std::vector<double> v(count);
+    for (std::uint32_t i = 0; i < count; ++i) v[i] = f64();
+    return v;
+  }
+  std::vector<WireUpdate> updates() {
+    const std::uint32_t count = u32();
+    if (!need(static_cast<std::size_t>(count) * 9)) return {};
+    std::vector<WireUpdate> v(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      v[i].u = u32();
+      v[i].v = u32();
+      v[i].insert = u8();
+    }
+    return v;
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (failed_ || n > in_.size() - pos_) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+std::vector<std::uint8_t> finish_frame(MsgType type, std::uint64_t request_id,
+                                       const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  append_frame(out, type, request_id, payload);
+  return out;
+}
+
+/// Shared decode epilogue: every field read must have had bytes, and every
+/// payload byte must have been consumed.
+DecodeStatus seal(const Reader& r) {
+  if (!r.ok()) return DecodeStatus::Truncated;
+  if (!r.at_end()) return DecodeStatus::TrailingBytes;
+  return DecodeStatus::Ok;
+}
+
+bool check_type(const Frame& f, MsgType want) { return f.type == want; }
+
+}  // namespace
+
+const char* to_string(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::Hello: return "hello";
+    case MsgType::HelloAck: return "hello-ack";
+    case MsgType::LoadGraph: return "load-graph";
+    case MsgType::GraphLoaded: return "graph-loaded";
+    case MsgType::SubmitShard: return "submit-shard";
+    case MsgType::ShardResult: return "shard-result";
+    case MsgType::Heartbeat: return "heartbeat";
+    case MsgType::HeartbeatAck: return "heartbeat-ack";
+    case MsgType::Mutate: return "mutate";
+    case MsgType::MutateDone: return "mutate-done";
+    case MsgType::Drain: return "drain";
+    case MsgType::Goodbye: return "goodbye";
+    case MsgType::Error: return "error";
+  }
+  return "?";
+}
+
+const char* to_string(DecodeStatus status) noexcept {
+  switch (status) {
+    case DecodeStatus::Ok: return "ok";
+    case DecodeStatus::NeedMore: return "need-more";
+    case DecodeStatus::BadMagic: return "bad-magic";
+    case DecodeStatus::BadVersion: return "bad-version";
+    case DecodeStatus::UnknownType: return "unknown-type";
+    case DecodeStatus::Oversize: return "oversize";
+    case DecodeStatus::Truncated: return "truncated";
+    case DecodeStatus::TrailingBytes: return "trailing-bytes";
+    case DecodeStatus::BadValue: return "bad-value";
+  }
+  return "?";
+}
+
+void append_frame(std::vector<std::uint8_t>& out, MsgType type,
+                  std::uint64_t request_id, std::span<const std::uint8_t> payload) {
+  Writer w(out);
+  w.u32(kMagic);
+  w.u16(kProtocolVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u64(request_id);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+DecodeStatus extract_frame(std::span<const std::uint8_t> in, Frame& frame,
+                           std::size_t& consumed) {
+  consumed = 0;
+  if (in.size() < kHeaderSize) return DecodeStatus::NeedMore;
+  Reader r(in.subspan(0, kHeaderSize));
+  const std::uint32_t magic = r.u32();
+  const std::uint16_t version = r.u16();
+  const std::uint16_t type = r.u16();
+  const std::uint64_t request_id = r.u64();
+  const std::uint32_t payload_len = r.u32();
+  // Validate the header before demanding payload bytes: a corrupt length
+  // prefix must not make the caller wait for (or allocate) garbage.
+  if (magic != kMagic) return DecodeStatus::BadMagic;
+  if (version != kProtocolVersion) return DecodeStatus::BadVersion;
+  if (type < static_cast<std::uint16_t>(MsgType::Hello) ||
+      type > static_cast<std::uint16_t>(MsgType::Error)) {
+    return DecodeStatus::UnknownType;
+  }
+  if (payload_len > kMaxPayload) return DecodeStatus::Oversize;
+  if (in.size() - kHeaderSize < payload_len) return DecodeStatus::NeedMore;
+  frame.type = static_cast<MsgType>(type);
+  frame.request_id = request_id;
+  frame.payload.assign(in.begin() + kHeaderSize, in.begin() + kHeaderSize + payload_len);
+  consumed = kHeaderSize + payload_len;
+  return DecodeStatus::Ok;
+}
+
+// --- Hello ---------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const HelloMsg& m, std::uint64_t request_id) {
+  std::vector<std::uint8_t> p;
+  Writer w(p);
+  w.u16(m.protocol);
+  w.str(m.worker_name);
+  w.u32(m.shard_slots);
+  return finish_frame(MsgType::Hello, request_id, p);
+}
+
+DecodeStatus decode(const Frame& f, HelloMsg& out) {
+  if (!check_type(f, MsgType::Hello)) return DecodeStatus::BadValue;
+  Reader r(f.payload);
+  out.protocol = r.u16();
+  out.worker_name = r.str();
+  out.shard_slots = r.u32();
+  return seal(r);
+}
+
+std::vector<std::uint8_t> encode(const HelloAckMsg& m, std::uint64_t request_id) {
+  std::vector<std::uint8_t> p;
+  Writer w(p);
+  w.u32(m.worker_slot);
+  w.str(m.coordinator_name);
+  return finish_frame(MsgType::HelloAck, request_id, p);
+}
+
+DecodeStatus decode(const Frame& f, HelloAckMsg& out) {
+  if (!check_type(f, MsgType::HelloAck)) return DecodeStatus::BadValue;
+  Reader r(f.payload);
+  out.worker_slot = r.u32();
+  out.coordinator_name = r.str();
+  return seal(r);
+}
+
+// --- graph loading -------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const LoadGraphMsg& m, std::uint64_t request_id) {
+  std::vector<std::uint8_t> p;
+  Writer w(p);
+  w.str(m.graph_id);
+  w.str(m.spec);
+  w.u64(m.fingerprint);
+  w.updates(m.updates);
+  w.u64(m.fingerprint_after);
+  return finish_frame(MsgType::LoadGraph, request_id, p);
+}
+
+DecodeStatus decode(const Frame& f, LoadGraphMsg& out) {
+  if (!check_type(f, MsgType::LoadGraph)) return DecodeStatus::BadValue;
+  Reader r(f.payload);
+  out.graph_id = r.str();
+  out.spec = r.str();
+  out.fingerprint = r.u64();
+  out.updates = r.updates();
+  out.fingerprint_after = r.u64();
+  return seal(r);
+}
+
+std::vector<std::uint8_t> encode(const GraphLoadedMsg& m, std::uint64_t request_id) {
+  std::vector<std::uint8_t> p;
+  Writer w(p);
+  w.str(m.graph_id);
+  w.u8(m.ok);
+  w.u64(m.fingerprint);
+  w.str(m.error);
+  return finish_frame(MsgType::GraphLoaded, request_id, p);
+}
+
+DecodeStatus decode(const Frame& f, GraphLoadedMsg& out) {
+  if (!check_type(f, MsgType::GraphLoaded)) return DecodeStatus::BadValue;
+  Reader r(f.payload);
+  out.graph_id = r.str();
+  out.ok = r.u8();
+  out.fingerprint = r.u64();
+  out.error = r.str();
+  if (out.ok > 1) return DecodeStatus::BadValue;
+  return seal(r);
+}
+
+// --- shards --------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const SubmitShardMsg& m, std::uint64_t request_id) {
+  static_assert(sizeof(graph::VertexId) == sizeof(std::uint32_t),
+                "roots travel as u32");
+  std::vector<std::uint8_t> p;
+  Writer w(p);
+  w.str(m.graph_id);
+  w.u64(m.fingerprint);
+  w.u32(m.shard_index);
+  w.u8(static_cast<std::uint8_t>(m.mode));
+  w.u8(m.strategy);
+  w.u8(m.halve_undirected);
+  w.u8(m.normalize);
+  w.u32(m.grid_blocks);
+  w.u32(m.sample_roots);
+  w.u64(m.seed);
+  w.u32(m.cpu_threads);
+  w.u32(m.max_root_attempts);
+  w.u32(m.device_num_sms);
+  w.u32(m.hybrid_alpha);
+  w.u32(m.hybrid_beta);
+  w.u32(m.sampling_n_samps);
+  w.f64(m.sampling_gamma);
+  w.u32(m.sampling_min_frontier);
+  w.u32(m.deadline_ms);
+  w.u32s(m.roots);
+  return finish_frame(MsgType::SubmitShard, request_id, p);
+}
+
+DecodeStatus decode(const Frame& f, SubmitShardMsg& out) {
+  if (!check_type(f, MsgType::SubmitShard)) return DecodeStatus::BadValue;
+  Reader r(f.payload);
+  out.graph_id = r.str();
+  out.fingerprint = r.u64();
+  out.shard_index = r.u32();
+  const std::uint8_t mode = r.u8();
+  out.strategy = r.u8();
+  out.halve_undirected = r.u8();
+  out.normalize = r.u8();
+  out.grid_blocks = r.u32();
+  out.sample_roots = r.u32();
+  out.seed = r.u64();
+  out.cpu_threads = r.u32();
+  out.max_root_attempts = r.u32();
+  out.device_num_sms = r.u32();
+  out.hybrid_alpha = r.u32();
+  out.hybrid_beta = r.u32();
+  out.sampling_n_samps = r.u32();
+  out.sampling_gamma = r.f64();
+  out.sampling_min_frontier = r.u32();
+  out.deadline_ms = r.u32();
+  out.roots = r.u32s();
+  const DecodeStatus s = seal(r);
+  if (s != DecodeStatus::Ok) return s;
+  if (mode > static_cast<std::uint8_t>(ShardMode::Whole)) return DecodeStatus::BadValue;
+  out.mode = static_cast<ShardMode>(mode);
+  if (out.strategy > static_cast<std::uint8_t>(core::Strategy::DirectionOptimized) ||
+      out.halve_undirected > 1 || out.normalize > 1) {
+    return DecodeStatus::BadValue;
+  }
+  return DecodeStatus::Ok;
+}
+
+std::vector<std::uint8_t> encode(const ShardResultMsg& m, std::uint64_t request_id) {
+  std::vector<std::uint8_t> p;
+  Writer w(p);
+  w.u32(m.shard_index);
+  w.u8(m.ok);
+  w.u8(m.degraded);
+  w.str(m.error);
+  w.u64(m.roots_processed);
+  w.f64(m.compute_ms);
+  w.f64s(m.scores);
+  return finish_frame(MsgType::ShardResult, request_id, p);
+}
+
+DecodeStatus decode(const Frame& f, ShardResultMsg& out) {
+  if (!check_type(f, MsgType::ShardResult)) return DecodeStatus::BadValue;
+  Reader r(f.payload);
+  out.shard_index = r.u32();
+  out.ok = r.u8();
+  out.degraded = r.u8();
+  out.error = r.str();
+  out.roots_processed = r.u64();
+  out.compute_ms = r.f64();
+  out.scores = r.f64s();
+  if (out.ok > 1 || out.degraded > 1) return DecodeStatus::BadValue;
+  return seal(r);
+}
+
+// --- liveness ------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const HeartbeatMsg& m, std::uint64_t request_id) {
+  std::vector<std::uint8_t> p;
+  Writer w(p);
+  w.u64(m.seq);
+  w.u32(m.inflight);
+  return finish_frame(MsgType::Heartbeat, request_id, p);
+}
+
+DecodeStatus decode(const Frame& f, HeartbeatMsg& out) {
+  if (!check_type(f, MsgType::Heartbeat)) return DecodeStatus::BadValue;
+  Reader r(f.payload);
+  out.seq = r.u64();
+  out.inflight = r.u32();
+  return seal(r);
+}
+
+std::vector<std::uint8_t> encode(const HeartbeatAckMsg& m, std::uint64_t request_id) {
+  std::vector<std::uint8_t> p;
+  Writer w(p);
+  w.u64(m.seq);
+  return finish_frame(MsgType::HeartbeatAck, request_id, p);
+}
+
+DecodeStatus decode(const Frame& f, HeartbeatAckMsg& out) {
+  if (!check_type(f, MsgType::HeartbeatAck)) return DecodeStatus::BadValue;
+  Reader r(f.payload);
+  out.seq = r.u64();
+  return seal(r);
+}
+
+// --- mutation ------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const MutateMsg& m, std::uint64_t request_id) {
+  std::vector<std::uint8_t> p;
+  Writer w(p);
+  w.str(m.graph_id);
+  w.updates(m.updates);
+  w.u64(m.fingerprint_after);
+  return finish_frame(MsgType::Mutate, request_id, p);
+}
+
+DecodeStatus decode(const Frame& f, MutateMsg& out) {
+  if (!check_type(f, MsgType::Mutate)) return DecodeStatus::BadValue;
+  Reader r(f.payload);
+  out.graph_id = r.str();
+  out.updates = r.updates();
+  out.fingerprint_after = r.u64();
+  const DecodeStatus s = seal(r);
+  if (s != DecodeStatus::Ok) return s;
+  for (const WireUpdate& e : out.updates) {
+    if (e.insert > 1) return DecodeStatus::BadValue;
+  }
+  return DecodeStatus::Ok;
+}
+
+std::vector<std::uint8_t> encode(const MutateDoneMsg& m, std::uint64_t request_id) {
+  std::vector<std::uint8_t> p;
+  Writer w(p);
+  w.str(m.graph_id);
+  w.u8(m.ok);
+  w.u64(m.fingerprint);
+  w.str(m.error);
+  return finish_frame(MsgType::MutateDone, request_id, p);
+}
+
+DecodeStatus decode(const Frame& f, MutateDoneMsg& out) {
+  if (!check_type(f, MsgType::MutateDone)) return DecodeStatus::BadValue;
+  Reader r(f.payload);
+  out.graph_id = r.str();
+  out.ok = r.u8();
+  out.fingerprint = r.u64();
+  out.error = r.str();
+  if (out.ok > 1) return DecodeStatus::BadValue;
+  return seal(r);
+}
+
+// --- control -------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const DrainMsg&, std::uint64_t request_id) {
+  return finish_frame(MsgType::Drain, request_id, {});
+}
+
+DecodeStatus decode(const Frame& f, DrainMsg&) {
+  if (!check_type(f, MsgType::Drain)) return DecodeStatus::BadValue;
+  return f.payload.empty() ? DecodeStatus::Ok : DecodeStatus::TrailingBytes;
+}
+
+std::vector<std::uint8_t> encode(const GoodbyeMsg& m, std::uint64_t request_id) {
+  std::vector<std::uint8_t> p;
+  Writer w(p);
+  w.str(m.reason);
+  return finish_frame(MsgType::Goodbye, request_id, p);
+}
+
+DecodeStatus decode(const Frame& f, GoodbyeMsg& out) {
+  if (!check_type(f, MsgType::Goodbye)) return DecodeStatus::BadValue;
+  Reader r(f.payload);
+  out.reason = r.str();
+  return seal(r);
+}
+
+std::vector<std::uint8_t> encode(const ErrorMsg& m, std::uint64_t request_id) {
+  std::vector<std::uint8_t> p;
+  Writer w(p);
+  w.u32(m.code);
+  w.str(m.message);
+  return finish_frame(MsgType::Error, request_id, p);
+}
+
+DecodeStatus decode(const Frame& f, ErrorMsg& out) {
+  if (!check_type(f, MsgType::Error)) return DecodeStatus::BadValue;
+  Reader r(f.payload);
+  out.code = r.u32();
+  out.message = r.str();
+  return seal(r);
+}
+
+}  // namespace hbc::net::wire

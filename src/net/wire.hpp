@@ -1,0 +1,262 @@
+#pragma once
+
+// hbc::net wire protocol — the length-prefixed, versioned binary frame
+// codec spoken between the coordinator and its workers (docs/distributed.md
+// has the full frame-layout table and message walkthrough).
+//
+// Every frame is a fixed 20-byte little-endian header followed by a typed
+// payload:
+//
+//   offset  size  field
+//   0       4     magic        "HBCN" (0x48 0x42 0x43 0x4E on the wire)
+//   4       2     version      kProtocolVersion; mismatch is a typed error
+//   6       2     type         MsgType; unknown values are a typed error
+//   8       8     request_id   propagated end-to-end so per-process trace
+//                              captures stitch into one timeline
+//   16      4     payload_len  <= kMaxPayload (oversize is a typed error)
+//
+// Decoding is defensive by construction: extract_frame never reads past
+// the supplied buffer (NeedMore for incomplete input), every payload field
+// read is bounds-checked, array lengths are validated against the bytes
+// actually present before any allocation, and enum fields are range-checked
+// (BadValue). Malformed input yields a DecodeStatus — never an exception,
+// never an out-of-bounds read (tests/test_net_codec.cpp fuzzes this under
+// ASan in CI).
+//
+// Doubles travel as raw IEEE-754 bit patterns (u64), so a partial BC
+// vector arrives at the coordinator bit-exact — the property the fixed-
+// order distributed reduction depends on.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace hbc::net::wire {
+
+inline constexpr std::uint32_t kMagic = 0x4E434248u;  // "HBCN" little-endian
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 20;
+/// Payload cap: a hostile length prefix can demand at most 64 MiB.
+inline constexpr std::uint32_t kMaxPayload = 1u << 26;
+
+enum class MsgType : std::uint16_t {
+  Hello = 1,         // worker -> coordinator: join the fleet
+  HelloAck = 2,      // coordinator -> worker: slot assignment
+  LoadGraph = 3,     // coordinator -> worker: load a named graph
+  GraphLoaded = 4,   // worker -> coordinator: load outcome + fingerprint
+  SubmitShard = 5,   // coordinator -> worker: compute a root shard / query
+  ShardResult = 6,   // worker -> coordinator: partial or final BC vector
+  Heartbeat = 7,     // worker -> coordinator: liveness + load
+  HeartbeatAck = 8,  // coordinator -> worker
+  Mutate = 9,        // coordinator -> worker: apply an edge-update batch
+  MutateDone = 10,   // worker -> coordinator: new fingerprint
+  Drain = 11,        // coordinator -> worker: finish in-flight, then leave
+  Goodbye = 12,      // worker -> coordinator: clean departure
+  Error = 13,        // either direction: request-scoped failure
+};
+
+const char* to_string(MsgType type) noexcept;
+
+enum class DecodeStatus : std::uint8_t {
+  Ok = 0,
+  NeedMore,       // incomplete frame — not an error, wait for more bytes
+  BadMagic,       // stream corruption / not our protocol
+  BadVersion,     // peer speaks a different protocol revision
+  UnknownType,    // type field outside the MsgType range
+  Oversize,       // length prefix exceeds kMaxPayload
+  Truncated,      // payload ended mid-field
+  TrailingBytes,  // payload longer than the message it encodes
+  BadValue,       // enum/range-checked field out of domain
+};
+
+const char* to_string(DecodeStatus status) noexcept;
+
+/// A decoded frame: type + request id + raw payload bytes.
+struct Frame {
+  MsgType type = MsgType::Error;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Append one whole frame (header + payload) to `out`.
+void append_frame(std::vector<std::uint8_t>& out, MsgType type,
+                  std::uint64_t request_id, std::span<const std::uint8_t> payload);
+
+/// Try to extract one frame from the head of `in`. Ok sets `frame` and
+/// `consumed` (header + payload bytes to drop from the stream); NeedMore
+/// means the buffer holds a valid prefix of a frame; every other status is
+/// a protocol error at the head of the stream (consumed is 0 — the caller
+/// should poison the connection, not resynchronize).
+DecodeStatus extract_frame(std::span<const std::uint8_t> in, Frame& frame,
+                           std::size_t& consumed);
+
+// --- messages ------------------------------------------------------------
+
+struct HelloMsg {
+  std::uint16_t protocol = kProtocolVersion;
+  std::string worker_name;
+  /// Concurrent shard computations the worker is provisioned for
+  /// (its service worker-pool size) — a load-balance hint.
+  std::uint32_t shard_slots = 1;
+};
+
+struct HelloAckMsg {
+  std::uint32_t worker_slot = 0;
+  std::string coordinator_name;
+};
+
+/// One edge mutation on the wire (mirrors dyn::EdgeUpdate).
+struct WireUpdate {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  std::uint8_t insert = 1;
+};
+
+struct LoadGraphMsg {
+  std::string graph_id;
+  /// How the worker materializes the graph: a path or "gen:family:scale
+  /// [:seed]" spec, resolved by WorkerConfig::graph_loader. May be empty
+  /// when the deployment pre-arranges graphs out of band.
+  std::string spec;
+  /// Expected fingerprint of the freshly loaded (epoch-0) graph; the
+  /// worker refuses on mismatch, so coordinator and worker can never
+  /// disagree on the cross-process cache key.
+  std::uint64_t fingerprint = 0;
+  /// Update history to replay after loading (late-joining worker catching
+  /// up with a mutated graph). Empty for never-mutated graphs.
+  std::vector<WireUpdate> updates;
+  /// Expected fingerprint after replaying `updates` (== fingerprint when
+  /// there are none).
+  std::uint64_t fingerprint_after = 0;
+};
+
+struct GraphLoadedMsg {
+  std::string graph_id;
+  std::uint8_t ok = 1;
+  std::uint64_t fingerprint = 0;  // actual fingerprint after any replay
+  std::string error;
+};
+
+/// Shard execution mode.
+enum class ShardMode : std::uint8_t {
+  /// Compute the RAW per-block partial BC vector for the given roots as a
+  /// single simulated block (grid_blocks=1): no sampling scale-up, no
+  /// halving, no normalization — the coordinator folds partials in block
+  /// order and finalizes, reproducing a standalone run bit for bit.
+  Partial = 0,
+  /// Run the whole query on one worker with full core::compute semantics
+  /// (CPU engines and the sampling kernel, whose probe phase depends on
+  /// the complete root list, are not block-shardable).
+  Whole = 1,
+};
+
+struct SubmitShardMsg {
+  std::string graph_id;
+  std::uint64_t fingerprint = 0;  // expected current graph fingerprint
+  std::uint32_t shard_index = 0;  // block id in the standalone grid
+  ShardMode mode = ShardMode::Partial;
+  std::uint8_t strategy = 0;  // core::Strategy, range-checked on decode
+  std::uint8_t halve_undirected = 0;  // Whole mode only
+  std::uint8_t normalize = 0;         // Whole mode only
+  std::uint32_t grid_blocks = 0;      // worker-side grid override (1 = Partial)
+  std::uint32_t sample_roots = 0;     // Whole mode only
+  std::uint64_t seed = 0;
+  std::uint32_t cpu_threads = 0;
+  std::uint32_t max_root_attempts = 3;
+  std::uint32_t device_num_sms = 0;  // 0 = worker default device
+  std::uint32_t hybrid_alpha = 0;
+  std::uint32_t hybrid_beta = 0;
+  std::uint32_t sampling_n_samps = 0;
+  double sampling_gamma = 0.0;
+  std::uint32_t sampling_min_frontier = 0;
+  std::uint32_t deadline_ms = 0;  // remaining budget; 0 = none
+  /// Partial: exactly this shard's roots (ascending standalone order).
+  /// Whole: the query's explicit roots (may be empty = all / sampled).
+  std::vector<graph::VertexId> roots;
+};
+
+struct ShardResultMsg {
+  std::uint32_t shard_index = 0;
+  std::uint8_t ok = 1;
+  /// Whole mode: the worker's service degraded the result (substituted
+  /// strategy / partial roots). Partial-mode shards are never accepted
+  /// degraded — the coordinator retries them instead.
+  std::uint8_t degraded = 0;
+  std::string error;
+  std::uint64_t roots_processed = 0;
+  double compute_ms = 0.0;
+  /// Raw partial (Partial) or finalized (Whole) scores, bit-exact.
+  std::vector<double> scores;
+};
+
+struct HeartbeatMsg {
+  std::uint64_t seq = 0;
+  std::uint32_t inflight = 0;
+};
+
+struct HeartbeatAckMsg {
+  std::uint64_t seq = 0;
+};
+
+struct MutateMsg {
+  std::string graph_id;
+  std::vector<WireUpdate> updates;
+  /// Fingerprint the coordinator observed after applying the batch
+  /// locally; the worker's MutateDone must agree.
+  std::uint64_t fingerprint_after = 0;
+};
+
+struct MutateDoneMsg {
+  std::string graph_id;
+  std::uint8_t ok = 1;
+  std::uint64_t fingerprint = 0;
+  std::string error;
+};
+
+struct DrainMsg {};
+
+struct GoodbyeMsg {
+  std::string reason;
+};
+
+struct ErrorMsg {
+  std::uint32_t code = 0;  // service::QueryStatus value when request-scoped
+  std::string message;
+};
+
+// Each encode_* returns a complete frame (header + payload) ready to queue
+// on a connection; each decode_* validates and fills the message from a
+// frame of the matching type (BadValue if the frame type disagrees).
+
+std::vector<std::uint8_t> encode(const HelloMsg& m, std::uint64_t request_id);
+std::vector<std::uint8_t> encode(const HelloAckMsg& m, std::uint64_t request_id);
+std::vector<std::uint8_t> encode(const LoadGraphMsg& m, std::uint64_t request_id);
+std::vector<std::uint8_t> encode(const GraphLoadedMsg& m, std::uint64_t request_id);
+std::vector<std::uint8_t> encode(const SubmitShardMsg& m, std::uint64_t request_id);
+std::vector<std::uint8_t> encode(const ShardResultMsg& m, std::uint64_t request_id);
+std::vector<std::uint8_t> encode(const HeartbeatMsg& m, std::uint64_t request_id);
+std::vector<std::uint8_t> encode(const HeartbeatAckMsg& m, std::uint64_t request_id);
+std::vector<std::uint8_t> encode(const MutateMsg& m, std::uint64_t request_id);
+std::vector<std::uint8_t> encode(const MutateDoneMsg& m, std::uint64_t request_id);
+std::vector<std::uint8_t> encode(const DrainMsg& m, std::uint64_t request_id);
+std::vector<std::uint8_t> encode(const GoodbyeMsg& m, std::uint64_t request_id);
+std::vector<std::uint8_t> encode(const ErrorMsg& m, std::uint64_t request_id);
+
+DecodeStatus decode(const Frame& f, HelloMsg& out);
+DecodeStatus decode(const Frame& f, HelloAckMsg& out);
+DecodeStatus decode(const Frame& f, LoadGraphMsg& out);
+DecodeStatus decode(const Frame& f, GraphLoadedMsg& out);
+DecodeStatus decode(const Frame& f, SubmitShardMsg& out);
+DecodeStatus decode(const Frame& f, ShardResultMsg& out);
+DecodeStatus decode(const Frame& f, HeartbeatMsg& out);
+DecodeStatus decode(const Frame& f, HeartbeatAckMsg& out);
+DecodeStatus decode(const Frame& f, MutateMsg& out);
+DecodeStatus decode(const Frame& f, MutateDoneMsg& out);
+DecodeStatus decode(const Frame& f, DrainMsg& out);
+DecodeStatus decode(const Frame& f, GoodbyeMsg& out);
+DecodeStatus decode(const Frame& f, ErrorMsg& out);
+
+}  // namespace hbc::net::wire

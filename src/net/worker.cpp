@@ -1,0 +1,294 @@
+#include "net/worker.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "net/shard.hpp"
+
+namespace hbc::net {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// "gen:family:scale[:seed]" → generated graph; anything else is a path.
+graph::CSRGraph default_loader(const std::string& spec) {
+  if (spec.rfind("gen:", 0) != 0) return graph::io::read_auto(spec);
+  const std::string rest = spec.substr(4);
+  const std::size_t c1 = rest.find(':');
+  if (c1 == std::string::npos) {
+    throw std::invalid_argument("graph spec '" + spec +
+                                "': expected gen:family:scale[:seed]");
+  }
+  const std::string family = rest.substr(0, c1);
+  const std::size_t c2 = rest.find(':', c1 + 1);
+  const std::string scale_s =
+      c2 == std::string::npos ? rest.substr(c1 + 1) : rest.substr(c1 + 1, c2 - c1 - 1);
+  const std::uint32_t scale = static_cast<std::uint32_t>(std::stoul(scale_s));
+  const std::uint64_t seed =
+      c2 == std::string::npos ? 1 : std::stoull(rest.substr(c2 + 1));
+  return graph::gen::family_by_name(family).make(scale, seed);
+}
+
+}  // namespace
+
+Worker::Worker(WorkerConfig config) : cfg_(std::move(config)), svc_(cfg_.service) {
+  if (!cfg_.graph_loader) cfg_.graph_loader = default_loader;
+}
+
+Worker::~Worker() = default;
+
+void Worker::trace_instant(const char* name, std::uint64_t req,
+                           std::uint64_t shard) const {
+  if (!cfg_.tracer) return;
+  trace::Sink* s = cfg_.tracer->thread_sink("worker");
+  if (!s || !s->wants(trace::kService)) return;
+  s->instant(name, trace::kService, cfg_.tracer->now_ns(),
+             {{"req", req}, {"shard", shard}});
+}
+
+Socket Worker::connect_with_backoff() {
+  std::chrono::milliseconds backoff = cfg_.connect_backoff;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      return connect_to(cfg_.connect);
+    } catch (const NetError&) {
+      if (attempt >= std::max<std::uint32_t>(cfg_.max_connect_attempts, 1) ||
+          stop_.load(std::memory_order_relaxed)) {
+        throw;
+      }
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, cfg_.max_backoff);
+  }
+}
+
+void Worker::run() {
+  Conn conn(connect_with_backoff(), cfg_.connect.str());
+  {
+    wire::HelloMsg hello;
+    hello.protocol = wire::kProtocolVersion;
+    hello.worker_name = cfg_.name;
+    const std::size_t slots = cfg_.service.workers != 0
+                                  ? cfg_.service.workers
+                                  : std::thread::hardware_concurrency();
+    hello.shard_slots = static_cast<std::uint32_t>(std::max<std::size_t>(slots, 1));
+    conn.send(wire::encode(hello, 0));
+  }
+
+  bool draining = false;
+  bool done = false;
+  std::uint64_t heartbeat_seq = 0;
+  auto last_heartbeat = Clock::now();
+
+  while (!done && !stop_.load(std::memory_order_relaxed)) {
+    std::vector<pollfd> fds;
+    short events = POLLIN;
+    if (conn.wants_write()) events |= POLLOUT;
+    fds.push_back(pollfd{conn.fd(), events, 0});
+    // Short timeout either way: pending tickets complete on service
+    // threads, not on this socket, so the loop must come back to look.
+    poll_wait(fds, pending_.empty() ? 50 : 10);
+
+    if (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) {
+      const Conn::Io io = conn.pump_read();
+      wire::Frame frame;
+      for (;;) {
+        const wire::DecodeStatus s = conn.next_frame(frame);
+        if (s == wire::DecodeStatus::Ok) {
+          handle_frame(conn, frame, draining, done);
+          if (done) break;
+          continue;
+        }
+        if (s != wire::DecodeStatus::NeedMore) done = true;  // poisoned stream
+        break;
+      }
+      if (io != Conn::Io::Ok) {
+        // Coordinator is gone. Finish nothing — results have nowhere to go.
+        break;
+      }
+    }
+    if (done) break;
+
+    poll_tickets(conn);
+
+    if (draining && pending_.empty()) {
+      wire::GoodbyeMsg bye;
+      bye.reason = "drained";
+      conn.send(wire::encode(bye, 0));
+      // Best-effort flush of everything still queued, then leave.
+      while (conn.wants_write() && conn.pump_write() == Conn::Io::Ok) {
+        if (!conn.wants_write()) break;
+        std::vector<pollfd> w{pollfd{conn.fd(), POLLOUT, 0}};
+        poll_wait(w, 100);
+      }
+      break;
+    }
+
+    if (cfg_.heartbeat_interval.count() > 0 &&
+        Clock::now() - last_heartbeat >= cfg_.heartbeat_interval) {
+      wire::HeartbeatMsg hb;
+      hb.seq = ++heartbeat_seq;
+      hb.inflight = static_cast<std::uint32_t>(pending_.size());
+      conn.send(wire::encode(hb, 0));
+      last_heartbeat = Clock::now();
+      ++stats_.heartbeats;
+    }
+
+    if (conn.wants_write() && conn.pump_write() != Conn::Io::Ok) break;
+  }
+}
+
+void Worker::handle_frame(Conn& conn, const wire::Frame& frame, bool& draining,
+                          bool& done) {
+  switch (frame.type) {
+    case wire::MsgType::HelloAck:
+      return;  // nothing to record — the coordinator addresses us by slot
+    case wire::MsgType::LoadGraph: {
+      wire::LoadGraphMsg m;
+      if (wire::decode(frame, m) != wire::DecodeStatus::Ok) return;
+      wire::GraphLoadedMsg reply;
+      reply.graph_id = m.graph_id;
+      try {
+        graph::CSRGraph g = cfg_.graph_loader(m.spec);
+        const std::uint64_t fp = service::graph_fingerprint(g);
+        if (fp != m.fingerprint) {
+          reply.ok = 0;
+          reply.fingerprint = fp;
+          reply.error = "fingerprint mismatch: spec '" + m.spec + "' loads a "
+                        "different graph than the coordinator registered";
+        } else {
+          svc_.load_graph(m.graph_id, std::move(g));
+          std::uint64_t final_fp = fp;
+          if (!m.updates.empty()) {
+            // Replay the coordinator's applied-update history so a late
+            // joiner catches up to the current epoch in one round trip.
+            dyn::UpdateBatch batch;
+            for (const wire::WireUpdate& u : m.updates) {
+              batch.edges.push_back({u.u, u.v, u.insert != 0});
+            }
+            final_fp = svc_.mutate_graph(m.graph_id, batch).fingerprint_after;
+          }
+          if (final_fp != m.fingerprint_after) {
+            reply.ok = 0;
+            reply.fingerprint = final_fp;
+            reply.error = "fingerprint mismatch after update replay";
+          } else {
+            reply.ok = 1;
+            reply.fingerprint = final_fp;
+            ++stats_.graphs_loaded;
+          }
+        }
+      } catch (const std::exception& ex) {
+        reply.ok = 0;
+        reply.error = ex.what();
+      }
+      conn.send(wire::encode(reply, frame.request_id));
+      return;
+    }
+    case wire::MsgType::SubmitShard: {
+      wire::SubmitShardMsg m;
+      if (wire::decode(frame, m) != wire::DecodeStatus::Ok) return;
+      ++shards_seen_;
+      ++stats_.shards_received;
+      if (cfg_.die_after_shards != 0 && shards_seen_ >= cfg_.die_after_shards) {
+        // Chaos: vanish with this shard unanswered. The coordinator's
+        // death path must reassign it.
+        conn.close();
+        done = true;
+        return;
+      }
+      trace_instant("shard-recv", frame.request_id, m.shard_index);
+      service::Request req;
+      req.graph_id = m.graph_id;
+      req.options = options_from_shard(m);
+      req.timeout = std::chrono::milliseconds(m.deadline_ms);
+      PendingShard p;
+      p.request_id = frame.request_id;
+      p.shard_index = m.shard_index;
+      p.mode = static_cast<std::uint8_t>(m.mode);
+      p.ticket = svc_.submit(std::move(req));
+      pending_.push_back(std::move(p));
+      return;
+    }
+    case wire::MsgType::Mutate: {
+      wire::MutateMsg m;
+      if (wire::decode(frame, m) != wire::DecodeStatus::Ok) return;
+      wire::MutateDoneMsg reply;
+      reply.graph_id = m.graph_id;
+      try {
+        dyn::UpdateBatch batch;
+        for (const wire::WireUpdate& u : m.updates) {
+          batch.edges.push_back({u.u, u.v, u.insert != 0});
+        }
+        const service::MutationResult mr = svc_.mutate_graph(m.graph_id, batch);
+        reply.fingerprint = mr.fingerprint_after;
+        reply.ok = mr.fingerprint_after == m.fingerprint_after ? 1 : 0;
+        if (reply.ok == 0) reply.error = "fingerprint mismatch after mutation";
+        ++stats_.mutations;
+      } catch (const std::exception& ex) {
+        reply.ok = 0;
+        reply.error = ex.what();
+      }
+      conn.send(wire::encode(reply, frame.request_id));
+      return;
+    }
+    case wire::MsgType::Heartbeat: {
+      wire::HeartbeatMsg m;
+      if (wire::decode(frame, m) != wire::DecodeStatus::Ok) return;
+      wire::HeartbeatAckMsg ack;
+      ack.seq = m.seq;
+      conn.send(wire::encode(ack, frame.request_id));
+      return;
+    }
+    case wire::MsgType::HeartbeatAck:
+      return;
+    case wire::MsgType::Drain:
+      draining = true;
+      return;
+    case wire::MsgType::Goodbye:
+      done = true;
+      return;
+    default:
+      return;  // unknown-but-valid type: ignore for forward compatibility
+  }
+}
+
+void Worker::poll_tickets(Conn& conn) {
+  for (std::size_t i = 0; i < pending_.size();) {
+    PendingShard& p = pending_[i];
+    if (p.ticket.future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      ++i;
+      continue;
+    }
+    const service::Response r = svc_.wait(p.ticket);
+    wire::ShardResultMsg out;
+    out.shard_index = p.shard_index;
+    const bool partial = p.mode == static_cast<std::uint8_t>(wire::ShardMode::Partial);
+    if (r.ok() && !(partial && r.degraded)) {
+      out.ok = 1;
+      out.degraded = r.degraded ? 1 : 0;
+      out.roots_processed = r.result->roots_processed;
+      out.compute_ms = r.compute_ms;
+      out.scores = r.result->scores;
+      ++stats_.shards_served;
+    } else {
+      out.ok = 0;
+      // A degraded partial is refused: the service substituted a strategy,
+      // and substituted bits would corrupt the coordinator's exact fold.
+      out.error = r.ok() ? "degraded: strategy substituted, bits not exact"
+                         : (r.error.empty() ? "compute failed" : r.error);
+      if (r.ok()) ++stats_.shards_refused;
+    }
+    trace_instant("shard-sent", p.request_id, p.shard_index);
+    conn.send(wire::encode(out, p.request_id));
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+}  // namespace hbc::net

@@ -1,0 +1,114 @@
+#pragma once
+
+// net::Worker — one member of a sharded BC fleet.
+//
+// A worker is a thin wire adapter around hbc::service::BcService: it
+// connects to the coordinator (with exponential backoff, since fleets
+// start in any order), introduces itself, materializes the graphs it is
+// told to hold — verifying each fingerprint against the coordinator's, so
+// a divergent load is refused rather than silently wrong — and serves
+// SubmitShard messages by forwarding them to the service and streaming
+// results back as they complete. Shard execution is asynchronous: the
+// poll loop keeps reading new shards while earlier ones compute, so one
+// worker can overlap as many shards as its service has worker threads.
+//
+// Determinism contract: a Partial-mode shard the local service answered
+// *degraded* (strategy substituted by the resilience ladder) is refused —
+// sent back as an error — because substituted bits would corrupt the
+// coordinator's bitwise reduction. The coordinator retries elsewhere or
+// computes the shard itself; either path produces the exact bits.
+//
+// Lifecycle: Drain finishes in-flight shards, says Goodbye, and returns.
+// `die_after_shards` is the chaos hook for the distributed kill tests:
+// the worker drops the connection the instant the Nth shard ARRIVES —
+// before replying — so the coordinator sees a death with work
+// outstanding, exactly the failure the reassignment path exists for.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "net/socket.hpp"
+#include "service/service.hpp"
+#include "trace/trace.hpp"
+
+namespace hbc::net {
+
+struct WorkerConfig {
+  /// Coordinator endpoint to connect to.
+  Endpoint connect;
+  std::string name = "worker";
+  /// Configuration for the wrapped BcService.
+  service::ServiceConfig service;
+  /// Materialize a graph from the coordinator's spec (a path, or
+  /// "gen:family:scale[:seed]"). Default handles both; tests override it
+  /// to return in-memory graphs.
+  std::function<graph::CSRGraph(const std::string& spec)> graph_loader;
+  /// Connection attempts before giving up (NetError propagates out of
+  /// run()); backoff doubles from `connect_backoff` up to `max_backoff`.
+  std::uint32_t max_connect_attempts = 60;
+  std::chrono::milliseconds connect_backoff{50};
+  std::chrono::milliseconds max_backoff{2000};
+  /// Heartbeat cadence; 0 disables.
+  std::chrono::milliseconds heartbeat_interval{1000};
+  /// Chaos hook: abruptly close the connection when the Nth SubmitShard
+  /// arrives (1-based), before computing or replying. 0 = never.
+  std::uint32_t die_after_shards = 0;
+  /// Non-owning; may be null.
+  trace::Tracer* tracer = nullptr;
+};
+
+struct WorkerStats {
+  std::uint64_t shards_received = 0;
+  std::uint64_t shards_served = 0;
+  std::uint64_t shards_refused = 0;  // degraded partials sent back as errors
+  std::uint64_t graphs_loaded = 0;
+  std::uint64_t mutations = 0;
+  std::uint64_t heartbeats = 0;
+};
+
+class Worker {
+ public:
+  explicit Worker(WorkerConfig config);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Connect (with backoff) and serve until drained, told to die, stopped,
+  /// or the coordinator goes away. Throws NetError when every connection
+  /// attempt fails.
+  void run();
+
+  /// Ask run() to return at its next loop iteration (thread-safe; the
+  /// in-process tests run workers on std::thread).
+  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+  const WorkerStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct PendingShard {
+    std::uint64_t request_id = 0;
+    std::uint32_t shard_index = 0;
+    std::uint8_t mode = 0;  // wire::ShardMode
+    service::Ticket ticket;
+  };
+
+  Socket connect_with_backoff();
+  void handle_frame(Conn& conn, const wire::Frame& frame, bool& draining, bool& done);
+  void poll_tickets(Conn& conn);
+  void trace_instant(const char* name, std::uint64_t req, std::uint64_t shard) const;
+
+  WorkerConfig cfg_;
+  service::BcService svc_;
+  WorkerStats stats_;
+  std::vector<PendingShard> pending_;
+  std::atomic<bool> stop_{false};
+  std::uint32_t shards_seen_ = 0;  // for die_after_shards
+};
+
+}  // namespace hbc::net

@@ -1,0 +1,504 @@
+// hbc::net integration tests: a real coordinator and real workers over
+// Unix-domain sockets (worker loops on std::thread, so one process but N
+// independent BcService instances speaking the actual wire protocol).
+//
+// The load-bearing property is satellite (d) of the distributed design:
+// a query sharded across 2..4 workers must be BITWISE identical to the
+// standalone core::compute answer — including when a worker is killed
+// mid-run and its root range is reassigned. Comparisons use memcmp on the
+// raw double arrays: "close" is not a pass.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bc.hpp"
+#include "dyn/versioned_graph.hpp"
+#include "graph/generators.hpp"
+#include "net/coordinator.hpp"
+#include "net/socket.hpp"
+#include "net/worker.hpp"
+#include "service/service.hpp"
+
+using namespace hbc;
+
+namespace {
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+// A socket path under /tmp: build trees routinely exceed sockaddr_un's
+// 108-byte limit, the system tmpdir does not.
+class SocketDir {
+ public:
+  SocketDir() {
+    char tmpl[] = "/tmp/hbc-net-XXXXXX";
+    dir_ = ::mkdtemp(tmpl);
+  }
+  ~SocketDir() {
+    if (!dir_.empty()) {
+      std::remove((dir_ + "/c.sock").c_str());
+      ::rmdir(dir_.c_str());
+    }
+  }
+  std::string sock() const { return "unix:" + dir_ + "/c.sock"; }
+
+ private:
+  std::string dir_;
+};
+
+graph::CSRGraph test_graph() {
+  // Small-world at scale 8: 256 vertices, plenty of distinct BC values.
+  return graph::gen::family_by_name("smallworld").make(8, 1);
+}
+
+/// Coordinator + N in-process workers, wired up and torn down safely.
+class Fleet {
+ public:
+  explicit Fleet(std::size_t n_workers, net::CoordinatorConfig cfg = {},
+                 std::vector<net::WorkerConfig> worker_cfgs = {}) {
+    cfg.listen = net::Endpoint::parse(dir_.sock());
+    coordinator = std::make_unique<net::Coordinator>(std::move(cfg));
+    for (std::size_t i = 0; i < n_workers; ++i) {
+      net::WorkerConfig wc =
+          i < worker_cfgs.size() ? std::move(worker_cfgs[i]) : net::WorkerConfig{};
+      wc.connect = net::Endpoint::parse(dir_.sock());
+      if (wc.name == "worker") wc.name = "worker-" + std::to_string(i);
+      if (wc.service.workers == 0) wc.service.workers = 2;
+      workers.push_back(std::make_unique<net::Worker>(std::move(wc)));
+    }
+    for (auto& w : workers) {
+      threads.emplace_back([worker = w.get()] { worker->run(); });
+    }
+    coordinator->wait_for_workers(n_workers, std::chrono::seconds(20));
+  }
+
+  ~Fleet() {
+    for (auto& w : workers) w->request_stop();
+    if (coordinator) coordinator->drain();
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  SocketDir dir_;
+  std::unique_ptr<net::Coordinator> coordinator;
+  std::vector<std::unique_ptr<net::Worker>> workers;
+  std::vector<std::thread> threads;
+};
+
+net::WorkerConfig in_memory_worker(std::shared_ptr<const graph::CSRGraph> g) {
+  net::WorkerConfig wc;
+  wc.graph_loader = [g](const std::string&) { return *g; };
+  return wc;
+}
+
+std::vector<net::WorkerConfig> in_memory_workers(
+    std::size_t n, std::shared_ptr<const graph::CSRGraph> g) {
+  std::vector<net::WorkerConfig> v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(in_memory_worker(g));
+  return v;
+}
+
+}  // namespace
+
+// --- endpoint parsing and setup errors (satellite c's library half) ------
+
+TEST(NetEndpoint, ParsesUnixAndTcp) {
+  const net::Endpoint u = net::Endpoint::parse("unix:/tmp/x.sock");
+  EXPECT_EQ(u.kind, net::Endpoint::Kind::Unix);
+  EXPECT_EQ(u.path, "/tmp/x.sock");
+  EXPECT_EQ(u.str(), "unix:/tmp/x.sock");
+
+  const net::Endpoint t = net::Endpoint::parse("tcp:127.0.0.1:9090");
+  EXPECT_EQ(t.kind, net::Endpoint::Kind::Tcp);
+  EXPECT_EQ(t.host, "127.0.0.1");
+  EXPECT_EQ(t.port, 9090);
+}
+
+TEST(NetEndpoint, RejectsMalformedSpecs) {
+  EXPECT_THROW(net::Endpoint::parse("unix:"), net::NetError);
+  EXPECT_THROW(net::Endpoint::parse("tcp:no-port"), net::NetError);
+  EXPECT_THROW(net::Endpoint::parse("tcp:host:not-a-number"), net::NetError);
+  EXPECT_THROW(net::Endpoint::parse("tcp:host:70000"), net::NetError);
+  EXPECT_THROW(net::Endpoint::parse("http://nope"), net::NetError);
+  EXPECT_THROW(net::Endpoint::parse("unix:" + std::string(200, 'a')), net::NetError);
+}
+
+TEST(NetEndpoint, BindFailureThrowsWithContext) {
+  net::CoordinatorConfig cfg;
+  cfg.listen = net::Endpoint::parse("unix:/nonexistent-dir-hbc/x.sock");
+  try {
+    net::Coordinator c(std::move(cfg));
+    FAIL() << "bind into a nonexistent directory must throw";
+  } catch (const net::NetError& e) {
+    EXPECT_NE(std::string(e.what()).find("bind"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("/nonexistent-dir-hbc/x.sock"),
+              std::string::npos);
+  }
+}
+
+TEST(NetEndpoint, ConnectFailureThrowsAfterBackoff) {
+  net::WorkerConfig wc;
+  wc.connect = net::Endpoint::parse("unix:/tmp/hbc-no-such-coordinator.sock");
+  wc.max_connect_attempts = 2;
+  wc.connect_backoff = std::chrono::milliseconds(1);
+  net::Worker w(std::move(wc));
+  EXPECT_THROW(w.run(), net::NetError);
+}
+
+// --- distributed determinism (satellite d) --------------------------------
+
+TEST(NetDistributed, ShardedQueryBitwiseEqualsStandaloneAtEveryWorkerCount) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  for (const core::Strategy strategy :
+       {core::Strategy::WorkEfficient, core::Strategy::VertexParallel,
+        core::Strategy::Hybrid}) {
+    core::Options opt;
+    opt.strategy = strategy;
+    const core::BCResult standalone = core::compute(*g, opt);
+
+    for (const std::size_t n_workers : {2u, 3u, 4u}) {
+      Fleet fleet(n_workers, {}, in_memory_workers(n_workers, g));
+      ASSERT_EQ(fleet.coordinator->worker_count(), n_workers);
+      ASSERT_EQ(fleet.coordinator->load_graph("g0", g, ""), n_workers);
+
+      service::Request req;
+      req.graph_id = "g0";
+      req.options = opt;
+      const service::Response resp = fleet.coordinator->query(req);
+      ASSERT_TRUE(resp.ok()) << resp.error;
+      ASSERT_NE(resp.result, nullptr);
+      EXPECT_TRUE(bitwise_equal(resp.result->scores, standalone.scores))
+          << core::to_string(strategy) << " @ " << n_workers << " workers";
+      EXPECT_EQ(resp.result->roots_processed, standalone.roots_processed);
+      EXPECT_FALSE(resp.degraded);
+      // Shards actually crossed the wire — this was not a local fallback.
+      EXPECT_GT(fleet.coordinator->stats().shards_completed, 0u);
+      EXPECT_EQ(fleet.coordinator->stats().local_fallbacks, 0u);
+    }
+  }
+}
+
+TEST(NetDistributed, FinalizationFlagsAndSampledRootsStayBitwise) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  core::Options opt;
+  opt.strategy = core::Strategy::WorkEfficient;
+  opt.halve_undirected = true;
+  opt.normalize = true;
+  opt.sample_roots = 64;  // approximate path: scale-up then halve+normalize
+  opt.seed = 7;
+  const core::BCResult standalone = core::compute(*g, opt);
+
+  Fleet fleet(3, {}, in_memory_workers(3, g));
+  ASSERT_EQ(fleet.coordinator->load_graph("g0", g, ""), 3u);
+  service::Request req;
+  req.graph_id = "g0";
+  req.options = opt;
+  const service::Response resp = fleet.coordinator->query(req);
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  EXPECT_TRUE(bitwise_equal(resp.result->scores, standalone.scores));
+  EXPECT_TRUE(resp.result->approximate);
+}
+
+TEST(NetDistributed, ExplicitRootSubsetStaysBitwise) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  core::Options opt;
+  opt.strategy = core::Strategy::WorkEfficient;
+  opt.roots = {0, 3, 9, 27, 81, 243};
+  const core::BCResult standalone = core::compute(*g, opt);
+
+  Fleet fleet(2, {}, in_memory_workers(2, g));
+  ASSERT_EQ(fleet.coordinator->load_graph("g0", g, ""), 2u);
+  service::Request req;
+  req.graph_id = "g0";
+  req.options = opt;
+  const service::Response resp = fleet.coordinator->query(req);
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  EXPECT_TRUE(bitwise_equal(resp.result->scores, standalone.scores));
+  EXPECT_TRUE(resp.result->approximate);  // strict subset of roots
+}
+
+TEST(NetDistributed, WorkerKilledMidRunStillBitwiseIdentical) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  core::Options opt;
+  opt.strategy = core::Strategy::WorkEfficient;
+  const core::BCResult standalone = core::compute(*g, opt);
+
+  // Worker 0 vanishes the moment its second shard arrives — before
+  // replying — so the coordinator holds dispatched shards to a dead peer.
+  std::vector<net::WorkerConfig> cfgs = in_memory_workers(2, g);
+  cfgs[0].die_after_shards = 2;
+  Fleet fleet(2, {}, std::move(cfgs));
+  ASSERT_EQ(fleet.coordinator->load_graph("g0", g, ""), 2u);
+
+  service::Request req;
+  req.graph_id = "g0";
+  req.options = opt;
+  const service::Response resp = fleet.coordinator->query(req);
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  EXPECT_TRUE(bitwise_equal(resp.result->scores, standalone.scores));
+  EXPECT_FALSE(resp.degraded);
+  EXPECT_GE(fleet.coordinator->stats().worker_deaths, 1u);
+  EXPECT_GE(fleet.coordinator->stats().shard_retries, 1u);
+}
+
+TEST(NetDistributed, GpuFanSingleBlockAndWholeModeRouting) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  Fleet fleet(2, {}, in_memory_workers(2, g));
+  ASSERT_EQ(fleet.coordinator->load_graph("g0", g, ""), 2u);
+
+  // GPU-FAN forces one block, so the query is one Partial shard.
+  {
+    core::Options opt;
+    opt.strategy = core::Strategy::GpuFan;
+    const core::BCResult standalone = core::compute(*g, opt);
+    service::Request req;
+    req.graph_id = "g0";
+    req.options = opt;
+    const service::Response resp = fleet.coordinator->query(req);
+    ASSERT_TRUE(resp.ok()) << resp.error;
+    EXPECT_TRUE(bitwise_equal(resp.result->scores, standalone.scores));
+  }
+  // CPU and sampling strategies are not block-shardable: routed Whole.
+  for (const core::Strategy strategy :
+       {core::Strategy::CpuSerial, core::Strategy::Sampling}) {
+    core::Options opt;
+    opt.strategy = strategy;
+    opt.sample_roots = strategy == core::Strategy::Sampling ? 32 : 0;
+    const core::BCResult standalone = core::compute(*g, opt);
+    service::Request req;
+    req.graph_id = "g0";
+    req.options = opt;
+    const service::Response resp = fleet.coordinator->query(req);
+    ASSERT_TRUE(resp.ok()) << resp.error;
+    EXPECT_TRUE(bitwise_equal(resp.result->scores, standalone.scores))
+        << core::to_string(strategy);
+  }
+  EXPECT_GE(fleet.coordinator->stats().whole_queries, 2u);
+}
+
+TEST(NetDistributed, LocalFallbackServesWithNoWorkersBitwise) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  core::Options opt;
+  opt.strategy = core::Strategy::WorkEfficient;
+  const core::BCResult standalone = core::compute(*g, opt);
+
+  SocketDir dir;
+  net::CoordinatorConfig cfg;
+  cfg.listen = net::Endpoint::parse(dir.sock());
+  net::Coordinator coordinator(std::move(cfg));
+  coordinator.load_graph("g0", g, "");  // zero confirmations: nobody home
+
+  service::Request req;
+  req.graph_id = "g0";
+  req.options = opt;
+  const service::Response resp = coordinator.query(req);
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  EXPECT_TRUE(bitwise_equal(resp.result->scores, standalone.scores));
+  EXPECT_GT(coordinator.stats().local_fallbacks, 0u);
+}
+
+TEST(NetDistributed, NoWorkersAndNoFallbackFailsCleanly) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  SocketDir dir;
+  net::CoordinatorConfig cfg;
+  cfg.listen = net::Endpoint::parse(dir.sock());
+  cfg.local_fallback = false;
+  net::Coordinator coordinator(std::move(cfg));
+  coordinator.load_graph("g0", g, "");
+
+  service::Request req;
+  req.graph_id = "g0";
+  req.options.strategy = core::Strategy::WorkEfficient;
+  const service::Response resp = coordinator.query(req);
+  EXPECT_EQ(resp.status, service::QueryStatus::Failed);
+  EXPECT_FALSE(resp.error.empty());
+}
+
+// --- service semantics over the wire -------------------------------------
+
+TEST(NetDistributed, CacheHitOnRepeatAndGraphNotFound) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  Fleet fleet(2, {}, in_memory_workers(2, g));
+  ASSERT_EQ(fleet.coordinator->load_graph("g0", g, ""), 2u);
+
+  service::Request req;
+  req.graph_id = "g0";
+  req.options.strategy = core::Strategy::WorkEfficient;
+  const service::Response first = fleet.coordinator->query(req);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.from_cache);
+  const service::Response second = fleet.coordinator->query(req);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_TRUE(bitwise_equal(first.result->scores, second.result->scores));
+  EXPECT_EQ(fleet.coordinator->stats().cache_hits, 1u);
+
+  service::Request missing;
+  missing.graph_id = "nope";
+  missing.options.strategy = core::Strategy::WorkEfficient;
+  EXPECT_EQ(fleet.coordinator->query(missing).status,
+            service::QueryStatus::GraphNotFound);
+}
+
+TEST(NetDistributed, BadRootsAreBadRequest) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  Fleet fleet(2, {}, in_memory_workers(2, g));
+  ASSERT_EQ(fleet.coordinator->load_graph("g0", g, ""), 2u);
+
+  service::Request req;
+  req.graph_id = "g0";
+  req.options.strategy = core::Strategy::WorkEfficient;
+  req.options.roots = {1, 1};  // duplicate
+  EXPECT_EQ(fleet.coordinator->query(req).status, service::QueryStatus::BadRequest);
+  req.options.roots = {100000};  // out of range
+  EXPECT_EQ(fleet.coordinator->query(req).status, service::QueryStatus::BadRequest);
+}
+
+TEST(NetDistributed, DeadlineExceededWithShardsOutstanding) {
+  // Big enough that 14 shards cannot complete within 5ms.
+  const auto g = std::make_shared<const graph::CSRGraph>(
+      graph::gen::family_by_name("smallworld").make(10, 1));
+  Fleet fleet(1, {}, in_memory_workers(1, g));
+  ASSERT_EQ(fleet.coordinator->load_graph("g0", g, ""), 1u);
+
+  service::Request req;
+  req.graph_id = "g0";
+  req.options.strategy = core::Strategy::WorkEfficient;
+  req.timeout = std::chrono::milliseconds(5);
+  const service::Response resp = fleet.coordinator->query(req);
+  EXPECT_EQ(resp.status, service::QueryStatus::DeadlineExceeded);
+}
+
+TEST(NetDistributed, MutationPropagatesAndStaysBitwise) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  Fleet fleet(2, {}, in_memory_workers(2, g));
+  ASSERT_EQ(fleet.coordinator->load_graph("g0", g, ""), 2u);
+
+  core::Options opt;
+  opt.strategy = core::Strategy::WorkEfficient;
+  service::Request req;
+  req.graph_id = "g0";
+  req.options = opt;
+  const service::Response before = fleet.coordinator->query(req);
+  ASSERT_TRUE(before.ok());
+
+  dyn::UpdateBatch batch;
+  batch.insert(0, 100).insert(5, 200).remove(0, 1);
+  const service::MutationResult mr = fleet.coordinator->mutate_graph("g0", batch);
+  EXPECT_NE(mr.fingerprint_before, mr.fingerprint_after);
+  EXPECT_GT(mr.applied, 0u);
+  EXPECT_EQ(fleet.coordinator->graph_fingerprint("g0"), mr.fingerprint_after);
+
+  const service::Response after = fleet.coordinator->query(req);
+  ASSERT_TRUE(after.ok()) << after.error;
+  EXPECT_FALSE(after.from_cache);  // old-epoch cache entries invalidated
+  EXPECT_FALSE(bitwise_equal(after.result->scores, before.result->scores));
+
+  // Reference: apply the same batch to a standalone copy and compare bits.
+  dyn::VersionedGraph vg(g);
+  vg.apply(batch);
+  const core::BCResult standalone = core::compute(*vg.current().graph, opt);
+  EXPECT_TRUE(bitwise_equal(after.result->scores, standalone.scores));
+}
+
+TEST(NetDistributed, LateJoinerCatchesUpViaUpdateReplay) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  Fleet fleet(1, {}, in_memory_workers(1, g));
+  ASSERT_EQ(fleet.coordinator->load_graph("g0", g, ""), 1u);
+
+  dyn::UpdateBatch batch;
+  batch.insert(2, 50).insert(7, 99);
+  fleet.coordinator->mutate_graph("g0", batch);
+
+  // A worker that joins AFTER the mutation must replay the history and
+  // land on the current fingerprint, or it would be refused.
+  net::WorkerConfig wc = in_memory_worker(g);  // loads the EPOCH-0 graph
+  wc.connect = net::Endpoint::parse(fleet.dir_.sock());
+  wc.name = "late";
+  auto late = std::make_unique<net::Worker>(std::move(wc));
+  std::thread t([&] { late->run(); });
+  fleet.coordinator->wait_for_workers(2, std::chrono::seconds(20));
+  // Give the load/replay handshake a moment to complete, then verify the
+  // late worker serves shards for the mutated graph.
+  core::Options opt;
+  opt.strategy = core::Strategy::WorkEfficient;
+  service::Request req;
+  req.graph_id = "g0";
+  req.options = opt;
+  const service::Response resp = fleet.coordinator->query(req);
+  ASSERT_TRUE(resp.ok()) << resp.error;
+
+  dyn::VersionedGraph vg(g);
+  vg.apply(batch);
+  const core::BCResult standalone = core::compute(*vg.current().graph, opt);
+  EXPECT_TRUE(bitwise_equal(resp.result->scores, standalone.scores));
+
+  late->request_stop();
+  t.join();
+  fleet.workers.push_back(std::move(late));  // keep alive through teardown
+}
+
+TEST(NetDistributed, FingerprintMismatchRefusesLoadAndCutsWorker) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  const auto wrong = std::make_shared<const graph::CSRGraph>(
+      graph::gen::family_by_name("smallworld").make(8, 2));  // different seed
+  std::vector<net::WorkerConfig> cfgs = {in_memory_worker(wrong)};
+  Fleet fleet(1, {}, std::move(cfgs));
+  ASSERT_EQ(fleet.coordinator->worker_count(), 1u);
+
+  // The worker materializes a DIFFERENT graph for the same spec: zero
+  // confirmations, and the disagreeing worker is disconnected.
+  EXPECT_EQ(fleet.coordinator->load_graph("g0", g, "whatever"), 0u);
+  EXPECT_EQ(fleet.coordinator->wait_for_workers(1, std::chrono::milliseconds(200)),
+            0u);
+}
+
+TEST(NetDistributed, DrainStopsQueriesAndReleasesWorkers) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  Fleet fleet(2, {}, in_memory_workers(2, g));
+  ASSERT_EQ(fleet.coordinator->load_graph("g0", g, ""), 2u);
+
+  fleet.coordinator->drain();
+  EXPECT_EQ(fleet.coordinator->worker_count(), 0u);
+
+  service::Request req;
+  req.graph_id = "g0";
+  req.options.strategy = core::Strategy::WorkEfficient;
+  EXPECT_EQ(fleet.coordinator->query(req).status,
+            service::QueryStatus::ServiceStopped);
+  // Workers exited their run() loops on Drain; joining must not hang.
+  for (auto& t : fleet.threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+TEST(NetDistributed, ReplicationPlacesGraphOnSubsetAndStillAnswers) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  core::Options opt;
+  opt.strategy = core::Strategy::WorkEfficient;
+  const core::BCResult standalone = core::compute(*g, opt);
+
+  net::CoordinatorConfig cfg;
+  cfg.replication = 1;  // consistent-hash ring picks ONE owner
+  Fleet fleet(3, std::move(cfg), in_memory_workers(3, g));
+  ASSERT_EQ(fleet.coordinator->worker_count(), 3u);
+  EXPECT_EQ(fleet.coordinator->load_graph("g0", g, ""), 1u);
+
+  service::Request req;
+  req.graph_id = "g0";
+  req.options = opt;
+  const service::Response resp = fleet.coordinator->query(req);
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  EXPECT_TRUE(bitwise_equal(resp.result->scores, standalone.scores));
+  EXPECT_EQ(fleet.coordinator->stats().local_fallbacks, 0u);
+}

@@ -1,9 +1,15 @@
 // hbc-info — print the Table II row for a graph: vertex/edge counts,
 // max degree, pseudo-diameter, component structure, degree skew, and the
 // parallelization strategy Algorithm 5's heuristic would choose for it.
+//
+// With --fingerprint, print only the structural fingerprint (the 64-bit
+// hex value hbc::net uses to verify that every worker in a fleet
+// materialized the same graph from a spec) and exit. Useful for checking
+// whether two files or specs will be accepted as the same graph.
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "cli_common.hpp"
@@ -11,14 +17,33 @@
 int main(int argc, char** argv) {
   using namespace hbc;
 
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <graph-file | gen:<family>:<scale>[:<seed>]>\n",
+  bool fingerprint_only = false;
+  const char* spec = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fingerprint") == 0) {
+      fingerprint_only = true;
+    } else if (spec == nullptr) {
+      spec = argv[i];
+    } else {
+      spec = nullptr;  // too many positionals -> usage
+      break;
+    }
+  }
+  if (spec == nullptr) {
+    std::fprintf(stderr,
+                 "usage: %s [--fingerprint] <graph-file | gen:<family>:<scale>[:<seed>]>\n",
                  argv[0]);
     return 2;
   }
 
   try {
-    const graph::CSRGraph g = cli::load_graph_spec(argv[1]);
+    const graph::CSRGraph g = cli::load_graph_spec(spec);
+
+    if (fingerprint_only) {
+      std::printf("%016llx\n",
+                  static_cast<unsigned long long>(service::graph_fingerprint(g)));
+      return 0;
+    }
 
     const auto stats = graph::degree_stats(g);
     const auto cc = graph::connected_components(g);
@@ -39,6 +64,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cc.isolated_vertices));
     std::printf("CSR storage       %.1f MiB host\n",
                 static_cast<double>(g.storage_bytes()) / (1024.0 * 1024.0));
+    std::printf("fingerprint       %016llx\n",
+                static_cast<unsigned long long>(service::graph_fingerprint(g)));
 
     // Algorithm 5's decision on a quick probe.
     if (g.num_vertices() > 1 && g.num_directed_edges() > 0) {

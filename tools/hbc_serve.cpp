@@ -1,11 +1,34 @@
-// hbc-serve — drive the in-process BC query service with a workload and
-// print its metrics report.
+// hbc-serve — drive the BC query service with a workload and print its
+// metrics report. Three roles (docs/distributed.md):
 //
-//   hbc-serve [options] <graph-spec> [<graph-spec> ...]
+//   hbc-serve [options] <graph-spec> ...                      # standalone
+//   hbc-serve --role coordinator --listen unix:/run/hbc.sock \
+//             --expect-workers 2 [options] <graph-spec> ...   # fleet front
+//   hbc-serve --role worker --connect unix:/run/hbc.sock      # fleet member
 //
 // Graph specs are the same as hbc: a METIS/.mtx/SNAP/.hbc file or a
 // generator spec gen:<family>:<scale>[:<seed>]. The i-th graph is
-// registered as "g<i>" (g0, g1, ...).
+// registered as "g<i>" (g0, g1, ...). In coordinator mode the spec string
+// itself is sent to workers, which materialize and fingerprint-verify it —
+// so generator specs work with no shared filesystem. Workers take no graph
+// arguments; the coordinator tells them what to load.
+//
+// Distributed options:
+//   --role R          coordinator | worker | standalone (default standalone)
+//   --listen EP       coordinator bind endpoint: unix:/path or tcp:host:port
+//   --connect EP      worker: coordinator endpoint to join
+//   --expect-workers N  coordinator: wait for N workers before replaying
+//                     (error if they do not arrive within 30 s)
+//   --replication N   workers per graph on the consistent-hash ring
+//                     (default 0 = every worker)
+//   --straggler-ms MS re-dispatch a shard still unanswered after MS to a
+//                     second worker, first result wins (default off)
+//   --die-after-shards N  worker chaos hook: drop the connection when the
+//                     Nth shard arrives (crash testing; default off)
+//   --connect-attempts N  worker connect retries with backoff (default 60)
+//
+// On bind/listen/connect failure both roles exit 1 with one clear
+// "error: syscall(endpoint): reason" line.
 //
 // Options:
 //   --workers N       worker threads draining the queue (default: hardware)
@@ -62,6 +85,8 @@
 #include <vector>
 
 #include "cli_common.hpp"
+#include "net/coordinator.hpp"
+#include "net/worker.hpp"
 
 namespace {
 
@@ -77,7 +102,12 @@ using namespace hbc;
                "          [--max-attempts N] [--retries N] [--no-fallback]\n"
                "          [--fallback-roots K] [--trace-dir DIR]\n"
                "          [--mutate FILE] [--refresh] [--refresh-budget N]\n"
-               "          <graph-file | gen:<family>:<scale>[:<seed>]> ...\n",
+               "          [--role coordinator|worker|standalone]\n"
+               "          [--listen EP] [--connect EP] [--expect-workers N]\n"
+               "          [--replication N] [--straggler-ms MS]\n"
+               "          [--die-after-shards N] [--connect-attempts N]\n"
+               "          <graph-file | gen:<family>:<scale>[:<seed>]> ...\n"
+               "endpoints EP: unix:/path/to.sock or tcp:host:port\n",
                argv0);
   std::exit(2);
 }
@@ -99,6 +129,15 @@ struct ServeArgs {
   std::shared_ptr<const gpusim::FaultPlan> fault_plan;
   std::uint32_t max_root_attempts = 3;
   std::vector<std::string> graph_specs;
+  // Distributed roles (docs/distributed.md).
+  std::string role = "standalone";
+  std::string listen_spec;
+  std::string connect_spec;
+  std::size_t expect_workers = 0;
+  std::uint32_t replication = 0;
+  std::uint64_t straggler_ms = 0;
+  std::uint32_t die_after_shards = 0;
+  std::uint32_t connect_attempts = 60;
 };
 
 std::vector<service::Request> synthetic_workload(const ServeArgs& args,
@@ -246,6 +285,153 @@ void run_mutations(service::BcService& svc, const std::vector<MutationStep>& ste
   }
 }
 
+void export_trace(trace::Tracer& tracer, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const std::string json_path = dir + "/serve.json";
+  cli::write_trace_json(tracer, json_path);
+  std::ofstream summary(dir + "/serve-summary.txt");
+  tracer.write_summary(summary);
+  std::printf("\ntrace: %s -> %s\n", cli::trace_stats_line(tracer).c_str(),
+              json_path.c_str());
+}
+
+/// --role worker: connect, serve shards until drained or the coordinator
+/// goes away. No graph arguments — the coordinator says what to load.
+int run_worker(const ServeArgs& args, trace::Tracer& tracer) {
+  net::WorkerConfig wc;
+  wc.connect = net::Endpoint::parse(args.connect_spec);
+  wc.service = args.config;
+  wc.max_connect_attempts = args.connect_attempts;
+  wc.die_after_shards = args.die_after_shards;
+  if (!args.trace_dir.empty()) wc.tracer = &tracer;
+
+  std::printf("worker connecting to %s\n", args.connect_spec.c_str());
+  net::Worker worker(wc);
+  worker.run();  // NetError on connect failure -> main's catch -> exit 1
+
+  const net::WorkerStats& s = worker.stats();
+  std::printf("worker done: shards served=%llu refused=%llu graphs=%llu "
+              "mutations=%llu\n",
+              static_cast<unsigned long long>(s.shards_served),
+              static_cast<unsigned long long>(s.shards_refused),
+              static_cast<unsigned long long>(s.graphs_loaded),
+              static_cast<unsigned long long>(s.mutations));
+  if (!args.trace_dir.empty()) export_trace(tracer, args.trace_dir);
+  return 0;
+}
+
+/// --role coordinator: bind, wait for the fleet, load the graphs by spec,
+/// replay the workload through Coordinator::query (sequential — shard
+/// parallelism across workers is where the concurrency lives).
+int run_coordinator(const ServeArgs& args, trace::Tracer& tracer) {
+  net::CoordinatorConfig cc;
+  cc.listen = net::Endpoint::parse(args.listen_spec);
+  cc.cache_bytes = args.config.cache_bytes;
+  cc.replication = args.replication;
+  cc.straggler_timeout = std::chrono::milliseconds(args.straggler_ms);
+  if (!args.trace_dir.empty()) cc.tracer = &tracer;
+
+  net::Coordinator coord(cc);  // NetError on bind failure -> exit 1
+  std::printf("coordinator listening on %s\n", args.listen_spec.c_str());
+
+  if (args.expect_workers > 0) {
+    const std::size_t ready =
+        coord.wait_for_workers(args.expect_workers, std::chrono::seconds(30));
+    if (ready < args.expect_workers) {
+      throw std::runtime_error("only " + std::to_string(ready) + " of " +
+                               std::to_string(args.expect_workers) +
+                               " expected workers joined within 30 s");
+    }
+    std::printf("%zu workers ready\n", ready);
+  }
+
+  for (std::size_t i = 0; i < args.graph_specs.size(); ++i) {
+    graph::CSRGraph g = cli::load_graph_spec(args.graph_specs[i]);
+    const std::string id = "g" + std::to_string(i);
+    std::printf("loaded %-4s %s\n", id.c_str(), g.summary().c_str());
+    const std::size_t confirmed =
+        coord.load_graph(id, std::move(g), args.graph_specs[i]);
+    std::printf("placed %-4s on %zu worker(s), fingerprint %016llx\n",
+                id.c_str(), confirmed,
+                static_cast<unsigned long long>(coord.graph_fingerprint(id)));
+  }
+
+  const std::vector<service::Request> workload =
+      args.workload_file.empty() ? synthetic_workload(args, args.graph_specs.size())
+                                 : file_workload(args);
+  std::printf("replaying %zu requests (%s workload) across %zu workers, "
+              "replication=%u cache=%zu MiB\n",
+              workload.size(), args.workload_file.empty() ? "synthetic" : "file",
+              coord.worker_count(), args.replication,
+              args.config.cache_bytes >> 20);
+
+  const std::vector<MutationStep> mutations =
+      args.mutate_file.empty() ? std::vector<MutationStep>{}
+                               : parse_mutation_script(args.mutate_file);
+
+  std::map<std::string, std::size_t> by_status;
+  std::size_t degraded = 0;
+  auto replay = [&](std::span<const service::Request> slice) {
+    for (const auto& request : slice) {
+      const service::Response r = coord.query(request);
+      ++by_status[to_string(r.status)];
+      degraded += r.degraded ? 1 : 0;
+    }
+  };
+
+  util::Timer wall;
+  const std::span<const service::Request> all(workload);
+  if (mutations.empty()) {
+    replay(all);
+  } else {
+    const std::size_t mid = workload.size() / 2;
+    replay(all.subspan(0, mid));
+    for (std::size_t i = 0; i < mutations.size(); ++i) {
+      for (const auto& [graph_id, batch] : mutations[i]) {
+        const service::MutationResult mr = coord.mutate_graph(graph_id, batch);
+        std::printf(
+            "mutate #%zu %-4s epoch=%llu applied=%zu noops=%zu "
+            "fingerprint %016llx -> %016llx invalidated=%zu\n",
+            i + 1, graph_id.c_str(), static_cast<unsigned long long>(mr.epoch),
+            mr.applied, mr.noops,
+            static_cast<unsigned long long>(mr.fingerprint_before),
+            static_cast<unsigned long long>(mr.fingerprint_after),
+            mr.cache_invalidated);
+      }
+    }
+    replay(all.subspan(mid));
+  }
+  const double wall_s = wall.elapsed_seconds();
+
+  std::printf("\nreplay finished in %.3f s (%.1f QPS)\n", wall_s,
+              static_cast<double>(workload.size()) / wall_s);
+  for (const auto& [status, count] : by_status) {
+    std::printf("  %-18s %zu\n", status.c_str(), count);
+  }
+  if (degraded > 0) std::printf("  %-18s %zu\n", "(degraded)", degraded);
+
+  const net::DistStats& d = coord.stats();
+  std::printf(
+      "\ndistributed: queries=%llu cache_hits=%llu whole=%llu\n"
+      "  shards dispatched=%llu completed=%llu retries=%llu stragglers=%llu\n"
+      "  worker_deaths=%llu local_fallbacks=%llu degraded=%llu mutations=%llu\n",
+      static_cast<unsigned long long>(d.queries),
+      static_cast<unsigned long long>(d.cache_hits),
+      static_cast<unsigned long long>(d.whole_queries),
+      static_cast<unsigned long long>(d.shards_dispatched),
+      static_cast<unsigned long long>(d.shards_completed),
+      static_cast<unsigned long long>(d.shard_retries),
+      static_cast<unsigned long long>(d.straggler_redispatches),
+      static_cast<unsigned long long>(d.worker_deaths),
+      static_cast<unsigned long long>(d.local_fallbacks),
+      static_cast<unsigned long long>(d.degraded),
+      static_cast<unsigned long long>(d.mutations));
+
+  coord.drain();
+  if (!args.trace_dir.empty()) export_trace(tracer, args.trace_dir);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -306,6 +492,26 @@ int main(int argc, char** argv) {
         args.config.fallback_sample_roots = cli::parse_u32(arg, cursor.value(arg));
       } else if (arg == "--trace-dir") {
         args.trace_dir = cursor.value(arg);
+      } else if (arg == "--role") {
+        args.role = cursor.value(arg);
+        if (args.role != "standalone" && args.role != "coordinator" &&
+            args.role != "worker") {
+          throw cli::UsageError("--role must be coordinator, worker, or standalone");
+        }
+      } else if (arg == "--listen") {
+        args.listen_spec = cursor.value(arg);
+      } else if (arg == "--connect") {
+        args.connect_spec = cursor.value(arg);
+      } else if (arg == "--expect-workers") {
+        args.expect_workers = cli::parse_size(arg, cursor.value(arg));
+      } else if (arg == "--replication") {
+        args.replication = cli::parse_u32(arg, cursor.value(arg));
+      } else if (arg == "--straggler-ms") {
+        args.straggler_ms = cli::parse_u64(arg, cursor.value(arg));
+      } else if (arg == "--die-after-shards") {
+        args.die_after_shards = cli::parse_u32(arg, cursor.value(arg));
+      } else if (arg == "--connect-attempts") {
+        args.connect_attempts = cli::parse_u32(arg, cursor.value(arg));
       } else if (arg == "--help" || arg == "-h") {
         usage(argv[0]);
       } else if (!arg.empty() && arg[0] == '-') {
@@ -321,12 +527,31 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad argument: %s\n", e.what());
     return 2;
   }
-  if (args.graph_specs.empty()) usage(argv[0]);
+  if (args.role == "worker") {
+    if (args.connect_spec.empty()) {
+      std::fprintf(stderr, "--role worker requires --connect\n");
+      usage(argv[0]);
+    }
+    if (!args.graph_specs.empty()) {
+      std::fprintf(stderr, "--role worker takes no graph arguments "
+                           "(the coordinator says what to load)\n");
+      usage(argv[0]);
+    }
+  } else {
+    if (args.role == "coordinator" && args.listen_spec.empty()) {
+      std::fprintf(stderr, "--role coordinator requires --listen\n");
+      usage(argv[0]);
+    }
+    if (args.graph_specs.empty()) usage(argv[0]);
+  }
 
   trace::Tracer tracer;
   if (!args.trace_dir.empty()) args.config.tracer = &tracer;
 
   try {
+    if (args.role == "worker") return run_worker(args, tracer);
+    if (args.role == "coordinator") return run_coordinator(args, tracer);
+
     service::BcService svc(args.config);
     for (std::size_t i = 0; i < args.graph_specs.size(); ++i) {
       graph::CSRGraph g = cli::load_graph_spec(args.graph_specs[i]);
