@@ -1,101 +1,41 @@
 #include "cpu/brandes.hpp"
 
-#include <algorithm>
-
+#include "cpu/brandes_impl.hpp"
+#include "graph/storage/compressed.hpp"
 #include "graph/types.hpp"
 
 namespace hbc::cpu {
 
 using graph::CSRGraph;
-using graph::kInfDistance;
 using graph::VertexId;
+
+namespace {
+
+// Dispatch on the backing: compressed storages get the streaming decode
+// instantiation (no adjacency materialization on the CPU path); raw
+// backings get the contiguous-span instantiation. Both produce
+// bitwise-identical scores — see brandes_impl.hpp.
+const graph::storage::CompressedStorage* compressed_backing(const CSRGraph& g) {
+  if (!graph::storage::is_compressed(g.residency())) return nullptr;
+  return dynamic_cast<const graph::storage::CompressedStorage*>(g.storage().get());
+}
+
+}  // namespace
 
 void brandes_single_source(const CSRGraph& g, VertexId s, std::span<double> bc,
                            BrandesResult* stats) {
-  const VertexId n = g.num_vertices();
-
-  // Per-source working set; allocation cost is irrelevant for the oracle
-  // (kernels manage reuse explicitly — see kernels/bc_state.hpp).
-  std::vector<std::uint32_t> d(n, kInfDistance);
-  std::vector<double> sigma(n, 0.0);
-  std::vector<double> delta(n, 0.0);
-  std::vector<VertexId> order;  // BFS visit order (the stack S)
-  order.reserve(n);
-
-  d[s] = 0;
-  sigma[s] = 1.0;
-  order.push_back(s);
-
-  // Forward: BFS with path counting.
-  std::size_t head = 0;
-  std::uint64_t traversed = 0;
-  while (head < order.size()) {
-    const VertexId v = order[head++];
-    const std::uint32_t dv = d[v];
-    for (VertexId w : g.neighbors(v)) {
-      ++traversed;
-      if (d[w] == kInfDistance) {
-        d[w] = dv + 1;
-        order.push_back(w);
-      }
-      if (d[w] == dv + 1) {
-        sigma[w] += sigma[v];
-      }
-    }
-  }
-
-  // Backward: successor-form dependency accumulation in reverse BFS order.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const VertexId w = *it;
-    const std::uint32_t dw = d[w];
-    double dsw = 0.0;
-    for (VertexId v : g.neighbors(w)) {
-      if (d[v] == dw + 1) {
-        dsw += (sigma[w] / sigma[v]) * (1.0 + delta[v]);
-      }
-    }
-    delta[w] = dsw;
-    if (w != s) bc[w] += dsw;
-  }
-
-  if (stats != nullptr) {
-    stats->edges_traversed += traversed;
-    const std::uint32_t depth = order.empty() ? 0 : d[order.back()];
-    stats->max_depth_seen = std::max(stats->max_depth_seen, depth);
+  if (const auto* cs = compressed_backing(g)) {
+    detail::brandes_single_source_impl(cs->stream_view(), s, bc, stats);
+  } else {
+    detail::brandes_single_source_impl(g, s, bc, stats);
   }
 }
 
 std::vector<double> single_source_dependencies(const CSRGraph& g, VertexId s) {
-  const VertexId n = g.num_vertices();
-  std::vector<std::uint32_t> d(n, kInfDistance);
-  std::vector<double> sigma(n, 0.0);
-  std::vector<double> delta(n, 0.0);
-  std::vector<VertexId> order;
-  order.reserve(n);
-
-  d[s] = 0;
-  sigma[s] = 1.0;
-  order.push_back(s);
-  std::size_t head = 0;
-  while (head < order.size()) {
-    const VertexId v = order[head++];
-    for (VertexId w : g.neighbors(v)) {
-      if (d[w] == kInfDistance) {
-        d[w] = d[v] + 1;
-        order.push_back(w);
-      }
-      if (d[w] == d[v] + 1) sigma[w] += sigma[v];
-    }
+  if (const auto* cs = compressed_backing(g)) {
+    return detail::single_source_dependencies_impl(cs->stream_view(), s);
   }
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const VertexId w = *it;
-    double dsw = 0.0;
-    for (VertexId v : g.neighbors(w)) {
-      if (d[v] == d[w] + 1) dsw += (sigma[w] / sigma[v]) * (1.0 + delta[v]);
-    }
-    delta[w] = dsw;
-  }
-  return delta;
+  return detail::single_source_dependencies_impl(g, s);
 }
 
 BrandesResult brandes(const CSRGraph& g, const BrandesOptions& options) {

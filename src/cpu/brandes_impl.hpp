@@ -1,0 +1,121 @@
+#pragma once
+
+// Storage-generic core of the Brandes stages (the tentpole of the
+// storage-policy refactor): the traversal is written once against a
+// minimal graph concept —
+//
+//   VertexId num_vertices() const;
+//   <forward range of VertexId> neighbors(VertexId v) const;
+//
+// — and instantiated over both the span-backed CSRGraph facade and
+// storage::CompressedStorage's streaming per-vertex decode view, so the
+// compressed backing never materializes the adjacency on the CPU path.
+// Neighbor iteration order is identical across instantiations, which
+// keeps the floating-point accumulation order — and therefore the BC
+// scores — bitwise-identical per backing.
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cpu/brandes.hpp"
+#include "graph/types.hpp"
+
+namespace hbc::cpu::detail {
+
+template <class G>
+void brandes_single_source_impl(const G& g, graph::VertexId s, std::span<double> bc,
+                                BrandesResult* stats) {
+  using graph::kInfDistance;
+  using graph::VertexId;
+  const VertexId n = g.num_vertices();
+
+  // Per-source working set; allocation cost is irrelevant for the oracle
+  // (kernels manage reuse explicitly — see kernels/bc_state.hpp).
+  std::vector<std::uint32_t> d(n, kInfDistance);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<double> delta(n, 0.0);
+  std::vector<VertexId> order;  // BFS visit order (the stack S)
+  order.reserve(n);
+
+  d[s] = 0;
+  sigma[s] = 1.0;
+  order.push_back(s);
+
+  // Forward: BFS with path counting.
+  std::size_t head = 0;
+  std::uint64_t traversed = 0;
+  while (head < order.size()) {
+    const VertexId v = order[head++];
+    const std::uint32_t dv = d[v];
+    for (const VertexId w : g.neighbors(v)) {
+      ++traversed;
+      if (d[w] == kInfDistance) {
+        d[w] = dv + 1;
+        order.push_back(w);
+      }
+      if (d[w] == dv + 1) {
+        sigma[w] += sigma[v];
+      }
+    }
+  }
+
+  // Backward: successor-form dependency accumulation in reverse BFS order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId w = *it;
+    const std::uint32_t dw = d[w];
+    double dsw = 0.0;
+    for (const VertexId v : g.neighbors(w)) {
+      if (d[v] == dw + 1) {
+        dsw += (sigma[w] / sigma[v]) * (1.0 + delta[v]);
+      }
+    }
+    delta[w] = dsw;
+    if (w != s) bc[w] += dsw;
+  }
+
+  if (stats != nullptr) {
+    stats->edges_traversed += traversed;
+    const std::uint32_t depth = order.empty() ? 0 : d[order.back()];
+    stats->max_depth_seen = std::max(stats->max_depth_seen, depth);
+  }
+}
+
+template <class G>
+std::vector<double> single_source_dependencies_impl(const G& g, graph::VertexId s) {
+  using graph::kInfDistance;
+  using graph::VertexId;
+  const VertexId n = g.num_vertices();
+  std::vector<std::uint32_t> d(n, kInfDistance);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<double> delta(n, 0.0);
+  std::vector<VertexId> order;
+  order.reserve(n);
+
+  d[s] = 0;
+  sigma[s] = 1.0;
+  order.push_back(s);
+  std::size_t head = 0;
+  while (head < order.size()) {
+    const VertexId v = order[head++];
+    for (const VertexId w : g.neighbors(v)) {
+      if (d[w] == kInfDistance) {
+        d[w] = d[v] + 1;
+        order.push_back(w);
+      }
+      if (d[w] == d[v] + 1) sigma[w] += sigma[v];
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId w = *it;
+    double dsw = 0.0;
+    for (const VertexId v : g.neighbors(w)) {
+      if (d[v] == d[w] + 1) dsw += (sigma[w] / sigma[v]) * (1.0 + delta[v]);
+    }
+    delta[w] = dsw;
+  }
+  return delta;
+}
+
+}  // namespace hbc::cpu::detail

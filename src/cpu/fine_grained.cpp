@@ -13,6 +13,14 @@ using graph::CSRGraph;
 using graph::kInfDistance;
 using graph::VertexId;
 
+// Storage note: this engine deliberately stays on the contiguous-span
+// path (g.neighbors()) rather than the streaming decode the serial/
+// parallel Brandes engines use for compressed backings — its workers
+// race over shared frontiers, and per-iterator decode state would defeat
+// the level-synchronous chunking. A compressed-backed graph materializes
+// its adjacency once on first touch (CSRGraph facade) and is then
+// identical to heap.
+
 namespace {
 
 /// Working set shared by all threads for one source.

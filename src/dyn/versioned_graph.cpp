@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "graph/builder.hpp"
+#include "graph/io.hpp"
+#include "graph/storage/storage.hpp"
 
 namespace hbc::dyn {
 
@@ -161,6 +163,38 @@ void VersionedGraph::commit_locked(const CommitResult& staged) {
                      {"edges", staged.after.graph->num_undirected_edges()}});
     }
   }
+}
+
+Epoch VersionedGraph::commit_to_file(const std::string& path, bool compress) const {
+  const Epoch snapshot = current();
+  graph::io::save_binary_v2(*snapshot.graph, path, compress);
+  return snapshot;
+}
+
+Epoch VersionedGraph::reopen_from_file(const std::string& path) {
+  // Fully open and verify outside the lock — mapping and fingerprint
+  // recomputation are O(n+m) and must not block concurrent readers.
+  graph::CSRGraph mapped = graph::io::open_mapped(path);
+  auto reopened = std::make_shared<const graph::CSRGraph>(std::move(mapped));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (reopened->fingerprint() != current_.fingerprint) {
+    throw graph::storage::FormatError(
+        "VersionedGraph::reopen_from_file: '" + path +
+        "' holds a different epoch (fingerprint mismatch with the current one)");
+  }
+  current_.graph = std::move(reopened);  // same epoch id, new backing
+
+  if (tracer_ != nullptr) {
+    trace::Sink* sink = tracer_->thread_sink();
+    if (sink != nullptr && sink->wants(trace::kDyn)) {
+      sink->instant("epoch-reopen", trace::kDyn, tracer_->now_ns(),
+                    {{"epoch", current_.id},
+                     {"mapped_bytes", static_cast<std::uint64_t>(
+                                          current_.graph->storage()->mapped_bytes())}});
+    }
+  }
+  return current_;
 }
 
 }  // namespace hbc::dyn

@@ -122,6 +122,20 @@ class VersionedGraph {
   /// Committed batches that changed the graph (== current().id).
   std::uint64_t commits() const { return epoch_id(); }
 
+  /// Persist the newest committed epoch as a .hbcg (optionally varint-
+  /// compressed) file and return it. The epoch's structural fingerprint
+  /// is embedded in the header, so a later open_mapped() verifies it is
+  /// reopening exactly this epoch. Mutation keeps the heap backing; this
+  /// is the handoff point to the out-of-core serving path.
+  Epoch commit_to_file(const std::string& path, bool compress = false) const;
+
+  /// Swap the current snapshot for a zero-copy mapped view of `path`
+  /// (written by commit_to_file). Throws storage::FormatError if the
+  /// file is corrupt or its fingerprint does not match the current
+  /// epoch's — the epoch id is preserved, only the backing changes.
+  /// In-flight readers keep their heap snapshot. Returns the new epoch.
+  Epoch reopen_from_file(const std::string& path);
+
  private:
   CommitResult stage_locked(const UpdateBatch& batch) const;
   void commit_locked(const CommitResult& staged);

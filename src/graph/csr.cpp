@@ -2,38 +2,100 @@
 
 #include <algorithm>
 #include <sstream>
-#include <stdexcept>
+
+#include "graph/storage/heap.hpp"
 
 namespace hbc::graph {
 
-CSRGraph::CSRGraph(std::vector<EdgeOffset> row_offsets, std::vector<VertexId> col_indices,
-                   bool undirected)
-    : row_offsets_(std::move(row_offsets)),
-      col_indices_(std::move(col_indices)),
-      undirected_(undirected) {
-  if (row_offsets_.empty()) {
-    throw std::invalid_argument("CSRGraph: row_offsets must have at least one entry");
-  }
-  if (row_offsets_.front() != 0) {
-    throw std::invalid_argument("CSRGraph: row_offsets must start at 0");
-  }
-  if (row_offsets_.back() != col_indices_.size()) {
-    throw std::invalid_argument("CSRGraph: row_offsets must end at col_indices.size()");
-  }
-  if (!std::is_sorted(row_offsets_.begin(), row_offsets_.end())) {
-    throw std::invalid_argument("CSRGraph: row_offsets must be non-decreasing");
-  }
-  const VertexId n = num_vertices();
-  for (VertexId c : col_indices_) {
-    if (c >= n) throw std::invalid_argument("CSRGraph: column index out of range");
-  }
+namespace {
 
-  edge_sources_.resize(col_indices_.size());
-  for (VertexId v = 0; v < n; ++v) {
-    for (EdgeOffset e = row_offsets_[v]; e < row_offsets_[v + 1]; ++e) {
-      edge_sources_[e] = v;
-    }
+// Non-null stand-in for an empty column array so neighbors() arithmetic
+// stays defined when m == 0 (every row offset is 0).
+const VertexId kEmptyCols = 0;
+
+std::shared_ptr<const storage::Storage> empty_storage() {
+  static const std::shared_ptr<const storage::Storage> kEmpty =
+      std::make_shared<storage::HeapStorage>(std::vector<EdgeOffset>{0},
+                                             std::vector<VertexId>{}, true);
+  return kEmpty;
+}
+
+}  // namespace
+
+void CSRGraph::init_from_storage() noexcept {
+  rows_ = storage_->row_offsets();
+  m_ = storage_->num_edges();
+  undirected_ = storage_->undirected();
+  if (!storage::is_compressed(storage_->residency())) {
+    // Raw backings are already resident — pin the pointer eagerly so the
+    // hot path never branches to the slow path.
+    const VertexId* cols = storage_->col_indices().data();
+    cols_.store(cols != nullptr ? cols : &kEmptyCols, std::memory_order_release);
   }
+}
+
+CSRGraph::CSRGraph() : storage_(empty_storage()) { init_from_storage(); }
+
+CSRGraph::CSRGraph(std::vector<EdgeOffset> row_offsets,
+                   std::vector<VertexId> col_indices, bool undirected)
+    : storage_(std::make_shared<storage::HeapStorage>(
+          std::move(row_offsets), std::move(col_indices), undirected)) {
+  init_from_storage();
+}
+
+CSRGraph::CSRGraph(std::shared_ptr<const storage::Storage> storage)
+    : storage_(std::move(storage)) {
+  if (storage_ == nullptr) storage_ = empty_storage();
+  init_from_storage();
+}
+
+CSRGraph::CSRGraph(const CSRGraph& other)
+    : storage_(other.storage_),
+      rows_(other.rows_),
+      m_(other.m_),
+      undirected_(other.undirected_) {
+  cols_.store(other.cols_.load(std::memory_order_acquire), std::memory_order_release);
+}
+
+CSRGraph& CSRGraph::operator=(const CSRGraph& other) {
+  if (this != &other) {
+    storage_ = other.storage_;
+    rows_ = other.rows_;
+    m_ = other.m_;
+    undirected_ = other.undirected_;
+    cols_.store(other.cols_.load(std::memory_order_acquire),
+                std::memory_order_release);
+  }
+  return *this;
+}
+
+CSRGraph::CSRGraph(CSRGraph&& other) noexcept
+    : storage_(std::move(other.storage_)),
+      rows_(other.rows_),
+      m_(other.m_),
+      undirected_(other.undirected_) {
+  cols_.store(other.cols_.load(std::memory_order_acquire), std::memory_order_release);
+}
+
+CSRGraph& CSRGraph::operator=(CSRGraph&& other) noexcept {
+  if (this != &other) {
+    storage_ = std::move(other.storage_);
+    rows_ = other.rows_;
+    m_ = other.m_;
+    undirected_ = other.undirected_;
+    cols_.store(other.cols_.load(std::memory_order_acquire),
+                std::memory_order_release);
+  }
+  return *this;
+}
+
+const VertexId* CSRGraph::cols_data_slow() const {
+  // Compressed backing: materialize (thread-safe inside the storage) and
+  // cache the pointer. Concurrent callers publish the same value.
+  const VertexId* cols = storage_->col_indices().data();
+  if (cols == nullptr) cols = &kEmptyCols;
+  cols_.store(cols, std::memory_order_release);
+  return cols;
 }
 
 VertexId CSRGraph::max_degree() const noexcept {
@@ -51,38 +113,17 @@ double CSRGraph::average_degree() const noexcept {
 }
 
 std::size_t CSRGraph::storage_bytes() const noexcept {
-  return row_offsets_.size() * sizeof(EdgeOffset) +
-         col_indices_.size() * sizeof(VertexId) +
-         edge_sources_.size() * sizeof(VertexId);
-}
-
-std::uint64_t CSRGraph::fingerprint() const noexcept {
-  constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-  constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-  const auto mix = [](std::uint64_t& h, const void* data, std::size_t len) noexcept {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < len; ++i) {
-      h ^= p[i];
-      h *= kFnvPrime;
-    }
-  };
-  std::uint64_t h = kFnvOffset;
-  const std::uint64_t n = num_vertices();
-  const std::uint64_t m = num_directed_edges();
-  const std::uint64_t undirected = undirected_ ? 1 : 0;
-  mix(h, &n, sizeof(n));
-  mix(h, &m, sizeof(m));
-  mix(h, &undirected, sizeof(undirected));
-  mix(h, row_offsets_.data(), row_offsets_.size() * sizeof(EdgeOffset));
-  mix(h, col_indices_.data(), col_indices_.size() * sizeof(VertexId));
-  return h;
+  // As-if-heap footprint (rows + cols + edge_sources), the historical
+  // meaning: what uploading to a simulated device costs.
+  return storage_->decoded_row_bytes() + 2 * storage_->decoded_adjacency_bytes();
 }
 
 std::string CSRGraph::summary() const {
   std::ostringstream os;
   os << "n=" << num_vertices() << " m=" << num_undirected_edges()
      << (undirected_ ? " (undirected)" : " (directed)")
-     << " max_deg=" << max_degree();
+     << " max_deg=" << max_degree() << " [" << storage::to_string(residency())
+     << "]";
   return os.str();
 }
 

@@ -3,10 +3,15 @@
 #include <charconv>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
 
 #include "graph/builder.hpp"
+#include "graph/storage/compressed.hpp"
+#include "graph/storage/mmap_csr.hpp"
+#include "graph/storage/varint.hpp"
+#include "util/mmap_file.hpp"
 
 namespace hbc::graph::io {
 
@@ -59,6 +64,7 @@ CSRGraph read_auto(const std::string& path) {
   };
   if (ends_with(".graph") || ends_with(".metis")) return read_metis_file(path);
   if (ends_with(".mtx")) return read_matrix_market_file(path);
+  if (ends_with(".hbcg") || ends_with(".hbcgz")) return open_mapped(path);
   if (ends_with(".hbc")) return read_binary_file(path);
   return read_edge_list_file(path);
 }
@@ -293,6 +299,123 @@ void write_binary_file(const CSRGraph& g, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw ParseError("cannot write file: " + path);
   write_binary(g, out);
+}
+
+namespace {
+
+constexpr std::uint64_t align_up(std::uint64_t offset) {
+  return (offset + storage::kSectionAlign - 1) & ~(storage::kSectionAlign - 1);
+}
+
+void pad_to(std::ostream& out, std::uint64_t current, std::uint64_t target) {
+  static constexpr char kZeros[storage::kSectionAlign] = {};
+  out.write(kZeros, static_cast<std::streamsize>(target - current));
+}
+
+}  // namespace
+
+void save_binary_v2(const CSRGraph& g, const std::string& path, bool compress) {
+  const auto rows = g.row_offsets();
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_directed_edges();
+  const std::uint64_t row_bytes = (n + 1) * sizeof(EdgeOffset);
+
+  // Encode (or reuse) the compressed adjacency before laying out sections.
+  std::vector<std::uint8_t> encoded;
+  std::vector<EdgeOffset> aux;
+  std::span<const std::uint8_t> enc_span;
+  std::span<const EdgeOffset> aux_span;
+  if (compress) {
+    if (const auto* cs =
+            dynamic_cast<const storage::CompressedStorage*>(g.storage().get())) {
+      enc_span = cs->encoded();
+      aux_span = cs->byte_offsets();
+    } else {
+      aux.reserve(rows.size());
+      aux.push_back(0);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        storage::encode_adjacency(encoded, v, g.neighbors(v));
+        aux.push_back(encoded.size());
+      }
+      enc_span = encoded;
+      aux_span = aux;
+    }
+  }
+
+  storage::FileHeader h;
+  h.flags = (compress ? storage::kFlagCompressed : 0u) |
+            (g.undirected() ? storage::kFlagUndirected : 0u);
+  h.num_vertices = n;
+  h.num_edges = m;
+  h.fingerprint = g.fingerprint();
+  h.row_section = align_up(storage::kHeaderBytes);
+  if (compress) {
+    h.aux_section = align_up(h.row_section + row_bytes);
+    h.adj_section = align_up(h.aux_section + row_bytes);
+    h.adj_bytes = enc_span.size();
+  } else {
+    h.aux_section = 0;
+    h.adj_section = align_up(h.row_section + row_bytes);
+    h.adj_bytes = m * sizeof(VertexId);
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ParseError("cannot write file: " + path);
+
+  std::uint8_t header[storage::kHeaderBytes];
+  h.serialize(header);
+  out.write(reinterpret_cast<const char*>(header), storage::kHeaderBytes);
+  pad_to(out, storage::kHeaderBytes, h.row_section);
+  out.write(reinterpret_cast<const char*>(rows.data()),
+            static_cast<std::streamsize>(row_bytes));
+  if (compress) {
+    pad_to(out, h.row_section + row_bytes, h.aux_section);
+    out.write(reinterpret_cast<const char*>(aux_span.data()),
+              static_cast<std::streamsize>(aux_span.size() * sizeof(EdgeOffset)));
+    pad_to(out, h.aux_section + row_bytes, h.adj_section);
+    out.write(reinterpret_cast<const char*>(enc_span.data()),
+              static_cast<std::streamsize>(enc_span.size()));
+  } else {
+    pad_to(out, h.row_section + row_bytes, h.adj_section);
+    const auto cols = g.col_indices();
+    out.write(reinterpret_cast<const char*>(cols.data()),
+              static_cast<std::streamsize>(cols.size() * sizeof(VertexId)));
+  }
+  out.flush();
+  if (!out) throw ParseError("short write to file: " + path);
+}
+
+CSRGraph open_mapped(const std::string& path, const OpenOptions& options) {
+  std::shared_ptr<const util::MmapFile> file;
+  try {
+    file = std::make_shared<util::MmapFile>(path);
+  } catch (const std::runtime_error& e) {
+    throw storage::FormatError(e.what());
+  }
+  const storage::FileHeader h =
+      storage::FileHeader::parse(file->data(), file->size(), path);
+
+  std::shared_ptr<const storage::Storage> backing;
+  if (h.compressed()) {
+    backing = std::make_shared<storage::CompressedStorage>(std::move(file), h,
+                                                           options.validate);
+  } else {
+    backing = std::make_shared<storage::MappedStorage>(std::move(file), h,
+                                                       options.validate);
+  }
+
+  if (options.verify_fingerprint) {
+    // Recomputed from the mapped data — the header's claim is checked,
+    // never trusted. This is the value the net fleet compares per worker.
+    const std::uint64_t computed = backing->fingerprint();
+    if (computed != h.fingerprint) {
+      throw storage::FormatError(
+          "hbcg '" + path + "': fingerprint mismatch (header says " +
+          std::to_string(h.fingerprint) + ", data hashes to " +
+          std::to_string(computed) + ")");
+    }
+  }
+  return CSRGraph(std::move(backing));
 }
 
 void write_matrix_market(const CSRGraph& g, std::ostream& out) {

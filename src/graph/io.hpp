@@ -57,4 +57,27 @@ CSRGraph read_binary(std::istream& in);
 CSRGraph read_binary_file(const std::string& path);
 void write_binary_file(const CSRGraph& g, const std::string& path);
 
+/// How open_mapped treats the file's self-descriptions. The defaults
+/// trust nothing: structure is validated and the embedded fingerprint is
+/// recomputed from the mapped data and compared. Disable only for files
+/// this process just wrote.
+struct OpenOptions {
+  bool validate = true;            ///< structural validation (rows/cols/stream)
+  bool verify_fingerprint = true;  ///< recompute and compare to the header's
+};
+
+/// Write `g` as a v2 ".hbcg" container: 128-byte header (magic, version,
+/// flags, counts, embedded structural fingerprint) followed by 64-byte-
+/// aligned row-offset and adjacency sections. With `compress` the
+/// adjacency is delta/varint coded (conventionally ".hbcgz") plus an aux
+/// per-vertex byte-offset section. Layout table in docs/storage.md.
+void save_binary_v2(const CSRGraph& g, const std::string& path,
+                    bool compress = false);
+
+/// mmap an ".hbcg"/".hbcgz" file and wrap it zero-copy: the returned
+/// graph's arrays point straight into the page cache, so every process
+/// opening the same file shares one physical copy. Corrupt or truncated
+/// files throw storage::FormatError (typed, never UB).
+CSRGraph open_mapped(const std::string& path, const OpenOptions& options = {});
+
 }  // namespace hbc::graph::io

@@ -1,0 +1,23 @@
+#include "graph/storage/heap.hpp"
+
+namespace hbc::graph::storage {
+
+HeapStorage::HeapStorage(std::vector<EdgeOffset> row_offsets,
+                         std::vector<VertexId> col_indices, bool undirected)
+    : Storage(undirected, Residency::kHeap),
+      rows_store_(std::move(row_offsets)),
+      cols_(std::move(col_indices)) {
+  // Error strings keep the historical "CSRGraph:" prefix — this is the
+  // validation path behind the public CSRGraph array constructor.
+  validate_csr(rows_store_, cols_, "CSRGraph", /*as_format_error=*/false);
+  rows_ = rows_store_;
+  m_ = static_cast<EdgeOffset>(cols_.size());
+}
+
+std::uint64_t HeapStorage::compute_fingerprint() const {
+  std::uint64_t h = fingerprint_prefix();
+  fnv_mix(h, cols_.data(), cols_.size() * sizeof(VertexId));
+  return h;
+}
+
+}  // namespace hbc::graph::storage

@@ -1,0 +1,41 @@
+#pragma once
+
+// Heap-vector storage backing — the original CSRGraph representation,
+// now one policy among three. Still the right choice for graphs built
+// programmatically (generators, dyn::VersionedGraph epochs) and for
+// anything comfortably smaller than RAM.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/storage/storage.hpp"
+
+namespace hbc::graph::storage {
+
+class HeapStorage final : public Storage {
+ public:
+  /// Takes ownership of prebuilt CSR arrays and validates them
+  /// (throws std::invalid_argument on violations — API misuse, not
+  /// file corruption).
+  HeapStorage(std::vector<EdgeOffset> row_offsets, std::vector<VertexId> col_indices,
+              bool undirected);
+
+  std::span<const VertexId> col_indices() const override { return cols_; }
+
+  std::size_t resident_bytes() const noexcept override {
+    return rows_store_.size() * sizeof(EdgeOffset) +
+           cols_.size() * sizeof(VertexId) + edge_sources_resident_bytes();
+  }
+  std::size_t adjacency_bytes() const noexcept override {
+    return cols_.size() * sizeof(VertexId);
+  }
+
+ private:
+  std::uint64_t compute_fingerprint() const override;
+
+  std::vector<EdgeOffset> rows_store_;
+  std::vector<VertexId> cols_;
+};
+
+}  // namespace hbc::graph::storage

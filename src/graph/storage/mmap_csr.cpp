@@ -1,0 +1,30 @@
+#include "graph/storage/mmap_csr.hpp"
+
+namespace hbc::graph::storage {
+
+MappedStorage::MappedStorage(std::shared_ptr<const util::MmapFile> file,
+                             const FileHeader& header, bool validate)
+    : Storage(header.undirected(), Residency::kMapped), file_(std::move(file)) {
+  // FileHeader::parse already bounds-checked every section against the
+  // file size and kSectionAlign keeps both arrays suitably aligned for
+  // their element types.
+  const std::uint8_t* base = file_->data();
+  rows_ = {reinterpret_cast<const EdgeOffset*>(base + header.row_section),
+           static_cast<std::size_t>(header.num_vertices + 1)};
+  cols_ = {reinterpret_cast<const VertexId*>(base + header.adj_section),
+           static_cast<std::size_t>(header.num_edges)};
+  m_ = static_cast<EdgeOffset>(header.num_edges);
+
+  if (validate) {
+    validate_csr(rows_, cols_, "hbcg '" + file_->path() + "'",
+                 /*as_format_error=*/true);
+  }
+}
+
+std::uint64_t MappedStorage::compute_fingerprint() const {
+  std::uint64_t h = fingerprint_prefix();
+  fnv_mix(h, cols_.data(), cols_.size() * sizeof(VertexId));
+  return h;
+}
+
+}  // namespace hbc::graph::storage

@@ -1,0 +1,48 @@
+#pragma once
+
+// Mapped storage backing: a raw-CSR .hbcg file mmap'd read-only and
+// used in place. Row offsets and column indices are spans straight into
+// the page cache — no heap copy of the graph is ever made, so N worker
+// processes mapping the same file share one physical copy (the
+// out-of-core serving mode; see docs/storage.md).
+
+#include <memory>
+#include <span>
+
+#include "graph/storage/storage.hpp"
+#include "util/mmap_file.hpp"
+
+namespace hbc::graph::storage {
+
+class MappedStorage final : public Storage {
+ public:
+  /// Wrap an already-parsed uncompressed header over `file`. With
+  /// `validate` the CSR structure (monotone rows, in-range columns) is
+  /// checked up front and violations throw FormatError; skipping it
+  /// trusts the file and is only for reopening files this process just
+  /// wrote. Alignment guarantees of the format make the reinterpreted
+  /// spans well-defined.
+  MappedStorage(std::shared_ptr<const util::MmapFile> file, const FileHeader& header,
+                bool validate);
+
+  std::span<const VertexId> col_indices() const override { return cols_; }
+
+  std::size_t resident_bytes() const noexcept override {
+    return edge_sources_resident_bytes();
+  }
+  std::size_t mapped_bytes() const noexcept override { return file_->size(); }
+  std::size_t adjacency_bytes() const noexcept override {
+    return cols_.size() * sizeof(VertexId);
+  }
+  std::size_t file_bytes() const noexcept override { return file_->size(); }
+
+  const util::MmapFile& file() const noexcept { return *file_; }
+
+ private:
+  std::uint64_t compute_fingerprint() const override;
+
+  std::shared_ptr<const util::MmapFile> file_;
+  std::span<const VertexId> cols_;
+};
+
+}  // namespace hbc::graph::storage

@@ -1,0 +1,105 @@
+#pragma once
+
+// LEB128 varint + zigzag delta coding for adjacency lists.
+//
+// The compressed .hbcg adjacency section stores each vertex's neighbor
+// list as deltas: the first neighbor is encoded as zigzag(first - v)
+// (gap from the owning vertex — small for the local edges that dominate
+// real graphs), and each subsequent neighbor as zigzag(cur - prev).
+// Deltas may be negative (neighbor lists are stored in their original
+// order, NOT re-sorted, so decode reproduces the exact iteration order
+// the heap CSR has — a requirement for bitwise-identical BC scores).
+//
+// Decode is defensive: every get_* takes an end pointer and returns
+// nullptr on truncation or overlong encodings (> 10 bytes), so corrupt
+// files surface as typed errors, never out-of-bounds reads. Same
+// discipline as net::wire.
+
+#include <cstdint>
+#include <vector>
+
+namespace hbc::graph::storage {
+
+inline constexpr int kMaxVarintBytes = 10;  // ceil(64 / 7)
+
+/// Append the LEB128 encoding of `value` to `out`.
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Decode one LEB128 varint from [p, end). On success stores the value
+/// and returns the position one past the last byte consumed; on
+/// truncation or an overlong (> 10 byte) encoding returns nullptr.
+inline const std::uint8_t* get_u64(const std::uint8_t* p, const std::uint8_t* end,
+                                   std::uint64_t& value) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < kMaxVarintBytes; ++i) {
+    if (p == end) return nullptr;
+    const std::uint8_t byte = *p++;
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject encodings whose final byte carries bits beyond 64.
+      if (i == kMaxVarintBytes - 1 && (byte & 0x7e) != 0) return nullptr;
+      value = v;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;  // continuation bit still set after 10 bytes
+}
+
+/// Zigzag map: signed delta -> unsigned varint payload (small magnitudes,
+/// either sign, encode short).
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Encode one vertex's neighbor list (order preserved) into `out`.
+/// `v` is the owning vertex: the first gap is relative to it.
+template <class NeighborRange>
+inline void encode_adjacency(std::vector<std::uint8_t>& out, std::uint32_t v,
+                             const NeighborRange& neighbors) {
+  std::int64_t prev = static_cast<std::int64_t>(v);
+  bool first = true;
+  for (const std::uint32_t u : neighbors) {
+    const std::int64_t cur = static_cast<std::int64_t>(u);
+    put_u64(out, zigzag(cur - prev));
+    prev = cur;
+    first = false;
+  }
+  (void)first;  // degree-0 vertices legitimately emit nothing
+}
+
+/// Decode `degree` neighbors of vertex `v` from [p, end) into `out`
+/// (appended). Returns the position after the last byte consumed, or
+/// nullptr if the stream is truncated, overlong, or decodes a value
+/// outside [0, num_vertices).
+inline const std::uint8_t* decode_adjacency(const std::uint8_t* p,
+                                            const std::uint8_t* end,
+                                            std::uint32_t v, std::uint64_t degree,
+                                            std::uint32_t num_vertices,
+                                            std::uint32_t* out) {
+  std::int64_t prev = static_cast<std::int64_t>(v);
+  for (std::uint64_t i = 0; i < degree; ++i) {
+    std::uint64_t raw = 0;
+    p = get_u64(p, end, raw);
+    if (p == nullptr) return nullptr;
+    const std::int64_t cur = prev + unzigzag(raw);
+    if (cur < 0 || cur >= static_cast<std::int64_t>(num_vertices)) return nullptr;
+    out[i] = static_cast<std::uint32_t>(cur);
+    prev = cur;
+  }
+  return p;
+}
+
+}  // namespace hbc::graph::storage

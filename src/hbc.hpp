@@ -28,12 +28,17 @@
 //   hbc::dist     multi-device scaling model
 //   hbc::util     cancellation, RNG, timers, stats
 
-// Graph construction, generation, and I/O.
+// Graph construction, generation, and I/O — including the storage-policy
+// layer (heap / mmap'd .hbcg / varint-compressed; docs/storage.md).
 #include "graph/algorithms.hpp"
 #include "graph/builder.hpp"
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/storage/compressed.hpp"
+#include "graph/storage/heap.hpp"
+#include "graph/storage/mmap_csr.hpp"
+#include "graph/storage/storage.hpp"
 #include "graph/transforms.hpp"
 #include "graph/types.hpp"
 
@@ -75,6 +80,7 @@
 
 // Cross-cutting utilities that appear in public signatures.
 #include "util/cancel.hpp"
+#include "util/mmap_file.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"

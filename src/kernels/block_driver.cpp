@@ -36,14 +36,14 @@ BlockDriver::BlockDriver(const CSRGraph& g, const RunConfig& config,
 
   // Device-memory layout: the replicated graph arrays, then each block's
   // local structures — the same ledger order as the serial drivers, so
-  // high-water marks (and OOM behaviour) are unchanged.
+  // high-water marks (and OOM behaviour) are unchanged. Graph arrays are
+  // charged at the storage policy's *decoded* sizes: the simulated upload
+  // decompresses, so the ledger is identical across backings.
   auto& mem = device_.memory();
-  mem.allocate((static_cast<std::uint64_t>(g.num_vertices()) + 1) *
-                   sizeof(graph::EdgeOffset),
-               "csr.row_offsets");
-  mem.allocate(g.num_directed_edges() * sizeof(VertexId), "csr.col_indices");
+  mem.allocate(g.storage()->decoded_row_bytes(), "csr.row_offsets");
+  mem.allocate(g.storage()->decoded_adjacency_bytes(), "csr.col_indices");
   if (layout.needs_edge_sources) {
-    mem.allocate(g.num_directed_edges() * sizeof(VertexId), "csr.edge_sources");
+    mem.allocate(g.storage()->decoded_adjacency_bytes(), "csr.edge_sources");
   }
   mem.allocate(static_cast<std::uint64_t>(g.num_vertices()) * sizeof(double),
                "bc.global");

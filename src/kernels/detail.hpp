@@ -25,14 +25,18 @@ inline std::vector<graph::VertexId> resolve_roots(const graph::CSRGraph& g,
 
 /// Register the replicated graph arrays on the device ledger. Edge-
 /// parallel kernels additionally keep the per-edge source lookup.
+/// Charged via the storage policy's *decoded* sizes: uploading to the
+/// simulated device always decompresses, so the ledger (and therefore
+/// OOM behaviour and metrics) is identical across heap/mapped/compressed
+/// backings of the same graph.
 inline void allocate_graph(gpusim::Device& device, const graph::CSRGraph& g,
                            bool needs_edge_sources) {
+  const auto& storage = *g.storage();
   auto& mem = device.memory();
-  mem.allocate((static_cast<std::uint64_t>(g.num_vertices()) + 1) * sizeof(graph::EdgeOffset),
-               "csr.row_offsets");
-  mem.allocate(g.num_directed_edges() * sizeof(graph::VertexId), "csr.col_indices");
+  mem.allocate(storage.decoded_row_bytes(), "csr.row_offsets");
+  mem.allocate(storage.decoded_adjacency_bytes(), "csr.col_indices");
   if (needs_edge_sources) {
-    mem.allocate(g.num_directed_edges() * sizeof(graph::VertexId), "csr.edge_sources");
+    mem.allocate(storage.decoded_adjacency_bytes(), "csr.edge_sources");
   }
   mem.allocate(static_cast<std::uint64_t>(g.num_vertices()) * sizeof(double), "bc.global");
 }

@@ -16,6 +16,11 @@ using Clock = std::chrono::steady_clock;
 namespace {
 
 // "gen:family:scale[:seed]" → generated graph; anything else is a path.
+// Paths ending in .hbcg/.hbcgz open mmap'd (graph::io::read_auto), so a
+// whole worker fleet pointed at one file shares a single page-cache copy
+// of the adjacency — and the coordinator's fingerprint check below
+// compares against a value recomputed from the mapped bytes, never the
+// file header's own claim.
 graph::CSRGraph default_loader(const std::string& spec) {
   if (spec.rfind("gen:", 0) != 0) return graph::io::read_auto(spec);
   const std::string rest = spec.substr(4);

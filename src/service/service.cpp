@@ -1,11 +1,13 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <thread>
 
 #include "gpusim/faults.hpp"
 #include "gpusim/memory.hpp"
+#include "graph/io.hpp"
 #include "util/timer.hpp"
 
 namespace hbc::service {
@@ -67,6 +69,23 @@ void BcService::load_graph(const std::string& id,
   graphs_[id] = std::move(entry);
 }
 
+std::uint64_t BcService::load_graph_file(const std::string& id,
+                                         const std::string& path) {
+  const auto ends_with = [&](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  // .hbcg/.hbcgz open zero-copy (register-by-path → mmap); everything
+  // else goes through the format loaders into heap. read_auto would make
+  // the same choice, but dispatching here keeps the intent explicit.
+  graph::CSRGraph g = (ends_with(".hbcg") || ends_with(".hbcgz"))
+                          ? graph::io::open_mapped(path)
+                          : graph::io::read_auto(path);
+  const std::uint64_t fingerprint = g.fingerprint();
+  load_graph(id, std::make_shared<const graph::CSRGraph>(std::move(g)));
+  return fingerprint;
+}
+
 bool BcService::evict_graph(const std::string& id) {
   std::uint64_t fingerprint = 0;
   {
@@ -100,6 +119,25 @@ std::shared_ptr<const graph::CSRGraph> BcService::graph(const std::string& id) c
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = graphs_.find(id);
   return it == graphs_.end() ? nullptr : it->second.graph;
+}
+
+std::optional<BcService::GraphInfo> BcService::graph_info(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = graphs_.find(id);
+  if (it == graphs_.end()) return std::nullopt;
+  const GraphEntry& entry = it->second;
+  const auto& storage = *entry.graph->storage();
+  GraphInfo info;
+  info.fingerprint = entry.fingerprint;
+  info.epoch = entry.epoch;
+  info.residency = storage.residency();
+  info.num_vertices = entry.graph->num_vertices();
+  info.num_directed_edges = entry.graph->num_directed_edges();
+  info.resident_bytes = storage.resident_bytes();
+  info.mapped_bytes = storage.mapped_bytes();
+  info.adjacency_bytes = storage.adjacency_bytes();
+  info.decoded_bytes = storage.decoded_row_bytes() + storage.decoded_adjacency_bytes();
+  return info;
 }
 
 std::uint64_t BcService::graph_epoch(const std::string& id) const {
@@ -753,6 +791,27 @@ MetricsSnapshot BcService::metrics() const {
   s.queue_peak_depth = queue_.peak_depth();
   s.workers = workers_;
   return s;
+}
+
+std::string BcService::metrics_report() const {
+  std::string out = format_report(metrics());
+  for (const std::string& id : graph_ids()) {
+    const auto info = graph_info(id);
+    if (!info) continue;  // evicted between the two calls
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "graph %-12s residency=%-17s n=%u m=%llu resident=%.1fMiB "
+                  "mapped=%.1fMiB adjacency=%.1fMiB epoch=%llu\n",
+                  id.c_str(), graph::storage::to_string(info->residency),
+                  info->num_vertices,
+                  static_cast<unsigned long long>(info->num_directed_edges),
+                  static_cast<double>(info->resident_bytes) / (1024.0 * 1024.0),
+                  static_cast<double>(info->mapped_bytes) / (1024.0 * 1024.0),
+                  static_cast<double>(info->adjacency_bytes) / (1024.0 * 1024.0),
+                  static_cast<unsigned long long>(info->epoch));
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace hbc::service

@@ -34,6 +34,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -220,12 +221,35 @@ class BcService {
   void load_graph(const std::string& id, graph::CSRGraph g);
   void load_graph(const std::string& id, std::shared_ptr<const graph::CSRGraph> g);
 
+  /// Register a graph from a file path. ".hbcg"/".hbcgz" files are
+  /// mmap'd and served zero-copy in place (residency `mapped` — N
+  /// processes loading the same path share one page-cache copy); any
+  /// other format loads to heap via graph::io::read_auto. The embedded
+  /// fingerprint of mapped files is re-verified against the data before
+  /// the graph is servable; corrupt files throw storage::FormatError.
+  /// Returns the registered graph's fingerprint.
+  std::uint64_t load_graph_file(const std::string& id, const std::string& path);
+
   /// Unregister `id` and drop its cached results. In-flight jobs keep a
   /// reference and finish normally. Returns false if `id` was unknown.
   bool evict_graph(const std::string& id);
 
   std::vector<std::string> graph_ids() const;
   std::shared_ptr<const graph::CSRGraph> graph(const std::string& id) const;
+
+  /// Storage-level facts about a registered graph (docs/storage.md).
+  struct GraphInfo {
+    std::uint64_t fingerprint = 0;
+    std::uint64_t epoch = 0;
+    graph::storage::Residency residency = graph::storage::Residency::kHeap;
+    graph::VertexId num_vertices = 0;
+    graph::EdgeOffset num_directed_edges = 0;
+    std::size_t resident_bytes = 0;   ///< heap bytes held right now
+    std::size_t mapped_bytes = 0;     ///< bytes referenced via mmap
+    std::size_t adjacency_bytes = 0;  ///< adjacency as stored (encoded if compressed)
+    std::size_t decoded_bytes = 0;    ///< rows+cols once decoded/uploaded
+  };
+  std::optional<GraphInfo> graph_info(const std::string& id) const;
 
   /// Apply a batch of edge updates to a registered graph, committing a new
   /// epoch (dyn::VersionedGraph copy-on-write: in-flight queries keep
@@ -276,7 +300,10 @@ class BcService {
   std::size_t worker_count() const noexcept;
   std::size_t queue_depth() const { return queue_.depth(); }
   MetricsSnapshot metrics() const;
-  std::string metrics_report() const { return format_report(metrics()); }
+  /// format_report(metrics()) plus one storage line per registered graph
+  /// (residency kind, resident/mapped bytes) — how an operator confirms a
+  /// fleet is actually serving a graph mapped rather than from heap.
+  std::string metrics_report() const;
 
  private:
   struct GraphEntry {

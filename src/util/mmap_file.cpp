@@ -1,0 +1,141 @@
+#include "util/mmap_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HBC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define HBC_HAVE_MMAP 0
+#include <cstdio>
+#endif
+
+namespace hbc::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error("MmapFile: " + std::string(what) + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+#if HBC_HAVE_MMAP
+
+MmapFile::MmapFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail(path, "cannot open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail(path, "cannot stat");
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (p == MAP_FAILED) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      size_ = 0;
+      fail(path, "cannot mmap");
+    }
+    data_ = static_cast<const std::uint8_t*>(p);
+  }
+  // The mapping keeps the file alive; the descriptor is no longer needed.
+  ::close(fd);
+}
+
+void MmapFile::reset() noexcept {
+  if (data_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+void MmapFile::advise_sequential() const noexcept {
+  if (data_ != nullptr && size_ > 0) {
+    (void)::madvise(const_cast<std::uint8_t*>(data_), size_, MADV_SEQUENTIAL);
+  }
+}
+
+void MmapFile::advise_random() const noexcept {
+  if (data_ != nullptr && size_ > 0) {
+    (void)::madvise(const_cast<std::uint8_t*>(data_), size_, MADV_RANDOM);
+  }
+}
+
+#else  // !HBC_HAVE_MMAP — read the whole file into a heap buffer. Loses
+       // page-cache sharing but keeps the API and zero external deps.
+
+MmapFile::MmapFile(const std::string& path) : path_(path), heap_fallback_(true) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) fail(path, "cannot open");
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (end < 0) {
+    std::fclose(f);
+    fail(path, "cannot stat");
+  }
+  size_ = static_cast<std::size_t>(end);
+  if (size_ > 0) {
+    auto* buf = new std::uint8_t[size_];
+    const std::size_t got = std::fread(buf, 1, size_, f);
+    std::fclose(f);
+    if (got != size_) {
+      delete[] buf;
+      size_ = 0;
+      fail(path, "short read from");
+    }
+    data_ = buf;
+  } else {
+    std::fclose(f);
+  }
+}
+
+void MmapFile::reset() noexcept {
+  if (heap_fallback_) delete[] data_;
+  data_ = nullptr;
+  size_ = 0;
+}
+
+void MmapFile::advise_sequential() const noexcept {}
+void MmapFile::advise_random() const noexcept {}
+
+#endif  // HBC_HAVE_MMAP
+
+MmapFile::~MmapFile() { reset(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      path_(std::move(other.path_)),
+      heap_fallback_(other.heap_fallback_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    heap_fallback_ = other.heap_fallback_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+}  // namespace hbc::util

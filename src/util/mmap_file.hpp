@@ -1,0 +1,57 @@
+#pragma once
+
+// Read-only memory-mapped file with RAII lifetime.
+//
+// The storage layer maps on-disk .hbcg graphs with MAP_SHARED so every
+// process serving the same file shares one physical copy through the OS
+// page cache — the mechanism that lets an hbc-serve worker fleet hold a
+// bigger-than-RAM graph without per-worker duplication (docs/storage.md).
+//
+// The mapping is immutable for its whole lifetime; storages hold the file
+// via shared_ptr<const MmapFile> and hand out spans into it, so a graph
+// snapshot can outlive the object that opened it.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hbc::util {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+
+  /// Map `path` read-only. Throws std::runtime_error with a descriptive
+  /// message if the file cannot be opened, stat'ed, or mapped. An empty
+  /// file maps successfully with size() == 0 and data() == nullptr.
+  explicit MmapFile(const std::string& path);
+
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  bool valid() const noexcept { return data_ != nullptr || size_ == 0; }
+  const std::uint8_t* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Advise the kernel that the mapping will be read sequentially /
+  /// with random access. Best-effort: a failed or unsupported madvise
+  /// is silently ignored (purely a readahead hint).
+  void advise_sequential() const noexcept;
+  void advise_random() const noexcept;
+
+ private:
+  void reset() noexcept;
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+  bool heap_fallback_ = false;  // non-POSIX builds read into a heap buffer
+};
+
+}  // namespace hbc::util

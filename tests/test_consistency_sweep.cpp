@@ -6,11 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
 
+#include "core/bc.hpp"
 #include "cpu/brandes.hpp"
 #include "cpu/parallel_brandes.hpp"
 #include "cpu/weighted_brandes.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/storage/compressed.hpp"
 #include "kernels/kernels.hpp"
 #include "kernels/weighted.hpp"
 
@@ -86,5 +91,68 @@ INSTANTIATE_TEST_SUITE_P(ErControls, ConsistencySweep, testing::ValuesIn(sweep_c
                                   std::to_string(info.param.m) + "_s" +
                                   std::to_string(info.param.seed);
                          });
+
+// ---------------------------------------------------------------------------
+// Storage-backing sweep (docs/storage.md acceptance criterion): every
+// strategy, at host thread counts {1, 2, 8}, must produce BITWISE-identical
+// scores whether the graph lives on the heap, in an mmap'd .hbcg, or behind
+// the varint-compressed adjacency (heap- or file-backed). memcmp, not
+// EXPECT_NEAR: the backings preserve iteration order exactly, so the
+// floating-point association is the same and the doubles must match to the
+// last bit.
+
+class StorageBackingSweep : public testing::TestWithParam<core::Strategy> {};
+
+TEST_P(StorageBackingSweep, BitwiseIdenticalAcrossBackingsAndThreads) {
+  const core::Strategy strategy = GetParam();
+  const CSRGraph heap =
+      graph::gen::erdos_renyi({.num_vertices = 128, .num_edges = 512, .seed = 77});
+
+  const std::string raw = testing::TempDir() + "sweep.hbcg";
+  const std::string comp = testing::TempDir() + "sweep.hbcgz";
+  graph::io::save_binary_v2(heap, raw, /*compress=*/false);
+  graph::io::save_binary_v2(heap, comp, /*compress=*/true);
+
+  struct Backing {
+    const char* name;
+    CSRGraph g;
+  };
+  const Backing backings[] = {
+      {"mapped", graph::io::open_mapped(raw)},
+      {"compressed-heap",
+       CSRGraph(graph::storage::CompressedStorage::compress(
+           heap.row_offsets(), heap.col_indices(), heap.undirected()))},
+      {"compressed-mapped", graph::io::open_mapped(comp)},
+  };
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    core::Options opt;
+    opt.strategy = strategy;
+    opt.cpu_threads = threads;
+    const std::vector<double> base = core::compute(heap, opt).scores;
+    for (const Backing& b : backings) {
+      const std::vector<double> scores = core::compute(b.g, opt).scores;
+      ASSERT_EQ(scores.size(), base.size()) << b.name;
+      EXPECT_EQ(0, std::memcmp(scores.data(), base.data(),
+                               base.size() * sizeof(double)))
+          << b.name << " diverges from heap at threads=" << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StorageBackingSweep,
+    testing::Values(core::Strategy::CpuSerial, core::Strategy::CpuParallel,
+                    core::Strategy::CpuFineGrained, core::Strategy::VertexParallel,
+                    core::Strategy::EdgeParallel, core::Strategy::GpuFan,
+                    core::Strategy::WorkEfficient, core::Strategy::Hybrid,
+                    core::Strategy::Sampling, core::Strategy::DirectionOptimized),
+    [](const auto& info) {
+      std::string name = core::to_string(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
 
 }  // namespace

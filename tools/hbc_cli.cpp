@@ -12,6 +12,10 @@
 //   --halve           halve scores (undirected pair convention)
 //   --lcc             restrict to the largest connected component
 //   --out FILE        write "<vertex>\t<score>" lines to FILE
+//   --dump-scores FILE  write the raw score array (little-endian doubles,
+//                     one per vertex) to FILE — byte-exact, so two runs
+//                     can be compared with cmp/memcmp (the CI out-of-core
+//                     job checks mapped vs heap backings this way)
 //   --seed S          RNG seed for root sampling (default 42)
 //   --threads N       host worker threads. CPU-parallel strategies split
 //                     roots across threads; GPU-model strategies execute
@@ -50,7 +54,8 @@ using namespace hbc;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--strategy NAME] [--roots K] [--top K] [--normalize]\n"
-               "          [--halve] [--lcc] [--out FILE] [--seed S] [--threads N]\n"
+               "          [--halve] [--lcc] [--out FILE] [--dump-scores FILE]\n"
+               "          [--seed S] [--threads N]\n"
                "          [--inject-faults SPEC] [--max-attempts N] [--deadline MS]\n"
                "          [--trace FILE]\n"
                "          <graph-file | gen:<family>:<scale>[:<seed>]>\n",
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
   double weight_lo = 1.0, weight_hi = 4.0;
   long long deadline_ms = 0;
   std::string out_path;
+  std::string dump_path;
   std::string trace_path;
   std::string graph_spec;
 
@@ -89,6 +95,8 @@ int main(int argc, char** argv) {
         use_lcc = true;
       } else if (arg == "--out") {
         out_path = args.value(arg);
+      } else if (arg == "--dump-scores") {
+        dump_path = args.value(arg);
       } else if (arg == "--seed") {
         options.seed = cli::parse_u64(arg, args.value(arg));
       } else if (arg == "--threads") {
@@ -220,6 +228,17 @@ int main(int argc, char** argv) {
         out << v << '\t' << scores[v] << '\n';
       }
       std::printf("wrote %zu scores to %s\n", scores.size(), out_path.c_str());
+    }
+
+    if (!dump_path.empty()) {
+      std::ofstream out(dump_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", dump_path.c_str());
+        return 1;
+      }
+      out.write(reinterpret_cast<const char*>(scores.data()),
+                static_cast<std::streamsize>(scores.size() * sizeof(double)));
+      std::printf("dumped %zu raw scores to %s\n", scores.size(), dump_path.c_str());
     }
 
     if (!trace_path.empty()) {

@@ -1,11 +1,14 @@
 // hbc-gen — write a synthetic Table II stand-in graph to a file.
 //
-//   hbc-gen <family> <scale> <output-file> [seed] [--format metis|edgelist|binary]
+//   hbc-gen <family> <scale> <output-file> [seed]
+//           [--format metis|edgelist|binary|hbcg|hbcgz]
 //           [--updates N] [--update-batch B] [--update-seed S]
 //
 // Families: rgg delaunay kron road smallworld scalefree web mesh2d.
 // The extension picks the default format: .graph/.metis -> METIS,
-// .hbc -> binary CSR, anything else -> SNAP edge list.
+// .hbc -> binary CSR v1, .hbcg -> mmap-ready v2 container, .hbcgz ->
+// varint-compressed v2 (docs/storage.md), anything else -> SNAP edge
+// list.
 //
 // --updates N additionally writes <output-file>.updates: a seeded stream
 // of N effective edge updates (inserts of absent edges mixed ~2:1 with
@@ -75,7 +78,7 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s <family> <scale> <output-file> [seed]"
-                 " [--format metis|edgelist|binary]\n"
+                 " [--format metis|edgelist|binary|hbcg|hbcgz]\n"
                  "          [--updates N] [--update-batch B] [--update-seed S]\n",
                  argv[0]);
     return 2;
@@ -105,27 +108,36 @@ int main(int argc, char** argv) {
       }
     }
     if (format.empty()) {
-      const bool metis_ext = path.size() >= 6 && (path.rfind(".graph") == path.size() - 6 ||
-                                                  path.rfind(".metis") == path.size() - 6);
-      const bool binary_ext = path.size() >= 4 && path.rfind(".hbc") == path.size() - 4;
-      format = metis_ext ? "metis" : binary_ext ? "binary" : "edgelist";
+      const auto ends_with = [&](std::string_view suffix) {
+        return path.size() >= suffix.size() &&
+               path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+      };
+      format = (ends_with(".graph") || ends_with(".metis")) ? "metis"
+               : ends_with(".hbcgz")                        ? "hbcgz"
+               : ends_with(".hbcg")                         ? "hbcg"
+               : ends_with(".hbc")                          ? "binary"
+                                                            : "edgelist";
     }
 
     const graph::CSRGraph g = graph::gen::family_by_name(family).make(scale, seed);
-    std::ofstream out(path, format == "binary" ? std::ios::binary : std::ios::out);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
-      return 1;
-    }
-    if (format == "metis") {
-      graph::io::write_metis(g, out);
-    } else if (format == "edgelist") {
-      graph::io::write_edge_list(g, out);
-    } else if (format == "binary") {
-      graph::io::write_binary(g, out);
+    if (format == "hbcg" || format == "hbcgz") {
+      graph::io::save_binary_v2(g, path, /*compress=*/format == "hbcgz");
     } else {
-      std::fprintf(stderr, "unknown format: %s\n", format.c_str());
-      return 2;
+      std::ofstream out(path, format == "binary" ? std::ios::binary : std::ios::out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+      }
+      if (format == "metis") {
+        graph::io::write_metis(g, out);
+      } else if (format == "edgelist") {
+        graph::io::write_edge_list(g, out);
+      } else if (format == "binary") {
+        graph::io::write_binary(g, out);
+      } else {
+        std::fprintf(stderr, "unknown format: %s\n", format.c_str());
+        return 2;
+      }
     }
     std::printf("wrote %s (%s) as %s to %s\n", family.c_str(), g.summary().c_str(),
                 format.c_str(), path.c_str());

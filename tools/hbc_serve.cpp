@@ -69,6 +69,14 @@
 //   --trace-dir DIR   capture request-lifecycle spans for the replay and
 //                     write DIR/serve.json (Chrome trace_event JSON) and
 //                     DIR/serve-summary.txt; DIR is created if needed
+//   --dump-scores FILE  after the replay, run one canonical query per graph
+//                     (the configured strategy/roots, seed --seed, no fault
+//                     plan) and append each full score array to FILE as raw
+//                     little-endian doubles. Works in standalone and
+//                     coordinator roles, so a fleet run over an mmap'd
+//                     .hbcg and a heap-backed standalone run can be
+//                     compared byte-for-byte with cmp (the CI out-of-core
+//                     smoke job does exactly that)
 //
 // Exit code 0 when every request completed Ok (rejections under --policy
 // reject/deadline are reported but still exit 0: they are the service
@@ -102,6 +110,7 @@ using namespace hbc;
                "          [--max-attempts N] [--retries N] [--no-fallback]\n"
                "          [--fallback-roots K] [--trace-dir DIR]\n"
                "          [--mutate FILE] [--refresh] [--refresh-budget N]\n"
+               "          [--dump-scores FILE]\n"
                "          [--role coordinator|worker|standalone]\n"
                "          [--listen EP] [--connect EP] [--expect-workers N]\n"
                "          [--replication N] [--straggler-ms MS]\n"
@@ -126,6 +135,7 @@ struct ServeArgs {
   std::string workload_file;
   std::string mutate_file;
   std::string trace_dir;
+  std::string dump_scores_path;
   std::shared_ptr<const gpusim::FaultPlan> fault_plan;
   std::uint32_t max_root_attempts = 3;
   std::vector<std::string> graph_specs;
@@ -285,6 +295,42 @@ void run_mutations(service::BcService& svc, const std::vector<MutationStep>& ste
   }
 }
 
+/// --dump-scores: one canonical query per graph (deterministic options, no
+/// fault plan), full score arrays appended to `path` as raw little-endian
+/// doubles. `query` maps a Request to a Response — svc.submit+wait in
+/// standalone, Coordinator::query in a fleet — so the two roles produce
+/// byte-identical files when the math is byte-identical.
+template <class QueryFn>
+void dump_canonical_scores(const std::string& path, std::size_t num_graphs,
+                           const ServeArgs& args, QueryFn&& query) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < num_graphs; ++i) {
+    service::Request r;
+    r.graph_id = "g" + std::to_string(i);
+    r.options.strategy = args.strategy;
+    r.options.sample_roots = args.sample_roots;
+    r.options.seed = args.seed;
+    r.options.cpu_threads = args.cpu_threads;
+    r.top_k = 0;
+    const service::Response resp = query(r);
+    if (!resp.ok() || !resp.result) {
+      throw std::runtime_error("--dump-scores query on " + r.graph_id +
+                               " failed: " +
+                               (resp.error.empty() ? to_string(resp.status)
+                                                   : resp.error));
+    }
+    const std::vector<double>& scores = resp.result->scores;
+    out.write(reinterpret_cast<const char*>(scores.data()),
+              static_cast<std::streamsize>(scores.size() * sizeof(double)));
+    total += scores.size();
+  }
+  if (!out) throw std::runtime_error("short write to " + path);
+  std::printf("dumped %zu raw scores (%zu graph(s)) to %s\n", total, num_graphs,
+              path.c_str());
+}
+
 void export_trace(trace::Tracer& tracer, const std::string& dir) {
   std::filesystem::create_directories(dir);
   const std::string json_path = dir + "/serve.json";
@@ -427,6 +473,11 @@ int run_coordinator(const ServeArgs& args, trace::Tracer& tracer) {
       static_cast<unsigned long long>(d.degraded),
       static_cast<unsigned long long>(d.mutations));
 
+  if (!args.dump_scores_path.empty()) {
+    dump_canonical_scores(args.dump_scores_path, args.graph_specs.size(), args,
+                          [&](const service::Request& r) { return coord.query(r); });
+  }
+
   coord.drain();
   if (!args.trace_dir.empty()) export_trace(tracer, args.trace_dir);
   return 0;
@@ -492,6 +543,8 @@ int main(int argc, char** argv) {
         args.config.fallback_sample_roots = cli::parse_u32(arg, cursor.value(arg));
       } else if (arg == "--trace-dir") {
         args.trace_dir = cursor.value(arg);
+      } else if (arg == "--dump-scores") {
+        args.dump_scores_path = cursor.value(arg);
       } else if (arg == "--role") {
         args.role = cursor.value(arg);
         if (args.role != "standalone" && args.role != "coordinator" &&
@@ -599,6 +652,13 @@ int main(int argc, char** argv) {
       std::printf("  %-18s %zu\n", "(degraded)", degraded);
     }
     std::printf("\n%s", svc.metrics_report().c_str());
+
+    if (!args.dump_scores_path.empty()) {
+      dump_canonical_scores(args.dump_scores_path, args.graph_specs.size(), args,
+                            [&](const service::Request& r) {
+                              return svc.wait(svc.submit(r));
+                            });
+    }
 
     if (!args.trace_dir.empty()) {
       // Export only after the workers have quiesced: stop() joins them, so
