@@ -20,6 +20,11 @@
 //     runs with an inert vs. an armed (never firing) token must stay
 //     within 2%, i.e. fault-free runs don't pay for cancellability.
 //
+// Plus the fleet-level chaos axes (docs/resilience.md): distributed QPS
+// under seeded frame-drop chaos at 0% / 1% / 10% (recovery cost, with
+// bitwise-identical answers), and an inert-chaos overhead gate — an armed
+// plan that never targets a frame must stay within 2% of an unarmed run.
+//
 // Environment knobs (bench/common.hpp conventions):
 //   HBC_BENCH_SCALE     log2 vertices of the benchmark graph (default 11)
 //   HBC_BENCH_ROOTS     sample_roots per query          (default 16)
@@ -43,6 +48,7 @@
 #include "core/bc.hpp"
 #include "gpusim/faults.hpp"
 #include "graph/generators.hpp"
+#include "net/chaos.hpp"
 #include "net/coordinator.hpp"
 #include "net/worker.hpp"
 #include "service/service.hpp"
@@ -161,8 +167,15 @@ Measurement run_workload(const graph::CSRGraph& g, std::size_t workers,
 /// intra-query shard fan-out across the fleet, the distributed analogue of
 /// the paper's multi-GPU root distribution. fleet == 0 measures the same
 /// sequential workload on an in-process BcService as the baseline.
+// `healing` arms the recovery knobs (straggler re-dispatch, fast worker
+// heartbeats/rejoin). It is separate from `chaos` so the inert-overhead
+// gate can compare armed vs unarmed plans over an otherwise *identical*
+// fleet — with the knobs tied to the plan, the armed arm would also pay
+// for 50ms heartbeat chatter and the gate would measure that, not chaos.
 Measurement run_distributed(const graph::CSRGraph& g, std::size_t fleet,
-                            std::uint32_t sample_roots, std::size_t requests) {
+                            std::uint32_t sample_roots, std::size_t requests,
+                            std::shared_ptr<const net::ChaosPlan> chaos = nullptr,
+                            bool healing = false) {
   auto shared = std::make_shared<const graph::CSRGraph>(g);
   auto make_request = [&](std::uint64_t seed) {
     service::Request r;
@@ -194,6 +207,12 @@ Measurement run_distributed(const graph::CSRGraph& g, std::size_t fleet,
     std::filesystem::remove(sock);
     net::CoordinatorConfig cc;
     cc.listen = net::Endpoint::parse("unix:" + sock);
+    // Chaos is armed coordinator-side (stream ids are accept slots, which
+    // advance on rejoin, so an unlucky fate cannot recur forever); the
+    // straggler timeout is what turns dropped shard frames into
+    // re-dispatches instead of a hung query.
+    cc.chaos = chaos;
+    if (healing) cc.straggler_timeout = std::chrono::milliseconds(100);
     net::Coordinator coord(cc);
 
     std::vector<std::unique_ptr<net::Worker>> workers;
@@ -204,6 +223,12 @@ Measurement run_distributed(const graph::CSRGraph& g, std::size_t fleet,
       wc.name = "bench-worker-" + std::to_string(i);
       wc.service.workers = 2;
       wc.graph_loader = [shared](const std::string&) { return *shared; };
+      if (healing) {
+        wc.rejoin_attempts = 100;
+        wc.heartbeat_interval = std::chrono::milliseconds(50);
+        wc.connect_backoff = std::chrono::milliseconds(5);
+        wc.max_backoff = std::chrono::milliseconds(100);
+      }
       workers.push_back(std::make_unique<net::Worker>(wc));
       threads.emplace_back([w = workers.back().get()] { w->run(); });
     }
@@ -340,6 +365,61 @@ int main() {
   }
   bench::print_rule();
 
+  // --- chaos axis ---------------------------------------------------------
+  // The distributed workload under seeded frame-drop chaos (net::ChaosPlan,
+  // docs/resilience.md): at 1% and 10% drop rates the fleet pays for
+  // straggler re-dispatches and worker rejoins, but every query still
+  // returns the bitwise-standalone answer — this axis prices the recovery
+  // machinery, it does not relax correctness.
+  const std::size_t chaos_fleet = 2;
+  std::printf("\nchaos axis (fleet of %zu, coordinator-side frame drops, "
+              "%zu queries)\n",
+              chaos_fleet, dist_requests);
+  std::printf("%10s | %10s %8s %8s\n", "drop rate", "QPS", "p50 ms", "p99 ms");
+  bench::print_rule();
+  for (const double rate : {0.0, 0.01, 0.10}) {
+    std::shared_ptr<const net::ChaosPlan> plan;
+    if (rate > 0.0) {
+      char spec[64];
+      std::snprintf(spec, sizeof(spec), "seed=29;drop,rate=%g", rate);
+      plan = net::ChaosPlan::parse_shared(spec);
+    }
+    const Measurement m =
+        run_distributed(g, chaos_fleet, roots, dist_requests, plan, /*healing=*/true);
+    record_measurement("chaos", chaos_fleet, 0.0, rate, m);
+    std::printf("%9.0f%% | %10.1f %8.2f %8.2f\n", 100.0 * rate, m.qps, m.p50_ms,
+                m.p99_ms);
+  }
+  bench::print_rule();
+
+  // --- inert-chaos overhead -----------------------------------------------
+  // Every Conn::send consults the chaos injector; with a plan armed that
+  // never targets a frame, that is one hash per frame on top of the null
+  // test an unarmed connection pays. Best-of-N distributed runs, armed vs
+  // unarmed, must stay within 2% — same standard as the cancel token and
+  // disabled tracing: you don't pay for chaos you aren't injecting.
+  constexpr int kChaosReps = 5;
+  const auto never_fires =
+      net::ChaosPlan::parse_shared("seed=1;drop,frames=4000000000");
+  double chaos_base_s = 1e300, chaos_armed_s = 1e300;
+  for (int i = 0; i < kChaosReps; ++i) {
+    const Measurement base = run_distributed(g, chaos_fleet, roots, dist_requests);
+    const Measurement armed =
+        run_distributed(g, chaos_fleet, roots, dist_requests, never_fires);
+    if (base.qps > 0.0)
+      chaos_base_s = std::min(chaos_base_s, static_cast<double>(dist_requests) / base.qps);
+    if (armed.qps > 0.0)
+      chaos_armed_s = std::min(chaos_armed_s, static_cast<double>(dist_requests) / armed.qps);
+  }
+  const double chaos_overhead =
+      chaos_base_s > 0.0 ? (chaos_armed_s - chaos_base_s) / chaos_base_s : 0.0;
+  std::printf("\ninert-chaos overhead (best of %d, fleet of %zu): "
+              "unarmed %.4fs vs armed-never-firing %.4fs -> %+.2f%%\n",
+              kChaosReps, chaos_fleet, chaos_base_s, chaos_armed_s,
+              100.0 * chaos_overhead);
+  const bool chaos_ok = chaos_overhead <= 0.02;
+  std::printf("inert-chaos overhead within 2%%: %s\n", chaos_ok ? "PASS" : "FAIL");
+
   // --- cancellation-check overhead ----------------------------------------
   // The driver polls RunConfig::cancel once per root even with no deadline
   // set. Compare best-of-N runs with an inert token (default) against an
@@ -386,5 +466,5 @@ int main() {
               enabled.event_count(), trace_out.c_str());
 
   emit_json();
-  return overhead_ok && trace_ok ? 0 : 1;
+  return overhead_ok && trace_ok && chaos_ok ? 0 : 1;
 }

@@ -70,7 +70,9 @@
 
 // Serving, scaling, and observability layers.
 #include "dist/cluster.hpp"
+#include "net/chaos.hpp"
 #include "net/coordinator.hpp"
+#include "net/snapshot.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "net/worker.hpp"
@@ -79,6 +81,7 @@
 #include "trace/trace.hpp"
 
 // Cross-cutting utilities that appear in public signatures.
+#include "util/backoff.hpp"
 #include "util/cancel.hpp"
 #include "util/mmap_file.hpp"
 #include "util/rng.hpp"

@@ -1,0 +1,336 @@
+#include "net/chaos.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+namespace hbc::net {
+
+namespace {
+
+// splitmix64 finalizer — the same stand-alone mixer gpusim::FaultPlan
+// uses. One evaluation per (seed, spec, stream, ordinal) tuple; no
+// sequential state, so fates are independent of event-loop interleaving.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double unit_hash(std::uint64_t seed, std::uint64_t spec, std::uint64_t stream,
+                 std::uint64_t ordinal) noexcept {
+  const std::uint64_t h =
+      mix64(seed ^ mix64(spec + 1) ^ mix64(stream ^ 0x9d3cu) ^ mix64(ordinal ^ 0x51e5u));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+}  // namespace
+
+const char* to_string(ChaosKind kind) noexcept {
+  switch (kind) {
+    case ChaosKind::Drop: return "drop";
+    case ChaosKind::Delay: return "delay";
+    case ChaosKind::Duplicate: return "dup";
+    case ChaosKind::Truncate: return "trunc";
+    case ChaosKind::Flip: return "flip";
+    case ChaosKind::Partition: return "partition";
+  }
+  return "unknown";
+}
+
+void ChaosPlan::add(ChaosSpec spec) {
+  if (spec.rate < 0.0 || spec.rate > 1.0)
+    throw std::invalid_argument("ChaosSpec rate must be in [0, 1]");
+  if (spec.delay_ms.count() < 0)
+    throw std::invalid_argument("ChaosSpec delay must be >= 0 ms");
+  std::sort(spec.frames.begin(), spec.frames.end());
+  spec.frames.erase(std::unique(spec.frames.begin(), spec.frames.end()),
+                    spec.frames.end());
+  specs_.push_back(std::move(spec));
+}
+
+bool ChaosPlan::spec_hits(std::size_t spec_index, std::uint64_t stream_id,
+                          std::uint64_t ordinal) const noexcept {
+  const ChaosSpec& s = specs_[spec_index];
+  if (s.kind == ChaosKind::Partition) {
+    return ordinal >= s.after && (s.window == 0 || ordinal < s.after + s.window);
+  }
+  if (std::binary_search(s.frames.begin(), s.frames.end(), ordinal)) return true;
+  return s.rate > 0.0 && unit_hash(seed_, spec_index, stream_id, ordinal) < s.rate;
+}
+
+std::optional<ChaosPlan::Fate> ChaosPlan::fate(std::uint64_t stream_id,
+                                               std::uint64_t ordinal) const noexcept {
+  if (specs_.empty()) return std::nullopt;
+  counters_.frames.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (!spec_hits(i, stream_id, ordinal)) continue;
+    const ChaosSpec& s = specs_[i];
+    switch (s.kind) {
+      case ChaosKind::Drop:
+        counters_.dropped.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ChaosKind::Delay:
+        counters_.delayed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ChaosKind::Duplicate:
+        counters_.duplicated.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ChaosKind::Truncate:
+        counters_.truncated.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ChaosKind::Flip:
+        counters_.flipped.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ChaosKind::Partition:
+        counters_.partitioned.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    return Fate{s.kind, s.delay_ms};
+  }
+  return std::nullopt;
+}
+
+ChaosStats ChaosPlan::stats() const noexcept {
+  ChaosStats out;
+  out.frames = counters_.frames.load(std::memory_order_relaxed);
+  out.dropped = counters_.dropped.load(std::memory_order_relaxed);
+  out.delayed = counters_.delayed.load(std::memory_order_relaxed);
+  out.duplicated = counters_.duplicated.load(std::memory_order_relaxed);
+  out.truncated = counters_.truncated.load(std::memory_order_relaxed);
+  out.flipped = counters_.flipped.load(std::memory_order_relaxed);
+  out.partitioned = counters_.partitioned.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::string ChaosPlan::signature() const {
+  std::string out = "seed=" + std::to_string(seed_);
+  for (const ChaosSpec& s : specs_) {
+    out += ';';
+    out += to_string(s.kind);
+    if (s.kind == ChaosKind::Partition) {
+      out += ",after=" + std::to_string(s.after);
+      if (s.window != 0) out += ",for=" + std::to_string(s.window);
+      continue;
+    }
+    if (s.rate > 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ",rate=%.17g", s.rate);
+      out += buf;
+    }
+    if (!s.frames.empty()) {
+      out += ",frames=";
+      for (std::size_t i = 0; i < s.frames.size(); ++i) {
+        if (i) out += ':';
+        out += std::to_string(s.frames[i]);
+      }
+    }
+    if (s.kind == ChaosKind::Delay && s.delay_ms != std::chrono::milliseconds{20}) {
+      out += ",ms=" + std::to_string(s.delay_ms.count());
+    }
+  }
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view what, std::string_view token) {
+  throw std::invalid_argument("bad chaos spec: " + std::string(what) + " in '" +
+                              std::string(token) + "'");
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view token) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size())
+    bad_spec("expected integer", token);
+  return value;
+}
+
+double parse_rate(std::string_view text, std::string_view token) {
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || !(value >= 0.0) || value > 1.0)
+    bad_spec("rate must be a number in [0, 1]", token);
+  return value;
+}
+
+}  // namespace
+
+ChaosPlan ChaosPlan::parse(const std::string& spec) {
+  ChaosPlan plan;
+  std::string_view rest = spec;
+  bool any = false;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    std::string_view clause = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (clause.empty()) continue;
+
+    if (clause.rfind("seed=", 0) == 0) {
+      plan.seed_ = parse_u64(clause.substr(5), clause);
+      continue;
+    }
+
+    ChaosSpec s;
+    std::size_t comma = clause.find(',');
+    const std::string_view kind = clause.substr(0, comma);
+    if (kind == "drop") s.kind = ChaosKind::Drop;
+    else if (kind == "delay") s.kind = ChaosKind::Delay;
+    else if (kind == "dup") s.kind = ChaosKind::Duplicate;
+    else if (kind == "trunc") s.kind = ChaosKind::Truncate;
+    else if (kind == "flip") s.kind = ChaosKind::Flip;
+    else if (kind == "partition") s.kind = ChaosKind::Partition;
+    else bad_spec("unknown chaos kind", kind);
+
+    bool has_window = false;
+    std::string_view opts = comma == std::string_view::npos
+                                ? std::string_view{}
+                                : clause.substr(comma + 1);
+    while (!opts.empty()) {
+      comma = opts.find(',');
+      const std::string_view opt = opts.substr(0, comma);
+      opts = comma == std::string_view::npos ? std::string_view{}
+                                             : opts.substr(comma + 1);
+      if (opt.rfind("rate=", 0) == 0) s.rate = parse_rate(opt.substr(5), opt);
+      else if (opt.rfind("ms=", 0) == 0)
+        s.delay_ms = std::chrono::milliseconds(parse_u64(opt.substr(3), opt));
+      else if (opt.rfind("after=", 0) == 0) {
+        s.after = parse_u64(opt.substr(6), opt);
+        has_window = true;
+      } else if (opt.rfind("for=", 0) == 0) {
+        s.window = parse_u64(opt.substr(4), opt);
+        has_window = true;
+      } else if (opt.rfind("frames=", 0) == 0) {
+        std::string_view list = opt.substr(7);
+        if (list.empty()) bad_spec("empty frames list", opt);
+        while (!list.empty()) {
+          const std::size_t colon = list.find(':');
+          s.frames.push_back(parse_u64(list.substr(0, colon), opt));
+          list = colon == std::string_view::npos ? std::string_view{}
+                                                 : list.substr(colon + 1);
+        }
+      } else {
+        bad_spec("unknown option", opt);
+      }
+    }
+    if (s.kind == ChaosKind::Partition) {
+      if (!has_window) bad_spec("partition needs after= (and usually for=)", clause);
+      if (s.rate != 0.0 || !s.frames.empty())
+        bad_spec("partition takes a window, not rate/frames", clause);
+    } else if (s.rate == 0.0 && s.frames.empty()) {
+      bad_spec("spec targets nothing (need rate= or frames=)", clause);
+    }
+    plan.add(std::move(s));
+    any = true;
+  }
+  if (!any)
+    throw std::invalid_argument("chaos spec has no chaos clauses: '" + spec + "'");
+  return plan;
+}
+
+std::shared_ptr<const ChaosPlan> ChaosPlan::parse_shared(const std::string& spec) {
+  return std::make_shared<const ChaosPlan>(parse(spec));
+}
+
+// --- injector ------------------------------------------------------------
+
+void ChaosInjector::hold(std::chrono::steady_clock::time_point release,
+                         std::vector<std::uint8_t> bytes) {
+  // Keep stream order: a frame queued behind a held one may not release
+  // earlier than its predecessor.
+  if (!held_.empty() && release < held_.back().release) {
+    release = held_.back().release;
+  }
+  held_.push_back(Held{release, std::move(bytes)});
+}
+
+void ChaosInjector::on_send(std::span<const std::uint8_t> frame,
+                            std::vector<std::uint8_t>& out) {
+  const std::uint64_t ordinal = ordinal_++;
+  const std::optional<ChaosPlan::Fate> fate =
+      plan_ ? plan_->fate(stream_, ordinal) : std::nullopt;
+
+  // Fast path: untargeted frame with nothing held in front of it. This is
+  // every frame of an armed-but-never-firing plan, so it must cost the
+  // same as an unarmed connection apart from the fate hash above — no
+  // intermediate copy, no clock read.
+  if (!fate && held_.empty()) {
+    out.insert(out.end(), frame.begin(), frame.end());
+    return;
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::uint8_t> bytes(frame.begin(), frame.end());
+  auto emit = [&](std::vector<std::uint8_t> b,
+                  std::chrono::steady_clock::time_point release) {
+    if (!held_.empty() || release > now) {
+      hold(release, std::move(b));
+    } else {
+      out.insert(out.end(), b.begin(), b.end());
+    }
+  };
+
+  if (!fate) {
+    emit(std::move(bytes), now);
+    return;
+  }
+  switch (fate->kind) {
+    case ChaosKind::Drop:
+    case ChaosKind::Partition:
+      return;  // the frame never leaves
+    case ChaosKind::Delay:
+      emit(std::move(bytes), now + fate->delay);
+      return;
+    case ChaosKind::Duplicate: {
+      std::vector<std::uint8_t> copy = bytes;
+      emit(std::move(bytes), now);
+      emit(std::move(copy), now);
+      return;
+    }
+    case ChaosKind::Truncate: {
+      // A strict prefix, hash-chosen; the remainder of the stream is now
+      // misframed, so the receiver surfaces a typed DecodeStatus and
+      // drops the connection.
+      if (bytes.size() > 1) {
+        const std::uint64_t keep =
+            1 + mix64(plan_->seed() ^ stream_ ^ ordinal) % (bytes.size() - 1);
+        bytes.resize(keep);
+      }
+      emit(std::move(bytes), now);
+      return;
+    }
+    case ChaosKind::Flip: {
+      // Invert one bit of the magic/version region (first 6 header
+      // bytes): always a typed BadMagic/BadVersion at the receiver, never
+      // a silently altered payload.
+      const std::size_t span = std::min<std::size_t>(bytes.size(), 6);
+      if (span > 0) {
+        const std::uint64_t bit =
+            mix64(plan_->seed() ^ stream_ ^ (ordinal * 0x2545F4914F6CDD1Dull)) %
+            (span * 8);
+        bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      emit(std::move(bytes), now);
+      return;
+    }
+  }
+}
+
+void ChaosInjector::release_due(std::vector<std::uint8_t>& out) {
+  if (held_.empty()) return;  // keep the idle pump loop clock-free
+  const auto now = std::chrono::steady_clock::now();
+  while (!held_.empty() && held_.front().release <= now) {
+    out.insert(out.end(), held_.front().bytes.begin(), held_.front().bytes.end());
+    held_.pop_front();
+  }
+}
+
+}  // namespace hbc::net

@@ -1,0 +1,206 @@
+#pragma once
+
+// net::ChaosPlan / ChaosInjector — deterministic, seeded network fault
+// injection for the fleet transport, the wire-level sibling of
+// gpusim::FaultPlan (docs/resilience.md has the grammar table).
+//
+// A ChaosPlan describes which outbound *frames* suffer which fate. Frame
+// selection is a pure hash of (seed, spec index, stream id, frame
+// ordinal), so the same plan mangles the same frames no matter how the
+// event loops interleave — every network failure mode is reproducible in
+// tests, and the chaos-driven end-to-end tests can assert distributed
+// scores stay memcmp-identical to a standalone run under any schedule.
+//
+// Six fates model the link failures a real fleet sees:
+//
+//   drop      — the frame never leaves (lossy link). The receiver only
+//               notices through timeouts: straggler re-dispatch, the
+//               heartbeat detector, or control-plane deadlines.
+//   delay     — the frame (and, to preserve stream order, everything
+//               behind it) is held for `ms` before entering the socket
+//               buffer; models latency spikes and queueing.
+//   dup       — the frame is sent twice (retransmit storms). Receivers
+//               must be idempotent — duplicate ShardResults hit the
+//               straggler "first result wins" path.
+//   trunc     — only a strict prefix of the frame is sent. The receiver's
+//               byte stream is now poisoned: the next extract_frame sees
+//               garbage and surfaces a typed DecodeStatus, dropping the
+//               connection (never UB — the property test_net_codec fuzzes).
+//   flip      — one bit of the frame *header's* magic/version region is
+//               inverted, guaranteeing a typed BadMagic/BadVersion at the
+//               receiver rather than silently altered payload bits (which
+//               would break the bitwise reduction the protocol promises;
+//               payload-level hostility is test_net_codec's fuzz domain).
+//   partition — every frame with ordinal in [after, after+for) is dropped:
+//               a one-sided link partition with a deterministic window,
+//               the input that drives the coordinator's quarantine →
+//               probation → readmission detector in tests.
+//
+// An *inert* injector costs one null-pointer test per send (the
+// bench_service_throughput chaos axis asserts < 2% overhead).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hbc::net {
+
+enum class ChaosKind : std::uint8_t {
+  Drop,
+  Delay,
+  Duplicate,
+  Truncate,
+  Flip,
+  Partition,
+};
+
+const char* to_string(ChaosKind kind) noexcept;
+
+/// One injection rule. A frame is targeted when the seeded hash admits it
+/// under `rate`, when its ordinal is listed in `frames`, or — for
+/// Partition — when its ordinal falls in the window.
+struct ChaosSpec {
+  ChaosKind kind = ChaosKind::Drop;
+  /// Fraction of frames hit by the seeded hash, in [0, 1].
+  double rate = 0.0;
+  /// Explicit target frame ordinals (unioned with the rate-selected set).
+  std::vector<std::uint64_t> frames;
+  /// Delay only: how long a held frame waits before entering the socket.
+  std::chrono::milliseconds delay_ms{20};
+  /// Partition only: window start ordinal ...
+  std::uint64_t after = 0;
+  /// ... and width in frames (0 = to the end of the stream).
+  std::uint64_t window = 0;
+};
+
+/// Fleet-wide injection counters (the plan is shared across connections
+/// and threads, so these are atomics; stats() snapshots them).
+struct ChaosStats {
+  std::uint64_t frames = 0;  // outbound frames that consulted the plan
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t flipped = 0;
+  std::uint64_t partitioned = 0;
+
+  std::uint64_t injected() const noexcept {
+    return dropped + delayed + duplicated + truncated + flipped + partitioned;
+  }
+};
+
+class ChaosPlan {
+ public:
+  ChaosPlan() = default;
+  explicit ChaosPlan(std::uint64_t seed) : seed_(seed) {}
+
+  /// Movable so parse() can return by value; the atomic counters restart
+  /// at zero in the destination (a plan is moved before it is armed).
+  ChaosPlan(ChaosPlan&& other) noexcept
+      : seed_(other.seed_), specs_(std::move(other.specs_)) {}
+  ChaosPlan& operator=(ChaosPlan&& other) noexcept {
+    seed_ = other.seed_;
+    specs_ = std::move(other.specs_);
+    return *this;
+  }
+
+  /// Validates and appends one rule (throws std::invalid_argument on a
+  /// rate outside [0, 1]).
+  void add(ChaosSpec spec);
+
+  std::uint64_t seed() const noexcept { return seed_; }
+  bool empty() const noexcept { return specs_.empty(); }
+  const std::vector<ChaosSpec>& specs() const noexcept { return specs_; }
+
+  /// The fate of frame `ordinal` on `stream_id`, or nullopt (frame passes
+  /// clean). First matching spec wins. Pure: same inputs, same fate.
+  struct Fate {
+    ChaosKind kind;
+    std::chrono::milliseconds delay{0};  // Delay only
+  };
+  std::optional<Fate> fate(std::uint64_t stream_id, std::uint64_t ordinal) const noexcept;
+
+  /// Canonical serialization: parse(signature()) round-trips, and equal
+  /// signatures mean identical injection behaviour.
+  std::string signature() const;
+
+  /// Parse the CLI grammar (mirrors gpusim::FaultPlan::parse):
+  ///   spec   := clause (';' clause)*
+  ///   clause := 'seed=' N | kind (',' opt)*
+  ///   kind   := 'drop' | 'delay' | 'dup' | 'trunc' | 'flip' | 'partition'
+  ///   opt    := 'rate=' F | 'frames=' N (':' N)* | 'ms=' N
+  ///           | 'after=' N | 'for=' N
+  /// e.g. "seed=11;drop,rate=0.05;partition,after=40,for=20".
+  /// Throws std::invalid_argument on malformed input.
+  static ChaosPlan parse(const std::string& spec);
+
+  /// parse() boxed for CoordinatorConfig / WorkerConfig.
+  static std::shared_ptr<const ChaosPlan> parse_shared(const std::string& spec);
+
+  /// Snapshot of the fleet-wide injection counters.
+  ChaosStats stats() const noexcept;
+
+ private:
+  friend class ChaosInjector;
+  bool spec_hits(std::size_t spec_index, std::uint64_t stream_id,
+                 std::uint64_t ordinal) const noexcept;
+
+  struct Counters {
+    std::atomic<std::uint64_t> frames{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> delayed{0};
+    std::atomic<std::uint64_t> duplicated{0};
+    std::atomic<std::uint64_t> truncated{0};
+    std::atomic<std::uint64_t> flipped{0};
+    std::atomic<std::uint64_t> partitioned{0};
+  };
+
+  std::uint64_t seed_ = 1;
+  std::vector<ChaosSpec> specs_;
+  mutable Counters counters_;
+};
+
+/// Per-connection injector: owns the outbound frame ordinal and the
+/// delay-hold queue for one stream. Conn::send routes every frame through
+/// on_send when armed; the event loops call release_due each pass so held
+/// frames eventually enter the write buffer (in their original order —
+/// a delayed frame blocks everything queued behind it, modelling added
+/// latency rather than reordering).
+class ChaosInjector {
+ public:
+  ChaosInjector(std::shared_ptr<const ChaosPlan> plan, std::uint64_t stream_id)
+      : plan_(std::move(plan)), stream_(stream_id) {}
+
+  /// Apply the next fate to `frame`; bytes to send now are appended to
+  /// `out`, delayed bytes are held.
+  void on_send(std::span<const std::uint8_t> frame, std::vector<std::uint8_t>& out);
+
+  /// Move every held frame whose release time has passed into `out`.
+  void release_due(std::vector<std::uint8_t>& out);
+
+  bool holding() const noexcept { return !held_.empty(); }
+  std::uint64_t ordinal() const noexcept { return ordinal_; }
+  const std::shared_ptr<const ChaosPlan>& plan() const noexcept { return plan_; }
+
+ private:
+  struct Held {
+    std::chrono::steady_clock::time_point release;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  void hold(std::chrono::steady_clock::time_point release,
+            std::vector<std::uint8_t> bytes);
+
+  std::shared_ptr<const ChaosPlan> plan_;
+  std::uint64_t stream_ = 0;
+  std::uint64_t ordinal_ = 0;
+  std::deque<Held> held_;
+};
+
+}  // namespace hbc::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <functional>
 
 #include "core/teps.hpp"
@@ -51,6 +52,7 @@ Coordinator::Coordinator(CoordinatorConfig config)
       listener_(listen_on(cfg_.listen)),
       cache_(cfg_.cache_bytes) {
   cfg_.max_shard_attempts = std::max<std::uint32_t>(cfg_.max_shard_attempts, 1);
+  restore_from_snapshot();
 }
 
 Coordinator::~Coordinator() = default;
@@ -164,6 +166,7 @@ std::size_t Coordinator::load_graph(const std::string& id,
   e.base_fingerprint = e.fingerprint;
   e.spec = std::move(spec);
   graphs_[id] = e;
+  persist_snapshot();
 
   const std::vector<std::uint32_t> owner_slots = owners(id);
   if (owner_slots.empty()) return 0;
@@ -245,6 +248,7 @@ service::MutationResult Coordinator::mutate_graph(const std::string& id,
     pump(20);
   }
   control_.reset();
+  persist_snapshot();  // new epoch + history durable (after cache invalidation)
   return out;
 }
 
@@ -254,12 +258,20 @@ void Coordinator::pump(int timeout_ms) {
   std::vector<pollfd> fds;
   std::vector<std::uint32_t> slots;
   fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+  bool chaos_held = false;
   for (auto& [slot, w] : workers_) {
+    // Chaos-delayed frames whose hold time has passed enter the write
+    // buffer before we decide whether to poll for POLLOUT.
+    w.conn->pump_chaos();
+    if (w.conn->chaos_pending()) chaos_held = true;
     short events = POLLIN;
     if (w.conn->wants_write()) events |= POLLOUT;
     fds.push_back(pollfd{w.conn->fd(), events, 0});
     slots.push_back(slot);
   }
+  // Held frames need the loop to come back promptly even when the fleet
+  // is otherwise idle.
+  if (chaos_held) timeout_ms = std::min(timeout_ms, 5);
   poll_wait(fds, timeout_ms);
 
   if (fds[0].revents & POLLIN) {
@@ -270,6 +282,8 @@ void Coordinator::pump(int timeout_ms) {
       WorkerState w;
       w.slot = slot;
       w.conn = std::make_unique<Conn>(std::move(s), "worker#" + std::to_string(slot));
+      if (cfg_.chaos) w.conn->arm_chaos(cfg_.chaos, slot);
+      w.conn->set_frame_deadline(cfg_.frame_deadline);
       workers_.emplace(slot, std::move(w));
     }
   }
@@ -298,6 +312,14 @@ void Coordinator::pump(int timeout_ms) {
       }
       if (io != Conn::Io::Ok) failed = true;
     }
+    if (!failed && w.conn->frame_overdue()) {
+      // Slow-loris: a frame has been incomplete at the head of this
+      // worker's stream past the deadline. Cull it — one dribbling peer
+      // must not pin a slot (its shards reassign like any dead worker's).
+      ++stats_.slow_peer_drops;
+      trace_instant("slow-peer-drop", 0, {{"worker", std::uint64_t{slot}}});
+      failed = true;
+    }
     if (!failed && (revents & POLLOUT)) {
       if (w.conn->pump_write() != Conn::Io::Ok) failed = true;
     }
@@ -308,9 +330,27 @@ void Coordinator::pump(int timeout_ms) {
     if (failed) dead.push_back(slot);
   }
   for (const std::uint32_t slot : dead) worker_dead(slot);
+
+  detect_failures();
 }
 
 void Coordinator::handle_frame(WorkerState& w, const wire::Frame& frame) {
+  // Any frame is proof of life. A quarantined worker that speaks again
+  // moves to probation; `probation_heartbeats` heartbeats there earn
+  // readmission (a heartbeat that triggers the probation transition also
+  // counts as the first one).
+  w.last_seen = Clock::now();
+  if (w.health == wire::HealthState::Quarantined) {
+    set_health(w, wire::HealthState::Probation, "heard from after quarantine");
+    w.probation_seen = 0;
+  }
+  if (w.health == wire::HealthState::Probation &&
+      frame.type == wire::MsgType::Heartbeat) {
+    if (++w.probation_seen >= cfg_.probation_heartbeats) {
+      ++stats_.readmissions;
+      set_health(w, wire::HealthState::Healthy, "readmitted");
+    }
+  }
   switch (frame.type) {
     case wire::MsgType::Hello: {
       wire::HelloMsg m;
@@ -378,7 +418,12 @@ void Coordinator::handle_frame(WorkerState& w, const wire::Frame& frame) {
         trace_instant("shard-failed", q.id,
                       {{"shard", std::uint64_t{m.shard_index}},
                        {"worker", std::uint64_t{w.slot}}});
-        if (s.dispatched_to.empty()) s.state = Shard::State::Pending;
+        if (s.dispatched_to.empty()) {
+          s.state = Shard::State::Pending;
+          // Pace the re-dispatch: an immediately-failing shard should not
+          // hammer the fleet in a tight loop.
+          s.not_before = Clock::now() + s.backoff.next();
+        }
         return;
       }
       s.partial = std::move(m.scores);
@@ -471,6 +516,228 @@ void Coordinator::worker_dead(std::uint32_t slot) {
   workers_.erase(it);
 }
 
+// --- failure detection ---------------------------------------------------
+
+void Coordinator::set_health(WorkerState& w, wire::HealthState state,
+                             const std::string& reason) {
+  if (w.health == state) return;
+  w.health = state;
+  wire::QuarantineMsg m;
+  m.state = state;
+  m.reason = reason;
+  w.conn->send(wire::encode(m, next_request_id_++));
+  trace_instant("worker-health", 0,
+                {{"worker", std::uint64_t{w.slot}},
+                 {"state", std::uint64_t{static_cast<std::uint8_t>(state)}}});
+}
+
+void Coordinator::reassign_dispatched(std::uint32_t slot) {
+  if (!active_) return;
+  for (Shard& s : active_->shards) {
+    auto dit = std::find(s.dispatched_to.begin(), s.dispatched_to.end(), slot);
+    if (dit == s.dispatched_to.end()) continue;
+    s.dispatched_to.erase(dit);
+    if (s.state == Shard::State::Dispatched && s.dispatched_to.empty()) {
+      s.state = Shard::State::Pending;
+      ++stats_.shard_retries;
+      trace_instant("shard-reassign", active_->id,
+                    {{"shard", std::uint64_t{s.index}},
+                     {"worker", std::uint64_t{slot}}});
+    }
+  }
+}
+
+void Coordinator::detect_failures() {
+  if (cfg_.heartbeat_timeout.count() <= 0) return;
+  const auto now = Clock::now();
+  for (auto& [slot, w] : workers_) {
+    if (!w.ready || w.health != wire::HealthState::Healthy) continue;
+    if (now - w.last_seen <= cfg_.heartbeat_timeout) continue;
+    // Silent past the deadline: quarantine. The connection stays open —
+    // the worker may only be partitioned, and keeping the conn is what
+    // lets it talk its way back in — but its outstanding shards are
+    // reassigned NOW instead of waiting for a dispatch error.
+    ++stats_.heartbeat_misses;
+    ++stats_.quarantines;
+    set_health(w, wire::HealthState::Quarantined, "missed heartbeat deadline");
+    w.inflight = 0;
+    reassign_dispatched(slot);
+  }
+}
+
+std::optional<wire::HealthState> Coordinator::worker_health(std::uint32_t slot) const {
+  auto it = workers_.find(slot);
+  if (it == workers_.end()) return std::nullopt;
+  return it->second.health;
+}
+
+void Coordinator::run_for(std::chrono::milliseconds duration) {
+  const auto deadline = Clock::now() + duration;
+  while (Clock::now() < deadline) {
+    pump(10);
+  }
+}
+
+// --- durable warm restart ------------------------------------------------
+
+void Coordinator::save_snapshot() {
+  if (cfg_.snapshot_dir.empty()) return;
+  Snapshot snap;
+  for (const auto& [id, e] : graphs_) {
+    SnapshotGraph g;
+    g.id = id;
+    g.spec = e.spec;
+    g.base_fingerprint = e.base_fingerprint;
+    g.fingerprint = e.fingerprint;
+    g.epoch = e.epoch;
+    g.history = e.history;
+    g.graph = e.graph;
+    snap.graphs.push_back(std::move(g));
+  }
+  // Drain the cache into the manifest (MRU first, extract_if's order) and
+  // reinsert LRU-first so put()'s MRU promotion restores the original
+  // recency order.
+  auto entries = cache_.extract_if([](const std::string&) { return true; });
+  for (const auto& [key, value] : entries) {
+    SnapshotCacheEntry e;
+    e.key = key;
+    e.scores = value->result.scores;
+    e.strategy = static_cast<std::uint8_t>(value->result.strategy);
+    e.roots_processed = value->result.roots_processed;
+    e.approximate = value->result.approximate ? 1 : 0;
+    e.time_seconds = value->result.time_seconds;
+    e.wall_seconds = value->result.wall_seconds;
+    e.teps = value->result.teps;
+    snap.cache.push_back(std::move(e));
+  }
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    cache_.put(it->first, it->second);
+  }
+  net::save_snapshot(cfg_.snapshot_dir, snap);
+  ++stats_.snapshot_saves;
+  trace_instant("snapshot-save", 0,
+                {{"graphs", static_cast<std::uint64_t>(snap.graphs.size())},
+                 {"cache", static_cast<std::uint64_t>(snap.cache.size())}});
+}
+
+void Coordinator::persist_snapshot() noexcept {
+  if (cfg_.snapshot_dir.empty()) return;
+  try {
+    save_snapshot();
+  } catch (const std::exception& ex) {
+    // Durability is best-effort on the hot paths: a failing disk must not
+    // take queries down with it. The error is visible via snapshot_info().
+    snapshot_info_.error = ex.what();
+    trace_instant("snapshot-save-failed", 0);
+  }
+}
+
+void Coordinator::restore_from_snapshot() {
+  if (cfg_.snapshot_dir.empty() || !snapshot_exists(cfg_.snapshot_dir)) return;
+  snapshot_info_.attempted = true;
+  try {
+    Snapshot snap = load_snapshot(cfg_.snapshot_dir);
+    for (SnapshotGraph& g : snap.graphs) {
+      // Belt and braces: the container verified its own fingerprint, but
+      // the *registry* entry must match too, or workers would verify
+      // against a stamp the graph no longer carries.
+      if (service::graph_fingerprint(*g.graph) != g.fingerprint) {
+        throw SnapshotError("snapshot: graph '" + g.id +
+                            "' fingerprint does not match its manifest entry");
+      }
+      GraphEntry e;
+      e.graph = g.graph;
+      e.fingerprint = g.fingerprint;
+      e.base_fingerprint = g.base_fingerprint;
+      e.spec = g.spec;
+      e.epoch = g.epoch;
+      e.history = std::move(g.history);
+      graphs_[g.id] = std::move(e);
+    }
+    for (const SnapshotCacheEntry& e : snap.cache) {
+      if (e.strategy > static_cast<std::uint8_t>(core::Strategy::DirectionOptimized)) {
+        continue;  // unknown strategy tag: skip the entry, keep the rest
+      }
+      auto cached = std::make_shared<service::CachedResult>();
+      cached->result.scores = e.scores;
+      cached->result.strategy = static_cast<core::Strategy>(e.strategy);
+      cached->result.roots_processed = e.roots_processed;
+      cached->result.approximate = e.approximate != 0;
+      cached->result.time_seconds = e.time_seconds;
+      cached->result.wall_seconds = e.wall_seconds;
+      cached->result.teps = e.teps;
+      cached->bytes = service::estimate_result_bytes(cached->result);
+      cached->refreshable = false;
+      cache_.put(e.key, cached);
+    }
+    // Entries were saved MRU-first; the loop above put() them in that
+    // order, inverting recency — walk the keys once more, LRU to MRU, to
+    // restore it.
+    for (auto it = snap.cache.rbegin(); it != snap.cache.rend(); ++it) {
+      (void)cache_.get(it->key);
+    }
+    snapshot_info_.ok = true;
+    snapshot_info_.graphs = snap.graphs.size();
+    snapshot_info_.cache_entries = snap.cache.size();
+  } catch (const std::exception& ex) {
+    // A corrupt snapshot is a typed, reported condition — the coordinator
+    // starts fresh rather than serving doubtful state.
+    snapshot_info_.ok = false;
+    snapshot_info_.error = ex.what();
+    graphs_.clear();
+  }
+}
+
+std::string Coordinator::metrics_report() const {
+  char buf[2048];
+  const ChaosStats cs = cfg_.chaos ? cfg_.chaos->stats() : ChaosStats{};
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      "coordinator %s\n"
+      "  queries %llu (cache hits %llu, whole %llu, degraded %llu)\n"
+      "  shards: dispatched %llu completed %llu retries %llu stragglers %llu "
+      "local %llu\n"
+      "  fleet: workers %zu deaths %llu heartbeat-misses %llu quarantines "
+      "%llu readmissions %llu slow-peer-drops %llu\n"
+      "  durability: snapshot saves %llu restored %s\n"
+      "  chaos: frames %llu injected %llu (drop %llu delay %llu dup %llu "
+      "trunc %llu flip %llu partition %llu)\n",
+      cfg_.name.c_str(), static_cast<unsigned long long>(stats_.queries),
+      static_cast<unsigned long long>(stats_.cache_hits),
+      static_cast<unsigned long long>(stats_.whole_queries),
+      static_cast<unsigned long long>(stats_.degraded),
+      static_cast<unsigned long long>(stats_.shards_dispatched),
+      static_cast<unsigned long long>(stats_.shards_completed),
+      static_cast<unsigned long long>(stats_.shard_retries),
+      static_cast<unsigned long long>(stats_.straggler_redispatches),
+      static_cast<unsigned long long>(stats_.local_fallbacks),
+      worker_count(), static_cast<unsigned long long>(stats_.worker_deaths),
+      static_cast<unsigned long long>(stats_.heartbeat_misses),
+      static_cast<unsigned long long>(stats_.quarantines),
+      static_cast<unsigned long long>(stats_.readmissions),
+      static_cast<unsigned long long>(stats_.slow_peer_drops),
+      static_cast<unsigned long long>(stats_.snapshot_saves),
+      snapshot_info_.attempted ? (snapshot_info_.ok ? "yes" : "failed") : "no",
+      static_cast<unsigned long long>(cs.frames),
+      static_cast<unsigned long long>(cs.injected()),
+      static_cast<unsigned long long>(cs.dropped),
+      static_cast<unsigned long long>(cs.delayed),
+      static_cast<unsigned long long>(cs.duplicated),
+      static_cast<unsigned long long>(cs.truncated),
+      static_cast<unsigned long long>(cs.flipped),
+      static_cast<unsigned long long>(cs.partitioned));
+  std::string out(buf, n > 0 ? std::min<std::size_t>(static_cast<std::size_t>(n),
+                                                     sizeof(buf) - 1)
+                             : 0);
+  for (const auto& [slot, w] : workers_) {
+    if (!w.ready) continue;
+    out += "  worker#" + std::to_string(slot) + " (" + w.name +
+           "): " + wire::to_string(w.health) + ", inflight " +
+           std::to_string(w.inflight) + "\n";
+  }
+  return out;
+}
+
 // --- query path ----------------------------------------------------------
 
 void Coordinator::finish_shard_local(ActiveQuery& q, Shard& s) {
@@ -518,6 +785,7 @@ void Coordinator::escalate(ActiveQuery& q, Shard& s) {
 }
 
 void Coordinator::dispatch_pending(ActiveQuery& q) {
+  const auto now = Clock::now();
   for (Shard& s : q.shards) {
     if (q.failed) return;
     if (s.state != Shard::State::Pending) continue;
@@ -525,12 +793,17 @@ void Coordinator::dispatch_pending(ActiveQuery& q) {
       escalate(q, s);
       continue;
     }
-    // Candidates: ready owners of the graph, preferring ones this shard
-    // has not tried, then least in-flight (load balance).
+    // Backoff window after a failed attempt: leave the shard Pending.
+    if (s.attempts > 0 && now < s.not_before) continue;
+    // Candidates: *healthy* ready owners of the graph, preferring ones
+    // this shard has not tried, then least in-flight (load balance).
     WorkerState* best = nullptr;
     bool best_untried = false;
     for (auto& [slot, w] : workers_) {
-      if (!w.ready || w.graphs.count(q.graph_id) == 0) continue;
+      if (!w.ready || w.health != wire::HealthState::Healthy ||
+          w.graphs.count(q.graph_id) == 0) {
+        continue;
+      }
       const bool untried = s.tried.count(slot) == 0;
       if (best == nullptr || (untried && !best_untried) ||
           (untried == best_untried && w.inflight < best->inflight)) {
@@ -564,16 +837,32 @@ void Coordinator::check_stragglers(ActiveQuery& q) {
   for (Shard& s : q.shards) {
     if (s.state != Shard::State::Dispatched) continue;
     if (now - s.last_dispatch < cfg_.straggler_timeout) continue;
-    if (s.attempts >= cfg_.max_shard_attempts) continue;
-    // Second opinion: dispatch to an untried worker, first result wins.
+    if (s.attempts >= cfg_.max_shard_attempts) {
+      // Out of remote attempts and still no result. Under chaos the
+      // outstanding request or reply may simply be gone, and a
+      // deadline-less query must not wait forever for a frame that will
+      // never arrive — escalate now. If a straggler result does land
+      // later, the Done/Abandoned guard in handle_frame discards it.
+      escalate(q, s);
+      continue;
+    }
+    // Second opinion: dispatch to an untried healthy worker, first
+    // result wins.
     WorkerState* best = nullptr;
     for (auto& [slot, w] : workers_) {
-      if (!w.ready || w.graphs.count(q.graph_id) == 0) continue;
+      if (!w.ready || w.health != wire::HealthState::Healthy ||
+          w.graphs.count(q.graph_id) == 0) {
+        continue;
+      }
       if (s.tried.count(slot) != 0) continue;
       if (best == nullptr || w.inflight < best->inflight) best = &w;
     }
     if (best == nullptr) {
-      s.last_dispatch = now;  // nobody new to ask; don't spin
+      // Nobody new to ask: every eligible worker has already been tried
+      // and the timeout passed anyway. Same liveness argument as above —
+      // waiting can only help if one of the outstanding frames is merely
+      // slow, but it hangs forever if they were dropped.
+      escalate(q, s);
       continue;
     }
     s.msg.deadline_ms = remaining_ms(q.deadline, q.has_deadline);
@@ -724,6 +1013,12 @@ service::Response Coordinator::query(service::Request request) {
     }
   }
   q->remaining = q->shards.size();
+  for (Shard& s : q->shards) {
+    // Per-shard deterministic jitter stream: same query, same schedule.
+    util::BackoffConfig bc = cfg_.redispatch_backoff;
+    bc.seed = mix64(bc.seed ^ (q->id << 16) ^ s.index);
+    s.backoff = util::Backoff(bc);
+  }
 
   trace::Sink* s = sink();
   trace::ScopedSpan span(s, cfg_.tracer, "dist-request", trace::kService,
@@ -840,6 +1135,7 @@ service::Response Coordinator::assemble(ActiveQuery& q, std::size_t top_k,
 void Coordinator::drain() {
   if (drained_) return;
   drained_ = true;
+  persist_snapshot();  // final state durable before the fleet disbands
   const std::vector<std::uint8_t> frame =
       wire::encode(wire::DrainMsg{}, next_request_id_++);
   for (auto& [slot, w] : workers_) {

@@ -62,11 +62,14 @@
 
 #include "dyn/versioned_graph.hpp"
 #include "graph/csr.hpp"
+#include "net/chaos.hpp"
+#include "net/snapshot.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "service/cache.hpp"
 #include "service/service.hpp"
 #include "trace/trace.hpp"
+#include "util/backoff.hpp"
 
 namespace hbc::net {
 
@@ -94,6 +97,35 @@ struct CoordinatorConfig {
   /// Request-lifecycle tracing; spans/instants carry the propagated
   /// request id so per-process captures stitch. Non-owning; may be null.
   trace::Tracer* tracer = nullptr;
+
+  // --- fleet self-healing --------------------------------------------------
+
+  /// Heartbeat failure detection: a ready worker silent (no frame of any
+  /// kind) this long is Quarantined — its dispatched shards are
+  /// proactively reassigned and it gets no new work until it earns
+  /// readmission (docs/resilience.md has the state machine). 0 = off.
+  std::chrono::milliseconds heartbeat_timeout{0};
+  /// Heartbeats a quarantined-then-heard-from worker must deliver on
+  /// probation before it is readmitted to the dispatch pool.
+  std::uint32_t probation_heartbeats = 2;
+  /// Slow-writer cull: a worker that keeps a frame incomplete at the head
+  /// of its stream this long (e.g. dribbling one byte per tick) is
+  /// disconnected with a typed drop, not allowed to pin the loop. 0 = off.
+  std::chrono::milliseconds frame_deadline{0};
+  /// Seeded fault injection armed on every accepted connection
+  /// (stream_id = worker slot). Null = inert (one pointer test per send).
+  std::shared_ptr<const ChaosPlan> chaos;
+  /// Delay policy for re-dispatching a failed shard (util::Backoff; the
+  /// per-shard seed mixes the query id and shard index so a fleet of
+  /// retries de-synchronizes deterministically). Defaults are small —
+  /// shard retries race a request deadline, not a reconnect.
+  util::BackoffConfig redispatch_backoff{std::chrono::milliseconds(2),
+                                         std::chrono::milliseconds(250)};
+  /// Durable warm restart: when set, the named-graph registry (specs,
+  /// fingerprints, mutation history, graph structure) and the result-cache
+  /// index are snapshotted here on every registry change, and a new
+  /// Coordinator restores from it before accepting workers. Empty = off.
+  std::string snapshot_dir;
 };
 
 struct DistStats {
@@ -108,6 +140,21 @@ struct DistStats {
   std::uint64_t whole_queries = 0;    // routed unsharded (CPU / sampling)
   std::uint64_t degraded = 0;
   std::uint64_t mutations = 0;
+  std::uint64_t heartbeat_misses = 0;  // detector deadline expiries
+  std::uint64_t quarantines = 0;
+  std::uint64_t readmissions = 0;
+  std::uint64_t slow_peer_drops = 0;  // frame-deadline culls
+  std::uint64_t snapshot_saves = 0;
+};
+
+/// Outcome of the constructor's snapshot restore attempt (queryable so
+/// hbc-serve and tests can tell a warm restart from a fresh start).
+struct SnapshotInfo {
+  bool attempted = false;
+  bool ok = false;
+  std::string error;  // restore failure (coordinator started fresh)
+  std::size_t graphs = 0;
+  std::size_t cache_entries = 0;
 };
 
 class Coordinator {
@@ -158,6 +205,29 @@ class Coordinator {
   const DistStats& stats() const noexcept { return stats_; }
   const Endpoint& endpoint() const noexcept { return cfg_.listen; }
 
+  /// Detector state of a connected worker (nullopt for unknown slots).
+  /// Tests drive the quarantine -> probation -> readmission machine
+  /// through this.
+  std::optional<wire::HealthState> worker_health(std::uint32_t slot) const;
+
+  /// Pump the event loop (accepts, heartbeats, detector) for `duration`
+  /// with no query in flight — how tests and idle serving loops let the
+  /// failure detector observe the fleet.
+  void run_for(std::chrono::milliseconds duration);
+
+  /// Snapshot the registry + cache to CoordinatorConfig::snapshot_dir now.
+  /// Throws SnapshotError (no-op without a snapshot_dir). The registry-
+  /// changing paths (load_graph, mutate_graph, drain) already snapshot
+  /// automatically, best-effort.
+  void save_snapshot();
+
+  /// The constructor's restore outcome.
+  const SnapshotInfo& snapshot_info() const noexcept { return snapshot_info_; }
+
+  /// Human-readable fleet health: DistStats counters, chaos injection
+  /// counts when armed, and one line per worker with its detector state.
+  std::string metrics_report() const;
+
  private:
   struct WorkerState {
     std::unique_ptr<Conn> conn;
@@ -169,6 +239,13 @@ class Coordinator {
     std::uint32_t inflight = 0;  // load-balance hint, clamped at 0
     /// Graph ids confirmed loaded at the coordinator's fingerprint.
     std::set<std::string> graphs;
+    /// Failure-detector state; only Healthy workers receive dispatches.
+    wire::HealthState health = wire::HealthState::Healthy;
+    /// Last frame of any kind (heartbeats included), from when the worker
+    /// became ready. The detector compares this against heartbeat_timeout.
+    std::chrono::steady_clock::time_point last_seen{};
+    /// Heartbeats delivered since entering probation.
+    std::uint32_t probation_seen = 0;
   };
 
   struct GraphEntry {
@@ -195,6 +272,10 @@ class Coordinator {
     std::uint64_t roots_processed = 0;
     double compute_ms = 0.0;
     std::uint8_t degraded = 0;
+    /// Re-dispatch pacing after a failure: the shard stays Pending but is
+    /// not offered to a worker before this instant.
+    std::chrono::steady_clock::time_point not_before{};
+    util::Backoff backoff;  // seeded per (query, shard) in query()
   };
 
   struct ActiveQuery {
@@ -215,11 +296,26 @@ class Coordinator {
     std::string fail_error;
   };
 
-  /// One poll-loop pass: accept, read, dispatch frames, flush writes.
+  /// One poll-loop pass: accept, read, dispatch frames, flush writes,
+  /// then run the failure detector.
   void pump(int timeout_ms);
   void handle_frame(WorkerState& w, const wire::Frame& frame);
   void worker_dead(std::uint32_t slot);
   void send_graph_to(WorkerState& w, const std::string& id, const GraphEntry& e);
+
+  /// Timeout-based heartbeat failure detection: quarantine silent
+  /// workers, reassigning their dispatched shards proactively.
+  void detect_failures();
+  /// Transition `w` to `state`, notify it with a QuarantineMsg, trace.
+  void set_health(WorkerState& w, wire::HealthState state, const std::string& reason);
+  /// Reassign every shard dispatched to `slot` without touching the
+  /// connection (quarantine: suspected, not dead).
+  void reassign_dispatched(std::uint32_t slot);
+
+  /// Best-effort snapshot after a registry change (records the error in
+  /// snapshot_info_ instead of throwing).
+  void persist_snapshot() noexcept;
+  void restore_from_snapshot();
 
   /// Ring owners of `id` among ready workers (ascending slot for
   /// replication 0 / >= fleet; ring walk otherwise).
@@ -261,6 +357,7 @@ class Coordinator {
   std::optional<PendingControl> control_;
 
   bool drained_ = false;
+  SnapshotInfo snapshot_info_;
 };
 
 }  // namespace hbc::net

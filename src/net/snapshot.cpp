@@ -1,0 +1,185 @@
+#include "net/snapshot.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "graph/io.hpp"
+
+namespace hbc::net {
+
+namespace {
+
+// Manifest container: a small header, then the graph table and the cache
+// table, all through the wire codec's bounds-checked primitives.
+constexpr std::uint32_t kManifestMagic = 0x53434248u;  // "HBCS" little-endian
+constexpr std::uint16_t kManifestVersion = 1;
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/manifest.hbcs";
+}
+
+[[noreturn]] void fail(const std::string& what) { throw SnapshotError(what); }
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("snapshot: cannot open '" + path + "': " + std::strerror(errno));
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (in.bad()) fail("snapshot: read failed for '" + path + "'");
+  return bytes;
+}
+
+void write_file_atomic(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) fail("snapshot: cannot create '" + tmp + "': " + std::strerror(errno));
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) fail("snapshot: write failed for '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) fail("snapshot: rename '" + tmp + "' -> '" + path + "': " + ec.message());
+}
+
+}  // namespace
+
+bool snapshot_exists(const std::string& dir) {
+  std::error_code ec;
+  return std::filesystem::exists(manifest_path(dir), ec) && !ec;
+}
+
+void save_snapshot(const std::string& dir, const Snapshot& snap) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) fail("snapshot: create_directories '" + dir + "': " + ec.message());
+
+  // Graphs first: the manifest names the files, so it must go last — a
+  // crash between the two leaves the old manifest pointing at old files.
+  std::vector<std::string> files;
+  files.reserve(snap.graphs.size());
+  for (std::size_t i = 0; i < snap.graphs.size(); ++i) {
+    const std::string file = "graph" + std::to_string(i) + ".hbcg";
+    if (!snap.graphs[i].graph) {
+      fail("snapshot: graph '" + snap.graphs[i].id + "' has no structure to save");
+    }
+    // tmp + rename, like the manifest — and not only for crash safety: a
+    // restored coordinator's graph may be an mmap of THIS file, and
+    // save_binary_v2 reads that graph while serializing. Truncating the
+    // mapped inode in place would rip the pages out from under the read
+    // (SIGBUS); renaming over it leaves the old inode alive for as long
+    // as the mapping holds it.
+    const std::string full = dir + "/" + file;
+    const std::string tmp = full + ".tmp";
+    try {
+      graph::io::save_binary_v2(*snap.graphs[i].graph, tmp);
+    } catch (const std::exception& ex) {
+      fail("snapshot: save graph '" + snap.graphs[i].id + "': " + ex.what());
+    }
+    std::error_code rename_ec;
+    std::filesystem::rename(tmp, full, rename_ec);
+    if (rename_ec) {
+      fail("snapshot: rename '" + tmp + "' -> '" + full + "': " +
+           rename_ec.message());
+    }
+    files.push_back(file);
+  }
+
+  std::vector<std::uint8_t> bytes;
+  wire::Writer w(bytes);
+  w.u32(kManifestMagic);
+  w.u16(kManifestVersion);
+  w.u32(static_cast<std::uint32_t>(snap.graphs.size()));
+  for (std::size_t i = 0; i < snap.graphs.size(); ++i) {
+    const SnapshotGraph& g = snap.graphs[i];
+    w.str(g.id);
+    w.str(g.spec);
+    w.u64(g.base_fingerprint);
+    w.u64(g.fingerprint);
+    w.u64(g.epoch);
+    w.updates(g.history);
+    w.str(files[i]);
+  }
+  w.u32(static_cast<std::uint32_t>(snap.cache.size()));
+  for (const SnapshotCacheEntry& e : snap.cache) {
+    w.str(e.key);
+    w.f64s(e.scores);
+    w.u8(e.strategy);
+    w.u64(e.roots_processed);
+    w.u8(e.approximate);
+    w.f64(e.time_seconds);
+    w.f64(e.wall_seconds);
+    w.f64(e.teps);
+  }
+  write_file_atomic(manifest_path(dir), bytes);
+}
+
+Snapshot load_snapshot(const std::string& dir) {
+  const std::vector<std::uint8_t> bytes = read_file(manifest_path(dir));
+  wire::Reader r(bytes);
+  if (r.u32() != kManifestMagic) fail("snapshot: '" + dir + "': bad manifest magic");
+  const std::uint16_t version = r.u16();
+  if (version != kManifestVersion) {
+    fail("snapshot: '" + dir + "': manifest version " + std::to_string(version) +
+         " (expected " + std::to_string(kManifestVersion) + ")");
+  }
+
+  Snapshot snap;
+  const std::uint32_t num_graphs = r.u32();
+  if (!r.ok()) fail("snapshot: '" + dir + "': truncated manifest header");
+  snap.graphs.reserve(num_graphs);
+  for (std::uint32_t i = 0; i < num_graphs; ++i) {
+    SnapshotGraph g;
+    g.id = r.str();
+    g.spec = r.str();
+    g.base_fingerprint = r.u64();
+    g.fingerprint = r.u64();
+    g.epoch = r.u64();
+    g.history = r.updates();
+    g.graph_file = r.str();
+    if (!r.ok()) fail("snapshot: '" + dir + "': truncated graph table");
+    // Reject path traversal in the manifest: graph files live flat in the
+    // snapshot directory by construction.
+    if (g.graph_file.empty() || g.graph_file.find('/') != std::string::npos) {
+      fail("snapshot: '" + dir + "': bad graph file name '" + g.graph_file + "'");
+    }
+    snap.graphs.push_back(std::move(g));
+  }
+  const std::uint32_t num_cache = r.u32();
+  for (std::uint32_t i = 0; i < num_cache; ++i) {
+    SnapshotCacheEntry e;
+    e.key = r.str();
+    e.scores = r.f64s();
+    e.strategy = r.u8();
+    e.roots_processed = r.u64();
+    e.approximate = r.u8();
+    e.time_seconds = r.f64();
+    e.wall_seconds = r.f64();
+    e.teps = r.f64();
+    if (!r.ok()) fail("snapshot: '" + dir + "': truncated cache table");
+    snap.cache.push_back(std::move(e));
+  }
+  if (!r.at_end()) fail("snapshot: '" + dir + "': trailing bytes in manifest");
+
+  for (SnapshotGraph& g : snap.graphs) {
+    try {
+      // Full validation: the container's embedded fingerprint is
+      // recomputed from the mapped data, so a corrupt graph file is a
+      // typed error here, not wrong scores later.
+      g.graph = std::make_shared<const graph::CSRGraph>(
+          graph::io::open_mapped(dir + "/" + g.graph_file));
+    } catch (const std::exception& ex) {
+      fail("snapshot: load graph '" + g.id + "' from '" + g.graph_file +
+           "': " + ex.what());
+    }
+  }
+  return snap;
+}
+
+}  // namespace hbc::net

@@ -1,0 +1,94 @@
+#pragma once
+
+// Durable coordinator state — the warm-restart half of fleet self-healing
+// (docs/resilience.md).
+//
+// A snapshot captures everything the coordinator cannot rebuild from its
+// workers: the named-graph registry (spec, epoch, base fingerprint, and
+// the full mutation history needed to catch a worker up), the graphs
+// themselves (written as v2 ".hbcg" containers via the storage layer, so
+// a restarted coordinator mmaps them back instead of re-parsing specs),
+// and the result-cache index (keys + finalized score vectors — cache
+// warmth survives the restart).
+//
+// Placement is NOT persisted on purpose: the ring is a pure function of
+// the ready-worker set, which the restarted coordinator re-learns from
+// Hello handshakes. Worker fingerprint re-verification falls out of the
+// same path — rejoining workers get the graph + history replay and must
+// ack the expected fingerprint, exactly like any late joiner.
+//
+// Format: `<dir>/manifest.hbcs` serialized with the wire codec's
+// bounds-checked Writer/Reader (same defensive posture as the frame
+// codec: a corrupt manifest yields a typed SnapshotError, never UB),
+// next to one `graph<i>.hbcg` per registered graph. Writes go to a
+// ".tmp" then rename, so a crash mid-save leaves the previous snapshot
+// intact.
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/bc.hpp"
+#include "graph/csr.hpp"
+#include "net/wire.hpp"
+
+namespace hbc::net {
+
+/// Typed snapshot failure (missing/corrupt/mis-versioned manifest, graph
+/// file I/O). The coordinator treats a failed restore as "no snapshot":
+/// it records the error and starts fresh rather than serving bad state.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One registered graph, as persisted. `graph_file` is relative to the
+/// snapshot directory.
+struct SnapshotGraph {
+  std::string id;
+  std::string spec;
+  std::uint64_t base_fingerprint = 0;
+  std::uint64_t fingerprint = 0;  // after replaying `history`
+  std::uint64_t epoch = 0;
+  std::vector<wire::WireUpdate> history;
+  std::string graph_file;
+  /// Current-epoch structure: supplied by the caller for save (no copy —
+  /// the coordinator's own shared graph), materialized on restore.
+  std::shared_ptr<const graph::CSRGraph> graph;
+};
+
+/// One result-cache entry, as persisted. Only the finalized result
+/// travels; the byte charge is re-estimated on restore.
+struct SnapshotCacheEntry {
+  std::string key;
+  std::vector<double> scores;
+  std::uint8_t strategy = 0;
+  std::uint64_t roots_processed = 0;
+  std::uint8_t approximate = 0;
+  double time_seconds = 0.0;
+  double wall_seconds = 0.0;
+  double teps = 0.0;
+};
+
+struct Snapshot {
+  std::vector<SnapshotGraph> graphs;
+  std::vector<SnapshotCacheEntry> cache;  // most-recently-used first
+};
+
+/// Write `snap` under `dir` (created if absent): graphs as
+/// `graph<i>.hbcg`, then the manifest atomically (tmp + rename). The
+/// `graph` member of each SnapshotGraph must be populated. Throws
+/// SnapshotError on any failure.
+void save_snapshot(const std::string& dir, const Snapshot& snap);
+
+/// Load the snapshot under `dir`, materializing every graph from its
+/// container file. Throws SnapshotError if there is no manifest, the
+/// manifest is corrupt, or any graph file fails to load/validate.
+Snapshot load_snapshot(const std::string& dir);
+
+/// True when `dir` holds a manifest (cheap existence probe).
+bool snapshot_exists(const std::string& dir);
+
+}  // namespace hbc::net

@@ -231,7 +231,27 @@ Conn::Io Conn::pump_write() {
 }
 
 void Conn::send(const std::vector<std::uint8_t>& frame_bytes) {
+  if (chaos_) {
+    chaos_->on_send(frame_bytes, out_);
+    return;
+  }
   out_.insert(out_.end(), frame_bytes.begin(), frame_bytes.end());
+}
+
+void Conn::arm_chaos(std::shared_ptr<const ChaosPlan> plan, std::uint64_t stream_id) {
+  chaos_ = plan ? std::make_unique<ChaosInjector>(std::move(plan), stream_id)
+                : nullptr;
+}
+
+void Conn::pump_chaos() {
+  if (chaos_) chaos_->release_due(out_);
+}
+
+void Conn::enforce_frame_deadline() const {
+  if (!frame_overdue()) return;
+  throw NetError("frame deadline (" + std::to_string(frame_deadline_.count()) +
+                 "ms) exceeded by " + peer_ +
+                 ": partial frame stuck at the head of the stream");
 }
 
 wire::DecodeStatus Conn::next_frame(wire::Frame& frame) {
@@ -241,6 +261,7 @@ wire::DecodeStatus Conn::next_frame(wire::Frame& frame) {
   const wire::DecodeStatus s = wire::extract_frame(pending, frame, consumed);
   if (s == wire::DecodeStatus::Ok) {
     in_pos_ += consumed;
+    partial_ = false;
     // Compact once the consumed prefix dominates, amortizing the memmove.
     if (in_pos_ > 4096 && in_pos_ * 2 > in_.size()) {
       in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(in_pos_));
@@ -248,7 +269,18 @@ wire::DecodeStatus Conn::next_frame(wire::Frame& frame) {
     }
     return s;
   }
-  if (s != wire::DecodeStatus::NeedMore) poisoned_ = s;
+  if (s != wire::DecodeStatus::NeedMore) {
+    poisoned_ = s;
+    return s;
+  }
+  // NeedMore: track how long a partial frame has been dribbling in so the
+  // frame deadline can cull a slow-loris peer.
+  if (in_pos_ == in_.size()) {
+    partial_ = false;  // nothing buffered at all — an idle peer is fine
+  } else if (!partial_) {
+    partial_ = true;
+    partial_since_ = std::chrono::steady_clock::now();
+  }
   return s;
 }
 

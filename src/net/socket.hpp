@@ -13,13 +13,16 @@
 // Steady-state I/O failures are returned as Conn::Io statuses so event
 // loops can treat a dead peer as data, not control flow.
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include <poll.h>
 
+#include "net/chaos.hpp"
 #include "net/wire.hpp"
 
 namespace hbc::net {
@@ -111,7 +114,9 @@ class Conn {
   bool wants_write() const noexcept { return out_pos_ < out_.size(); }
   std::size_t pending_bytes() const noexcept { return out_.size() - out_pos_; }
 
-  /// Queue one encoded frame for writing (pump_write sends it).
+  /// Queue one encoded frame for writing (pump_write sends it). When a
+  /// ChaosInjector is armed the frame is routed through it first; inert
+  /// connections pay one null-pointer test.
   void send(const std::vector<std::uint8_t>& frame_bytes);
 
   /// Extract the next complete frame from the read buffer. Ok consumes it;
@@ -119,6 +124,41 @@ class Conn {
   /// at the head of the stream — the connection should be dropped (the
   /// status is sticky: once poisoned, always poisoned).
   wire::DecodeStatus next_frame(wire::Frame& frame);
+
+  // --- chaos injection (net/chaos.hpp) ------------------------------------
+
+  /// Route every subsequent send through a seeded fault injector.
+  /// `stream_id` keys the plan's hash so each connection gets its own
+  /// deterministic fate stream. Null plan disarms.
+  void arm_chaos(std::shared_ptr<const ChaosPlan> plan, std::uint64_t stream_id);
+
+  /// Move chaos-delayed frames whose hold time has passed into the write
+  /// buffer. Event loops call this once per pass; a no-op when unarmed.
+  void pump_chaos();
+
+  /// Frames still held by the injector (the loop should keep pumping).
+  bool chaos_pending() const noexcept { return chaos_ && chaos_->holding(); }
+
+  // --- slow-writer (slow-loris) detection ---------------------------------
+
+  /// Cull a peer that keeps a frame incomplete longer than `deadline`
+  /// (e.g. dribbling one byte per poll tick, which would otherwise pin a
+  /// connection slot forever). 0 disables (the default).
+  void set_frame_deadline(std::chrono::milliseconds deadline) noexcept {
+    frame_deadline_ = deadline;
+  }
+
+  /// True when a partial frame has been stuck at the head of the read
+  /// buffer past the deadline. Event loops treat this like a dead peer.
+  bool frame_overdue() const noexcept {
+    return frame_deadline_.count() > 0 && partial_ &&
+           std::chrono::steady_clock::now() - partial_since_ > frame_deadline_;
+  }
+
+  /// frame_overdue(), escalated: throws NetError naming the peer and the
+  /// deadline. For callers that prefer the transport's typed error to a
+  /// silent cull.
+  void enforce_frame_deadline() const;
 
  private:
   Socket sock_;
@@ -128,6 +168,10 @@ class Conn {
   std::vector<std::uint8_t> out_;
   std::size_t out_pos_ = 0;
   wire::DecodeStatus poisoned_ = wire::DecodeStatus::Ok;
+  std::unique_ptr<ChaosInjector> chaos_;  // null = inert
+  std::chrono::milliseconds frame_deadline_{0};
+  bool partial_ = false;  // head-of-buffer frame incomplete since partial_since_
+  std::chrono::steady_clock::time_point partial_since_{};
 };
 
 }  // namespace hbc::net

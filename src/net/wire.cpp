@@ -9,134 +9,6 @@ namespace hbc::net::wire {
 
 namespace {
 
-// Bounds-checked little-endian primitives. The writer never fails; the
-// reader records the first out-of-bounds access and turns every later read
-// into a no-op, so decode functions can read a whole message straight
-// through and check ok() once.
-
-class Writer {
- public:
-  explicit Writer(std::vector<std::uint8_t>& out) : out_(&out) {}
-
-  void u8(std::uint8_t v) { out_->push_back(v); }
-  void u16(std::uint16_t v) {
-    out_->push_back(static_cast<std::uint8_t>(v));
-    out_->push_back(static_cast<std::uint8_t>(v >> 8));
-  }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    out_->insert(out_->end(), s.begin(), s.end());
-  }
-  void u32s(const std::vector<std::uint32_t>& v) {
-    u32(static_cast<std::uint32_t>(v.size()));
-    for (std::uint32_t x : v) u32(x);
-  }
-  void f64s(const std::vector<double>& v) {
-    u32(static_cast<std::uint32_t>(v.size()));
-    for (double x : v) f64(x);
-  }
-  void updates(const std::vector<WireUpdate>& v) {
-    u32(static_cast<std::uint32_t>(v.size()));
-    for (const WireUpdate& e : v) {
-      u32(e.u);
-      u32(e.v);
-      u8(e.insert);
-    }
-  }
-
- private:
-  std::vector<std::uint8_t>* out_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::span<const std::uint8_t> in) : in_(in) {}
-
-  bool ok() const noexcept { return !failed_; }
-  bool at_end() const noexcept { return pos_ == in_.size(); }
-
-  std::uint8_t u8() {
-    if (!need(1)) return 0;
-    return in_[pos_++];
-  }
-  std::uint16_t u16() {
-    if (!need(2)) return 0;
-    std::uint16_t v = static_cast<std::uint16_t>(in_[pos_] | (in_[pos_ + 1] << 8));
-    pos_ += 2;
-    return v;
-  }
-  std::uint32_t u32() {
-    if (!need(4)) return 0;
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in_[pos_ + i]) << (8 * i);
-    pos_ += 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    if (!need(8)) return 0;
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in_[pos_ + i]) << (8 * i);
-    pos_ += 8;
-    return v;
-  }
-  double f64() { return std::bit_cast<double>(u64()); }
-
-  std::string str() {
-    const std::uint32_t len = u32();
-    // Validate against the bytes actually present BEFORE allocating, so a
-    // hostile length prefix cannot demand memory the frame doesn't carry.
-    if (!need(len)) return {};
-    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), len);
-    pos_ += len;
-    return s;
-  }
-  std::vector<std::uint32_t> u32s() {
-    const std::uint32_t count = u32();
-    if (!need(static_cast<std::size_t>(count) * 4)) return {};
-    std::vector<std::uint32_t> v(count);
-    for (std::uint32_t i = 0; i < count; ++i) v[i] = u32();
-    return v;
-  }
-  std::vector<double> f64s() {
-    const std::uint32_t count = u32();
-    if (!need(static_cast<std::size_t>(count) * 8)) return {};
-    std::vector<double> v(count);
-    for (std::uint32_t i = 0; i < count; ++i) v[i] = f64();
-    return v;
-  }
-  std::vector<WireUpdate> updates() {
-    const std::uint32_t count = u32();
-    if (!need(static_cast<std::size_t>(count) * 9)) return {};
-    std::vector<WireUpdate> v(count);
-    for (std::uint32_t i = 0; i < count; ++i) {
-      v[i].u = u32();
-      v[i].v = u32();
-      v[i].insert = u8();
-    }
-    return v;
-  }
-
- private:
-  bool need(std::size_t n) {
-    if (failed_ || n > in_.size() - pos_) {
-      failed_ = true;
-      return false;
-    }
-    return true;
-  }
-
-  std::span<const std::uint8_t> in_;
-  std::size_t pos_ = 0;
-  bool failed_ = false;
-};
-
 std::vector<std::uint8_t> finish_frame(MsgType type, std::uint64_t request_id,
                                        const std::vector<std::uint8_t>& payload) {
   std::vector<std::uint8_t> out;
@@ -171,6 +43,16 @@ const char* to_string(MsgType type) noexcept {
     case MsgType::Drain: return "drain";
     case MsgType::Goodbye: return "goodbye";
     case MsgType::Error: return "error";
+    case MsgType::Quarantine: return "quarantine";
+  }
+  return "?";
+}
+
+const char* to_string(HealthState state) noexcept {
+  switch (state) {
+    case HealthState::Healthy: return "healthy";
+    case HealthState::Quarantined: return "quarantined";
+    case HealthState::Probation: return "probation";
   }
   return "?";
 }
@@ -216,7 +98,7 @@ DecodeStatus extract_frame(std::span<const std::uint8_t> in, Frame& frame,
   if (magic != kMagic) return DecodeStatus::BadMagic;
   if (version != kProtocolVersion) return DecodeStatus::BadVersion;
   if (type < static_cast<std::uint16_t>(MsgType::Hello) ||
-      type > static_cast<std::uint16_t>(MsgType::Error)) {
+      type > static_cast<std::uint16_t>(MsgType::Quarantine)) {
     return DecodeStatus::UnknownType;
   }
   if (payload_len > kMaxPayload) return DecodeStatus::Oversize;
@@ -517,6 +399,28 @@ DecodeStatus decode(const Frame& f, ErrorMsg& out) {
   out.code = r.u32();
   out.message = r.str();
   return seal(r);
+}
+
+std::vector<std::uint8_t> encode(const QuarantineMsg& m, std::uint64_t request_id) {
+  std::vector<std::uint8_t> p;
+  Writer w(p);
+  w.u8(static_cast<std::uint8_t>(m.state));
+  w.str(m.reason);
+  return finish_frame(MsgType::Quarantine, request_id, p);
+}
+
+DecodeStatus decode(const Frame& f, QuarantineMsg& out) {
+  if (!check_type(f, MsgType::Quarantine)) return DecodeStatus::BadValue;
+  Reader r(f.payload);
+  const std::uint8_t state = r.u8();
+  out.reason = r.str();
+  const DecodeStatus s = seal(r);
+  if (s != DecodeStatus::Ok) return s;
+  if (state > static_cast<std::uint8_t>(HealthState::Probation)) {
+    return DecodeStatus::BadValue;
+  }
+  out.state = static_cast<HealthState>(state);
+  return DecodeStatus::Ok;
 }
 
 }  // namespace hbc::net::wire

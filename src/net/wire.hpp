@@ -27,6 +27,7 @@
 // vector arrives at the coordinator bit-exact — the property the fixed-
 // order distributed reduction depends on.
 
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -35,6 +36,142 @@
 #include "graph/types.hpp"
 
 namespace hbc::net::wire {
+
+/// One edge mutation on the wire (mirrors dyn::EdgeUpdate).
+struct WireUpdate {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  std::uint8_t insert = 1;
+};
+
+// Bounds-checked little-endian primitives shared by the frame codec and
+// the coordinator's snapshot manifest (net/snapshot.cpp). The writer never
+// fails; the reader records the first out-of-bounds access and turns every
+// later read into a no-op, so decoders can read a whole message straight
+// through and check ok() once.
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u16(std::uint16_t v) {
+    out_->push_back(static_cast<std::uint8_t>(v));
+    out_->push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+  void u32s(const std::vector<std::uint32_t>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (std::uint32_t x : v) u32(x);
+  }
+  void f64s(const std::vector<double>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (double x : v) f64(x);
+  }
+  void updates(const std::vector<WireUpdate>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (const WireUpdate& e : v) {
+      u32(e.u);
+      u32(e.v);
+      u8(e.insert);
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  bool ok() const noexcept { return !failed_; }
+  bool at_end() const noexcept { return pos_ == in_.size(); }
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return in_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(in_[pos_] | (in_[pos_ + 1] << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint32_t len = u32();
+    // Validate against the bytes actually present BEFORE allocating, so a
+    // hostile length prefix cannot demand memory the frame doesn't carry.
+    if (!need(len)) return {};
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  std::vector<std::uint32_t> u32s() {
+    const std::uint32_t count = u32();
+    if (!need(static_cast<std::size_t>(count) * 4)) return {};
+    std::vector<std::uint32_t> v(count);
+    for (std::uint32_t i = 0; i < count; ++i) v[i] = u32();
+    return v;
+  }
+  std::vector<double> f64s() {
+    const std::uint32_t count = u32();
+    if (!need(static_cast<std::size_t>(count) * 8)) return {};
+    std::vector<double> v(count);
+    for (std::uint32_t i = 0; i < count; ++i) v[i] = f64();
+    return v;
+  }
+  std::vector<WireUpdate> updates() {
+    const std::uint32_t count = u32();
+    if (!need(static_cast<std::size_t>(count) * 9)) return {};
+    std::vector<WireUpdate> v(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      v[i].u = u32();
+      v[i].v = u32();
+      v[i].insert = u8();
+    }
+    return v;
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (failed_ || n > in_.size() - pos_) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
 
 inline constexpr std::uint32_t kMagic = 0x4E434248u;  // "HBCN" little-endian
 inline constexpr std::uint16_t kProtocolVersion = 1;
@@ -56,6 +193,7 @@ enum class MsgType : std::uint16_t {
   Drain = 11,        // coordinator -> worker: finish in-flight, then leave
   Goodbye = 12,      // worker -> coordinator: clean departure
   Error = 13,        // either direction: request-scoped failure
+  Quarantine = 14,   // coordinator -> worker: health-state transition notice
 };
 
 const char* to_string(MsgType type) noexcept;
@@ -106,13 +244,6 @@ struct HelloMsg {
 struct HelloAckMsg {
   std::uint32_t worker_slot = 0;
   std::string coordinator_name;
-};
-
-/// One edge mutation on the wire (mirrors dyn::EdgeUpdate).
-struct WireUpdate {
-  std::uint32_t u = 0;
-  std::uint32_t v = 0;
-  std::uint8_t insert = 1;
 };
 
 struct LoadGraphMsg {
@@ -227,6 +358,27 @@ struct ErrorMsg {
   std::string message;
 };
 
+/// Worker liveness as the coordinator's failure detector sees it
+/// (net::Coordinator; docs/resilience.md has the state machine).
+enum class HealthState : std::uint8_t {
+  Healthy = 0,
+  /// Missed the heartbeat deadline: dispatched shards were proactively
+  /// reassigned, no new work until it proves itself.
+  Quarantined = 1,
+  /// Heard from again after quarantine; earning readmission.
+  Probation = 2,
+};
+
+const char* to_string(HealthState state) noexcept;
+
+/// Coordinator -> worker: your detector state changed (informational —
+/// the worker notes it; the coordinator's dispatch gate is authoritative).
+struct QuarantineMsg {
+  /// The worker's new state. `Healthy` here means readmitted.
+  HealthState state = HealthState::Quarantined;
+  std::string reason;
+};
+
 // Each encode_* returns a complete frame (header + payload) ready to queue
 // on a connection; each decode_* validates and fills the message from a
 // frame of the matching type (BadValue if the frame type disagrees).
@@ -244,6 +396,7 @@ std::vector<std::uint8_t> encode(const MutateDoneMsg& m, std::uint64_t request_i
 std::vector<std::uint8_t> encode(const DrainMsg& m, std::uint64_t request_id);
 std::vector<std::uint8_t> encode(const GoodbyeMsg& m, std::uint64_t request_id);
 std::vector<std::uint8_t> encode(const ErrorMsg& m, std::uint64_t request_id);
+std::vector<std::uint8_t> encode(const QuarantineMsg& m, std::uint64_t request_id);
 
 DecodeStatus decode(const Frame& f, HelloMsg& out);
 DecodeStatus decode(const Frame& f, HelloAckMsg& out);
@@ -258,5 +411,6 @@ DecodeStatus decode(const Frame& f, MutateDoneMsg& out);
 DecodeStatus decode(const Frame& f, DrainMsg& out);
 DecodeStatus decode(const Frame& f, GoodbyeMsg& out);
 DecodeStatus decode(const Frame& f, ErrorMsg& out);
+DecodeStatus decode(const Frame& f, QuarantineMsg& out);
 
 }  // namespace hbc::net::wire

@@ -1,6 +1,7 @@
 #include "net/worker.hpp"
 
 #include <exception>
+#include <functional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -8,6 +9,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "net/shard.hpp"
+#include "util/backoff.hpp"
 
 namespace hbc::net {
 
@@ -57,7 +59,11 @@ void Worker::trace_instant(const char* name, std::uint64_t req,
 }
 
 Socket Worker::connect_with_backoff() {
-  std::chrono::milliseconds backoff = cfg_.connect_backoff;
+  util::BackoffConfig bc;
+  bc.initial = cfg_.connect_backoff;
+  bc.max = cfg_.max_backoff;
+  bc.seed = std::hash<std::string>{}(cfg_.name);
+  util::Backoff backoff(bc);
   for (std::uint32_t attempt = 1;; ++attempt) {
     try {
       return connect_to(cfg_.connect);
@@ -67,13 +73,38 @@ Socket Worker::connect_with_backoff() {
         throw;
       }
     }
-    std::this_thread::sleep_for(backoff);
-    backoff = std::min(backoff * 2, cfg_.max_backoff);
+    std::this_thread::sleep_for(backoff.next());
   }
 }
 
 void Worker::run() {
+  // Rejoin pacing shares the reconnect policy but keeps its own attempt
+  // counter — a long-lived worker that loses the coordinator twice an
+  // hour should not escalate to max_backoff forever.
+  util::BackoffConfig bc;
+  bc.initial = cfg_.connect_backoff;
+  bc.max = cfg_.max_backoff;
+  bc.seed = std::hash<std::string>{}(cfg_.name) ^ 0x5265'6A6F'696Eull;  // "Rejoin"
+  util::Backoff rejoin(bc);
+  for (std::uint32_t session = 0;; ++session) {
+    const SessionEnd end = run_session();
+    if (end == SessionEnd::Clean) return;
+    if (stop_.load(std::memory_order_relaxed)) return;
+    if (session >= cfg_.rejoin_attempts) return;
+    ++stats_.reconnects;
+    svc_.note_reconnect();
+    std::this_thread::sleep_for(rejoin.next());
+  }
+}
+
+Worker::SessionEnd Worker::run_session() {
   Conn conn(connect_with_backoff(), cfg_.connect.str());
+  if (cfg_.chaos) {
+    // High bit keeps worker streams disjoint from coordinator slot ids.
+    conn.arm_chaos(cfg_.chaos,
+                   std::hash<std::string>{}(cfg_.name) | 0x8000'0000'0000'0000ull);
+  }
+  conn.set_frame_deadline(cfg_.frame_deadline);
   {
     wire::HelloMsg hello;
     hello.protocol = wire::kProtocolVersion;
@@ -87,17 +118,22 @@ void Worker::run() {
 
   bool draining = false;
   bool done = false;
-  std::uint64_t heartbeat_seq = 0;
   auto last_heartbeat = Clock::now();
+  misses_in_row_ = 0;
+  // Heartbeats from a previous session are moot on a fresh link.
+  last_acked_seq_ = heartbeat_seq_;
 
   while (!done && !stop_.load(std::memory_order_relaxed)) {
+    conn.pump_chaos();
     std::vector<pollfd> fds;
     short events = POLLIN;
     if (conn.wants_write()) events |= POLLOUT;
     fds.push_back(pollfd{conn.fd(), events, 0});
     // Short timeout either way: pending tickets complete on service
     // threads, not on this socket, so the loop must come back to look.
-    poll_wait(fds, pending_.empty() ? 50 : 10);
+    int wait_ms = pending_.empty() ? 50 : 10;
+    if (conn.chaos_pending()) wait_ms = std::min(wait_ms, 5);
+    poll_wait(fds, wait_ms);
 
     if (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) {
       const Conn::Io io = conn.pump_read();
@@ -109,15 +145,25 @@ void Worker::run() {
           if (done) break;
           continue;
         }
-        if (s != wire::DecodeStatus::NeedMore) done = true;  // poisoned stream
+        if (s != wire::DecodeStatus::NeedMore) {
+          // Poisoned stream (e.g. a chaos-flipped header): the link is
+          // unusable, but the worker itself is fine — rejoin-eligible.
+          return SessionEnd::ConnLost;
+        }
         break;
       }
       if (io != Conn::Io::Ok) {
-        // Coordinator is gone. Finish nothing — results have nowhere to go.
-        break;
+        // Coordinator is gone. Finish nothing — results have nowhere to
+        // go on THIS connection; pending tickets survive for the next.
+        return SessionEnd::ConnLost;
       }
     }
     if (done) break;
+
+    if (conn.frame_overdue()) {
+      // The coordinator is dribbling a frame — treat it as gone.
+      return SessionEnd::ConnLost;
+    }
 
     poll_tickets(conn);
 
@@ -136,16 +182,31 @@ void Worker::run() {
 
     if (cfg_.heartbeat_interval.count() > 0 &&
         Clock::now() - last_heartbeat >= cfg_.heartbeat_interval) {
+      // The worker's half of the failure detector: emitting while the
+      // previous heartbeat is still unacked is a miss; enough in a row
+      // and the link is declared dead without waiting for a socket error.
+      if (heartbeat_seq_ > last_acked_seq_) {
+        ++misses_in_row_;
+        ++stats_.heartbeat_misses;
+        svc_.note_heartbeat_miss();
+        if (misses_in_row_ >=
+            std::max<std::uint32_t>(cfg_.max_heartbeat_misses, 1)) {
+          return SessionEnd::ConnLost;
+        }
+      }
       wire::HeartbeatMsg hb;
-      hb.seq = ++heartbeat_seq;
+      hb.seq = ++heartbeat_seq_;
       hb.inflight = static_cast<std::uint32_t>(pending_.size());
       conn.send(wire::encode(hb, 0));
       last_heartbeat = Clock::now();
       ++stats_.heartbeats;
     }
 
-    if (conn.wants_write() && conn.pump_write() != Conn::Io::Ok) break;
+    if (conn.wants_write() && conn.pump_write() != Conn::Io::Ok) {
+      return SessionEnd::ConnLost;
+    }
   }
+  return SessionEnd::Clean;
 }
 
 void Worker::handle_frame(Conn& conn, const wire::Frame& frame, bool& draining,
@@ -250,8 +311,24 @@ void Worker::handle_frame(Conn& conn, const wire::Frame& frame, bool& draining,
       conn.send(wire::encode(ack, frame.request_id));
       return;
     }
-    case wire::MsgType::HeartbeatAck:
+    case wire::MsgType::HeartbeatAck: {
+      wire::HeartbeatAckMsg m;
+      if (wire::decode(frame, m) != wire::DecodeStatus::Ok) return;
+      if (m.seq > last_acked_seq_) last_acked_seq_ = m.seq;
+      misses_in_row_ = 0;  // the link round-trips again
       return;
+    }
+    case wire::MsgType::Quarantine: {
+      wire::QuarantineMsg m;
+      if (wire::decode(frame, m) != wire::DecodeStatus::Ok) return;
+      // Informational: the coordinator's dispatch gate is authoritative.
+      // The worker records the notice (and keeps heartbeating — that IS
+      // the readmission path).
+      ++stats_.quarantine_notices;
+      trace_instant("quarantine-notice", frame.request_id,
+                    static_cast<std::uint64_t>(m.state));
+      return;
+    }
     case wire::MsgType::Drain:
       draining = true;
       return;

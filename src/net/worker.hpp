@@ -23,6 +23,13 @@
 // the worker drops the connection the instant the Nth shard ARRIVES —
 // before replying — so the coordinator sees a death with work
 // outstanding, exactly the failure the reassignment path exists for.
+//
+// Self-healing: with `rejoin_attempts` > 0 a lost connection (peer gone,
+// poisoned stream, missed heartbeat acks) is not the end — the worker
+// reconnects under util::Backoff, re-Hellos, and the coordinator's
+// late-joiner replay hands it its graphs back, fingerprint-verified.
+// Results for shards submitted in a previous session are still reported
+// and absorbed by the coordinator's stale/duplicate checks.
 
 #include <atomic>
 #include <chrono>
@@ -49,12 +56,29 @@ struct WorkerConfig {
   /// to return in-memory graphs.
   std::function<graph::CSRGraph(const std::string& spec)> graph_loader;
   /// Connection attempts before giving up (NetError propagates out of
-  /// run()); backoff doubles from `connect_backoff` up to `max_backoff`.
+  /// run()); delays follow util::Backoff (exponential, jittered, capped)
+  /// from `connect_backoff` up to `max_backoff`.
   std::uint32_t max_connect_attempts = 60;
   std::chrono::milliseconds connect_backoff{50};
   std::chrono::milliseconds max_backoff{2000};
   /// Heartbeat cadence; 0 disables.
   std::chrono::milliseconds heartbeat_interval{1000};
+  /// Sessions after the first: when the connection is LOST (coordinator
+  /// gone, poisoned stream, missed heartbeat acks) the worker reconnects
+  /// and re-Hellos up to this many times. 0 (default) = the pre-rejoin
+  /// behaviour: run() returns on the first loss. Clean exits (drain,
+  /// goodbye, die_after_shards) never rejoin.
+  std::uint32_t rejoin_attempts = 0;
+  /// Consecutive heartbeats sent without the previous one being acked
+  /// before the worker declares the link dead and reconnects proactively
+  /// (its half of the failure detector). Minimum 1.
+  std::uint32_t max_heartbeat_misses = 3;
+  /// Seeded fault injection on the worker's outbound stream
+  /// (stream_id derived from `name`). Null = inert.
+  std::shared_ptr<const ChaosPlan> chaos;
+  /// Cull a coordinator that keeps a frame incomplete this long (slow
+  /// writer); counts as a lost connection. 0 = off.
+  std::chrono::milliseconds frame_deadline{0};
   /// Chaos hook: abruptly close the connection when the Nth SubmitShard
   /// arrives (1-based), before computing or replying. 0 = never.
   std::uint32_t die_after_shards = 0;
@@ -69,6 +93,9 @@ struct WorkerStats {
   std::uint64_t graphs_loaded = 0;
   std::uint64_t mutations = 0;
   std::uint64_t heartbeats = 0;
+  std::uint64_t heartbeat_misses = 0;   // sent while the previous was unacked
+  std::uint64_t reconnects = 0;         // rejoin sessions entered
+  std::uint64_t quarantine_notices = 0; // coordinator health notices received
 };
 
 class Worker {
@@ -98,7 +125,14 @@ class Worker {
     service::Ticket ticket;
   };
 
+  /// How one connection's serving loop ended — the rejoin decision.
+  enum class SessionEnd : std::uint8_t {
+    Clean,     // drained / goodbye / deliberate death / stop: never rejoin
+    ConnLost,  // peer gone, poisoned stream, missed acks: rejoin-eligible
+  };
+
   Socket connect_with_backoff();
+  SessionEnd run_session();
   void handle_frame(Conn& conn, const wire::Frame& frame, bool& draining, bool& done);
   void poll_tickets(Conn& conn);
   void trace_instant(const char* name, std::uint64_t req, std::uint64_t shard) const;
@@ -109,6 +143,9 @@ class Worker {
   std::vector<PendingShard> pending_;
   std::atomic<bool> stop_{false};
   std::uint32_t shards_seen_ = 0;  // for die_after_shards
+  std::uint64_t heartbeat_seq_ = 0;
+  std::uint64_t last_acked_seq_ = 0;    // highest HeartbeatAck seen
+  std::uint32_t misses_in_row_ = 0;     // consecutive unacked heartbeats
 };
 
 }  // namespace hbc::net

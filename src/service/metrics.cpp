@@ -162,6 +162,16 @@ void ServiceMetrics::on_refresh_invalidated(std::uint64_t n) {
   counts_.refresh_invalidated += n;
 }
 
+void ServiceMetrics::on_reconnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.net_reconnects;
+}
+
+void ServiceMetrics::on_heartbeat_miss() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.net_heartbeat_misses;
+}
+
 MetricsSnapshot ServiceMetrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s = counts_;
@@ -199,6 +209,7 @@ std::string format_report(const MetricsSnapshot& s) {
       "queue       depth=%zu peak=%zu\n"
       "resilience  faults=%llu retries=%llu fallbacks=%llu degraded=%llu"
       " cancelled=%llu time_to_cancel_ms mean=%.3f max=%.3f\n"
+      "network     reconnects=%llu heartbeat_misses=%llu\n"
       "dynamic     mutations=%llu updates=%llu noops=%llu refresh_patched=%llu"
       " invalidated=%llu affected_frac mean=%.3f max=%.3f\n"
       "latency_ms  p50=%.3f p90=%.3f p95=%.3f p99=%.3f mean=%.3f max=%.3f"
@@ -226,6 +237,8 @@ std::string format_report(const MetricsSnapshot& s) {
       static_cast<unsigned long long>(s.degraded),
       static_cast<unsigned long long>(s.cancellations),
       s.time_to_cancel_mean_ms, s.time_to_cancel_max_ms,
+      static_cast<unsigned long long>(s.net_reconnects),
+      static_cast<unsigned long long>(s.net_heartbeat_misses),
       static_cast<unsigned long long>(s.mutations),
       static_cast<unsigned long long>(s.mutation_updates),
       static_cast<unsigned long long>(s.mutation_noops),

@@ -82,6 +82,10 @@ struct MetricsSnapshot {
   double time_to_cancel_mean_ms = 0.0;
   double time_to_cancel_max_ms = 0.0;
 
+  // Network (populated when the service backs a net::Worker).
+  std::uint64_t net_reconnects = 0;       // fleet rejoin sessions entered
+  std::uint64_t net_heartbeat_misses = 0; // heartbeats sent while prior unacked
+
   // Dynamic graphs (docs/dynamic.md).
   std::uint64_t mutations = 0;           // committed batches that changed a graph
   std::uint64_t mutation_updates = 0;    // edge updates applied across batches
@@ -151,6 +155,12 @@ class ServiceMetrics {
   void on_refresh_patched(double affected_fraction);
   /// `n` cache entries were dropped by a mutation instead of patched.
   void on_refresh_invalidated(std::uint64_t n);
+  /// The hosting net::Worker entered a rejoin session after losing the
+  /// coordinator.
+  void on_reconnect();
+  /// The hosting net::Worker sent a heartbeat while the previous one was
+  /// still unacked (its half of the failure detector).
+  void on_heartbeat_miss();
 
   /// Counters + latency fields; cache/queue fields are the caller's job.
   MetricsSnapshot snapshot() const;

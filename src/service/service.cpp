@@ -8,6 +8,7 @@
 #include "gpusim/faults.hpp"
 #include "gpusim/memory.hpp"
 #include "graph/io.hpp"
+#include "util/backoff.hpp"
 #include "util/timer.hpp"
 
 namespace hbc::service {
@@ -551,6 +552,13 @@ core::BCResult BcService::compute_resilient(const graph::CSRGraph& g,
   core::Options opts = requested;
   opts.resilience.cancel = cancel.token();
 
+  // Shared fleet retry policy: exponential from retry_backoff up to
+  // retry_backoff_max, deterministically jittered per attempt.
+  util::BackoffConfig backoff_cfg;
+  backoff_cfg.initial = cfg_.retry_backoff;
+  backoff_cfg.max = cfg_.retry_backoff_max;
+  util::Backoff retry_backoff(backoff_cfg);
+
   // Rung 0: the requested strategy, with whole-run retries while failures
   // are transient. Each retry bumps fault_retry_epoch, so a seeded
   // FaultPlan's transient faults deterministically clear.
@@ -565,7 +573,7 @@ core::BCResult BcService::compute_resilient(const graph::CSRGraph& g,
       if (r.faults.all_failures_transient() && attempt < cfg_.max_compute_retries) {
         metrics_.on_compute_retry();
         trace_instant("compute-retry", attempt + 1);
-        backoff_sleep(cfg_.retry_backoff * (1u << attempt), opts.resilience.cancel);
+        backoff_sleep(retry_backoff.next(), opts.resilience.cancel);
         opts.resilience.fault_retry_epoch =
             requested.resilience.fault_retry_epoch + attempt + 1;
         continue;
@@ -582,7 +590,7 @@ core::BCResult BcService::compute_resilient(const graph::CSRGraph& g,
       if (f.transient() && attempt < cfg_.max_compute_retries) {
         metrics_.on_compute_retry();
         trace_instant("compute-retry", attempt + 1);
-        backoff_sleep(cfg_.retry_backoff * (1u << attempt), opts.resilience.cancel);
+        backoff_sleep(retry_backoff.next(), opts.resilience.cancel);
         opts.resilience.fault_retry_epoch =
             requested.resilience.fault_retry_epoch + attempt + 1;
         continue;

@@ -140,9 +140,11 @@ struct ServiceConfig {
   /// compute). Each retry bumps Options::fault_retry_epoch so a seeded
   /// FaultPlan deterministically clears, and backs off exponentially.
   std::uint32_t max_compute_retries = 2;
-  /// Backoff before the first retry; doubles per retry. Sleeps are capped
-  /// by the request deadline and interrupted by stop().
+  /// Backoff before the first retry; grows exponentially per util::Backoff
+  /// (the fleet-wide retry policy) up to `retry_backoff_max`. Sleeps are
+  /// capped by the request deadline and interrupted by stop().
   std::chrono::milliseconds retry_backoff{1};
+  std::chrono::milliseconds retry_backoff_max{250};
   /// After retries are exhausted (or a persistent fault), descend the
   /// ladder: requested GPU strategy → CpuParallel exact → Sampling
   /// approximation — marking the response degraded. false = surface the
@@ -300,6 +302,11 @@ class BcService {
   std::size_t worker_count() const noexcept;
   std::size_t queue_depth() const { return queue_.depth(); }
   MetricsSnapshot metrics() const;
+  /// Network-health hooks for a hosting net::Worker: forwarded into the
+  /// metrics sink so fleet rejoins and heartbeat misses show up in
+  /// metrics()/metrics_report() next to the compute-side counters.
+  void note_reconnect() { metrics_.on_reconnect(); }
+  void note_heartbeat_miss() { metrics_.on_heartbeat_miss(); }
   /// format_report(metrics()) plus one storage line per registered graph
   /// (residency kind, resident/mapped bytes) — how an operator confirms a
   /// fleet is actually serving a graph mapped rather than from heap.

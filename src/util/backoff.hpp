@@ -1,0 +1,82 @@
+#pragma once
+
+// util::Backoff — the one retry-delay policy shared by every layer that
+// retries: worker reconnect/rejoin (net::Worker), coordinator shard
+// re-dispatch (net::Coordinator), and the service degradation ladder's
+// whole-run retry (service::BcService). Exponential with a multiplicative
+// cap and *deterministic* jitter: the jitter fraction for attempt k is a
+// pure hash of (seed, k), so two runs with the same seed sleep the same
+// schedule — the property the chaos tests lean on — while different seeds
+// de-synchronize a fleet of retriers (no thundering herd).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace hbc::util {
+
+struct BackoffConfig {
+  /// Delay after the first failure (attempt 0).
+  std::chrono::milliseconds initial{50};
+  /// Ceiling every delay is clamped to.
+  std::chrono::milliseconds max{2000};
+  /// Growth factor per attempt (>= 1).
+  double multiplier = 2.0;
+  /// Jitter amplitude as a fraction of the computed delay, in [0, 1):
+  /// attempt k's delay is scaled by 1 + jitter * frac(k) with
+  /// frac(k) in [-1, 1) derived from the seed. 0 = no jitter.
+  double jitter = 0.1;
+  /// Seed for the deterministic jitter stream.
+  std::uint64_t seed = 1;
+};
+
+class Backoff {
+ public:
+  Backoff() : Backoff(BackoffConfig{}) {}
+  explicit Backoff(BackoffConfig config) : cfg_(config) {
+    if (cfg_.multiplier < 1.0) cfg_.multiplier = 1.0;
+    if (cfg_.jitter < 0.0) cfg_.jitter = 0.0;
+    if (cfg_.jitter >= 1.0) cfg_.jitter = 0.999;
+    if (cfg_.max < cfg_.initial) cfg_.max = cfg_.initial;
+  }
+
+  /// Delay to sleep before the next retry; advances the attempt counter.
+  std::chrono::milliseconds next() { return delay_for(attempt_++); }
+
+  /// The delay next() would return, without consuming an attempt.
+  std::chrono::milliseconds peek() const { return delay_for(attempt_); }
+
+  /// Attempts consumed so far (== number of next() calls since reset).
+  std::uint32_t attempts() const noexcept { return attempt_; }
+
+  /// Back to attempt 0 (e.g. after a successful reconnect).
+  void reset() noexcept { attempt_ = 0; }
+
+  const BackoffConfig& config() const noexcept { return cfg_; }
+
+ private:
+  std::chrono::milliseconds delay_for(std::uint32_t attempt) const {
+    double ms = static_cast<double>(cfg_.initial.count());
+    for (std::uint32_t i = 0; i < attempt; ++i) {
+      ms *= cfg_.multiplier;
+      if (ms >= static_cast<double>(cfg_.max.count())) break;  // saturated
+    }
+    ms = std::min(ms, static_cast<double>(cfg_.max.count()));
+    if (cfg_.jitter > 0.0) {
+      // frac in [-1, 1) from a splitmix64 finalizer of (seed, attempt).
+      std::uint64_t z = cfg_.seed + 0x9E3779B97F4A7C15ull * (attempt + 1);
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      z ^= z >> 31;
+      const double frac = static_cast<double>(z >> 11) * 0x1.0p-52 - 1.0;
+      ms *= 1.0 + cfg_.jitter * frac;
+    }
+    ms = std::clamp(ms, 0.0, static_cast<double>(cfg_.max.count()));
+    return std::chrono::milliseconds(static_cast<std::int64_t>(ms));
+  }
+
+  BackoffConfig cfg_;
+  std::uint32_t attempt_ = 0;
+};
+
+}  // namespace hbc::util

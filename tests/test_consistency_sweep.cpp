@@ -108,8 +108,14 @@ TEST_P(StorageBackingSweep, BitwiseIdenticalAcrossBackingsAndThreads) {
   const CSRGraph heap =
       graph::gen::erdos_renyi({.num_vertices = 128, .num_edges = 512, .seed = 77});
 
-  const std::string raw = testing::TempDir() + "sweep.hbcg";
-  const std::string comp = testing::TempDir() + "sweep.hbcgz";
+  // Unique per test process: with gtest_discover_tests each parameterized
+  // instance is its own ctest entry, and a parallel ctest run would have
+  // one instance truncate the file while another still computes from its
+  // mapping of it (SIGBUS).
+  const std::string stem =
+      testing::TempDir() + "sweep-" + std::to_string(static_cast<int>(strategy));
+  const std::string raw = stem + ".hbcg";
+  const std::string comp = stem + ".hbcgz";
   graph::io::save_binary_v2(heap, raw, /*compress=*/false);
   graph::io::save_binary_v2(heap, comp, /*compress=*/true);
 

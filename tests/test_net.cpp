@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -22,10 +24,12 @@
 #include "graph/generators.hpp"
 #include "net/coordinator.hpp"
 #include "net/socket.hpp"
+#include "net/wire.hpp"
 #include "net/worker.hpp"
 #include "service/service.hpp"
 
 using namespace hbc;
+namespace wire = hbc::net::wire;
 
 namespace {
 
@@ -480,6 +484,50 @@ TEST(NetDistributed, DrainStopsQueriesAndReleasesWorkers) {
   for (auto& t : fleet.threads) {
     if (t.joinable()) t.join();
   }
+}
+
+// --- slow-writer culling (fleet self-healing) -----------------------------
+
+TEST(NetDistributed, SlowLorisWriterIsCulledByFrameDeadline) {
+  SocketDir dir;
+  net::CoordinatorConfig cfg;
+  cfg.listen = net::Endpoint::parse(dir.sock());
+  cfg.frame_deadline = std::chrono::milliseconds(30);
+  net::Coordinator coordinator(std::move(cfg));
+
+  // A client that sends half a Hello frame and then stalls forever: it
+  // must be culled by the frame deadline, not allowed to pin the loop's
+  // read state while contributing nothing.
+  net::Socket raw = net::connect_to(net::Endpoint::parse(dir.sock()));
+  ASSERT_TRUE(raw.valid());
+  coordinator.run_for(std::chrono::milliseconds(10));  // let accept() land
+  const std::vector<std::uint8_t> hello = wire::encode(wire::HelloMsg{}, 1);
+  const std::size_t half = hello.size() / 2;
+  ASSERT_GT(half, 0u);
+  ASSERT_EQ(::send(raw.fd(), hello.data(), half, 0),
+            static_cast<ssize_t>(half));
+  coordinator.run_for(std::chrono::milliseconds(200));
+  EXPECT_GE(coordinator.stats().slow_peer_drops, 1u);
+  EXPECT_EQ(coordinator.worker_count(), 0u);
+}
+
+TEST(NetDistributed, FrameDeadlineLeavesHealthyWorkersAlone) {
+  const auto g = std::make_shared<const graph::CSRGraph>(test_graph());
+  core::Options opt;
+  opt.strategy = core::Strategy::WorkEfficient;
+  const core::BCResult standalone = core::compute(*g, opt);
+
+  net::CoordinatorConfig cfg;
+  cfg.frame_deadline = std::chrono::milliseconds(2000);
+  Fleet fleet(2, std::move(cfg), in_memory_workers(2, g));
+  ASSERT_EQ(fleet.coordinator->load_graph("g0", g, ""), 2u);
+  service::Request req;
+  req.graph_id = "g0";
+  req.options = opt;
+  const service::Response resp = fleet.coordinator->query(req);
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  EXPECT_TRUE(bitwise_equal(resp.result->scores, standalone.scores));
+  EXPECT_EQ(fleet.coordinator->stats().slow_peer_drops, 0u);
 }
 
 TEST(NetDistributed, ReplicationPlacesGraphOnSubsetAndStillAnswers) {

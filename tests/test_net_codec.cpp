@@ -192,6 +192,15 @@ TEST(NetCodec, RemainingMessagesRoundTrip) {
     EXPECT_EQ(out.seq, 55u);
   }
   {
+    wire::QuarantineMsg in{wire::HealthState::Probation, "silent 250ms"};
+    ASSERT_EQ(extract(wire::encode(in, 21), f), DecodeStatus::Ok);
+    EXPECT_EQ(f.type, MsgType::Quarantine);
+    wire::QuarantineMsg out;
+    ASSERT_EQ(wire::decode(f, out), DecodeStatus::Ok);
+    EXPECT_EQ(out.state, wire::HealthState::Probation);
+    EXPECT_EQ(out.reason, "silent 250ms");
+  }
+  {
     wire::MutateMsg in;
     in.graph_id = "g";
     in.updates = {{9, 8, 0}};
@@ -367,6 +376,18 @@ TEST(NetCodec, OutOfDomainEnumsAreBadValue) {
   EXPECT_GE(bad_value_seen, 4u);
 }
 
+TEST(NetCodec, QuarantineStateOutOfDomainIsBadValue) {
+  // HealthState is a range-checked u8 (the first payload byte): 3 names no
+  // state and must surface typed, not be cast into the enum.
+  std::vector<std::uint8_t> bytes =
+      wire::encode(wire::QuarantineMsg{wire::HealthState::Healthy, "ok"}, 22);
+  bytes[wire::kHeaderSize] = 3;
+  Frame f;
+  ASSERT_EQ(extract(bytes, f), DecodeStatus::Ok);
+  wire::QuarantineMsg out;
+  EXPECT_EQ(wire::decode(f, out), DecodeStatus::BadValue);
+}
+
 TEST(NetCodec, WrongFrameTypeForDecodeIsBadValue) {
   Frame f;
   ASSERT_EQ(extract(wire::encode(wire::DrainMsg{}, 18), f), DecodeStatus::Ok);
@@ -401,6 +422,10 @@ TEST(NetCodec, MutationFuzzNeverCrashesAndStatusesAreTyped) {
     corpus.push_back(wire::encode(m, 4));
   }
   corpus.push_back(wire::encode(wire::ErrorMsg{1, "x"}, 5));
+  corpus.push_back(wire::encode(wire::HeartbeatMsg{99, 2}, 6));
+  corpus.push_back(wire::encode(wire::HeartbeatAckMsg{99}, 7));
+  corpus.push_back(
+      wire::encode(wire::QuarantineMsg{wire::HealthState::Quarantined, "chaos"}, 8));
 
   int ok_count = 0;
   for (int iter = 0; iter < 20000; ++iter) {
@@ -445,11 +470,17 @@ TEST(NetCodec, MutationFuzzNeverCrashesAndStatusesAreTyped) {
     wire::LoadGraphMsg load;
     wire::HelloMsg hello;
     wire::ErrorMsg err;
+    wire::HeartbeatMsg hb;
+    wire::HeartbeatAckMsg hba;
+    wire::QuarantineMsg quarantine;
     (void)wire::decode(f, shard);
     (void)wire::decode(f, result);
     (void)wire::decode(f, load);
     (void)wire::decode(f, hello);
     (void)wire::decode(f, err);
+    (void)wire::decode(f, hb);
+    (void)wire::decode(f, hba);
+    (void)wire::decode(f, quarantine);
   }
   // The corpus is valid frames, so un-truncating mutations often survive
   // frame extraction — the fuzz must actually reach the payload decoders.

@@ -301,3 +301,104 @@ TEST(ThreadPool, WaitIdleRacesNewSubmissions) {
 }
 
 }  // namespace
+
+// --- util::Backoff: the shared fleet retry-delay policy -------------------
+
+#include "util/backoff.hpp"
+
+namespace {
+
+using hbc::util::Backoff;
+using hbc::util::BackoffConfig;
+
+TEST(Backoff, SameSeedSleepsTheSameSchedule) {
+  BackoffConfig cfg;
+  cfg.initial = std::chrono::milliseconds(10);
+  cfg.max = std::chrono::milliseconds(500);
+  cfg.seed = 42;
+  Backoff a(cfg), b(cfg);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(a.next().count(), b.next().count()) << "attempt " << i;
+  }
+}
+
+TEST(Backoff, DifferentSeedsDesynchronize) {
+  BackoffConfig cfg;
+  cfg.initial = std::chrono::milliseconds(100);
+  cfg.max = std::chrono::milliseconds(100000);
+  cfg.jitter = 0.5;
+  cfg.seed = 1;
+  Backoff a(cfg);
+  cfg.seed = 2;
+  Backoff b(cfg);
+  int diverged = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (a.next().count() != b.next().count()) ++diverged;
+  }
+  EXPECT_GT(diverged, 6);
+}
+
+TEST(Backoff, GrowsExponentiallyAndSaturatesAtMax) {
+  BackoffConfig cfg;
+  cfg.initial = std::chrono::milliseconds(10);
+  cfg.max = std::chrono::milliseconds(200);
+  cfg.multiplier = 2.0;
+  cfg.jitter = 0.0;
+  Backoff backoff(cfg);
+  EXPECT_EQ(backoff.next().count(), 10);
+  EXPECT_EQ(backoff.next().count(), 20);
+  EXPECT_EQ(backoff.next().count(), 40);
+  EXPECT_EQ(backoff.next().count(), 80);
+  EXPECT_EQ(backoff.next().count(), 160);
+  EXPECT_EQ(backoff.next().count(), 200);  // clamped
+  EXPECT_EQ(backoff.next().count(), 200);  // stays clamped
+  EXPECT_EQ(backoff.attempts(), 7u);
+}
+
+TEST(Backoff, JitterStaysWithinConfiguredBand) {
+  BackoffConfig cfg;
+  cfg.initial = std::chrono::milliseconds(1000);
+  cfg.max = std::chrono::milliseconds(1000000);
+  cfg.multiplier = 1.0;  // isolate the jitter term
+  cfg.jitter = 0.25;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    cfg.seed = seed;
+    Backoff backoff(cfg);
+    for (int i = 0; i < 8; ++i) {
+      const auto d = backoff.next().count();
+      EXPECT_GE(d, 750) << "seed " << seed;
+      EXPECT_LE(d, 1250) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Backoff, PeekDoesNotConsumeAndResetRestarts) {
+  BackoffConfig cfg;
+  cfg.initial = std::chrono::milliseconds(10);
+  cfg.jitter = 0.0;
+  Backoff backoff(cfg);
+  EXPECT_EQ(backoff.peek().count(), 10);
+  EXPECT_EQ(backoff.attempts(), 0u);
+  const auto first = backoff.next();
+  backoff.next();
+  EXPECT_EQ(backoff.attempts(), 2u);
+  backoff.reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  EXPECT_EQ(backoff.next().count(), first.count());
+}
+
+TEST(Backoff, HostileConfigIsSanitized) {
+  BackoffConfig cfg;
+  cfg.initial = std::chrono::milliseconds(100);
+  cfg.max = std::chrono::milliseconds(10);  // max < initial
+  cfg.multiplier = 0.25;                    // < 1
+  cfg.jitter = 5.0;                         // >= 1
+  Backoff backoff(cfg);
+  for (int i = 0; i < 6; ++i) {
+    const auto d = backoff.next().count();
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 100);  // never above the (raised) cap
+  }
+}
+
+}  // namespace

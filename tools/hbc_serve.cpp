@@ -27,6 +27,24 @@
 //                     Nth shard arrives (crash testing; default off)
 //   --connect-attempts N  worker connect retries with backoff (default 60)
 //
+// Fleet self-healing (docs/resilience.md):
+//   --chaos SPEC      seeded network fault injection on this process's
+//                     outbound frames (both roles), e.g.
+//                     "seed=11;drop,rate=0.05;partition,after=40,for=20"
+//   --rejoin N        worker: reconnect + re-Hello up to N times after a
+//                     lost connection (default 0 = give up like before)
+//   --heartbeat-ms MS worker: liveness heartbeat cadence (default 1000)
+//   --heartbeat-timeout MS  coordinator: quarantine a ready worker silent
+//                     this long, reassigning its shards (default off)
+//   --snapshot-dir DIR  coordinator: durable warm restart — snapshot the
+//                     graph registry + result-cache index there on every
+//                     registry change, restore from it at startup
+//   --restart-mid     coordinator: simulate a crash at the workload
+//                     midpoint — destroy the coordinator WITHOUT drain,
+//                     restart it from --snapshot-dir (required), wait for
+//                     the fleet to rejoin, finish the replay. The score
+//                     dump stays byte-identical to an uninterrupted run.
+//
 // On bind/listen/connect failure both roles exit 1 with one clear
 // "error: syscall(endpoint): reason" line.
 //
@@ -115,6 +133,9 @@ using namespace hbc;
                "          [--listen EP] [--connect EP] [--expect-workers N]\n"
                "          [--replication N] [--straggler-ms MS]\n"
                "          [--die-after-shards N] [--connect-attempts N]\n"
+               "          [--chaos SPEC] [--rejoin N] [--heartbeat-ms MS]\n"
+               "          [--heartbeat-timeout MS] [--snapshot-dir DIR]\n"
+               "          [--restart-mid]\n"
                "          <graph-file | gen:<family>:<scale>[:<seed>]> ...\n"
                "endpoints EP: unix:/path/to.sock or tcp:host:port\n",
                argv0);
@@ -148,6 +169,13 @@ struct ServeArgs {
   std::uint64_t straggler_ms = 0;
   std::uint32_t die_after_shards = 0;
   std::uint32_t connect_attempts = 60;
+  // Fleet self-healing.
+  std::shared_ptr<const net::ChaosPlan> chaos;
+  std::uint32_t rejoin = 0;
+  std::uint64_t heartbeat_ms = 1000;
+  std::uint64_t heartbeat_timeout_ms = 0;
+  std::string snapshot_dir;
+  bool restart_mid = false;
 };
 
 std::vector<service::Request> synthetic_workload(const ServeArgs& args,
@@ -349,19 +377,48 @@ int run_worker(const ServeArgs& args, trace::Tracer& tracer) {
   wc.service = args.config;
   wc.max_connect_attempts = args.connect_attempts;
   wc.die_after_shards = args.die_after_shards;
+  wc.rejoin_attempts = args.rejoin;
+  wc.heartbeat_interval = std::chrono::milliseconds(args.heartbeat_ms);
+  wc.chaos = args.chaos;
   if (!args.trace_dir.empty()) wc.tracer = &tracer;
 
   std::printf("worker connecting to %s\n", args.connect_spec.c_str());
   net::Worker worker(wc);
-  worker.run();  // NetError on connect failure -> main's catch -> exit 1
+  try {
+    worker.run();
+  } catch (const net::NetError&) {
+    // A worker that loses its coordinator for good (rejoin attempts
+    // exhausted against a dead socket) still owes its trace — the
+    // postmortem is exactly when the capture matters. Flush, then let
+    // main's catch report the error and exit 1.
+    if (!args.trace_dir.empty()) export_trace(tracer, args.trace_dir);
+    throw;
+  }
 
   const net::WorkerStats& s = worker.stats();
   std::printf("worker done: shards served=%llu refused=%llu graphs=%llu "
-              "mutations=%llu\n",
+              "mutations=%llu reconnects=%llu heartbeat_misses=%llu "
+              "quarantine_notices=%llu\n",
               static_cast<unsigned long long>(s.shards_served),
               static_cast<unsigned long long>(s.shards_refused),
               static_cast<unsigned long long>(s.graphs_loaded),
-              static_cast<unsigned long long>(s.mutations));
+              static_cast<unsigned long long>(s.mutations),
+              static_cast<unsigned long long>(s.reconnects),
+              static_cast<unsigned long long>(s.heartbeat_misses),
+              static_cast<unsigned long long>(s.quarantine_notices));
+  if (args.chaos) {
+    const net::ChaosStats cs = args.chaos->stats();
+    std::printf("chaos: frames=%llu injected=%llu (drop=%llu delay=%llu "
+                "dup=%llu trunc=%llu flip=%llu partition=%llu)\n",
+                static_cast<unsigned long long>(cs.frames),
+                static_cast<unsigned long long>(cs.injected()),
+                static_cast<unsigned long long>(cs.dropped),
+                static_cast<unsigned long long>(cs.delayed),
+                static_cast<unsigned long long>(cs.duplicated),
+                static_cast<unsigned long long>(cs.truncated),
+                static_cast<unsigned long long>(cs.flipped),
+                static_cast<unsigned long long>(cs.partitioned));
+  }
   if (!args.trace_dir.empty()) export_trace(tracer, args.trace_dir);
   return 0;
 }
@@ -375,31 +432,48 @@ int run_coordinator(const ServeArgs& args, trace::Tracer& tracer) {
   cc.cache_bytes = args.config.cache_bytes;
   cc.replication = args.replication;
   cc.straggler_timeout = std::chrono::milliseconds(args.straggler_ms);
+  cc.heartbeat_timeout = std::chrono::milliseconds(args.heartbeat_timeout_ms);
+  cc.chaos = args.chaos;
+  cc.snapshot_dir = args.snapshot_dir;
   if (!args.trace_dir.empty()) cc.tracer = &tracer;
 
-  net::Coordinator coord(cc);  // NetError on bind failure -> exit 1
-  std::printf("coordinator listening on %s\n", args.listen_spec.c_str());
-
-  if (args.expect_workers > 0) {
+  auto report_restore = [](const net::Coordinator& c) {
+    const net::SnapshotInfo& si = c.snapshot_info();
+    if (!si.attempted) return;
+    if (si.ok) {
+      std::printf("snapshot restored: %zu graph(s), %zu cache entr%s\n",
+                  si.graphs, si.cache_entries, si.cache_entries == 1 ? "y" : "ies");
+    } else if (!si.error.empty()) {
+      std::printf("snapshot restore failed (starting fresh): %s\n",
+                  si.error.c_str());
+    }
+  };
+  auto await_fleet = [&](net::Coordinator& c) {
+    if (args.expect_workers == 0) return;
     const std::size_t ready =
-        coord.wait_for_workers(args.expect_workers, std::chrono::seconds(30));
+        c.wait_for_workers(args.expect_workers, std::chrono::seconds(30));
     if (ready < args.expect_workers) {
       throw std::runtime_error("only " + std::to_string(ready) + " of " +
                                std::to_string(args.expect_workers) +
                                " expected workers joined within 30 s");
     }
     std::printf("%zu workers ready\n", ready);
-  }
+  };
+
+  auto coord = std::make_unique<net::Coordinator>(cc);  // NetError on bind -> exit 1
+  std::printf("coordinator listening on %s\n", args.listen_spec.c_str());
+  report_restore(*coord);
+  await_fleet(*coord);
 
   for (std::size_t i = 0; i < args.graph_specs.size(); ++i) {
     graph::CSRGraph g = cli::load_graph_spec(args.graph_specs[i]);
     const std::string id = "g" + std::to_string(i);
     std::printf("loaded %-4s %s\n", id.c_str(), g.summary().c_str());
     const std::size_t confirmed =
-        coord.load_graph(id, std::move(g), args.graph_specs[i]);
+        coord->load_graph(id, std::move(g), args.graph_specs[i]);
     std::printf("placed %-4s on %zu worker(s), fingerprint %016llx\n",
                 id.c_str(), confirmed,
-                static_cast<unsigned long long>(coord.graph_fingerprint(id)));
+                static_cast<unsigned long long>(coord->graph_fingerprint(id)));
   }
 
   const std::vector<service::Request> workload =
@@ -408,7 +482,7 @@ int run_coordinator(const ServeArgs& args, trace::Tracer& tracer) {
   std::printf("replaying %zu requests (%s workload) across %zu workers, "
               "replication=%u cache=%zu MiB\n",
               workload.size(), args.workload_file.empty() ? "synthetic" : "file",
-              coord.worker_count(), args.replication,
+              coord->worker_count(), args.replication,
               args.config.cache_bytes >> 20);
 
   const std::vector<MutationStep> mutations =
@@ -419,7 +493,7 @@ int run_coordinator(const ServeArgs& args, trace::Tracer& tracer) {
   std::size_t degraded = 0;
   auto replay = [&](std::span<const service::Request> slice) {
     for (const auto& request : slice) {
-      const service::Response r = coord.query(request);
+      const service::Response r = coord->query(request);
       ++by_status[to_string(r.status)];
       degraded += r.degraded ? 1 : 0;
     }
@@ -427,14 +501,26 @@ int run_coordinator(const ServeArgs& args, trace::Tracer& tracer) {
 
   util::Timer wall;
   const std::span<const service::Request> all(workload);
-  if (mutations.empty()) {
+  if (mutations.empty() && !args.restart_mid) {
     replay(all);
   } else {
     const std::size_t mid = workload.size() / 2;
     replay(all.subspan(0, mid));
+    if (args.restart_mid) {
+      // Simulated crash: tear the coordinator down with NO drain — workers
+      // see the connection die, back off, and rejoin (--rejoin on their
+      // side); the successor restores the registry + cache from the
+      // snapshot and resumes the replay where the predecessor stopped.
+      std::printf("\n-- simulated coordinator crash at request %zu --\n", mid);
+      coord.reset();
+      coord = std::make_unique<net::Coordinator>(cc);
+      std::printf("coordinator restarted on %s\n", args.listen_spec.c_str());
+      report_restore(*coord);
+      await_fleet(*coord);
+    }
     for (std::size_t i = 0; i < mutations.size(); ++i) {
       for (const auto& [graph_id, batch] : mutations[i]) {
-        const service::MutationResult mr = coord.mutate_graph(graph_id, batch);
+        const service::MutationResult mr = coord->mutate_graph(graph_id, batch);
         std::printf(
             "mutate #%zu %-4s epoch=%llu applied=%zu noops=%zu "
             "fingerprint %016llx -> %016llx invalidated=%zu\n",
@@ -456,29 +542,14 @@ int run_coordinator(const ServeArgs& args, trace::Tracer& tracer) {
   }
   if (degraded > 0) std::printf("  %-18s %zu\n", "(degraded)", degraded);
 
-  const net::DistStats& d = coord.stats();
-  std::printf(
-      "\ndistributed: queries=%llu cache_hits=%llu whole=%llu\n"
-      "  shards dispatched=%llu completed=%llu retries=%llu stragglers=%llu\n"
-      "  worker_deaths=%llu local_fallbacks=%llu degraded=%llu mutations=%llu\n",
-      static_cast<unsigned long long>(d.queries),
-      static_cast<unsigned long long>(d.cache_hits),
-      static_cast<unsigned long long>(d.whole_queries),
-      static_cast<unsigned long long>(d.shards_dispatched),
-      static_cast<unsigned long long>(d.shards_completed),
-      static_cast<unsigned long long>(d.shard_retries),
-      static_cast<unsigned long long>(d.straggler_redispatches),
-      static_cast<unsigned long long>(d.worker_deaths),
-      static_cast<unsigned long long>(d.local_fallbacks),
-      static_cast<unsigned long long>(d.degraded),
-      static_cast<unsigned long long>(d.mutations));
+  std::printf("\n%s", coord->metrics_report().c_str());
 
   if (!args.dump_scores_path.empty()) {
     dump_canonical_scores(args.dump_scores_path, args.graph_specs.size(), args,
-                          [&](const service::Request& r) { return coord.query(r); });
+                          [&](const service::Request& r) { return coord->query(r); });
   }
 
-  coord.drain();
+  coord->drain();
   if (!args.trace_dir.empty()) export_trace(tracer, args.trace_dir);
   return 0;
 }
@@ -565,6 +636,18 @@ int main(int argc, char** argv) {
         args.die_after_shards = cli::parse_u32(arg, cursor.value(arg));
       } else if (arg == "--connect-attempts") {
         args.connect_attempts = cli::parse_u32(arg, cursor.value(arg));
+      } else if (arg == "--chaos") {
+        args.chaos = net::ChaosPlan::parse_shared(cursor.value(arg));
+      } else if (arg == "--rejoin") {
+        args.rejoin = cli::parse_u32(arg, cursor.value(arg));
+      } else if (arg == "--heartbeat-ms") {
+        args.heartbeat_ms = cli::parse_u64(arg, cursor.value(arg));
+      } else if (arg == "--heartbeat-timeout") {
+        args.heartbeat_timeout_ms = cli::parse_u64(arg, cursor.value(arg));
+      } else if (arg == "--snapshot-dir") {
+        args.snapshot_dir = cursor.value(arg);
+      } else if (arg == "--restart-mid") {
+        args.restart_mid = true;
       } else if (arg == "--help" || arg == "-h") {
         usage(argv[0]);
       } else if (!arg.empty() && arg[0] == '-') {
@@ -593,6 +676,12 @@ int main(int argc, char** argv) {
   } else {
     if (args.role == "coordinator" && args.listen_spec.empty()) {
       std::fprintf(stderr, "--role coordinator requires --listen\n");
+      usage(argv[0]);
+    }
+    if (args.restart_mid &&
+        (args.role != "coordinator" || args.snapshot_dir.empty())) {
+      std::fprintf(stderr, "--restart-mid requires --role coordinator and "
+                           "--snapshot-dir (the successor restores from it)\n");
       usage(argv[0]);
     }
     if (args.graph_specs.empty()) usage(argv[0]);
