@@ -43,6 +43,7 @@
 #include "graph/types.hpp"
 
 // The one-call public API and its reporting helpers.
+#include "core/approx.hpp"
 #include "core/bc.hpp"
 #include "core/report.hpp"
 #include "core/teps.hpp"
@@ -76,6 +77,7 @@
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "net/worker.hpp"
+#include "service/progressive.hpp"
 #include "service/service.hpp"
 #include "trace/check.hpp"
 #include "trace/trace.hpp"

@@ -50,7 +50,8 @@ std::vector<wire::WireUpdate> to_wire(const std::vector<dyn::EdgeUpdate>& update
 Coordinator::Coordinator(CoordinatorConfig config)
     : cfg_(std::move(config)),
       listener_(listen_on(cfg_.listen)),
-      cache_(cfg_.cache_bytes) {
+      cache_(cfg_.cache_bytes),
+      approx_cache_(cfg_.cache_bytes) {
   cfg_.max_shard_attempts = std::max<std::uint32_t>(cfg_.max_shard_attempts, 1);
   restore_from_snapshot();
 }
@@ -228,6 +229,16 @@ service::MutationResult Coordinator::mutate_graph(const std::string& id,
   out.cache_invalidated = cache_.erase_if([&](const std::string& key) {
     return key.rfind(old_prefix, 0) == 0;
   });
+  // Partial folds cannot be patched forward across epochs: invalidate the
+  // refinable estimates too, and drop their queued refinements so a stale
+  // estimate is never advanced or re-served (the never-resurrect rule).
+  out.approx_invalidated = approx_cache_.invalidate_prefix(old_prefix);
+  std::erase_if(refine_queue_, [&](const PendingRefine& r) {
+    std::lock_guard<std::mutex> lock(r.entry->mu);
+    if (!r.entry->invalidated) return false;
+    ++stats_.refine_dropped;
+    return true;
+  });
 
   // Broadcast to every worker that holds the graph; fingerprint agreement
   // is checked on each ack (a disagreeing worker is cut loose).
@@ -357,6 +368,10 @@ void Coordinator::handle_frame(WorkerState& w, const wire::Frame& frame) {
       if (wire::decode(frame, m) != wire::DecodeStatus::Ok) return;
       w.name = m.worker_name;
       w.shard_slots = std::max<std::uint32_t>(m.shard_slots, 1);
+      // Negotiate down to what both sides speak; a v1 worker stays on
+      // exact-only shards (dispatch_pending filters budgeted work).
+      w.protocol = std::min<std::uint16_t>(
+          std::max(m.protocol, wire::kMinProtocolVersion), wire::kProtocolVersion);
       w.ready = true;
       wire::HelloAckMsg ack;
       ack.worker_slot = w.slot;
@@ -430,6 +445,11 @@ void Coordinator::handle_frame(WorkerState& w, const wire::Frame& frame) {
       s.roots_processed = m.roots_processed;
       s.compute_ms = m.compute_ms;
       s.degraded = m.degraded;
+      s.has_estimate = m.has_estimate;
+      s.est_roots_used = m.est_roots_used;
+      s.est_stderr = m.est_stderr;
+      s.est_rung = m.est_rung;
+      s.est_refining = m.est_refining;
       s.state = Shard::State::Done;
       --q.remaining;
       ++stats_.shards_completed;
@@ -575,6 +595,9 @@ void Coordinator::run_for(std::chrono::milliseconds duration) {
   const auto deadline = Clock::now() + duration;
   while (Clock::now() < deadline) {
     pump(10);
+    // Idle time is refinement time: advance pending upgrades one stratum
+    // per pass so foreground calls interleave at stratum granularity.
+    refine_step();
   }
 }
 
@@ -695,6 +718,8 @@ std::string Coordinator::metrics_report() const {
       buf, sizeof(buf),
       "coordinator %s\n"
       "  queries %llu (cache hits %llu, whole %llu, degraded %llu)\n"
+      "  approx: budgeted %llu refine-strata %llu refine-dropped %llu "
+      "entries %zu\n"
       "  shards: dispatched %llu completed %llu retries %llu stragglers %llu "
       "local %llu\n"
       "  fleet: workers %zu deaths %llu heartbeat-misses %llu quarantines "
@@ -706,6 +731,10 @@ std::string Coordinator::metrics_report() const {
       static_cast<unsigned long long>(stats_.cache_hits),
       static_cast<unsigned long long>(stats_.whole_queries),
       static_cast<unsigned long long>(stats_.degraded),
+      static_cast<unsigned long long>(stats_.budgeted_queries),
+      static_cast<unsigned long long>(stats_.refine_strata),
+      static_cast<unsigned long long>(stats_.refine_dropped),
+      approx_cache_.size(),
       static_cast<unsigned long long>(stats_.shards_dispatched),
       static_cast<unsigned long long>(stats_.shards_completed),
       static_cast<unsigned long long>(stats_.shard_retries),
@@ -804,6 +833,9 @@ void Coordinator::dispatch_pending(ActiveQuery& q) {
           w.graphs.count(q.graph_id) == 0) {
         continue;
       }
+      // Budgeted shards only travel to workers that negotiated v2 — a v1
+      // worker would silently run the query exact (no budget on the wire).
+      if (s.msg.has_budget != 0 && w.protocol < 2) continue;
       const bool untried = s.tried.count(slot) == 0;
       if (best == nullptr || (untried && !best_untried) ||
           (untried == best_untried && w.inflight < best->inflight)) {
@@ -816,7 +848,7 @@ void Coordinator::dispatch_pending(ActiveQuery& q) {
       continue;
     }
     s.msg.deadline_ms = remaining_ms(q.deadline, q.has_deadline);
-    best->conn->send(wire::encode(s.msg, q.id));
+    best->conn->send(wire::encode(s.msg, q.id, best->protocol));
     ++best->inflight;
     s.state = Shard::State::Dispatched;
     ++s.attempts;
@@ -854,6 +886,7 @@ void Coordinator::check_stragglers(ActiveQuery& q) {
           w.graphs.count(q.graph_id) == 0) {
         continue;
       }
+      if (s.msg.has_budget != 0 && w.protocol < 2) continue;
       if (s.tried.count(slot) != 0) continue;
       if (best == nullptr || w.inflight < best->inflight) best = &w;
     }
@@ -866,7 +899,7 @@ void Coordinator::check_stragglers(ActiveQuery& q) {
       continue;
     }
     s.msg.deadline_ms = remaining_ms(q.deadline, q.has_deadline);
-    best->conn->send(wire::encode(s.msg, q.id));
+    best->conn->send(wire::encode(s.msg, q.id, best->protocol));
     ++best->inflight;
     ++s.attempts;
     s.dispatched_to.push_back(best->slot);
@@ -916,6 +949,8 @@ service::Response Coordinator::query(service::Request request) {
       seen[r] = true;
     }
   }
+
+  if (request.budget.active()) return query_budgeted(std::move(request), t0);
 
   const std::string key = service::fingerprint_prefix(entry.fingerprint) +
                           core::options_signature(request.options);
@@ -1073,7 +1108,9 @@ service::Response Coordinator::assemble(ActiveQuery& q, std::size_t top_k,
     Shard& s = q.shards.front();
     result->scores = std::move(s.partial);
     result->roots_processed = s.roots_processed;
-    result->approximate = q.approximate || (q.resolved_roots < n);
+    result->approximate = s.has_estimate != 0
+                              ? s.est_roots_used < n
+                              : q.approximate || (q.resolved_roots < n);
     resp.degraded = s.degraded != 0;
     compute_ms = s.compute_ms;
   } else {
@@ -1113,7 +1150,10 @@ service::Response Coordinator::assemble(ActiveQuery& q, std::size_t top_k,
   resp.total_ms = ms_between(t0, Clock::now());
   if (resp.degraded) {
     ++stats_.degraded;
-  } else if (cache_.budget_bytes() > 0) {
+  } else if (!q.budgeted && cache_.budget_bytes() > 0) {
+    // Budgeted results are estimates: under the exact options signature
+    // they would be served to later exact queries. Never cached here —
+    // the refinable ApproxCache (or the worker's) is their home.
     // Single-threaded: the graph cannot have mutated since query() looked
     // the entry up, so its fingerprint is still the one we sharded under.
     auto git = graphs_.find(q.graph_id);
@@ -1132,8 +1172,315 @@ service::Response Coordinator::assemble(ActiveQuery& q, std::size_t top_k,
   return resp;
 }
 
+// --- accuracy contracts --------------------------------------------------
+
+namespace {
+
+/// Rebuild an entry's published result + estimate from its fold state
+/// (caller holds entry.mu). Mirrors the in-process service's publish.
+void publish_entry_locked(service::ApproxEntry& e, const core::Options& o) {
+  auto result = std::make_shared<core::BCResult>();
+  result->strategy = o.strategy;
+  result->scores = e.est.scores(o.halve_undirected, o.normalize);
+  result->roots_processed = e.est.roots_used();
+  result->approximate = !e.est.saturated();
+  result->time_seconds = e.accum_seconds;
+  result->wall_seconds = e.accum_seconds;
+  e.published = std::move(result);
+  e.info.roots_used = e.est.roots_used();
+  e.info.stderr_est = e.est.reported_error();
+  e.info.rung = e.est.rung();
+  e.info.refining = false;
+}
+
+}  // namespace
+
+bool Coordinator::fold_stratum_via_query(
+    const std::string& graph_id,
+    const std::shared_ptr<service::ApproxEntry>& entry,
+    const core::Options& options) {
+  std::vector<graph::VertexId> roots;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->invalidated || entry->est.saturated()) return false;
+    roots = entry->est.next_stratum_roots();
+  }
+  if (roots.empty()) return false;
+  // The stratum is an ordinary exact explicit-root query: Partial-sharded
+  // across the fleet and folded in block order, so its raw sums are
+  // bitwise-identical to the stratum a standalone service would compute.
+  service::Request sub;
+  sub.graph_id = graph_id;
+  sub.options = options;
+  sub.options.roots = std::move(roots);
+  sub.options.sample_roots = 0;
+  sub.options.halve_undirected = false;
+  sub.options.normalize = false;
+  const std::size_t stratum_size = sub.options.roots.size();
+  service::Response r = query(std::move(sub));
+  if (!r.ok() || r.degraded || !r.result) return false;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (r.result->scores.size() != entry->est.num_vertices()) return false;
+    entry->est.fold(r.result->scores, stratum_size);
+    entry->accum_seconds += r.result->time_seconds;
+  }
+  approx_cache_.note_growth(entry);
+  return true;
+}
+
+bool Coordinator::refine_step() {
+  if (drained_ || refine_queue_.empty()) return false;
+  PendingRefine job = refine_queue_.front();
+  const auto finish = [&] {
+    refine_queue_.pop_front();
+    std::lock_guard<std::mutex> lock(job.entry->mu);
+    if (job.entry->refine_pending > 0) --job.entry->refine_pending;
+  };
+  bool drop = false;
+  bool met = false;
+  std::uint32_t rung_before = 0;
+  {
+    std::lock_guard<std::mutex> lock(job.entry->mu);
+    if (job.entry->invalidated) {
+      // Never-resurrect: a mutation/eviction beat this refinement.
+      ++stats_.refine_dropped;
+      drop = true;
+    } else {
+      service::Estimate now;
+      now.roots_used = job.entry->est.roots_used();
+      now.stderr_est = job.entry->est.reported_error();
+      now.rung = job.entry->est.rung();
+      rung_before = now.rung;
+      met = service::contract_met(now, job.budget,
+                                  job.entry->est.num_vertices());
+    }
+  }
+  if (drop || met) {
+    finish();
+    return true;
+  }
+  if (!fold_stratum_via_query(job.graph_id, job.entry, job.options)) {
+    // Best-effort: a failed stratum drops the refinement, not the entry.
+    finish();
+    return true;
+  }
+  ++stats_.refine_strata;
+  std::uint32_t rung_after = 0;
+  bool met_now = false;
+  {
+    std::lock_guard<std::mutex> lock(job.entry->mu);
+    publish_entry_locked(*job.entry, job.options);
+    rung_after = job.entry->est.rung();
+    service::Estimate now;
+    now.roots_used = job.entry->est.roots_used();
+    now.stderr_est = job.entry->est.reported_error();
+    met_now = service::contract_met(now, job.budget,
+                                    job.entry->est.num_vertices());
+  }
+  // Retire a completed contract now so Estimate::refining drops the
+  // moment the last stratum lands, not one refine_step later.
+  if (met_now) finish();
+  if (rung_after > rung_before) {
+    trace_instant("refine-rung", 0, {{"rung", rung_after}});
+  }
+  return true;
+}
+
+service::Response Coordinator::query_budgeted(service::Request request,
+                                              const Clock::time_point t0) {
+  service::Response resp;
+  if (!request.options.roots.empty()) {
+    resp.status = QueryStatus::BadRequest;
+    resp.error = "budgeted query must not carry explicit roots";
+    resp.total_ms = ms_between(t0, Clock::now());
+    return resp;
+  }
+  request.options.sample_roots = 0;  // the budget owns the sampling plan
+  auto git = graphs_.find(request.graph_id);
+  const GraphEntry& entry = git->second;  // caller verified existence
+  const graph::VertexId n = entry.graph->num_vertices();
+  ++stats_.budgeted_queries;
+  if (request.budget.deadline.count() > 0) request.timeout = request.budget.deadline;
+
+  const core::Strategy strategy = request.options.strategy;
+  const bool whole =
+      !core::uses_gpu_model(strategy) || strategy == core::Strategy::Sampling;
+
+  if (whole) {
+    // CPU engines and the sampling kernel are not block-shardable: hand
+    // the whole budgeted query to one v2 worker, whose local progressive
+    // controller computes (and caches) the estimate.
+    ++stats_.whole_queries;
+    const core::Options& o = request.options;
+    auto q = std::make_unique<ActiveQuery>();
+    q->id = next_request_id_++;
+    q->graph_id = request.graph_id;
+    q->graph = entry.graph;
+    q->options = o;
+    q->whole = true;
+    q->budgeted = true;
+    q->has_deadline = request.timeout.count() > 0;
+    q->deadline = t0 + request.timeout;
+    q->approximate = true;
+    q->resolved_roots = n;
+    Shard s;
+    s.index = 0;
+    s.msg.graph_id = request.graph_id;
+    s.msg.fingerprint = entry.fingerprint;
+    s.msg.mode = wire::ShardMode::Whole;
+    s.msg.strategy = static_cast<std::uint8_t>(strategy);
+    s.msg.halve_undirected = o.halve_undirected ? 1 : 0;
+    s.msg.normalize = o.normalize ? 1 : 0;
+    s.msg.grid_blocks = o.grid_blocks;
+    s.msg.sample_roots = 0;
+    s.msg.seed = o.seed;
+    s.msg.cpu_threads = static_cast<std::uint32_t>(o.cpu_threads);
+    s.msg.max_root_attempts = o.resilience.max_root_attempts;
+    s.msg.device_num_sms = o.device.num_sms;
+    s.msg.hybrid_alpha = o.hybrid.alpha;
+    s.msg.hybrid_beta = o.hybrid.beta;
+    s.msg.sampling_n_samps = o.sampling.n_samps;
+    s.msg.sampling_gamma = o.sampling.gamma;
+    s.msg.sampling_min_frontier = o.sampling.min_frontier;
+    s.msg.has_budget = 1;
+    s.msg.accuracy_target = request.budget.accuracy_target;
+    s.msg.budget_max_roots = request.budget.max_roots;
+    s.msg.allow_refinement = request.budget.allow_refinement ? 1 : 0;
+    util::BackoffConfig bc = cfg_.redispatch_backoff;
+    bc.seed = mix64(bc.seed ^ (q->id << 16));
+    s.backoff = util::Backoff(bc);
+    q->shards.push_back(std::move(s));
+    q->remaining = 1;
+
+    trace::ScopedSpan span(sink(), cfg_.tracer, "dist-budgeted", trace::kService,
+                           {{"req", q->id}, {"whole", 1}});
+    active_ = std::move(q);
+    ActiveQuery& aq = *active_;
+    while (!aq.failed && aq.remaining > 0) {
+      if (aq.has_deadline && Clock::now() >= aq.deadline) {
+        aq.failed = true;
+        aq.fail_status = QueryStatus::DeadlineExceeded;
+        aq.fail_error = "deadline exceeded with the budgeted query outstanding";
+        break;
+      }
+      dispatch_pending(aq);
+      if (aq.failed || aq.remaining == 0) break;
+      check_stragglers(aq);
+      pump(20);
+    }
+    service::Estimate est;
+    bool have_est = false;
+    if (!aq.failed && !aq.shards.empty() &&
+        aq.shards.front().state == Shard::State::Done) {
+      const Shard& sh = aq.shards.front();
+      if (sh.has_estimate != 0) {
+        est.roots_used = sh.est_roots_used;
+        est.stderr_est = sh.est_stderr;
+        est.rung = sh.est_rung;
+        est.refining = sh.est_refining != 0;
+        have_est = true;
+      } else {
+        // Local fallback (or a fleet with no v2 worker after all): the
+        // query ran exact, so the "estimate" is the saturated truth.
+        est.roots_used = sh.roots_processed;
+        est.stderr_est = 0.0;
+        est.rung = 0;
+        est.refining = false;
+        have_est = true;
+      }
+    }
+    resp = assemble(aq, request.top_k, t0);
+    active_.reset();
+    if (resp.ok() && have_est) resp.estimate = est;
+    return resp;
+  }
+
+  // Block-shardable GPU-model strategy: run the stratified controller
+  // here, each stratum an exact explicit-root sub-query through query().
+  core::StratumPlan plan;
+  const std::string akey = service::fingerprint_prefix(entry.fingerprint) +
+                           core::approx_signature(request.options, plan);
+  bool created = false;
+  const std::shared_ptr<service::ApproxEntry> e = approx_cache_.get_or_create(
+      akey, n, plan, request.options.seed, entry.fingerprint, created);
+  const std::uint32_t rung0_strata = std::min(
+      plan.base_strata,
+      std::max<std::uint32_t>(core::total_strata(n, plan), 1));
+  const bool has_deadline = request.timeout.count() > 0;
+  const auto deadline = t0 + request.timeout;
+
+  trace::ScopedSpan span(sink(), cfg_.tracer, "dist-budgeted", trace::kService,
+                         {{"whole", 0}});
+  bool computed_any = false;
+  bool queue_refine = false;
+  for (;;) {
+    service::Estimate now;
+    bool rung0_done = false;
+    {
+      std::lock_guard<std::mutex> lock(e->mu);
+      now.roots_used = e->est.roots_used();
+      now.stderr_est = e->est.reported_error();
+      now.rung = e->est.rung();
+      rung0_done = e->est.strata_folded() >= rung0_strata || e->est.saturated();
+    }
+    const bool met = service::contract_met(now, request.budget, n);
+    const bool pause =
+        !met && rung0_done && request.budget.allow_refinement;
+    if (met || pause) {
+      queue_refine = pause;
+      break;
+    }
+    if (has_deadline && Clock::now() >= deadline) {
+      if (rung0_done) {
+        // Serve the best published rung; the contract keeps refining in
+        // the background if the caller allowed it.
+        queue_refine = request.budget.allow_refinement;
+        break;
+      }
+      resp.status = QueryStatus::DeadlineExceeded;
+      resp.error = "deadline exceeded before the first publishable rung";
+      resp.total_ms = ms_between(t0, Clock::now());
+      return resp;
+    }
+    if (!fold_stratum_via_query(request.graph_id, e, request.options)) {
+      resp.status = QueryStatus::Failed;
+      resp.error = "budgeted query: stratum sub-query failed";
+      resp.total_ms = ms_between(t0, Clock::now());
+      return resp;
+    }
+    computed_any = true;
+  }
+
+  service::Estimate info;
+  {
+    std::lock_guard<std::mutex> lock(e->mu);
+    if (!e->published || e->info.roots_used != e->est.roots_used()) {
+      publish_entry_locked(*e, request.options);
+    }
+    resp.result = e->published;
+    info = e->info;
+    if (queue_refine) ++e->refine_pending;
+    if (queue_refine || e->refine_pending > 0) info.refining = true;
+  }
+  if (queue_refine) {
+    refine_queue_.push_back(
+        PendingRefine{request.graph_id, e, request.options, request.budget});
+  }
+  resp.estimate = info;
+  resp.status = QueryStatus::Ok;
+  resp.from_cache = !computed_any;
+  resp.total_ms = ms_between(t0, Clock::now());
+  if (request.top_k > 0) resp.top = core::top_k(resp.result->scores, request.top_k);
+  return resp;
+}
+
 void Coordinator::drain() {
   if (drained_) return;
+  // Finish (or drop) pending refinements while the fleet can still serve
+  // strata; each step is bounded by the contract it refines toward.
+  while (refine_step()) {
+  }
   drained_ = true;
   persist_snapshot();  // final state durable before the fleet disbands
   const std::vector<std::uint8_t> frame =

@@ -53,6 +53,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -60,6 +61,7 @@
 #include <string>
 #include <vector>
 
+#include "core/approx.hpp"
 #include "dyn/versioned_graph.hpp"
 #include "graph/csr.hpp"
 #include "net/chaos.hpp"
@@ -67,6 +69,7 @@
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "service/cache.hpp"
+#include "service/progressive.hpp"
 #include "service/service.hpp"
 #include "trace/trace.hpp"
 #include "util/backoff.hpp"
@@ -140,6 +143,9 @@ struct DistStats {
   std::uint64_t whole_queries = 0;    // routed unsharded (CPU / sampling)
   std::uint64_t degraded = 0;
   std::uint64_t mutations = 0;
+  std::uint64_t budgeted_queries = 0;  // accuracy-contract queries served
+  std::uint64_t refine_strata = 0;     // background strata folded fleet-wide
+  std::uint64_t refine_dropped = 0;    // refinements dropped (invalidated)
   std::uint64_t heartbeat_misses = 0;  // detector deadline expiries
   std::uint64_t quarantines = 0;
   std::uint64_t readmissions = 0;
@@ -212,8 +218,14 @@ class Coordinator {
 
   /// Pump the event loop (accepts, heartbeats, detector) for `duration`
   /// with no query in flight — how tests and idle serving loops let the
-  /// failure detector observe the fleet.
+  /// failure detector observe the fleet. Also advances the background
+  /// refinement queue one stratum at a time.
   void run_for(std::chrono::milliseconds duration);
+
+  /// Refinement jobs still queued. The coordinator has no background
+  /// thread: callers loop run_for() until this reaches zero to let
+  /// allow_refinement contracts finish.
+  std::size_t refine_backlog() const { return refine_queue_.size(); }
 
   /// Snapshot the registry + cache to CoordinatorConfig::snapshot_dir now.
   /// Throws SnapshotError (no-op without a snapshot_dir). The registry-
@@ -234,6 +246,9 @@ class Coordinator {
     std::uint32_t slot = 0;
     std::string name;
     std::uint32_t shard_slots = 1;
+    /// Negotiated wire version: min(worker's Hello.protocol, ours). v1
+    /// workers never receive budgeted (v2) shards.
+    std::uint16_t protocol = wire::kProtocolVersion;
     bool ready = false;
     bool goodbye = false;
     std::uint32_t inflight = 0;  // load-balance hint, clamped at 0
@@ -272,6 +287,12 @@ class Coordinator {
     std::uint64_t roots_processed = 0;
     double compute_ms = 0.0;
     std::uint8_t degraded = 0;
+    /// v2 estimate block echoed by a budgeted Whole worker (see wire.hpp).
+    std::uint8_t has_estimate = 0;
+    std::uint64_t est_roots_used = 0;
+    double est_stderr = 0.0;
+    std::uint32_t est_rung = 0;
+    std::uint8_t est_refining = 0;
     /// Re-dispatch pacing after a failure: the shard stays Pending but is
     /// not offered to a worker before this instant.
     std::chrono::steady_clock::time_point not_before{};
@@ -284,6 +305,9 @@ class Coordinator {
     std::shared_ptr<const graph::CSRGraph> graph;
     core::Options options;  // as requested (finalization mirrors these)
     bool whole = false;
+    /// Accuracy-contract Whole delegation: the result is an estimate and
+    /// must never land in the exact-signature result cache.
+    bool budgeted = false;
     bool approximate = false;      // sampled-roots scale-up applies
     std::size_t resolved_roots = 0;  // |resolved root list|
     std::vector<Shard> shards;
@@ -321,6 +345,24 @@ class Coordinator {
   /// replication 0 / >= fleet; ring walk otherwise).
   std::vector<std::uint32_t> owners(const std::string& id) const;
 
+  /// Accuracy-contract queries (request.budget active). GPU-model
+  /// block-shardable strategies run the stratified controller HERE —
+  /// each stratum is an explicit-root Partial-sharded sub-query through
+  /// query(), so every stratum (and therefore the folded estimate) is
+  /// bitwise-identical to a standalone budgeted run. CPU/Sampling
+  /// strategies delegate the whole budgeted query to one v2 worker.
+  service::Response query_budgeted(service::Request request,
+                                   std::chrono::steady_clock::time_point t0);
+  /// Advance the oldest pending background refinement by one stratum.
+  /// Returns false when there is nothing to do. Called from run_for()
+  /// between pump passes and drained fully by drain().
+  bool refine_step();
+  /// One stratum as a Partial-sharded exact sub-query; folds the scores
+  /// into `entry`. Returns false (entry untouched) on any failure.
+  bool fold_stratum_via_query(const std::string& graph_id,
+                              const std::shared_ptr<service::ApproxEntry>& entry,
+                              const core::Options& options);
+
   void dispatch_pending(ActiveQuery& q);
   void check_stragglers(ActiveQuery& q);
   /// Escalation for a shard out of remote options: local fallback
@@ -337,6 +379,18 @@ class Coordinator {
   CoordinatorConfig cfg_;
   Socket listener_;
   service::ResultCache cache_;
+  /// Refinable estimates for locally-stratified budgeted queries (same
+  /// byte budget as the exact cache).
+  service::ApproxCache approx_cache_;
+  /// Deferred refinement toward stricter contracts; single-threaded —
+  /// advanced stratum-at-a-time by run_for() / drained by drain().
+  struct PendingRefine {
+    std::string graph_id;
+    std::shared_ptr<service::ApproxEntry> entry;
+    core::Options options;
+    service::QueryBudget budget;
+  };
+  std::deque<PendingRefine> refine_queue_;
   DistStats stats_;
 
   std::map<std::uint32_t, WorkerState> workers_;  // slot -> state

@@ -172,6 +172,31 @@ void ServiceMetrics::on_heartbeat_miss() {
   ++counts_.net_heartbeat_misses;
 }
 
+void ServiceMetrics::on_approx_served() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.approx_served;
+}
+
+void ServiceMetrics::on_approx_stratum() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.approx_strata;
+}
+
+void ServiceMetrics::on_refine_queued() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.refine_jobs;
+}
+
+void ServiceMetrics::on_refine_rung() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.refine_rungs;
+}
+
+void ServiceMetrics::on_refine_dropped() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.refine_dropped;
+}
+
 MetricsSnapshot ServiceMetrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s = counts_;
@@ -210,6 +235,8 @@ std::string format_report(const MetricsSnapshot& s) {
       "resilience  faults=%llu retries=%llu fallbacks=%llu degraded=%llu"
       " cancelled=%llu time_to_cancel_ms mean=%.3f max=%.3f\n"
       "network     reconnects=%llu heartbeat_misses=%llu\n"
+      "approx      served=%llu strata=%llu refine_jobs=%llu refine_rungs=%llu"
+      " refine_dropped=%llu entries=%zu bytes=%zu evictions=%llu\n"
       "dynamic     mutations=%llu updates=%llu noops=%llu refresh_patched=%llu"
       " invalidated=%llu affected_frac mean=%.3f max=%.3f\n"
       "latency_ms  p50=%.3f p90=%.3f p95=%.3f p99=%.3f mean=%.3f max=%.3f"
@@ -239,6 +266,13 @@ std::string format_report(const MetricsSnapshot& s) {
       s.time_to_cancel_mean_ms, s.time_to_cancel_max_ms,
       static_cast<unsigned long long>(s.net_reconnects),
       static_cast<unsigned long long>(s.net_heartbeat_misses),
+      static_cast<unsigned long long>(s.approx_served),
+      static_cast<unsigned long long>(s.approx_strata),
+      static_cast<unsigned long long>(s.refine_jobs),
+      static_cast<unsigned long long>(s.refine_rungs),
+      static_cast<unsigned long long>(s.refine_dropped),
+      s.approx_entries, s.approx_bytes,
+      static_cast<unsigned long long>(s.approx_evictions),
       static_cast<unsigned long long>(s.mutations),
       static_cast<unsigned long long>(s.mutation_updates),
       static_cast<unsigned long long>(s.mutation_noops),

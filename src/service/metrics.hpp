@@ -86,6 +86,16 @@ struct MetricsSnapshot {
   std::uint64_t net_reconnects = 0;       // fleet rejoin sessions entered
   std::uint64_t net_heartbeat_misses = 0; // heartbeats sent while prior unacked
 
+  // Progressive approximation (docs/serving.md § Accuracy contracts).
+  std::uint64_t approx_served = 0;   // budgeted responses (fresh or cached)
+  std::uint64_t approx_strata = 0;   // root strata computed (fore+background)
+  std::uint64_t refine_jobs = 0;     // background refinement jobs queued
+  std::uint64_t refine_rungs = 0;    // rungs completed in the background
+  std::uint64_t refine_dropped = 0;  // refinements dropped: entry invalidated
+  std::size_t approx_entries = 0;    // refinable-cache state (assembled by
+  std::size_t approx_bytes = 0;      // BcService::metrics())
+  std::uint64_t approx_evictions = 0;
+
   // Dynamic graphs (docs/dynamic.md).
   std::uint64_t mutations = 0;           // committed batches that changed a graph
   std::uint64_t mutation_updates = 0;    // edge updates applied across batches
@@ -161,6 +171,17 @@ class ServiceMetrics {
   /// The hosting net::Worker sent a heartbeat while the previous one was
   /// still unacked (its half of the failure detector).
   void on_heartbeat_miss();
+  /// A budgeted (progressive) response was served.
+  void on_approx_served();
+  /// One root stratum was computed (foreground or background).
+  void on_approx_stratum();
+  /// A background refinement job was queued.
+  void on_refine_queued();
+  /// Background refinement completed one rung.
+  void on_refine_rung();
+  /// A queued refinement was dropped because its entry was invalidated
+  /// (mutation/eviction) — the never-resurrect guarantee in action.
+  void on_refine_dropped();
 
   /// Counters + latency fields; cache/queue fields are the caller's job.
   MetricsSnapshot snapshot() const;

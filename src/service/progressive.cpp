@@ -1,0 +1,148 @@
+#include "service/progressive.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace hbc::service {
+
+std::size_t effective_root_cap(const QueryBudget& budget, std::size_t n) {
+  if (budget.max_roots == 0) return n;
+  return std::min<std::size_t>(budget.max_roots, n);
+}
+
+bool contract_met(const Estimate& estimate, const QueryBudget& budget,
+                  std::size_t n) {
+  if (estimate.roots_used >= n) return true;  // saturated: exact
+  if (estimate.roots_used >= effective_root_cap(budget, n)) return true;
+  return budget.accuracy_target > 0.0 &&
+         estimate.stderr_est <= budget.accuracy_target;
+}
+
+std::string budget_suffix(const QueryBudget& budget) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ";target=%.17g;cap=%u;refine=%d",
+                budget.accuracy_target, budget.max_roots,
+                budget.allow_refinement ? 1 : 0);
+  return buf;
+}
+
+std::size_t ApproxCache::entry_bytes(ApproxEntry& e) {
+  std::lock_guard<std::mutex> lock(e.mu);
+  std::size_t b = sizeof(ApproxEntry) + e.key.capacity() + e.est.bytes();
+  if (e.published) b += e.published->scores.capacity() * sizeof(double);
+  return b;
+}
+
+std::shared_ptr<ApproxEntry> ApproxCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  return *it->second;
+}
+
+std::shared_ptr<ApproxEntry> ApproxCache::get_or_create(
+    const std::string& key, std::size_t n, const core::StratumPlan& plan,
+    std::uint64_t seed, std::uint64_t fingerprint, bool& created) {
+  created = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return *it->second;
+    }
+  }
+  auto entry = std::make_shared<ApproxEntry>();
+  entry->key = key;
+  entry->fingerprint = fingerprint;
+  entry->est = core::RefinableEstimate(n, plan, seed);
+  created = true;
+  if (budget_ == 0) return entry;  // detached: computed but never retained
+  const std::size_t b = entry_bytes(*entry);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Lost a creation race: serve the incumbent so both requests refine
+  // one fold (the loser's fresh estimate is dropped untouched).
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    created = false;
+    return *it->second;
+  }
+  entry->accounted_bytes = b;
+  bytes_ += b;
+  lru_.push_front(entry);
+  index_[key] = lru_.begin();
+  evict_over_budget_locked(entry);
+  return entry;
+}
+
+void ApproxCache::note_growth(const std::shared_ptr<ApproxEntry>& keep) {
+  if (budget_ == 0 || !keep) return;
+  const std::size_t b = entry_bytes(*keep);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Identity check, not just key presence: an invalidated entry's key may
+  // have been re-created by a fresh entry, and growth of the detached one
+  // must not be charged to the cache.
+  const auto it = index_.find(keep->key);
+  if (it == index_.end() || it->second->get() != keep.get()) return;
+  bytes_ -= keep->accounted_bytes;
+  keep->accounted_bytes = b;
+  bytes_ += b;
+  evict_over_budget_locked(keep);
+}
+
+void ApproxCache::evict_over_budget_locked(const std::shared_ptr<ApproxEntry>& keep) {
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const std::shared_ptr<ApproxEntry> victim = lru_.back();
+    if (victim == keep) break;  // never evict the entry being served
+    lru_.pop_back();
+    index_.erase(victim->key);
+    bytes_ -= victim->accounted_bytes;
+    victim->accounted_bytes = 0;
+    ++evictions_;
+    std::lock_guard<std::mutex> entry_lock(victim->mu);
+    victim->invalidated = true;
+  }
+}
+
+std::size_t ApproxCache::invalidate_prefix(const std::string& prefix) {
+  std::vector<std::shared_ptr<ApproxEntry>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = index_.begin(); it != index_.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        dropped.push_back(*it->second);
+        bytes_ -= (*it->second)->accounted_bytes;
+        (*it->second)->accounted_bytes = 0;
+        lru_.erase(it->second);
+        it = index_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& e : dropped) {
+    std::lock_guard<std::mutex> lock(e->mu);
+    e->invalidated = true;
+  }
+  return dropped.size();
+}
+
+std::size_t ApproxCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+std::size_t ApproxCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::uint64_t ApproxCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace hbc::service

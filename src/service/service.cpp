@@ -1,5 +1,11 @@
 #include "service/service.hpp"
 
+#if defined(__linux__)
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 #include <algorithm>
 #include <cstdio>
 #include <exception>
@@ -39,6 +45,7 @@ const char* to_string(QueryStatus status) noexcept {
 BcService::BcService(ServiceConfig config)
     : cfg_(std::move(config)),
       cache_(cfg_.cache_bytes),
+      approx_cache_(cfg_.approx.cache_bytes),
       queue_(cfg_.admission),
       workers_(cfg_.workers != 0
                    ? cfg_.workers
@@ -104,6 +111,7 @@ bool BcService::evict_graph(const std::string& id) {
   cache_.erase_if([&prefix](const std::string& key) {
     return key.compare(0, prefix.size(), prefix) == 0;
   });
+  approx_cache_.invalidate_prefix(prefix);
   return true;
 }
 
@@ -208,6 +216,10 @@ MutationResult BcService::mutate_graph(const std::string& id,
   const auto is_stale = [&prefix](const std::string& key) {
     return key.compare(0, prefix.size(), prefix) == 0;
   };
+  // Refinable estimates are partial folds over the old structure: they
+  // cannot be patched forward, so invalidate (background refinement then
+  // drops them — the never-resurrect rule — and they re-form on demand).
+  out.approx_invalidated = approx_cache_.invalidate_prefix(prefix);
   if (cfg_.refresh.enabled) {
     RefreshJob job;
     job.old_fingerprint = cr.before.fingerprint;
@@ -336,6 +348,11 @@ Ticket BcService::submit(Request request) {
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   trace_instant("submit", id);
   const Clock::time_point submitted = Clock::now();
+  // Deprecated-shim: QueryBudget::deadline supersedes the flat timeout.
+  if (request.budget.deadline.count() > 0) request.timeout = request.budget.deadline;
+  if (request.budget.active()) {
+    return submit_budgeted(std::move(request), id, submitted);
+  }
   util::Timer turnaround;
 
   std::shared_ptr<const graph::CSRGraph> g;
@@ -501,6 +518,202 @@ Ticket BcService::submit(Request request) {
   return t;
 }
 
+Ticket BcService::submit_budgeted(Request request, std::uint64_t id,
+                                  Clock::time_point submitted) {
+  util::Timer turnaround;
+  const auto finish = [&](Response r) {
+    auto t = ready_ticket(id, std::move(r));
+    t.top_k = request.top_k;
+    return t;
+  };
+
+  if (!request.options.roots.empty()) {
+    metrics_.on_error();
+    Response r;
+    r.status = QueryStatus::BadRequest;
+    r.error = "budgeted queries must not pin options.roots — the accuracy "
+              "contract owns the root schedule";
+    return finish(std::move(r));
+  }
+  // The controller owns the sample schedule; the legacy knob is ignored
+  // so "same contract, different sample_roots" requests share one entry.
+  request.options.sample_roots = 0;
+
+  core::StratumPlan plan;
+  plan.stripe_roots = std::max<std::uint32_t>(cfg_.approx.stripe_roots, 1);
+  plan.base_strata = std::max<std::uint32_t>(cfg_.approx.base_strata, 2);
+
+  std::shared_ptr<const graph::CSRGraph> g;
+  std::uint64_t fingerprint = 0;
+  std::size_t n = 0;
+  std::string akey;
+  std::string ikey;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      Response r;
+      r.status = QueryStatus::ServiceStopped;
+      return finish(std::move(r));
+    }
+    const auto it = graphs_.find(request.graph_id);
+    if (it == graphs_.end()) {
+      metrics_.on_graph_not_found();
+      trace_instant("graph-missing", id);
+      Response r;
+      r.status = QueryStatus::GraphNotFound;
+      r.error = "no graph registered as '" + request.graph_id + "'";
+      return finish(std::move(r));
+    }
+    g = it->second.graph;
+    fingerprint = it->second.fingerprint;
+    n = g->num_vertices();
+
+    // The approx-cache key is contract-free: every contract against the
+    // same (graph, options, plan) refines ONE estimate in place.
+    akey = fingerprint_prefix(fingerprint) +
+           core::approx_signature(request.options, plan);
+    if (const auto entry = approx_cache_.get(akey)) {
+      std::lock_guard<std::mutex> entry_lock(entry->mu);
+      if (!entry->invalidated && entry->published &&
+          contract_met(entry->info, request.budget, n)) {
+        trace_instant("approx-cache-hit", id);
+        Response r;
+        r.status = QueryStatus::Ok;
+        r.result = entry->published;
+        r.estimate = entry->info;
+        r.estimate->refining = entry->refine_pending > 0;
+        r.from_cache = true;
+        r.total_ms = turnaround.elapsed_ms();
+        metrics_.on_cache_hit(r.total_ms);
+        metrics_.on_approx_served();
+        return finish(std::move(r));
+      }
+    }
+    // Coalescing is contract-keyed: twins must agree on the whole budget
+    // or the leader's early exit would break the stricter twin.
+    ikey = akey + budget_suffix(request.budget);
+    if (const auto inflight = inflight_.find(ikey); inflight != inflight_.end()) {
+      metrics_.on_coalesced();
+      trace_instant("coalesced", id);
+      Ticket t;
+      t.future = inflight->second->future;
+      t.id = id;
+      t.top_k = request.top_k;
+      t.coalesced = true;
+      t.shed = inflight->second->shed;
+      return t;
+    }
+  }
+
+  const Clock::time_point deadline = request.timeout.count() > 0
+                                         ? submitted + request.timeout
+                                         : Clock::time_point::max();
+  // Admission applies unchanged — budgeted work queues like any other —
+  // but Shed means something better here: instead of rewriting the
+  // options, the quality dial caps synchronous work at rung 0 and the
+  // contract's remainder refines in the background.
+  core::Options admit_probe = request.options;
+  const Admit admit = queue_.admit(admit_probe, deadline);
+  switch (admit) {
+    case Admit::RejectedFull: {
+      metrics_.on_rejected_full();
+      trace_instant("reject-full", id);
+      Response r;
+      r.status = QueryStatus::QueueFull;
+      return finish(std::move(r));
+    }
+    case Admit::RejectedDeadline: {
+      metrics_.on_rejected_deadline();
+      trace_instant("reject-deadline", id);
+      Response r;
+      r.status = QueryStatus::DeadlineExceeded;
+      return finish(std::move(r));
+    }
+    case Admit::RejectedClosed: {
+      Response r;
+      r.status = QueryStatus::ServiceStopped;
+      return finish(std::move(r));
+    }
+    case Admit::Admitted:
+    case Admit::Shed:
+      break;
+  }
+  const bool rung0_cap = admit == Admit::Shed;
+  if (rung0_cap) {
+    metrics_.on_shed();
+    trace_instant("shed", id);
+  }
+
+  std::shared_ptr<Inflight> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      queue_.cancel();
+      Response r;
+      r.status = QueryStatus::ServiceStopped;
+      return finish(std::move(r));
+    }
+    if (const auto cached = approx_cache_.get(akey)) {
+      std::lock_guard<std::mutex> entry_lock(cached->mu);
+      if (!cached->invalidated && cached->published &&
+          contract_met(cached->info, request.budget, n)) {
+        queue_.cancel();
+        trace_instant("approx-cache-hit", id);
+        Response r;
+        r.status = QueryStatus::Ok;
+        r.result = cached->published;
+        r.estimate = cached->info;
+        r.estimate->refining = cached->refine_pending > 0;
+        r.from_cache = true;
+        r.shed = rung0_cap;
+        r.total_ms = turnaround.elapsed_ms();
+        metrics_.on_cache_hit(r.total_ms);
+        metrics_.on_approx_served();
+        return finish(std::move(r));
+      }
+    }
+    if (const auto inflight = inflight_.find(ikey); inflight != inflight_.end()) {
+      queue_.cancel();
+      metrics_.on_coalesced();
+      trace_instant("coalesced", id);
+      Ticket t;
+      t.future = inflight->second->future;
+      t.id = id;
+      t.top_k = request.top_k;
+      t.coalesced = true;
+      t.shed = inflight->second->shed;
+      return t;
+    }
+    entry = std::make_shared<Inflight>();
+    entry->future = entry->promise.get_future().share();
+    entry->key = ikey;
+    entry->shed = rung0_cap;
+    inflight_[ikey] = entry;
+    metrics_.on_cache_miss();
+
+    Job job;
+    job.entry = entry;
+    job.graph = std::move(g);
+    job.options = std::move(request.options);
+    job.submitted = submitted;
+    job.deadline = deadline;
+    job.budgeted = true;
+    job.rung0_cap = rung0_cap;
+    job.budget = request.budget;
+    job.approx_key = akey;
+    job.fingerprint = fingerprint;
+    queue_.push(std::move(job));
+    trace_instant("enqueue", id);
+  }
+
+  Ticket t;
+  t.future = entry->future;
+  t.id = id;
+  t.top_k = request.top_k;
+  t.shed = rung0_cap;
+  return t;
+}
+
 Response BcService::wait(const Ticket& ticket) const {
   Response r = ticket.future.get();
   r.coalesced = ticket.coalesced;
@@ -649,6 +862,320 @@ core::BCResult BcService::compute_resilient(const graph::CSRGraph& g,
   return r;
 }
 
+namespace {
+
+/// Rebuild an entry's published result + estimate from its fold state.
+/// Caller holds entry.mu. Publication happens only from rung 0 (two
+/// strata) onward or at a terminal state, so published estimates always
+/// carry a meaningful (or exactly-zero) error.
+void publish_locked(ApproxEntry& entry, const core::Options& options) {
+  auto result = std::make_shared<core::BCResult>();
+  result->strategy = options.strategy;
+  result->scores =
+      entry.est.scores(options.halve_undirected, options.normalize);
+  result->roots_processed = entry.est.roots_used();
+  result->approximate = !entry.est.saturated();
+  result->time_seconds = entry.accum_seconds;
+  result->wall_seconds = entry.accum_seconds;
+  entry.published = std::move(result);
+  entry.info.roots_used = entry.est.roots_used();
+  entry.info.stderr_est = entry.est.reported_error();
+  entry.info.rung = entry.est.rung();
+  entry.info.refining = false;  // response-scoped; set by the serving path
+}
+
+}  // namespace
+
+void BcService::compute_progressive(const Job& job,
+                                    const util::CancelSource& cancel,
+                                    Response& resp) {
+  const graph::CSRGraph& g = *job.graph;
+  const std::size_t n = g.num_vertices();
+  core::StratumPlan plan;
+  plan.stripe_roots = std::max<std::uint32_t>(cfg_.approx.stripe_roots, 1);
+  plan.base_strata = std::max<std::uint32_t>(cfg_.approx.base_strata, 2);
+  const std::uint32_t rung0_strata =
+      std::min(plan.base_strata, std::max<std::uint32_t>(
+                                     core::total_strata(n, plan), 1));
+
+  bool created = false;
+  const std::shared_ptr<ApproxEntry> entry = approx_cache_.get_or_create(
+      job.approx_key, n, plan, job.options.seed, job.fingerprint, created);
+
+  bool computed_any = false;
+  bool queue_refine = false;
+  std::shared_ptr<const core::BCResult> served;
+  Estimate info;
+
+  try {
+    // One upgrader at a time per entry; strata are computed under this
+    // lock (coalescing keeps contract-twins out, but two different
+    // contracts may race toward the same entry).
+    std::unique_lock<std::mutex> work(entry->work_mu);
+    for (;;) {
+      cancel.token().check();
+      Estimate now;
+      bool rung0_done = false;
+      {
+        std::lock_guard<std::mutex> lock(entry->mu);
+        now.roots_used = entry->est.roots_used();
+        now.stderr_est = entry->est.reported_error();
+        now.rung = entry->est.rung();
+        rung0_done = entry->est.strata_folded() >= rung0_strata ||
+                     entry->est.saturated();
+      }
+      const bool met = contract_met(now, job.budget, n);
+      // Early exit: the caller (or the quality dial, when admission
+      // shed this request) accepts the current rung once it exists and
+      // leaves the rest of the contract to background refinement.
+      const bool pause =
+          !met && rung0_done && (job.budget.allow_refinement || job.rung0_cap);
+      if (met || pause) {
+        std::lock_guard<std::mutex> lock(entry->mu);
+        if (!entry->published) publish_locked(*entry, job.options);
+        served = entry->published;
+        info = entry->info;
+        queue_refine = pause;
+        break;
+      }
+
+      std::vector<graph::VertexId> roots;
+      {
+        std::lock_guard<std::mutex> lock(entry->mu);
+        roots = entry->est.next_stratum_roots();
+      }
+      core::Options sub = job.options;
+      sub.roots = std::move(roots);
+      sub.sample_roots = 0;
+      sub.halve_undirected = false;
+      sub.normalize = false;
+      sub.resilience.cancel = cancel.token();
+      core::BCResult r = run_compute(g, sub);
+      metrics_.on_faults(r.faults.faults_injected);
+      if (r.scores.size() != n || !r.faults.complete()) {
+        throw std::runtime_error("stratum compute incomplete");
+      }
+      computed_any = true;
+      metrics_.on_approx_stratum();
+      {
+        std::lock_guard<std::mutex> lock(entry->mu);
+        entry->est.fold(r.scores, sub.roots.size());
+        entry->accum_seconds += r.time_seconds;
+        if (entry->est.strata_folded() >= rung0_strata || entry->est.saturated()) {
+          publish_locked(*entry, job.options);
+        }
+      }
+      approx_cache_.note_growth(entry);
+    }
+  } catch (const util::Cancelled&) {
+    throw;
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception&) {
+    // A stratum failed persistently: abandon the progressive path and
+    // answer through the resilience ladder on the original request. The
+    // substitute NEVER touches either cache.
+    bool degraded = false;
+    core::BCResult computed =
+        compute_resilient(g, job.options, cancel, degraded);
+    resp.degraded = degraded;
+    Estimate fallback;
+    fallback.roots_used = computed.roots_processed;
+    fallback.stderr_est = 0.0;
+    fallback.rung = 0;
+    fallback.refining = false;
+    resp.estimate = fallback;
+    resp.result = std::make_shared<const core::BCResult>(std::move(computed));
+    trace_instant("approx-fallback", 0);
+    return;
+  }
+
+  if (queue_refine && cfg_.approx.refinement) {
+    RefineJob refine;
+    refine.entry = entry;
+    refine.graph = job.graph;
+    refine.options = job.options;
+    refine.budget = job.budget;
+    if (enqueue_refinement(std::move(refine))) info.refining = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->refine_pending > 0) info.refining = true;
+  }
+  resp.result = std::move(served);
+  resp.estimate = info;
+  resp.from_cache = !computed_any;
+}
+
+bool BcService::enqueue_refinement(RefineJob job) {
+  if (!cfg_.approx.refinement) return false;
+  {
+    std::lock_guard<std::mutex> lock(job.entry->mu);
+    if (job.entry->invalidated) return false;
+    ++job.entry->refine_pending;
+  }
+  const std::shared_ptr<ApproxEntry> entry = job.entry;
+  {
+    std::lock_guard<std::mutex> lock(refine_mu_);
+    if (!refine_stop_) {
+      if (!refine_thread_.joinable()) {
+        refine_thread_ = std::thread([this] { refine_loop(); });
+      }
+      refine_queue_.push_back(std::move(job));
+      metrics_.on_refine_queued();
+      refine_cv_.notify_one();
+      return true;
+    }
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->refine_pending > 0) --entry->refine_pending;
+  return false;
+}
+
+void BcService::refine_loop() {
+#if defined(__linux__)
+  // Yielding on queue depth is not enough on a loaded host: once a
+  // stratum compute starts it runs for tens of milliseconds, stealing
+  // core time from foreground workers. Niceness 19 makes the kernel
+  // schedule this thread only into cycles the workers leave idle —
+  // that is the <5%-of-exact-QPS promise the throughput bench gates.
+  ::setpriority(PRIO_PROCESS, static_cast<id_t>(::syscall(SYS_gettid)), 19);
+#endif
+  for (;;) {
+    RefineJob job;
+    {
+      std::unique_lock<std::mutex> lock(refine_mu_);
+      refine_cv_.wait(lock,
+                      [this] { return refine_stop_ || !refine_queue_.empty(); });
+      if (refine_stop_) {
+        std::deque<RefineJob> leftovers;
+        leftovers.swap(refine_queue_);
+        refine_idle_cv_.notify_all();
+        lock.unlock();
+        for (RefineJob& j : leftovers) {
+          std::lock_guard<std::mutex> entry_lock(j.entry->mu);
+          if (j.entry->refine_pending > 0) --j.entry->refine_pending;
+        }
+        return;
+      }
+      job = std::move(refine_queue_.front());
+      refine_queue_.pop_front();
+      refine_active_ = true;
+    }
+
+    const graph::CSRGraph& g = *job.graph;
+    const std::size_t n = g.num_vertices();
+    const std::uint32_t rung0_strata = std::max<std::uint32_t>(
+        std::min(std::max<std::uint32_t>(cfg_.approx.base_strata, 2),
+                 std::max<std::uint32_t>(core::total_strata(
+                                             n,
+                                             core::StratumPlan{
+                                                 std::max<std::uint32_t>(
+                                                     cfg_.approx.stripe_roots, 1),
+                                                 cfg_.approx.base_strata}),
+                                         1)),
+        1);
+    const util::CancelToken cancel = refine_cancel_.token();
+    {
+      std::unique_lock<std::mutex> work(job.entry->work_mu);
+      for (;;) {
+        if (cancel.cancelled()) break;
+        // Low priority: foreground queries own the service; refinement
+        // only runs while the admission queue is drained.
+        while (queue_.depth() > 0 && !cancel.cancelled()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (cancel.cancelled()) break;
+
+        Estimate now;
+        bool invalid = false;
+        std::uint32_t rung_before = 0;
+        {
+          std::lock_guard<std::mutex> lock(job.entry->mu);
+          invalid = job.entry->invalidated;
+          now.roots_used = job.entry->est.roots_used();
+          now.stderr_est = job.entry->est.reported_error();
+          rung_before = job.entry->est.rung();
+        }
+        if (invalid) {
+          // The never-resurrect guarantee: a mutation or eviction beat
+          // us here, so this estimate must not be advanced or re-served.
+          metrics_.on_refine_dropped();
+          trace_instant("refine-dropped", job.entry->fingerprint);
+          break;
+        }
+        if (contract_met(now, job.budget, n)) break;
+
+        std::vector<graph::VertexId> roots;
+        {
+          std::lock_guard<std::mutex> lock(job.entry->mu);
+          roots = job.entry->est.next_stratum_roots();
+        }
+        core::Options sub = job.options;
+        sub.roots = std::move(roots);
+        sub.sample_roots = 0;
+        sub.halve_undirected = false;
+        sub.normalize = false;
+        sub.resilience.cancel = cancel;
+        core::BCResult r;
+        try {
+          trace::ScopedSpan stratum_span(trace_sink(), cfg_.tracer,
+                                         "refine-stratum", trace::kService);
+          r = run_compute(g, sub);
+        } catch (...) {
+          break;  // background work is best-effort; the entry stays valid
+        }
+        if (r.scores.size() != n || !r.faults.complete()) break;
+        metrics_.on_faults(r.faults.faults_injected);
+        metrics_.on_approx_stratum();
+        std::uint32_t rung_after = 0;
+        bool saturated = false;
+        std::size_t roots_used = 0;
+        {
+          std::lock_guard<std::mutex> lock(job.entry->mu);
+          job.entry->est.fold(r.scores, sub.roots.size());
+          job.entry->accum_seconds += r.time_seconds;
+          if (job.entry->est.strata_folded() >= rung0_strata ||
+              job.entry->est.saturated()) {
+            publish_locked(*job.entry, job.options);
+          }
+          rung_after = job.entry->est.rung();
+          saturated = job.entry->est.saturated();
+          roots_used = job.entry->est.roots_used();
+        }
+        approx_cache_.note_growth(job.entry);
+        if (rung_after > rung_before || saturated) {
+          metrics_.on_refine_rung();
+          if (cfg_.tracer != nullptr) {
+            if (trace::Sink* sink = trace_sink();
+                sink != nullptr && sink->wants(trace::kService)) {
+              sink->instant("refine-rung", trace::kService, cfg_.tracer->now_ns(),
+                            {{"rung", static_cast<std::uint64_t>(rung_after)},
+                             {"roots", static_cast<std::uint64_t>(roots_used)}});
+            }
+          }
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(job.entry->mu);
+      if (job.entry->refine_pending > 0) --job.entry->refine_pending;
+    }
+    {
+      std::lock_guard<std::mutex> lock(refine_mu_);
+      refine_active_ = false;
+      if (refine_queue_.empty()) refine_idle_cv_.notify_all();
+    }
+  }
+}
+
+void BcService::drain_refinement() {
+  std::unique_lock<std::mutex> lock(refine_mu_);
+  refine_idle_cv_.wait(lock, [this] {
+    return refine_stop_ || (refine_queue_.empty() && !refine_active_);
+  });
+}
+
 void BcService::worker_loop() {
   for (;;) {
     std::optional<Job> job = queue_.pop();
@@ -680,34 +1207,43 @@ void BcService::worker_loop() {
     } else {
       util::Timer timer;
       try {
-        bool degraded = false;
-        trace::ScopedSpan compute_span(trace_sink(), cfg_.tracer,
-                                       "service-compute", trace::kCompute);
-        core::BCResult computed = compute_resilient(*job->graph, job->options,
-                                                    cancel, degraded);
-        resp.compute_ms = timer.elapsed_ms();
-        resp.degraded = degraded;
-
-        // Degraded results are substitutes (or partial) — never cached, so
-        // an identical later request gets a fresh shot at the real answer.
-        if (!degraded) {
-          auto cached = std::make_shared<CachedResult>();
-          cached->result = std::move(computed);
-          cached->bytes = estimate_result_bytes(cached->result);
-          // Patchable on mutation: exact full BC with raw scores (the
-          // refresher's dyn::refresh_scores contract). Decided here — the
-          // result alone can't reveal the request's score scaling.
-          cached->refreshable = !cached->result.approximate &&
-                                cached->result.roots_processed ==
-                                    job->graph->num_vertices() &&
-                                job->options.roots.empty() &&
-                                !job->options.halve_undirected &&
-                                !job->options.normalize;
-          cache_.put(entry->key, cached);
-          resp.result =
-              std::shared_ptr<const core::BCResult>(cached, &cached->result);
+        if (job->budgeted) {
+          trace::ScopedSpan compute_span(trace_sink(), cfg_.tracer,
+                                         "service-approx", trace::kCompute);
+          compute_progressive(*job, cancel, resp);
+          resp.compute_ms = timer.elapsed_ms();
+          metrics_.on_approx_served();
         } else {
-          resp.result = std::make_shared<const core::BCResult>(std::move(computed));
+          bool degraded = false;
+          trace::ScopedSpan compute_span(trace_sink(), cfg_.tracer,
+                                         "service-compute", trace::kCompute);
+          core::BCResult computed = compute_resilient(*job->graph, job->options,
+                                                      cancel, degraded);
+          resp.compute_ms = timer.elapsed_ms();
+          resp.degraded = degraded;
+
+          // Degraded results are substitutes (or partial) — never cached, so
+          // an identical later request gets a fresh shot at the real answer.
+          if (!degraded) {
+            auto cached = std::make_shared<CachedResult>();
+            cached->result = std::move(computed);
+            cached->bytes = estimate_result_bytes(cached->result);
+            // Patchable on mutation: exact full BC with raw scores (the
+            // refresher's dyn::refresh_scores contract). Decided here — the
+            // result alone can't reveal the request's score scaling.
+            cached->refreshable = !cached->result.approximate &&
+                                  cached->result.roots_processed ==
+                                      job->graph->num_vertices() &&
+                                  job->options.roots.empty() &&
+                                  !job->options.halve_undirected &&
+                                  !job->options.normalize;
+            cache_.put(entry->key, cached);
+            resp.result =
+                std::shared_ptr<const core::BCResult>(cached, &cached->result);
+          } else {
+            resp.result =
+                std::make_shared<const core::BCResult>(std::move(computed));
+          }
         }
 
         resp.status = QueryStatus::Ok;
@@ -773,6 +1309,15 @@ void BcService::stop() {
     refresh_pool_.reset();
   }
 
+  {
+    std::lock_guard<std::mutex> lock(refine_mu_);
+    refine_stop_ = true;
+  }
+  refine_cancel_.cancel();
+  refine_cv_.notify_all();
+  refine_idle_cv_.notify_all();
+  if (refine_thread_.joinable()) refine_thread_.join();
+
   // A submitter that was admitted before close() may have pushed after the
   // workers drained; answer anything left so no future is abandoned.
   while (std::optional<Job> job = queue_.pop()) {
@@ -798,6 +1343,9 @@ MetricsSnapshot BcService::metrics() const {
   s.queue_depth = queue_.depth();
   s.queue_peak_depth = queue_.peak_depth();
   s.workers = workers_;
+  s.approx_entries = approx_cache_.size();
+  s.approx_bytes = approx_cache_.bytes();
+  s.approx_evictions = approx_cache_.evictions();
   return s;
 }
 

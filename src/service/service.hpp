@@ -47,6 +47,7 @@
 #include "service/admission.hpp"
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
+#include "service/progressive.hpp"
 #include "trace/trace.hpp"
 #include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
@@ -69,13 +70,22 @@ const char* to_string(QueryStatus status) noexcept;
 struct Request {
   std::string graph_id;
   core::Options options;
+  /// The accuracy/latency contract (docs/serving.md § Accuracy
+  /// contracts). Inactive by default: requests behave exactly as before,
+  /// with byte-identical options signatures. An active budget routes the
+  /// request onto the progressive-approximation path — options.roots
+  /// must then be empty (BadRequest otherwise) and options.sample_roots
+  /// is ignored in favor of the controller's stratified schedule.
+  QueryBudget budget;
   /// When > 0, wait() fills Response::top with the top-k (vertex, score)
   /// pairs. Per-request: coalesced twins may ask for different k.
   std::size_t top_k = 0;
-  /// Total budget from submit to response; 0 = none. Expiry while queued
-  /// (or blocked on admission) yields DeadlineExceeded immediately; expiry
-  /// mid-compute cancels the run cooperatively at the next root boundary
-  /// and yields DeadlineExceeded then (see docs/resilience.md).
+  /// DEPRECATED shim: prefer budget.deadline, which supersedes this when
+  /// set. Total budget from submit to response; 0 = none. Expiry while
+  /// queued (or blocked on admission) yields DeadlineExceeded
+  /// immediately; expiry mid-compute cancels the run cooperatively at
+  /// the next root boundary and yields DeadlineExceeded then (see
+  /// docs/resilience.md).
   std::chrono::milliseconds timeout{0};
 };
 
@@ -95,6 +105,9 @@ struct Response {
   /// disabled — a partial result with failed roots missing. Degraded
   /// results are NEVER cached; a later identical request recomputes.
   bool degraded = false;
+  /// Present on every budgeted (progressive) response: what the sampled
+  /// estimate actually delivered. nullopt on classic exact responses.
+  std::optional<Estimate> estimate;
   double compute_ms = 0.0;  // 0 for cache hits
   double total_ms = 0.0;    // submit -> response
   bool ok() const noexcept { return status == QueryStatus::Ok; }
@@ -181,6 +194,25 @@ struct ServiceConfig {
   };
   RefreshConfig refresh;
 
+  // --- progressive approximation (docs/serving.md § Accuracy contracts) ---
+
+  /// Accuracy-contract serving: stratified-sample geometry, the refinable
+  /// estimate cache, and the background refinement worker.
+  struct ApproxConfig {
+    /// Refinable-estimate cache budget; 0 disables retention (budgeted
+    /// queries still work, each from scratch, and nothing refines).
+    std::size_t cache_bytes = 64ull << 20;
+    /// Stratified-sample geometry (core::StratumPlan): roots per stratum
+    /// and strata in rung 0. Part of the approx cache key.
+    std::uint32_t stripe_roots = 128;
+    std::uint32_t base_strata = 2;
+    /// Permit background refinement (allow_refinement requests). The
+    /// refinement thread starts lazily on the first queued job and runs
+    /// at low priority: it yields whenever foreground work is queued.
+    bool refinement = true;
+  };
+  ApproxConfig approx;
+
   /// Request-lifecycle tracing (docs/tracing.md): submit / cache-hit /
   /// coalesced / shed / reject instants and per-job request+compute spans,
   /// recorded wall-clock on per-thread host sinks (category kService /
@@ -206,6 +238,9 @@ struct MutationResult {
   /// refresher may still drop some (budget, non-refreshable, superseded);
   /// those surface as MetricsSnapshot::refresh_invalidated.
   std::size_t cache_refresh_queued = 0;
+  /// Refinable (approx) estimates invalidated by this mutation. Never
+  /// refreshed forward: partial folds cannot be patched across epochs.
+  std::size_t approx_invalidated = 0;
 };
 
 class BcService {
@@ -274,6 +309,10 @@ class BcService {
   /// Block until every queued refresher job has been processed (including
   /// the one in flight). Returns immediately when the refresher is off.
   void drain_refreshes();
+
+  /// Block until the background refinement queue is empty and the
+  /// in-flight refinement (if any) finished. Immediate when idle.
+  void drain_refinement();
 
   // -- Query path ---------------------------------------------------------
 
@@ -352,9 +391,41 @@ class BcService {
     core::Options options;
     std::chrono::steady_clock::time_point submitted;
     std::chrono::steady_clock::time_point deadline;
+    /// Progressive-approximation jobs (budget.active()): the contract,
+    /// the contract-free approx-cache key, and the graph fingerprint at
+    /// submit time. rung0_cap is the quality dial — set when admission
+    /// shed the request, capping synchronous work at rung 0 with the
+    /// rest of the contract refined in the background.
+    bool budgeted = false;
+    bool rung0_cap = false;
+    QueryBudget budget;
+    std::string approx_key;
+    std::uint64_t fingerprint = 0;
+  };
+
+  /// One queued background-refinement task: upgrade `entry` toward
+  /// `budget`'s contract on the pinned graph snapshot.
+  struct RefineJob {
+    std::shared_ptr<ApproxEntry> entry;
+    std::shared_ptr<const graph::CSRGraph> graph;
+    core::Options options;
+    QueryBudget budget;
   };
 
   static Ticket ready_ticket(std::uint64_t id, Response response);
+  /// The budgeted (progressive) submit path: approx-cache lookup,
+  /// contract-keyed coalescing, admission (Shed = rung-0 cap), enqueue.
+  Ticket submit_budgeted(Request request, std::uint64_t id,
+                         std::chrono::steady_clock::time_point submitted);
+  /// Worker-side progressive controller: upgrade the entry stratum by
+  /// stratum until the contract is met (or rung 0 with refinement),
+  /// publishing at each fold. Fills resp; throws like compute paths do.
+  void compute_progressive(const Job& job, const util::CancelSource& cancel,
+                           Response& resp);
+  /// Queue a background upgrade of `entry` toward `budget`; starts the
+  /// refinement thread lazily. Returns false when refinement is off.
+  bool enqueue_refinement(RefineJob job);
+  void refine_loop();
   /// This thread's host trace sink, or nullptr when tracing is off.
   trace::Sink* trace_sink() const;
   /// One kService instant tagged with the request id; no-op when off.
@@ -372,6 +443,7 @@ class BcService {
 
   ServiceConfig cfg_;
   ResultCache cache_;
+  ApproxCache approx_cache_;
   AdmissionQueue<Job> queue_;
   ServiceMetrics metrics_;
 
@@ -393,6 +465,20 @@ class BcService {
   bool refresh_stop_ = false;
   std::unique_ptr<util::ThreadPool> refresh_pool_;
   std::thread refresher_;
+
+  // Background-refinement state (guarded by refine_mu_ except the thread
+  // handle, which only enqueue_refinement's lazy start and stop() touch,
+  // both under refine_mu_ for the started_ decision).
+  std::mutex refine_mu_;
+  std::condition_variable refine_cv_;       // wakes the refinement worker
+  std::condition_variable refine_idle_cv_;  // wakes drain_refinement()
+  std::deque<RefineJob> refine_queue_;
+  bool refine_active_ = false;
+  bool refine_stop_ = false;
+  std::thread refine_thread_;  // lazily started on the first queued job
+  /// Shared cancel for all background strata; stop() fires it so a
+  /// mid-stratum refinement unwinds at the next root boundary.
+  util::CancelSource refine_cancel_;
 
   std::size_t workers_ = 0;
   std::unique_ptr<util::ThreadPool> pool_;  // last member: joins first

@@ -550,3 +550,161 @@ TEST(NetDistributed, ReplicationPlacesGraphOnSubsetAndStillAnswers) {
   EXPECT_TRUE(bitwise_equal(resp.result->scores, standalone.scores));
   EXPECT_EQ(fleet.coordinator->stats().local_fallbacks, 0u);
 }
+
+// --- accuracy-contract queries through the fleet --------------------------
+
+namespace {
+
+// 1024 vertices: four 128-root strata short of nothing — room for a
+// 256 -> 512 -> 768 refinement ladder before saturation.
+graph::CSRGraph big_graph() {
+  return graph::gen::family_by_name("smallworld").make(10, 1);
+}
+
+service::Request budgeted_request(std::uint32_t max_roots,
+                                  core::Strategy strategy =
+                                      core::Strategy::WorkEfficient) {
+  service::Request r;
+  r.graph_id = "g0";
+  r.options.strategy = strategy;
+  r.budget.max_roots = max_roots;
+  return r;
+}
+
+}  // namespace
+
+// The ISSUE's headline acceptance criterion, fleet half: a cached
+// 256-root estimate upgraded to 512 through a 2-worker fleet must be
+// memcmp-identical to the standalone service's budgeted answers (which
+// test_progressive pins to a fresh single-shot 512-root run).
+TEST(NetDistributed, BudgetedUpgradeThroughFleetIsBitwiseIdenticalToStandalone) {
+  const auto g = std::make_shared<const graph::CSRGraph>(big_graph());
+
+  service::BcService svc({.workers = 2});
+  svc.load_graph("g0", *g);
+  const service::Response s256 = svc.query(budgeted_request(256));
+  const service::Response s512 = svc.query(budgeted_request(512));  // upgrade
+  ASSERT_TRUE(s256.ok() && s512.ok());
+
+  // And a from-scratch 512 with no 256 warm-up, to close the triangle.
+  service::BcService fresh_svc({.workers = 2});
+  fresh_svc.load_graph("g0", *g);
+  const service::Response s512_fresh = fresh_svc.query(budgeted_request(512));
+  ASSERT_TRUE(s512_fresh.ok());
+
+  Fleet fleet(2, {}, in_memory_workers(2, g));
+  ASSERT_EQ(fleet.coordinator->load_graph("g0", g, ""), 2u);
+
+  const service::Response f256 = fleet.coordinator->query(budgeted_request(256));
+  ASSERT_TRUE(f256.ok()) << f256.error;
+  ASSERT_TRUE(f256.estimate.has_value());
+  EXPECT_EQ(f256.estimate->roots_used, 256u);
+  EXPECT_TRUE(f256.result->approximate);
+  EXPECT_TRUE(bitwise_equal(f256.result->scores, s256.result->scores));
+
+  const service::Response f512 = fleet.coordinator->query(budgeted_request(512));
+  ASSERT_TRUE(f512.ok()) << f512.error;
+  ASSERT_TRUE(f512.estimate.has_value());
+  EXPECT_EQ(f512.estimate->roots_used, 512u);
+  EXPECT_LE(f512.estimate->stderr_est, f256.estimate->stderr_est);
+  EXPECT_TRUE(bitwise_equal(f512.result->scores, s512.result->scores));
+  EXPECT_TRUE(bitwise_equal(f512.result->scores, s512_fresh.result->scores));
+
+  EXPECT_EQ(fleet.coordinator->stats().budgeted_queries, 2u);
+  EXPECT_EQ(fleet.coordinator->stats().local_fallbacks, 0u);
+}
+
+// CPU strategies route whole: the budget rides the v2 SubmitShard frame
+// to one worker, whose BcService runs the stratified controller and
+// ships the estimate back in the v2 ShardResult.
+TEST(NetDistributed, BudgetedWholeDelegationCarriesEstimate) {
+  const auto g = std::make_shared<const graph::CSRGraph>(big_graph());
+
+  service::BcService svc({.workers = 2});
+  svc.load_graph("g0", *g);
+  const service::Response standalone =
+      svc.query(budgeted_request(256, core::Strategy::CpuSerial));
+  ASSERT_TRUE(standalone.ok());
+
+  Fleet fleet(2, {}, in_memory_workers(2, g));
+  fleet.coordinator->load_graph("g0", g, "");
+  const service::Response resp =
+      fleet.coordinator->query(budgeted_request(256, core::Strategy::CpuSerial));
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  ASSERT_TRUE(resp.estimate.has_value());
+  EXPECT_EQ(resp.estimate->roots_used, 256u);
+  EXPECT_GE(resp.estimate->stderr_est, 0.0);
+  EXPECT_TRUE(bitwise_equal(resp.result->scores, standalone.result->scores));
+  EXPECT_EQ(fleet.coordinator->stats().budgeted_queries, 1u);
+  EXPECT_GE(fleet.coordinator->stats().whole_queries, 1u);
+}
+
+// allow_refinement: the coordinator answers at rung 0 and run_for()
+// folds the remaining strata in the background; a later identical query
+// is served the refined roots from the coordinator's ApproxCache.
+TEST(NetDistributed, CoordinatorRefinementUpgradesCachedEstimate) {
+  const auto g = std::make_shared<const graph::CSRGraph>(big_graph());
+  Fleet fleet(2, {}, in_memory_workers(2, g));
+  fleet.coordinator->load_graph("g0", g, "");
+
+  service::Request req = budgeted_request(768);  // 6 strata; rung 0 is 2
+  req.budget.allow_refinement = true;
+  const service::Response first = fleet.coordinator->query(req);
+  ASSERT_TRUE(first.ok()) << first.error;
+  ASSERT_TRUE(first.estimate.has_value());
+  EXPECT_EQ(first.estimate->roots_used, 256u);
+  EXPECT_TRUE(first.estimate->refining);
+
+  for (int i = 0; i < 200 && fleet.coordinator->stats().refine_strata < 4; ++i) {
+    fleet.coordinator->run_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(fleet.coordinator->stats().refine_strata, 4u);
+
+  const service::Response again = fleet.coordinator->query(req);
+  ASSERT_TRUE(again.ok()) << again.error;
+  ASSERT_TRUE(again.estimate.has_value());
+  EXPECT_EQ(again.estimate->roots_used, 768u);
+  EXPECT_FALSE(again.estimate->refining);
+  EXPECT_TRUE(again.from_cache);
+
+  // The refined answer is the same bits a synchronous 768-root budgeted
+  // query would have produced.
+  service::BcService svc({.workers = 2});
+  svc.load_graph("g0", *g);
+  const service::Response s768 = svc.query(budgeted_request(768));
+  ASSERT_TRUE(s768.ok());
+  EXPECT_TRUE(bitwise_equal(again.result->scores, s768.result->scores));
+}
+
+// A mutation between the rung-0 answer and the background fold must
+// invalidate the cached estimate and drop the queued refinement — stale
+// pre-mutation strata are never folded into a post-mutation answer.
+TEST(NetDistributed, MutationPurgesPendingRefinement) {
+  const auto g = std::make_shared<const graph::CSRGraph>(big_graph());
+  Fleet fleet(2, {}, in_memory_workers(2, g));
+  fleet.coordinator->load_graph("g0", g, "");
+
+  service::Request req = budgeted_request(768);
+  req.budget.allow_refinement = true;
+  const service::Response first = fleet.coordinator->query(req);
+  ASSERT_TRUE(first.ok()) << first.error;
+
+  dyn::UpdateBatch batch;
+  batch.insert(0, 511);
+  const service::MutationResult mr = fleet.coordinator->mutate_graph("g0", batch);
+  EXPECT_GE(mr.approx_invalidated, 1u);
+
+  for (int i = 0; i < 100 && fleet.coordinator->stats().refine_dropped == 0; ++i) {
+    fleet.coordinator->run_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(fleet.coordinator->stats().refine_dropped, 1u);
+  EXPECT_EQ(fleet.coordinator->stats().refine_strata, 0u);
+
+  // The re-query starts a fresh rung 0 on the new epoch, never serving
+  // pre-mutation bits.
+  const service::Response again = fleet.coordinator->query(req);
+  ASSERT_TRUE(again.ok()) << again.error;
+  ASSERT_TRUE(again.estimate.has_value());
+  EXPECT_EQ(again.estimate->roots_used, 256u);
+  EXPECT_FALSE(again.from_cache);
+}

@@ -31,6 +31,13 @@
 //                     failed (default 3: first try + retry + rescue)
 //   --deadline MS     cancel the computation cooperatively after MS
 //                     milliseconds (exit code 3 when it fires)
+//   --sample-error    progressive-sampling error table instead of one
+//                     run: fold the stratified root ladder rung by rung
+//                     (256, 512, 1024, ... roots with the default plan)
+//                     and print each rung's reported relative standard
+//                     error — monotone non-increasing by construction
+//                     (docs/serving.md). --roots caps the ladder; the
+//                     default saturates the graph
 //   --trace FILE      capture a structured span trace of the run and write
 //                     it as Chrome trace_event JSON to FILE (open in
 //                     chrome://tracing or https://ui.perfetto.dev); also
@@ -46,10 +53,50 @@
 #include <string>
 
 #include "cli_common.hpp"
+#include "core/approx.hpp"
 
 namespace {
 
 using namespace hbc;
+
+/// --sample-error: drive the same stratified ladder the serving layer
+/// refines with (core::RefinableEstimate), one row per completed rung.
+/// The reported error column is the running-min relative stderr, so a
+/// monotonicity check over the output is a real invariant, not luck.
+int print_sample_error_table(const graph::CSRGraph& g, core::Options options,
+                             std::size_t cap_roots) {
+  const std::size_t n = g.num_vertices();
+  const core::StratumPlan plan;
+  const std::size_t cap =
+      cap_roots > 0 ? std::min<std::size_t>(cap_roots, n) : n;
+  core::RefinableEstimate est(n, plan, options.seed);
+  options.sample_roots = 0;
+  options.halve_undirected = false;
+  options.normalize = false;
+
+  std::printf("progressive sampling error (strategy %s, stripe %u, seed %llu):\n",
+              core::to_string(options.strategy), plan.stripe_roots,
+              static_cast<unsigned long long>(options.seed));
+  std::printf("  %4s  %8s  %8s  %14s  %10s\n", "rung", "strata", "roots",
+              "rel-stderr", "sim-s");
+  double accum_seconds = 0.0;
+  std::uint32_t rung = 0;
+  while (est.roots_used() < cap && !est.saturated()) {
+    options.roots = est.next_stratum_roots();
+    const core::BCResult r = core::compute(g, options);
+    est.fold(r.scores, options.roots.size());
+    accum_seconds += r.time_seconds;
+    const bool rung_done = est.strata_folded() >= strata_for_rung(plan, rung);
+    const bool ladder_done = est.roots_used() >= cap || est.saturated();
+    if (rung_done || ladder_done) {
+      std::printf("  %4u  %8u  %8zu  %14.6g  %10.4f\n", est.rung(),
+                  est.strata_folded(), est.roots_used(), est.reported_error(),
+                  accum_seconds);
+      if (rung_done) ++rung;
+    }
+  }
+  return 0;
+}
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
@@ -57,7 +104,7 @@ using namespace hbc;
                "          [--halve] [--lcc] [--out FILE] [--dump-scores FILE]\n"
                "          [--seed S] [--threads N]\n"
                "          [--inject-faults SPEC] [--max-attempts N] [--deadline MS]\n"
-               "          [--trace FILE]\n"
+               "          [--trace FILE] [--sample-error]\n"
                "          <graph-file | gen:<family>:<scale>[:<seed>]>\n",
                argv0);
   std::exit(2);
@@ -68,6 +115,7 @@ using namespace hbc;
 int main(int argc, char** argv) {
   core::Options options;
   std::size_t top = 10;
+  bool sample_error = false;
   bool use_lcc = false;
   bool weighted = false;
   double weight_lo = 1.0, weight_hi = 4.0;
@@ -109,6 +157,8 @@ int main(int argc, char** argv) {
         deadline_ms = static_cast<long long>(cli::parse_u64(arg, args.value(arg)));
       } else if (arg == "--trace") {
         trace_path = args.value(arg);
+      } else if (arg == "--sample-error") {
+        sample_error = true;
       } else if (arg == "--weighted") {
         weighted = true;
         const std::string range = args.value(arg);
@@ -156,6 +206,14 @@ int main(int argc, char** argv) {
       lcc = graph::largest_component(g);
       std::printf("largest component: %s\n", lcc.graph.summary().c_str());
       g = std::move(lcc.graph);
+    }
+
+    if (sample_error) {
+      if (weighted) {
+        std::fprintf(stderr, "--sample-error does not combine with --weighted\n");
+        return 2;
+      }
+      return print_sample_error_table(g, options, options.sample_roots);
     }
 
     if (weighted) {

@@ -60,6 +60,16 @@
 //   --distinct K      size of that warm set (default 8)
 //   --strategy NAME   strategy for synthetic queries (default sampling)
 //   --roots K         sample_roots per synthetic query (default 32)
+//   --accuracy T      accuracy-contract queries (docs/serving.md): every
+//                     request carries a QueryBudget with relative-stderr
+//                     target T in (0,1]; responses report the estimate
+//                     actually served (roots used, stderr, rung)
+//   --budget-roots K  budget root cap — "best estimate from at most K
+//                     roots" (combines with --accuracy; either activates
+//                     the budgeted path)
+//   --refine          serve budgeted queries at rung 0 and refine toward
+//                     the contract in the background; the replay drains
+//                     the refinement queue before printing metrics
 //   --threads N       cpu_threads for the CPU-parallel strategies (0=hw)
 //   --top K           request top-k extraction per query (default 10)
 //   --timeout MS      per-request deadline in milliseconds (default none)
@@ -123,7 +133,8 @@ using namespace hbc;
                "usage: %s [--workers N] [--queue N] [--policy block|reject|shed]\n"
                "          [--shed-roots K] [--cache-mb M] [--requests N]\n"
                "          [--hit-ratio P] [--distinct K] [--strategy NAME]\n"
-               "          [--roots K] [--threads N] [--top K] [--timeout MS]\n"
+               "          [--roots K] [--accuracy T] [--budget-roots K] [--refine]\n"
+               "          [--threads N] [--top K] [--timeout MS]\n"
                "          [--seed S] [--workload FILE] [--inject-faults SPEC]\n"
                "          [--max-attempts N] [--retries N] [--no-fallback]\n"
                "          [--fallback-roots K] [--trace-dir DIR]\n"
@@ -149,6 +160,7 @@ struct ServeArgs {
   std::size_t distinct = 8;
   core::Strategy strategy = core::Strategy::Sampling;
   std::uint32_t sample_roots = 32;
+  service::QueryBudget budget;  // active() => accuracy-contract workload
   std::size_t cpu_threads = 0;
   std::size_t top_k = 10;
   std::chrono::milliseconds timeout{0};
@@ -188,7 +200,8 @@ std::vector<service::Request> synthetic_workload(const ServeArgs& args,
     service::Request r;
     r.graph_id = "g" + std::to_string(i % num_graphs);
     r.options.strategy = args.strategy;
-    r.options.sample_roots = args.sample_roots;
+    r.options.sample_roots = args.budget.active() ? 0 : args.sample_roots;
+    r.budget = args.budget;
     r.options.seed = 1000 + i;
     r.options.cpu_threads = args.cpu_threads;
     r.options.resilience.fault_plan = args.fault_plan;
@@ -236,7 +249,8 @@ std::vector<service::Request> file_workload(const ServeArgs& args) {
     service::Request r;
     r.graph_id = graph_id;
     r.options.strategy = core::strategy_from_string(strategy);
-    r.options.sample_roots = roots;
+    r.options.sample_roots = args.budget.active() ? 0 : roots;
+    r.budget = args.budget;
     r.options.seed = seed;
     r.options.cpu_threads = args.cpu_threads;
     r.options.resilience.fault_plan = args.fault_plan;
@@ -286,13 +300,45 @@ std::vector<MutationStep> parse_mutation_script(const std::string& path) {
   return steps;
 }
 
+/// What the accuracy-contract replay actually got back (--accuracy /
+/// --budget-roots): the served-estimate spread across all Ok responses.
+struct ApproxTally {
+  std::size_t with_estimate = 0;
+  std::size_t refining = 0;
+  std::size_t min_roots = 0, max_roots = 0;
+  double min_stderr = 0.0, max_stderr = 0.0;
+
+  void add(const service::Response& r) {
+    if (!r.estimate) return;
+    const service::Estimate& e = *r.estimate;
+    if (with_estimate == 0) {
+      min_roots = max_roots = e.roots_used;
+      min_stderr = max_stderr = e.stderr_est;
+    } else {
+      min_roots = std::min(min_roots, e.roots_used);
+      max_roots = std::max(max_roots, e.roots_used);
+      min_stderr = std::min(min_stderr, e.stderr_est);
+      max_stderr = std::max(max_stderr, e.stderr_est);
+    }
+    ++with_estimate;
+    refining += e.refining ? 1 : 0;
+  }
+
+  void print() const {
+    if (with_estimate == 0) return;
+    std::printf("  %-18s %zu (roots %zu..%zu, stderr %.3g..%.3g, refining %zu)\n",
+                "(estimates)", with_estimate, min_roots, max_roots, min_stderr,
+                max_stderr, refining);
+  }
+};
+
 /// Submit + wait one slice of the workload, folding statuses into the
 /// running tally. (Mutation runs between slices, so each slice is its own
 /// submit wave: requests in the second wave key off the new fingerprints.)
 void replay_slice(service::BcService& svc,
                   std::span<const service::Request> slice,
                   std::map<std::string, std::size_t>& by_status,
-                  std::size_t& degraded) {
+                  std::size_t& degraded, ApproxTally& approx) {
   std::vector<service::Ticket> tickets;
   tickets.reserve(slice.size());
   for (const auto& request : slice) tickets.push_back(svc.submit(request));
@@ -300,6 +346,7 @@ void replay_slice(service::BcService& svc,
     const service::Response r = svc.wait(ticket);
     ++by_status[to_string(r.status)];
     degraded += r.degraded ? 1 : 0;
+    approx.add(r);
   }
 }
 
@@ -491,11 +538,13 @@ int run_coordinator(const ServeArgs& args, trace::Tracer& tracer) {
 
   std::map<std::string, std::size_t> by_status;
   std::size_t degraded = 0;
+  ApproxTally approx;
   auto replay = [&](std::span<const service::Request> slice) {
     for (const auto& request : slice) {
       const service::Response r = coord->query(request);
       ++by_status[to_string(r.status)];
       degraded += r.degraded ? 1 : 0;
+      approx.add(r);
     }
   };
 
@@ -533,6 +582,14 @@ int run_coordinator(const ServeArgs& args, trace::Tracer& tracer) {
     }
     replay(all.subspan(mid));
   }
+  if (args.budget.allow_refinement) {
+    // The coordinator has no background thread: pump the loop until the
+    // refinement queue drains so the metrics (and trace) show the full
+    // ladder, not just rung 0.
+    while (coord->refine_backlog() > 0) {
+      coord->run_for(std::chrono::milliseconds(20));
+    }
+  }
   const double wall_s = wall.elapsed_seconds();
 
   std::printf("\nreplay finished in %.3f s (%.1f QPS)\n", wall_s,
@@ -541,6 +598,7 @@ int run_coordinator(const ServeArgs& args, trace::Tracer& tracer) {
     std::printf("  %-18s %zu\n", status.c_str(), count);
   }
   if (degraded > 0) std::printf("  %-18s %zu\n", "(degraded)", degraded);
+  approx.print();
 
   std::printf("\n%s", coord->metrics_report().c_str());
 
@@ -585,6 +643,16 @@ int main(int argc, char** argv) {
         args.strategy = core::strategy_from_string(cursor.value(arg));
       } else if (arg == "--roots") {
         args.sample_roots = cli::parse_u32(arg, cursor.value(arg));
+      } else if (arg == "--accuracy") {
+        args.budget.accuracy_target = cli::parse_double(arg, cursor.value(arg));
+        if (!(args.budget.accuracy_target > 0.0) ||
+            args.budget.accuracy_target > 1.0) {
+          throw cli::UsageError("--accuracy must be in (0, 1]");
+        }
+      } else if (arg == "--budget-roots") {
+        args.budget.max_roots = cli::parse_u32(arg, cursor.value(arg));
+      } else if (arg == "--refine") {
+        args.budget.allow_refinement = true;
       } else if (arg == "--threads") {
         args.cpu_threads = cli::parse_size(arg, cursor.value(arg));
       } else if (arg == "--top") {
@@ -663,6 +731,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad argument: %s\n", e.what());
     return 2;
   }
+  if (args.budget.allow_refinement && !args.budget.active()) {
+    std::fprintf(stderr, "--refine needs an active budget: add --accuracy "
+                         "and/or --budget-roots\n");
+    usage(argv[0]);
+  }
   if (args.role == "worker") {
     if (args.connect_spec.empty()) {
       std::fprintf(stderr, "--role worker requires --connect\n");
@@ -721,14 +794,20 @@ int main(int argc, char** argv) {
     util::Timer wall;
     std::map<std::string, std::size_t> by_status;
     std::size_t degraded = 0;
+    ApproxTally approx;
     const std::span<const service::Request> all(workload);
     if (mutations.empty()) {
-      replay_slice(svc, all, by_status, degraded);
+      replay_slice(svc, all, by_status, degraded, approx);
     } else {
       const std::size_t mid = workload.size() / 2;
-      replay_slice(svc, all.subspan(0, mid), by_status, degraded);
+      replay_slice(svc, all.subspan(0, mid), by_status, degraded, approx);
       run_mutations(svc, mutations);
-      replay_slice(svc, all.subspan(mid), by_status, degraded);
+      replay_slice(svc, all.subspan(mid), by_status, degraded, approx);
+    }
+    if (args.budget.allow_refinement) {
+      // Let background refinement reach every contract before the
+      // metrics/trace snapshot, so refine rungs are visible in both.
+      svc.drain_refinement();
     }
     const double wall_s = wall.elapsed_seconds();
 
@@ -740,6 +819,7 @@ int main(int argc, char** argv) {
     if (degraded > 0) {
       std::printf("  %-18s %zu\n", "(degraded)", degraded);
     }
+    approx.print();
     std::printf("\n%s", svc.metrics_report().c_str());
 
     if (!args.dump_scores_path.empty()) {
